@@ -1,0 +1,88 @@
+// PERF — the paper's Section 3 "efficiency" requirement: analyzer phase
+// runtimes as the analyzed program grows (loop nests and call trees of
+// increasing size), plus simulator throughput.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/toolkit.hpp"
+#include "mcc/runtime.hpp"
+
+namespace {
+
+using namespace wcet;
+
+std::string synthetic_program(int functions, int loops_per_function) {
+  std::ostringstream os;
+  os << "int data[16] = {1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16};\n";
+  for (int f = 0; f < functions; ++f) {
+    os << "int work" << f << "(int x) {\n  int s = x;\n";
+    for (int l = 0; l < loops_per_function; ++l) {
+      os << "  { int i" << l << "; for (i" << l << " = 0; i" << l << " < "
+         << (4 + (l % 5)) << "; i" << l << "++) { s += data[(s + i" << l
+         << ") & 15]; } }\n";
+    }
+    os << "  return s;\n}\n";
+  }
+  os << "int main(void) {\n  int total = 0;\n";
+  for (int f = 0; f < functions; ++f) os << "  total += work" << f << "(total);\n";
+  os << "  return total;\n}\n";
+  return os.str();
+}
+
+void BM_analyze_scaling(benchmark::State& state) {
+  const int functions = static_cast<int>(state.range(0));
+  const auto built = mcc::compile_program(synthetic_program(functions, 3));
+  std::uint64_t bound = 0;
+  for (auto _ : state) {
+    const Analyzer analyzer(built.image, mem::typical_hw());
+    const WcetReport report = analyzer.analyze();
+    bound = report.wcet_cycles;
+    benchmark::DoNotOptimize(bound);
+  }
+  state.counters["wcet_cycles"] = static_cast<double>(bound);
+  state.counters["image_bytes"] =
+      static_cast<double>(built.image.sections()[0].bytes.size());
+}
+BENCHMARK(BM_analyze_scaling)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_compile_scaling(benchmark::State& state) {
+  const std::string source = synthetic_program(static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mcc::compile_program(source).image.entry());
+  }
+}
+BENCHMARK(BM_compile_scaling)->Arg(4)->Arg(16);
+
+void BM_simulator_throughput(benchmark::State& state) {
+  const auto built = mcc::compile_program(synthetic_program(8, 3));
+  const mem::HwConfig hw = mem::typical_hw();
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    sim::Simulator sim(built.image, hw);
+    const auto run = sim.run();
+    instructions += run.instructions;
+    benchmark::DoNotOptimize(run.cycles);
+  }
+  state.counters["insts_per_s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_simulator_throughput);
+
+void print_phase_breakdown() {
+  std::printf("\n=== PERF: phase-time breakdown on the 16-function workload ===\n\n");
+  const auto built = mcc::compile_program(synthetic_program(16, 3));
+  const Analyzer analyzer(built.image, mem::typical_hw());
+  const WcetReport report = analyzer.analyze();
+  std::printf("%s\n", report.to_string().c_str());
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_phase_breakdown();
+  return 0;
+}

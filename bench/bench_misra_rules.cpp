@@ -1,0 +1,247 @@
+// R13.4–R20.7 — quantified version of the paper's Section 4.2: for each
+// of the nine discussed MISRA-C:2004 rules, a violating and a conforming
+// program variant go through the full tool chain. The table reports what
+// the paper argues qualitatively:
+//   - does the checker flag the violation,
+//   - does the analyzer bound the task without annotations,
+//   - the WCET bound (with a rescue annotation where analysis fails),
+//   - the simulator's observed cycles (bound soundness cross-check).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "core/toolkit.hpp"
+#include "mcc/runtime.hpp"
+
+namespace {
+
+using namespace wcet;
+
+struct RuleExperiment {
+  const char* rule;
+  const char* effect; // the paper's predicted analysis effect
+  const char* violating;
+  const char* conforming;
+  const char* rescue_annotations; // for the violating variant
+};
+
+const RuleExperiment experiments[] = {
+    {"13.4", "float loop condition defeats loop-bound detection",
+     R"(int main(void) {
+  float f; int n = 0;
+  for (f = 0.0f; f < 16.0f; f = f + 1.0f) { n += 3; }
+  return n;
+})",
+     R"(int main(void) {
+  int i; int n = 0;
+  for (i = 0; i < 16; i++) { n += 3; }
+  return n;
+})",
+     "" /* filled dynamically: loop headers */},
+    {"13.6", "counter modified in body defeats the counter pattern",
+     R"(int main(void) {
+  int i; int n = 0;
+  for (i = 0; i < 16; i++) { n += i; if (n > 1000) { i = i + 1; } }
+  return n;
+})",
+     R"(int main(void) {
+  int i; int n = 0;
+  for (i = 0; i < 16; i++) { n += i; }
+  return n;
+})",
+     ""},
+    {"14.1", "unreachable code widens the over-approximation",
+     R"(int check(int x) {
+  return x * 2;
+  x = x + 100;   /* unreachable */
+  return x;
+}
+int main(void) { return check(21); })",
+     R"(int check(int x) { return x * 2; }
+int main(void) { return check(21); })",
+     ""},
+    {"14.4", "goto builds an irreducible loop: no auto bounds, no unrolling",
+     R"(int flag = 1;
+int main(void) {
+  int i = 0; int s = 0;
+  if (flag) goto mid;
+head:
+  s += 2;
+mid:
+  s += i;
+  i++;
+  if (i < 12) goto head;
+  return s;
+})",
+     R"(int main(void) {
+  int i; int s = 0;
+  for (i = 0; i < 12; i++) { s += i + 2; }
+  return s;
+})",
+     ""},
+    {"14.5", "continue only adds back edges (style rule; analysis unharmed)",
+     R"(int main(void) {
+  int i; int s = 0;
+  for (i = 0; i < 16; i++) { if ((i & 1) == 0) continue; s += i; }
+  return s;
+})",
+     R"(int main(void) {
+  int i; int s = 0;
+  for (i = 0; i < 16; i++) { if ((i & 1) != 0) { s += i; } }
+  return s;
+})",
+     ""},
+    {"16.1", "varargs imply data-dependent loops over the argument list",
+     R"(int sum_all(int count, ...) {
+  int* ap = __va_start();
+  int s = 0; int i;
+  for (i = 0; i < count; i++) { s += ap[i]; }
+  return s;
+}
+int main(void) { return sum_all(4, 1, 2, 3, 4); })",
+     R"(int sum4(int a, int b, int c, int d) { return a + b + c + d; }
+int main(void) { return sum4(1, 2, 3, 4); })",
+     ""},
+    {"16.2", "recursion needs depth annotations (call-graph cycle)",
+     R"(int fac(int n) {
+  if (n < 2) { return 1; }
+  return n * fac(n - 1);
+}
+int main(void) { return fac(6); })",
+     R"(int fac(int n) {
+  int r = 1; int i;
+  for (i = 2; i <= n; i++) { r *= i; }
+  return r;
+}
+int main(void) { return fac(6); })",
+     "recursion \"fac\" max 6\n"},
+    {"20.4", "heap addresses are statically unknown: memory/cache damage",
+     R"(int main(void) {
+  int* buf = (int*)malloc(32);
+  int i; int s = 0;
+  for (i = 0; i < 8; i++) { buf[i] = i; }
+  for (i = 0; i < 8; i++) { s += buf[i]; }
+  return s;
+})",
+     R"(int buf[8];
+int main(void) {
+  int i; int s = 0;
+  for (i = 0; i < 8; i++) { buf[i] = i; }
+  for (i = 0; i < 8; i++) { s += buf[i]; }
+  return s;
+})",
+     ""},
+    {"20.7", "setjmp/longjmp create irreducible control flow",
+     R"(int env[16];
+int step(int i) { if (i >= 10) { longjmp(env, i); } return i + 1; }
+int main(void) {
+  int i = 0;
+  int r = setjmp(env);
+  if (r != 0) { return r; }
+  for (;;) { i = step(i); }
+})",
+     R"(int step(int acc) { return acc + 3; }
+int main(void) {
+  int i; int acc = 0;
+  for (i = 0; i < 10; i++) { acc = step(acc); }
+  return acc;
+})",
+     ""},
+};
+
+struct Outcome {
+  bool flagged = false;
+  bool auto_bounded = false;
+  std::uint64_t wcet = 0;
+  std::uint64_t observed = 0;
+  bool sound = true;
+  bool used_rescue = false;
+  int irreducible = 0;
+};
+
+Outcome evaluate(const std::string& source, const char* rule,
+                 const std::string& rescue) {
+  Outcome outcome;
+  const mcc::CompileResult built = mcc::compile_program(source);
+  for (const auto& v : built.violations) {
+    if (v.rule == rule) outcome.flagged = true;
+  }
+  const mem::HwConfig hw = mem::typical_hw();
+  Analyzer plain(built.image, hw);
+  WcetReport report = plain.analyze();
+  outcome.auto_bounded = report.ok;
+  outcome.irreducible = report.irreducible_loops;
+  if (!report.ok) {
+    // Rescue: user-supplied annotation plus loop bounds at every
+    // unbounded header (what an aiT user would add).
+    std::ostringstream annotations;
+    annotations << rescue;
+    for (const LoopInfo& loop : report.loops) {
+      if (!loop.used_bound) annotations << "loop at " << loop.header_addr << " max 64\n";
+    }
+    Analyzer rescued(built.image, hw, annotations.str());
+    report = rescued.analyze();
+    outcome.used_rescue = true;
+  }
+  if (report.ok) {
+    outcome.wcet = report.wcet_cycles;
+    sim::Simulator sim(built.image, hw);
+    const auto run = sim.run();
+    outcome.observed = run.cycles;
+    outcome.sound = run.completed() && run.cycles <= report.wcet_cycles;
+  }
+  return outcome;
+}
+
+void run_rule_study() {
+  std::printf("\n=== Section 4.2 study: MISRA-C:2004 rules vs. WCET analyzability "
+              "===\n\n");
+  std::printf("%-6s %-10s | %-8s %-10s %-6s %-9s %-9s %-6s | %s\n", "rule", "variant",
+              "flagged", "auto-bound", "irred", "WCET", "observed", "sound", "effect");
+  std::printf("---------------------------------------------------------------------"
+              "-----------------------------------\n");
+  for (const RuleExperiment& e : experiments) {
+    const Outcome bad = evaluate(e.violating, e.rule, e.rescue_annotations);
+    const Outcome good = evaluate(e.conforming, e.rule, "");
+    const auto print = [&](const char* variant, const Outcome& o) {
+      std::printf("%-6s %-10s | %-8s %-10s %-6d %-9llu %-9llu %-6s | %s\n", e.rule,
+                  variant, o.flagged ? "yes" : "no",
+                  o.auto_bounded ? "yes" : (o.used_rescue ? "ANNOT" : "no"),
+                  o.irreducible, static_cast<unsigned long long>(o.wcet),
+                  static_cast<unsigned long long>(o.observed),
+                  o.wcet == 0 ? "-" : (o.sound ? "yes" : "NO!"),
+                  variant[0] == 'v' ? e.effect : "");
+    };
+    print("violating", bad);
+    print("conforming", good);
+  }
+  std::printf("\nReading: 'auto-bound = ANNOT' means the analyzer refused a bound "
+              "until design-level annotations were added — the paper's tier-one "
+              "challenge made measurable. Rule 14.5 (continue) shows no analysis "
+              "penalty, matching the paper's correction of Wenzel et al. Rule 16.1 "
+              "auto-bounds here only because the call site is static (count = 4 "
+              "propagates through the stack); with environment-provided counts the "
+              "argument-list loop is unboundable. Rule 20.7's violating task has no "
+              "statically reachable exit at all (the longjmp warp), so even "
+              "annotations cannot rescue it.\n");
+}
+
+void BM_full_toolchain_conforming(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto built = mcc::compile_program(experiments[1].conforming);
+    const Analyzer analyzer(built.image, mem::typical_hw());
+    benchmark::DoNotOptimize(analyzer.analyze().wcet_cycles);
+  }
+}
+BENCHMARK(BM_full_toolchain_conforming);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  run_rule_study();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// CAN message handler (paper Sections 3.2 + 4.3): a device driver with a
+// function-pointer event handler, MMIO accesses confined by an access
+// fact, and mutually exclusive read/write scheduling cycles expressed as
+// an infeasible-pair annotation.
+#include <cstdio>
+#include <sstream>
+
+#include "core/toolkit.hpp"
+#include "mcc/runtime.hpp"
+
+int main() {
+  const char* driver = R"(
+int cycle_parity;          /* kernel-provided scheduling cycle */
+int rx_shadow[8];
+int tx_shadow[8];
+
+int on_receive(int word) { return word * 3; }
+int on_transmit(int word) { return word + 7; }
+
+int pump(int (*handler)(int), int* shadow) {
+  int i; int acc = 0;
+  for (i = 0; i < 8; i++) { acc += handler(shadow[i]); }
+  return acc;
+}
+
+int main(void) {
+  if (cycle_parity != 0) {
+    return pump(on_receive, rx_shadow);
+  }
+  return pump(on_transmit, tx_shadow);
+}
+)";
+  const auto built = wcet::mcc::compile_program(driver);
+  const wcet::mem::HwConfig hw = wcet::mem::typical_hw();
+  const auto* parity = built.image.find_symbol("cycle_parity");
+
+  std::ostringstream annotations;
+  annotations << "region \"kernel\" at " << parity->addr << " size 4 read 2 write 2 io\n";
+  // Design-level knowledge: receive and transmit never share a cycle.
+  annotations << "infeasible at \"on_receive\" with \"on_transmit\"\n";
+
+  const wcet::Analyzer analyzer(built.image, hw, annotations.str());
+  const auto report = analyzer.analyze();
+  std::printf("%s\n", report.to_string().c_str());
+
+  // Note how the indirect calls through `handler` were resolved: the
+  // function-pointer values propagate through the value analysis and
+  // feed the decoder (the Figure-1 feedback loop).
+  std::printf("indirect handler calls resolved: %s\n",
+              report.ok ? "yes (value-analysis feedback)" : "NO");
+
+  wcet::sim::Simulator sim(built.image, analyzer.hw());
+  sim.set_mmio_read([](std::uint32_t, int) { return 1u; }); // receive cycle
+  const auto run = sim.run();
+  std::printf("simulated receive cycle: %llu cycles (bound %llu) -> %s\n",
+              static_cast<unsigned long long>(run.cycles),
+              static_cast<unsigned long long>(report.wcet_cycles),
+              run.cycles <= report.wcet_cycles ? "sound" : "VIOLATED");
+  return 0;
+}

@@ -1,0 +1,430 @@
+#include "analysis/cache_analysis.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "support/diag.hpp"
+
+namespace wcet::analysis {
+
+const char* to_string(AccessClass cls) {
+  switch (cls) {
+  case AccessClass::always_hit: return "AH";
+  case AccessClass::always_miss: return "AM";
+  case AccessClass::not_classified: return "NC";
+  case AccessClass::uncached: return "UC";
+  }
+  return "?";
+}
+
+AbsCache::AbsCache(const mem::CacheConfig& config, bool must)
+    : config_(config), must_(must), sets_(config.sets) {}
+
+bool AbsCache::contains(std::uint32_t line) const {
+  if (!config_.enabled) return false;
+  const auto& set = sets_[config_.set_index(line * config_.line_bytes)];
+  return set.count(line) != 0;
+}
+
+void AbsCache::age_set(unsigned set_index, unsigned below_age) {
+  auto& set = sets_[set_index];
+  for (auto it = set.begin(); it != set.end();) {
+    if (it->second < below_age) {
+      ++it->second;
+    }
+    if (it->second >= config_.ways) {
+      it = set.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void AbsCache::access(std::uint32_t line) {
+  if (!config_.enabled) return;
+  const unsigned s = config_.set_index(line * config_.line_bytes);
+  auto& set = sets_[s];
+  const auto it = set.find(line);
+  if (must_) {
+    // Lines younger than the accessed line's (upper-bound) age grow
+    // older; on a potential miss everything ages.
+    const unsigned old_age = it != set.end() ? it->second : config_.ways;
+    age_set(s, old_age);
+  } else {
+    // May analysis: lines whose lower-bound age is <= the accessed
+    // line's lower-bound age grow older; absent line == certain miss.
+    const unsigned old_age = it != set.end() ? it->second : config_.ways;
+    auto& may_set = sets_[s];
+    for (auto walk = may_set.begin(); walk != may_set.end();) {
+      if (walk->first != line && walk->second <= old_age) {
+        ++walk->second;
+      }
+      if (walk->second >= config_.ways) {
+        walk = may_set.erase(walk);
+      } else {
+        ++walk;
+      }
+    }
+  }
+  sets_[s][line] = 0;
+}
+
+void AbsCache::access_one_of(std::span<const std::uint32_t> lines) {
+  if (!config_.enabled || lines.empty()) return;
+  if (lines.size() == 1) {
+    access(lines[0]);
+    return;
+  }
+  // Join over the alternatives.
+  AbsCache result = *this;
+  result.access(lines[0]);
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    AbsCache alt = *this;
+    alt.access(lines[i]);
+    result.join_with(alt);
+  }
+  *this = std::move(result);
+}
+
+void AbsCache::access_unknown() {
+  if (!config_.enabled) return;
+  if (must_) {
+    // The access may target any set: age everything (the paper's
+    // whole-cache invalidation effect under low associativity).
+    for (unsigned s = 0; s < config_.sets; ++s) age_set(s, config_.ways);
+  }
+  // May: every line may still be cached (the access may have gone
+  // elsewhere); ages are lower bounds and stay valid.
+}
+
+bool AbsCache::join_with(const AbsCache& other) {
+  WCET_CHECK(must_ == other.must_, "joining must with may cache");
+  bool changed = false;
+  for (unsigned s = 0; s < config_.sets; ++s) {
+    auto& mine = sets_[s];
+    const auto& theirs = other.sets_[s];
+    if (must_) {
+      // Intersection, maximal age.
+      for (auto it = mine.begin(); it != mine.end();) {
+        const auto o = theirs.find(it->first);
+        if (o == theirs.end()) {
+          it = mine.erase(it);
+          changed = true;
+          continue;
+        }
+        if (o->second > it->second) {
+          it->second = o->second;
+          changed = true;
+        }
+        ++it;
+      }
+    } else {
+      // Union, minimal age.
+      for (const auto& [line, age] : theirs) {
+        const auto it = mine.find(line);
+        if (it == mine.end()) {
+          mine.emplace(line, age);
+          changed = true;
+        } else if (age < it->second) {
+          it->second = age;
+          changed = true;
+        }
+      }
+    }
+  }
+  return changed;
+}
+
+bool AbsCache::operator==(const AbsCache& other) const {
+  return must_ == other.must_ && sets_ == other.sets_;
+}
+
+CacheAnalysis::CacheAnalysis(const cfg::Supergraph& sg, const cfg::LoopForest& loops,
+                             const ValueAnalysis& values, const mem::MemoryMap& memmap,
+                             const mem::CacheConfig& icache, const mem::CacheConfig& dcache)
+    : sg_(sg), loops_(loops), values_(values), memmap_(memmap), iconfig_(icache),
+      dconfig_(dcache) {
+  const std::size_t n = sg.nodes().size();
+  in_i_.assign(n, CachePair{AbsCache::cold(iconfig_, true), AbsCache::cold(iconfig_, false)});
+  in_d_.assign(n, CachePair{AbsCache::cold(dconfig_, true), AbsCache::cold(dconfig_, false)});
+  has_state_.assign(n, false);
+  fetch_.resize(n);
+  data_.resize(n);
+}
+
+std::vector<std::uint32_t> CacheAnalysis::candidate_lines(const Interval& addr, int size,
+                                                          const mem::CacheConfig& config) const {
+  std::vector<std::uint32_t> lines;
+  if (addr.is_bottom()) return lines;
+  // Clamp the end to the word range: a wrap here once made a TOP address
+  // interval look like a single-line access (unsound).
+  const std::int64_t end =
+      std::min<std::int64_t>(addr.umax() + size - 1, Interval::word_max);
+  const std::uint32_t first = config.line_of(static_cast<std::uint32_t>(addr.umin()));
+  const std::uint32_t last = config.line_of(static_cast<std::uint32_t>(end));
+  if (last - first + 1 > 8) return {}; // unknown: too many candidates
+  for (std::uint32_t l = first; l <= last; ++l) lines.push_back(l);
+  return lines;
+}
+
+AccessClass CacheAnalysis::classify(const CachePair& state,
+                                    std::span<const std::uint32_t> lines) const {
+  if (lines.empty()) return AccessClass::not_classified;
+  bool all_must = true;
+  bool none_may = true;
+  for (const std::uint32_t line : lines) {
+    if (!state.must.contains(line)) all_must = false;
+    if (state.may.contains(line)) none_may = false;
+  }
+  if (all_must) return AccessClass::always_hit;
+  if (none_may) return AccessClass::always_miss;
+  return AccessClass::not_classified;
+}
+
+void CacheAnalysis::apply_access(CachePair& state, std::span<const std::uint32_t> lines) {
+  if (lines.empty()) {
+    state.must.access_unknown();
+    state.may.access_unknown();
+  } else {
+    state.must.access_one_of(lines);
+    state.may.access_one_of(lines);
+  }
+}
+
+void CacheAnalysis::transfer(int node, CachePair& icache, CachePair& dcache, bool record) {
+  const cfg::SgNode& n = sg_.node(node);
+  auto& fetch_out = fetch_[static_cast<std::size_t>(node)];
+  auto& data_out = data_[static_cast<std::size_t>(node)];
+  if (record) {
+    fetch_out.assign(n.block->insts.size(), FetchClass{});
+    data_out.clear();
+  }
+
+  const auto& accesses = values_.accesses(node);
+  std::size_t access_index = 0;
+
+  std::uint32_t pc = n.block->begin;
+  std::uint32_t prev_line = ~0u;
+  bool have_prev = false;
+  for (std::size_t i = 0; i < n.block->insts.size(); ++i, pc += 4) {
+    const isa::Inst& inst = n.block->insts[i];
+    // --- Instruction fetch.
+    const mem::Region& fregion = memmap_.region_for(pc);
+    if (!fregion.cacheable || !iconfig_.enabled) {
+      if (record) fetch_out[i].cls = AccessClass::uncached;
+    } else {
+      const std::uint32_t line = iconfig_.line_of(pc);
+      if (have_prev && line == prev_line) {
+        // Same line as the immediately preceding fetch: guaranteed hit.
+        if (record) fetch_out[i].cls = AccessClass::always_hit;
+      } else {
+        const std::uint32_t lines[1] = {line};
+        if (record) fetch_out[i].cls = classify(icache, lines);
+        apply_access(icache, lines);
+      }
+      prev_line = line;
+      have_prev = true;
+    }
+
+    // --- Data access.
+    if (!inst.is_mem_access()) continue;
+    WCET_CHECK(access_index < accesses.size() || values_.state_in(node).bottom,
+               "access list out of sync with instructions");
+    if (access_index >= accesses.size()) continue;
+    const AccessInfo& access = accesses[access_index++];
+    DataClass dc;
+    dc.pc = access.pc;
+    dc.is_store = access.is_store;
+    if (access.is_store) {
+      // Write-through, no-write-allocate: bypasses the cache entirely.
+      dc.cls = AccessClass::uncached;
+    } else if (access.addr.is_bottom()) {
+      dc.cls = AccessClass::uncached; // unreachable
+    } else if (!memmap_.all_cacheable(access.addr) || !dconfig_.enabled) {
+      dc.cls = AccessClass::uncached;
+      // If part of the range is cacheable, the access may still disturb
+      // the cache.
+      if (dconfig_.enabled) {
+        const auto lines = candidate_lines(access.addr, access.size, dconfig_);
+        if (lines.empty()) apply_access(dcache, lines);
+      }
+    } else {
+      const auto lines = candidate_lines(access.addr, access.size, dconfig_);
+      dc.cls = classify(dcache, lines);
+      dc.candidate_count = std::max<unsigned>(1, static_cast<unsigned>(lines.size()));
+      apply_access(dcache, lines);
+    }
+    if (record) data_out.push_back(dc);
+  }
+}
+
+void CacheAnalysis::fixpoint() {
+  std::deque<int> worklist;
+  std::vector<bool> queued(sg_.nodes().size(), false);
+  const int entry = sg_.entry_node();
+  has_state_[static_cast<std::size_t>(entry)] = true;
+  worklist.push_back(entry);
+  queued[static_cast<std::size_t>(entry)] = true;
+
+  while (!worklist.empty()) {
+    const int node = worklist.front();
+    worklist.pop_front();
+    queued[static_cast<std::size_t>(node)] = false;
+
+    CachePair icache = in_i_[static_cast<std::size_t>(node)];
+    CachePair dcache = in_d_[static_cast<std::size_t>(node)];
+    transfer(node, icache, dcache, false);
+
+    for (const int eid : sg_.node(node).succ_edges) {
+      if (!values_.edge_feasible(eid)) continue;
+      const int target = sg_.edge(eid).to;
+      const auto t = static_cast<std::size_t>(target);
+      bool changed = false;
+      if (!has_state_[t]) {
+        in_i_[t] = icache;
+        in_d_[t] = dcache;
+        has_state_[t] = true;
+        changed = true;
+      } else {
+        changed |= in_i_[t].join_with(icache);
+        changed |= in_d_[t].join_with(dcache);
+      }
+      if (changed && !queued[t]) {
+        worklist.push_back(target);
+        queued[t] = true;
+      }
+    }
+  }
+}
+
+void CacheAnalysis::persistence() {
+  // For every reducible loop: if all cacheable accesses within the loop
+  // are line-precise, count distinct lines per cache set; accesses whose
+  // candidate lines fit the associativity alongside their conflicts are
+  // persistent (at most one miss per loop entry).
+  for (const cfg::Loop& loop : loops_.loops()) {
+    if (loop.irreducible) continue; // rule 14.4: no virtual unrolling
+
+    bool i_precise = true;
+    bool d_precise = true;
+    std::map<unsigned, std::set<std::uint32_t>> i_lines_per_set;
+    std::map<unsigned, std::set<std::uint32_t>> d_lines_per_set;
+
+    for (const int node_id : loop.nodes) {
+      const cfg::SgNode& node = sg_.node(node_id);
+      std::uint32_t pc = node.block->begin;
+      for (std::size_t i = 0; i < node.block->insts.size(); ++i, pc += 4) {
+        if (iconfig_.enabled && memmap_.region_for(pc).cacheable) {
+          const std::uint32_t line = iconfig_.line_of(pc);
+          i_lines_per_set[iconfig_.set_index(pc)].insert(line);
+        }
+      }
+      for (const AccessInfo& access : values_.accesses(node_id)) {
+        if (access.is_store || access.addr.is_bottom()) continue;
+        if (!dconfig_.enabled) continue;
+        if (!memmap_.all_cacheable(access.addr)) continue;
+        const auto lines = candidate_lines(access.addr, access.size, dconfig_);
+        if (lines.empty()) {
+          d_precise = false;
+          continue;
+        }
+        for (const std::uint32_t line : lines) {
+          d_lines_per_set[dconfig_.set_index(line * dconfig_.line_bytes)].insert(line);
+        }
+      }
+    }
+
+    const auto line_persists = [](const std::map<unsigned, std::set<std::uint32_t>>& per_set,
+                                  const mem::CacheConfig& config, std::uint32_t line) {
+      const auto it = per_set.find(config.set_index(line * config.line_bytes));
+      return it != per_set.end() && it->second.size() <= config.ways;
+    };
+
+    // Assign: outermost qualifying loop wins (fewer entries = tighter).
+    for (const int node_id : loop.nodes) {
+      const cfg::SgNode& node = sg_.node(node_id);
+      auto& fetch_out = fetch_[static_cast<std::size_t>(node_id)];
+      std::uint32_t pc = node.block->begin;
+      for (std::size_t i = 0; i < fetch_out.size(); ++i, pc += 4) {
+        if (!i_precise) break;
+        if (fetch_out[i].cls != AccessClass::not_classified &&
+            fetch_out[i].cls != AccessClass::always_miss) {
+          continue;
+        }
+        if (line_persists(i_lines_per_set, iconfig_, iconfig_.line_of(pc))) {
+          const int current = fetch_out[i].persistent_loop;
+          if (current < 0 || loops_.loop(current).depth > loop.depth) {
+            fetch_out[i].persistent_loop = loop.id;
+          }
+        }
+      }
+      auto& data_out = data_[static_cast<std::size_t>(node_id)];
+      const auto& accesses = values_.accesses(node_id);
+      for (std::size_t i = 0; i < data_out.size() && i < accesses.size(); ++i) {
+        if (!d_precise) break;
+        DataClass& dc = data_out[i];
+        if (dc.is_store || dc.cls == AccessClass::always_hit ||
+            dc.cls == AccessClass::uncached) {
+          continue;
+        }
+        const auto lines = candidate_lines(accesses[i].addr, accesses[i].size, dconfig_);
+        if (lines.empty()) continue;
+        const bool all_persist = std::all_of(lines.begin(), lines.end(), [&](std::uint32_t l) {
+          return line_persists(d_lines_per_set, dconfig_, l);
+        });
+        if (all_persist) {
+          const int current = dc.persistent_loop;
+          if (current < 0 || loops_.loop(current).depth > loop.depth) {
+            dc.persistent_loop = loop.id;
+          }
+        }
+      }
+    }
+  }
+}
+
+void CacheAnalysis::run() {
+  fixpoint();
+  // Record classifications with the final states.
+  for (const cfg::SgNode& node : sg_.nodes()) {
+    const auto id = static_cast<std::size_t>(node.id);
+    if (!has_state_[id]) {
+      fetch_[id].assign(node.block->insts.size(), FetchClass{});
+      data_[id].clear();
+      continue;
+    }
+    CachePair icache = in_i_[id];
+    CachePair dcache = in_d_[id];
+    transfer(node.id, icache, dcache, true);
+  }
+  persistence();
+}
+
+CacheAnalysis::Stats CacheAnalysis::stats() const {
+  Stats s;
+  for (std::size_t n = 0; n < fetch_.size(); ++n) {
+    if (!values_.node_reachable(static_cast<int>(n))) continue;
+    for (const FetchClass& fc : fetch_[n]) {
+      switch (fc.cls) {
+      case AccessClass::always_hit: ++s.fetch_hit; break;
+      case AccessClass::always_miss: ++s.fetch_miss; break;
+      case AccessClass::not_classified: ++s.fetch_nc; break;
+      case AccessClass::uncached: ++s.fetch_uncached; break;
+      }
+      if (fc.persistent_loop >= 0) ++s.persistent;
+    }
+    for (const DataClass& dc : data_[n]) {
+      switch (dc.cls) {
+      case AccessClass::always_hit: ++s.data_hit; break;
+      case AccessClass::always_miss: ++s.data_miss; break;
+      case AccessClass::not_classified: ++s.data_nc; break;
+      case AccessClass::uncached: ++s.data_uncached; break;
+      }
+      if (dc.persistent_loop >= 0) ++s.persistent;
+    }
+  }
+  return s;
+}
+
+} // namespace wcet::analysis

@@ -1,0 +1,147 @@
+// Abstract cache analysis: LRU must/may analysis (Ferdinand-style) with
+// a loop-scoped persistence pass.
+//
+//   must-cache: lines guaranteed present (age = upper bound) -> always-hit
+//   may-cache:  lines possibly present (age = lower bound)   -> always-miss
+//   persistence: a line whose conflict set within a reducible loop fits
+//     the associativity can miss at most once per loop entry -> the IPET
+//     charges its miss penalty on the loop-entry count, reproducing the
+//     precision effect of virtual loop unrolling (the paper's rule-14.4
+//     discussion: irreducible loops forfeit this, so no persistence is
+//     computed for them).
+//
+// Imprecise accesses (unknown address) age the entire must-cache — the
+// paper's "an imprecise memory access invalidates large parts of the
+// abstract cache (or even the whole cache)" made executable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "analysis/value_analysis.hpp"
+#include "cfg/domloop.hpp"
+#include "mem/cache.hpp"
+#include "mem/memmap.hpp"
+
+namespace wcet::analysis {
+
+enum class AccessClass {
+  always_hit,
+  always_miss,
+  not_classified,
+  uncached, // io / uncacheable region or store (write-through bypasses)
+};
+
+const char* to_string(AccessClass cls);
+
+// One abstract set-associative LRU cache (must or may variant).
+class AbsCache {
+public:
+  AbsCache(const mem::CacheConfig& config, bool must);
+
+  static AbsCache cold(const mem::CacheConfig& config, bool must) {
+    return AbsCache(config, must); // cold start: nothing cached (exact)
+  }
+
+  bool contains(std::uint32_t line) const;
+  // Precise access to one line.
+  void access(std::uint32_t line);
+  // Access to exactly one of several candidate lines.
+  void access_one_of(std::span<const std::uint32_t> lines);
+  // Access to a completely unknown line.
+  void access_unknown();
+
+  bool join_with(const AbsCache& other); // true if changed
+  bool operator==(const AbsCache& other) const;
+
+  const mem::CacheConfig& config() const { return config_; }
+
+private:
+  void age_set(unsigned set, unsigned below_age);
+
+  mem::CacheConfig config_;
+  bool must_;
+  // Per set: line -> abstract age in [0, ways).
+  std::vector<std::map<std::uint32_t, unsigned>> sets_;
+};
+
+struct FetchClass {
+  AccessClass cls = AccessClass::not_classified;
+  int persistent_loop = -1; // outermost loop in which the line persists
+};
+
+struct DataClass {
+  std::uint32_t pc = 0;
+  bool is_store = false;
+  AccessClass cls = AccessClass::not_classified;
+  int persistent_loop = -1;
+  // Distinct cache lines the access may touch: a persistent access can
+  // still miss once per line per loop entry.
+  unsigned candidate_count = 1;
+};
+
+class CacheAnalysis {
+public:
+  CacheAnalysis(const cfg::Supergraph& sg, const cfg::LoopForest& loops,
+                const ValueAnalysis& values, const mem::MemoryMap& memmap,
+                const mem::CacheConfig& icache, const mem::CacheConfig& dcache);
+
+  void run();
+
+  // Per node: classification of each instruction fetch (index-aligned
+  // with the block's instruction list).
+  const std::vector<FetchClass>& fetch_classes(int node) const {
+    return fetch_[static_cast<std::size_t>(node)];
+  }
+  // Per node: classification of each data access (index-aligned with
+  // ValueAnalysis::accesses(node)).
+  const std::vector<DataClass>& data_classes(int node) const {
+    return data_[static_cast<std::size_t>(node)];
+  }
+
+  struct Stats {
+    unsigned fetch_hit = 0, fetch_miss = 0, fetch_nc = 0, fetch_uncached = 0;
+    unsigned data_hit = 0, data_miss = 0, data_nc = 0, data_uncached = 0;
+    unsigned persistent = 0;
+  };
+  Stats stats() const;
+
+private:
+  struct CachePair {
+    AbsCache must;
+    AbsCache may;
+    bool join_with(const CachePair& other) {
+      const bool a = must.join_with(other.must);
+      const bool b = may.join_with(other.may);
+      return a || b;
+    }
+    bool operator==(const CachePair& other) const {
+      return must == other.must && may == other.may;
+    }
+  };
+
+  // Candidate cache lines of an access; empty means "unknown line".
+  std::vector<std::uint32_t> candidate_lines(const Interval& addr, int size,
+                                             const mem::CacheConfig& config) const;
+  AccessClass classify(const CachePair& state, std::span<const std::uint32_t> lines) const;
+  static void apply_access(CachePair& state, std::span<const std::uint32_t> lines);
+  void transfer(int node, CachePair& icache, CachePair& dcache, bool record);
+  void fixpoint();
+  void persistence();
+
+  const cfg::Supergraph& sg_;
+  const cfg::LoopForest& loops_;
+  const ValueAnalysis& values_;
+  const mem::MemoryMap& memmap_;
+  mem::CacheConfig iconfig_;
+  mem::CacheConfig dconfig_;
+  std::vector<CachePair> in_i_;
+  std::vector<CachePair> in_d_;
+  std::vector<bool> has_state_;
+  std::vector<std::vector<FetchClass>> fetch_;
+  std::vector<std::vector<DataClass>> data_;
+};
+
+} // namespace wcet::analysis

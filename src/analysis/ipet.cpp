@@ -1,0 +1,272 @@
+#include "analysis/ipet.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/diag.hpp"
+
+namespace wcet::analysis {
+
+Ipet::Ipet(const cfg::Supergraph& sg, const cfg::LoopForest& loops,
+           const ValueAnalysis& values, const PipelineAnalysis& pipeline)
+    : sg_(sg), loops_(loops), values_(values), pipeline_(pipeline) {}
+
+bool Ipet::node_excluded(int node, const std::set<std::uint32_t>& excluded) const {
+  if (excluded.empty()) return false;
+  const cfg::CfgBlock& block = *sg_.node(node).block;
+  auto it = excluded.lower_bound(block.begin);
+  return it != excluded.end() && *it < block.end;
+}
+
+IpetResult Ipet::solve(const IpetOptions& options) const {
+  IpetResult result;
+  IlpProblem ilp;
+
+  // Variables for reachable nodes and feasible edges.
+  std::vector<int> node_var(sg_.nodes().size(), -1);
+  std::vector<int> edge_var(sg_.edges().size(), -1);
+  for (const cfg::SgNode& node : sg_.nodes()) {
+    if (!values_.node_reachable(node.id)) continue;
+    std::ostringstream name;
+    name << "n" << node.id;
+    node_var[static_cast<std::size_t>(node.id)] = ilp.add_variable(name.str());
+  }
+  for (const cfg::SgEdge& edge : sg_.edges()) {
+    if (!values_.edge_feasible(edge.id)) continue;
+    if (node_var[static_cast<std::size_t>(edge.from)] < 0 ||
+        node_var[static_cast<std::size_t>(edge.to)] < 0) {
+      continue;
+    }
+    std::ostringstream name;
+    name << "e" << edge.id;
+    edge_var[static_cast<std::size_t>(edge.id)] = ilp.add_variable(name.str());
+  }
+
+  // Flow conservation with a virtual source (entry, flow 1) and sink.
+  std::vector<int> exit_vars;
+  {
+    std::set<int> exit_set(sg_.exit_nodes().begin(), sg_.exit_nodes().end());
+    for (const cfg::SgNode& node : sg_.nodes()) {
+      const int nv = node_var[static_cast<std::size_t>(node.id)];
+      if (nv < 0) continue;
+      // Sum of in-edges (+ virtual entry) == x_node.
+      std::vector<LinTerm> in_terms{{nv, Rational(-1)}};
+      for (const int eid : node.pred_edges) {
+        const int ev = edge_var[static_cast<std::size_t>(eid)];
+        if (ev >= 0) in_terms.push_back({ev, Rational(1)});
+      }
+      ilp.add_constraint(std::move(in_terms), Cmp::eq,
+                         Rational(node.id == sg_.entry_node() ? -1 : 0));
+      // Sum of out-edges (+ sink flow for exits) == x_node.
+      std::vector<LinTerm> out_terms{{nv, Rational(-1)}};
+      for (const int eid : node.succ_edges) {
+        const int ev = edge_var[static_cast<std::size_t>(eid)];
+        if (ev >= 0) out_terms.push_back({ev, Rational(1)});
+      }
+      if (exit_set.count(node.id) != 0) {
+        std::ostringstream name;
+        name << "sink" << node.id;
+        const int sv = ilp.add_variable(name.str());
+        exit_vars.push_back(sv);
+        out_terms.push_back({sv, Rational(1)});
+      } else if (node.succ_edges.empty() ||
+                 std::all_of(node.succ_edges.begin(), node.succ_edges.end(),
+                             [&](int eid) {
+                               return edge_var[static_cast<std::size_t>(eid)] < 0;
+                             })) {
+        // Dead end that is not an exit (e.g. unresolved indirect): treat
+        // as a sink so the system stays feasible; the driver reports the
+        // obstruction separately.
+        std::ostringstream name;
+        name << "dead" << node.id;
+        const int sv = ilp.add_variable(name.str());
+        exit_vars.push_back(sv);
+        out_terms.push_back({sv, Rational(1)});
+      }
+      ilp.add_constraint(std::move(out_terms), Cmp::eq, Rational(0));
+    }
+    std::vector<LinTerm> sink_sum;
+    sink_sum.reserve(exit_vars.size());
+    for (const int sv : exit_vars) sink_sum.push_back({sv, Rational(1)});
+    if (sink_sum.empty()) {
+      // No reachable task exit (e.g. a non-terminating loop that only
+      // leaves via longjmp): no finite execution to bound.
+      result.status = IpetResult::Status::infeasible;
+      return result;
+    }
+    ilp.add_constraint(std::move(sink_sum), Cmp::eq, Rational(1));
+  }
+
+  // Loop bounds.
+  for (const cfg::Loop& loop : loops_.loops()) {
+    // Relevance: the loop participates if any entry edge is feasible.
+    std::vector<LinTerm> entry_terms;
+    for (const int eid : loop.entry_edges) {
+      const int ev = edge_var[static_cast<std::size_t>(eid)];
+      if (ev >= 0) entry_terms.push_back({ev, Rational(1)});
+    }
+    std::vector<LinTerm> back_terms;
+    for (const int eid : loop.back_edges) {
+      const int ev = edge_var[static_cast<std::size_t>(eid)];
+      if (ev >= 0) back_terms.push_back({ev, Rational(1)});
+    }
+    if (back_terms.empty()) continue; // cycle already broken by infeasibility
+    if (entry_terms.empty()) {
+      // Unreachable loop: force its back edges to zero.
+      ilp.add_constraint(std::move(back_terms), Cmp::le, Rational(0));
+      continue;
+    }
+    const auto bound_it = options.loop_bounds.find(loop.id);
+    if (bound_it == options.loop_bounds.end()) {
+      result.loops_missing_bounds.push_back(loop.id);
+      continue;
+    }
+    // sum(back) - B * sum(entry) <= 0
+    std::vector<LinTerm> terms = std::move(back_terms);
+    for (LinTerm& t : entry_terms) {
+      terms.push_back({t.var, Rational(-static_cast<std::int64_t>(bound_it->second))});
+    }
+    ilp.add_constraint(std::move(terms), Cmp::le, Rational(0));
+  }
+  if (!result.loops_missing_bounds.empty() && options.maximize) {
+    result.status = IpetResult::Status::missing_loop_bounds;
+    return result;
+  }
+
+  // Helper: all node variables whose block covers `addr`.
+  const auto nodes_at = [&](std::uint32_t addr) {
+    std::vector<int> vars;
+    for (const cfg::SgNode& node : sg_.nodes()) {
+      const int nv = node_var[static_cast<std::size_t>(node.id)];
+      if (nv < 0) continue;
+      if (addr >= node.block->begin && addr < node.block->end) vars.push_back(nv);
+    }
+    return vars;
+  };
+
+  // Operating-mode / never-executed exclusions.
+  for (const std::uint32_t addr : options.excluded_addrs) {
+    std::vector<LinTerm> terms;
+    for (const int nv : nodes_at(addr)) terms.push_back({nv, Rational(1)});
+    if (!terms.empty()) ilp.add_constraint(std::move(terms), Cmp::le, Rational(0));
+  }
+
+  // Absolute flow caps.
+  for (const auto& cap : options.flow_caps) {
+    std::vector<LinTerm> terms;
+    for (const int nv : nodes_at(cap.addr)) terms.push_back({nv, Rational(1)});
+    if (!terms.empty()) {
+      ilp.add_constraint(std::move(terms), Cmp::le,
+                         Rational(static_cast<std::int64_t>(cap.max_count)));
+    }
+  }
+
+  // Relative flow facts: count(a) <= f * count(b).
+  for (const auto& ratio : options.flow_ratios) {
+    std::vector<LinTerm> terms;
+    for (const int nv : nodes_at(ratio.addr)) terms.push_back({nv, Rational(1)});
+    for (const int nv : nodes_at(ratio.relative_to)) {
+      terms.push_back({nv, Rational(-static_cast<std::int64_t>(ratio.factor))});
+    }
+    if (!terms.empty()) ilp.add_constraint(std::move(terms), Cmp::le, Rational(0));
+  }
+
+  // Infeasible pairs: big-M disjunction with a binary selector.
+  const auto big_m = Rational(static_cast<std::int64_t>(options.infeasible_pair_big_m));
+  int pair_index = 0;
+  for (const auto& pair : options.infeasible_pairs) {
+    std::ostringstream name;
+    name << "excl" << pair_index++;
+    const int sel = ilp.add_variable(name.str());
+    ilp.add_constraint({{sel, Rational(1)}}, Cmp::le, Rational(1));
+    std::vector<LinTerm> a_terms;
+    for (const int nv : nodes_at(pair.a)) a_terms.push_back({nv, Rational(1)});
+    std::vector<LinTerm> b_terms;
+    for (const int nv : nodes_at(pair.b)) b_terms.push_back({nv, Rational(1)});
+    if (a_terms.empty() || b_terms.empty()) continue;
+    // sum(a) <= M * sel
+    a_terms.push_back({sel, -big_m});
+    ilp.add_constraint(std::move(a_terms), Cmp::le, Rational(0));
+    // sum(b) <= M * (1 - sel)
+    b_terms.push_back({sel, big_m});
+    ilp.add_constraint(std::move(b_terms), Cmp::le, big_m);
+  }
+
+  // Objective: cycle-weighted counts (+ persistence miss terms when
+  // maximizing).
+  for (const cfg::SgNode& node : sg_.nodes()) {
+    const int nv = node_var[static_cast<std::size_t>(node.id)];
+    if (nv < 0) continue;
+    const NodeTiming& timing = pipeline_.timing(node.id);
+    const std::uint64_t weight = options.maximize ? timing.ub : timing.lb;
+    ilp.set_objective(nv, Rational(options.maximize
+                                       ? static_cast<std::int64_t>(weight)
+                                       : -static_cast<std::int64_t>(weight)));
+    if (options.maximize) {
+      int term_index = 0;
+      for (const PsTerm& ps : timing.ps_terms) {
+        const cfg::Loop& loop = loops_.loop(ps.loop_id);
+        std::ostringstream name;
+        name << "ps_n" << node.id << '_' << term_index++;
+        const int mv = ilp.add_variable(name.str());
+        // misses <= executions of the node
+        ilp.add_constraint({{mv, Rational(1)}, {nv, Rational(-1)}}, Cmp::le, Rational(0));
+        // misses <= line_count * loop entries
+        std::vector<LinTerm> entry_terms{{mv, Rational(1)}};
+        for (const int eid : loop.entry_edges) {
+          const int ev = edge_var[static_cast<std::size_t>(eid)];
+          if (ev >= 0) {
+            entry_terms.push_back(
+                {ev, Rational(-static_cast<std::int64_t>(ps.line_count))});
+          }
+        }
+        ilp.add_constraint(std::move(entry_terms), Cmp::le, Rational(0));
+        ilp.set_objective(mv, Rational(static_cast<std::int64_t>(ps.penalty)));
+      }
+    }
+  }
+  for (const cfg::SgEdge& edge : sg_.edges()) {
+    const int ev = edge_var[static_cast<std::size_t>(edge.id)];
+    if (ev < 0) continue;
+    const unsigned extra = pipeline_.edge_extra(edge.id);
+    if (extra == 0) continue;
+    ilp.set_objective(ev, Rational(options.maximize ? static_cast<std::int64_t>(extra)
+                                                    : -static_cast<std::int64_t>(extra)));
+  }
+
+  result.variables = ilp.num_variables();
+  result.constraints = ilp.num_constraints();
+  if (options.lp_dump != nullptr) *options.lp_dump = ilp.to_string();
+
+  const LpSolution solution = ilp.solve_ilp();
+  switch (solution.status) {
+  case LpSolution::Status::optimal:
+    break;
+  case LpSolution::Status::infeasible:
+    result.status = IpetResult::Status::infeasible;
+    return result;
+  case LpSolution::Status::unbounded:
+    result.status = IpetResult::Status::unbounded;
+    return result;
+  case LpSolution::Status::node_limit:
+    result.status = IpetResult::Status::node_limit;
+    return result;
+  }
+
+  result.status = IpetResult::Status::ok;
+  const Rational objective =
+      options.maximize ? solution.objective : -solution.objective;
+  result.bound = static_cast<std::uint64_t>(options.maximize ? objective.ceil64()
+                                                             : objective.floor64());
+  for (const cfg::SgNode& node : sg_.nodes()) {
+    const int nv = node_var[static_cast<std::size_t>(node.id)];
+    if (nv < 0) continue;
+    const Rational& count = solution.values[static_cast<std::size_t>(nv)];
+    if (!count.is_zero()) {
+      result.node_counts[node.id] = static_cast<std::uint64_t>(count.floor64());
+    }
+  }
+  return result;
+}
+
+} // namespace wcet::analysis

@@ -1,0 +1,65 @@
+// Path analysis (Figure 1, "Path Analysis") via Implicit Path
+// Enumeration (IPET): maximize cycle-weighted execution counts subject
+// to flow conservation, loop bounds, and the design-level flow facts of
+// Section 4.3 (absolute/relative caps, infeasible pairs from mutually
+// exclusive operating cycles, operating-mode exclusions).
+//
+// The ILP is solved exactly (rational simplex + branch & bound); the
+// WCET bound is the ceiling of the optimum. Minimizing the same system
+// with lower block bounds yields a BCET bound.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/pipeline_analysis.hpp"
+#include "annot/annotations.hpp"
+#include "cfg/domloop.hpp"
+#include "support/ilp.hpp"
+
+namespace wcet::analysis {
+
+struct IpetOptions {
+  IpetOptions() {}
+  std::map<int, std::uint64_t> loop_bounds; // loop id -> max back edges per entry
+  std::vector<annot::FlowCapFact> flow_caps;
+  std::vector<annot::FlowRatioFact> flow_ratios;
+  std::vector<annot::InfeasiblePairFact> infeasible_pairs;
+  std::set<std::uint32_t> excluded_addrs; // mode excludes + nevers
+  bool maximize = true;                   // false: BCET lower bound
+  std::uint64_t infeasible_pair_big_m = 1u << 20;
+  std::string* lp_dump = nullptr;         // debug: receives the LP text
+};
+
+struct IpetResult {
+  enum class Status { ok, infeasible, unbounded, missing_loop_bounds, node_limit };
+  Status status = Status::infeasible;
+  std::uint64_t bound = 0;
+  int variables = 0;
+  int constraints = 0;
+  std::map<int, std::uint64_t> node_counts; // extremal path witness
+  std::vector<int> loops_missing_bounds;
+
+  bool ok() const { return status == Status::ok; }
+};
+
+class Ipet {
+public:
+  Ipet(const cfg::Supergraph& sg, const cfg::LoopForest& loops,
+       const ValueAnalysis& values, const PipelineAnalysis& pipeline);
+
+  IpetResult solve(const IpetOptions& options) const;
+
+private:
+  bool node_excluded(int node, const std::set<std::uint32_t>& excluded) const;
+
+  const cfg::Supergraph& sg_;
+  const cfg::LoopForest& loops_;
+  const ValueAnalysis& values_;
+  const PipelineAnalysis& pipeline_;
+};
+
+} // namespace wcet::analysis

@@ -1,0 +1,587 @@
+#include "analysis/value_analysis.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/diag.hpp"
+
+namespace wcet::analysis {
+
+using isa::Inst;
+using isa::Opcode;
+
+namespace {
+
+constexpr std::uint64_t small_access_words = 64; // enumeration budget
+
+Interval sized_top(int size, bool sign_extend) {
+  switch (size) {
+  case 1:
+    return sign_extend ? Interval::from_signed(-128, 127) : Interval::from_unsigned(0, 255);
+  case 2:
+    return sign_extend ? Interval::from_signed(-32768, 32767)
+                       : Interval::from_unsigned(0, 65535);
+  default:
+    return Interval::top();
+  }
+}
+
+} // namespace
+
+AbsState AbsState::entry_state() {
+  AbsState s;
+  s.bottom = false;
+  for (auto& r : s.regs) r = Interval::top();
+  s.regs[isa::reg_zero] = Interval::constant(0);
+  return s;
+}
+
+void AbsState::add_written(const Interval& range) {
+  if (range.is_bottom()) return;
+  for (Interval& region : written) {
+    // Merge when overlapping or nearly adjacent (64-byte slack keeps the
+    // list short for consecutive stack slots).
+    const Interval slack = Interval::from_unsigned(
+        std::max<std::int64_t>(0, range.umin() - 64), std::min<std::int64_t>(
+            Interval::word_max, range.umax() + 64));
+    if (!region.meet(slack).is_bottom()) {
+      region = region.join(range);
+      return;
+    }
+  }
+  written.push_back(range);
+  if (written.size() > max_written_regions) {
+    // Collapse everything into one hull (sound, coarse).
+    Interval hull = Interval::bottom();
+    for (const Interval& region : written) hull = hull.join(region);
+    written.clear();
+    written.push_back(hull);
+  }
+}
+
+bool AbsState::possibly_written(const Interval& range) const {
+  for (const Interval& region : written) {
+    if (!region.meet(range).is_bottom()) return true;
+  }
+  return false;
+}
+
+bool AbsState::operator==(const AbsState& other) const {
+  if (bottom || other.bottom) return bottom == other.bottom;
+  for (int r = 0; r < isa::num_registers; ++r) {
+    if (regs[r] != other.regs[r]) return false;
+  }
+  return mem == other.mem && written == other.written;
+}
+
+bool AbsState::join_with(const AbsState& other, const isa::Image& image,
+                         const mem::MemoryMap& memmap) {
+  (void)image;
+  (void)memmap;
+  if (other.bottom) return false;
+  if (bottom) {
+    *this = other;
+    return true;
+  }
+  bool changed = false;
+  for (int r = 0; r < isa::num_registers; ++r) {
+    const Interval joined = regs[r].join(other.regs[r]);
+    if (joined != regs[r]) {
+      regs[r] = joined;
+      changed = true;
+    }
+  }
+  for (const Interval& region : other.written) {
+    std::vector<Interval> before = written;
+    add_written(region);
+    if (written != before) changed = true;
+  }
+  // Tracked words: a key absent on one side means "possibly any value
+  // consistent with the written hull" there; since every tracked key is
+  // inside the hull by construction, the sound join for a one-sided key
+  // is TOP — represented by dropping the key.
+  for (auto it = mem.begin(); it != mem.end();) {
+    const auto other_it = other.mem.find(it->first);
+    if (other_it == other.mem.end()) {
+      it = mem.erase(it);
+      changed = true;
+      continue;
+    }
+    const Interval joined = it->second.join(other_it->second);
+    if (joined != it->second) {
+      it->second = joined;
+      changed = true;
+    }
+    if (it->second.is_top()) {
+      it = mem.erase(it);
+      continue;
+    }
+    ++it;
+  }
+  return changed;
+}
+
+void AbsState::widen_from(const AbsState& older) {
+  if (bottom || older.bottom) return;
+  for (int r = 0; r < isa::num_registers; ++r) {
+    regs[r] = older.regs[r].widen(regs[r]);
+  }
+  // Written regions only grow through add_written; the region-count cap
+  // bounds the chain, so no dedicated widening is needed here.
+  for (auto it = mem.begin(); it != mem.end();) {
+    const auto old_it = older.mem.find(it->first);
+    if (old_it != older.mem.end()) {
+      it->second = old_it->second.widen(it->second);
+    }
+    if (it->second.is_top()) {
+      it = mem.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+ValueAnalysis::ValueAnalysis(const cfg::Supergraph& sg, const cfg::LoopForest& loops,
+                             const mem::MemoryMap& memmap, const Options& options)
+    : sg_(sg), loops_(loops), memmap_(memmap), options_(options) {
+  in_.resize(sg.nodes().size());
+  edge_feasible_.assign(sg.edges().size(), false);
+  accesses_.resize(sg.nodes().size());
+  is_widen_point_.assign(sg.nodes().size(), false);
+  for (const cfg::Loop& loop : loops.loops()) {
+    for (const int entry : loop.entries) {
+      is_widen_point_[static_cast<std::size_t>(entry)] = true;
+    }
+  }
+}
+
+Interval ValueAnalysis::confine(const Interval& addr, std::uint32_t fn_entry) const {
+  if (addr.is_bottom() || addr.is_constant()) return addr;
+  const auto it = options_.access_facts.find(fn_entry);
+  if (it == options_.access_facts.end()) return addr;
+  Interval hull = Interval::bottom();
+  for (const annot::AccessRange& range : it->second) {
+    hull = hull.join(Interval::from_unsigned(
+        range.base, static_cast<std::int64_t>(range.base) + range.size - 1));
+  }
+  if (hull.is_bottom()) return addr;
+  const Interval met = addr.meet(hull);
+  return met.is_bottom() ? hull : met;
+}
+
+Interval ValueAnalysis::implicit_word(const AbsState& state, std::uint32_t addr) const {
+  const mem::Region& region = memmap_.region_for(addr);
+  if (region.io) return Interval::top();
+  const isa::Section* section = sg_.program().image().section_at(addr);
+  const bool immutable = section != nullptr && !section->writable;
+  if (!immutable) {
+    // A store may have clobbered it.
+    const Interval cell = Interval::from_unsigned(addr, static_cast<std::int64_t>(addr) + 3);
+    if (state.possibly_written(cell)) return Interval::top();
+  }
+  // Initial contents: image bytes where mapped, zero elsewhere (the
+  // simulator's fresh-memory default).
+  std::uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) {
+    const auto byte = sg_.program().image().read_byte(addr + static_cast<std::uint32_t>(i));
+    value = (value << 8) | (byte ? *byte : 0);
+  }
+  return Interval::constant(value);
+}
+
+Interval ValueAnalysis::read_mem(const AbsState& state, const Interval& addr, int size,
+                                 bool sign_extend) const {
+  if (addr.is_bottom()) return Interval::bottom();
+  // io regions: volatile, unknown value.
+  {
+    bool touches_io = false;
+    for (const auto& region : memmap_.regions()) {
+      if (!region.io) continue;
+      const Interval span = Interval::from_unsigned(
+          region.base, static_cast<std::int64_t>(region.base) + region.size - 1);
+      if (!addr.meet(span).is_bottom()) touches_io = true;
+    }
+    if (touches_io) return sized_top(size, sign_extend);
+  }
+
+  const auto read_word_at = [&](std::uint32_t a) -> Interval {
+    const auto it = state.mem.find(a);
+    return it != state.mem.end() ? it->second : implicit_word(state, a);
+  };
+
+  if (size == 4) {
+    if (addr.size() <= small_access_words * 4) {
+      Interval result = Interval::bottom();
+      for (std::int64_t a = addr.umin(); a <= addr.umax(); ++a) {
+        if ((a & 3) != 0) continue; // misaligned would trap
+        result = result.join(read_word_at(static_cast<std::uint32_t>(a)));
+        if (result.is_top()) break;
+      }
+      return result.is_bottom() ? Interval::top() : result;
+    }
+    return Interval::top();
+  }
+
+  // Sub-word loads: exact only for a constant address within a constant
+  // containing word.
+  if (const auto ca = addr.as_constant()) {
+    const std::uint32_t word_addr = *ca & ~3u;
+    const Interval word = read_word_at(word_addr);
+    if (const auto wc = word.as_constant()) {
+      const unsigned shift = (*ca & 3u) * 8;
+      std::uint32_t raw = (*wc >> shift);
+      if (size == 1) {
+        raw &= 0xFF;
+        if (sign_extend) return Interval::constant(static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(static_cast<std::int8_t>(raw))));
+        return Interval::constant(raw);
+      }
+      raw &= 0xFFFF;
+      if (sign_extend) return Interval::constant(static_cast<std::uint32_t>(
+          static_cast<std::int32_t>(static_cast<std::int16_t>(raw))));
+      return Interval::constant(raw);
+    }
+  }
+  return sized_top(size, sign_extend);
+}
+
+void ValueAnalysis::write_mem(AbsState& state, const Interval& addr, int size,
+                              Interval value, std::uint32_t fn_entry) const {
+  if (addr.is_bottom()) return;
+  const Interval confined = confine(addr, fn_entry);
+  const Interval touched = Interval::from_unsigned(
+      confined.umin(), std::min<std::int64_t>(confined.umax() + size - 1, Interval::word_max));
+  state.add_written(touched);
+
+  if (const auto ca = confined.as_constant()) {
+    const std::uint32_t a = *ca;
+    if (size == 4 && (a & 3u) == 0) {
+      if (value.is_top()) {
+        state.mem.erase(a);
+      } else {
+        state.mem[a] = value; // strong update
+      }
+    } else {
+      // Sub-word store: compose exactly when everything is constant.
+      const std::uint32_t word_addr = a & ~3u;
+      const auto it = state.mem.find(word_addr);
+      const Interval word = it != state.mem.end() ? it->second : implicit_word(state, word_addr);
+      const auto wc = word.as_constant();
+      const auto vc = value.as_constant();
+      if (wc && vc && (size != 2 || (a & 1u) == 0)) {
+        const unsigned shift = (a & 3u) * 8;
+        const std::uint32_t mask = (size == 1 ? 0xFFu : 0xFFFFu) << shift;
+        const std::uint32_t composed = (*wc & ~mask) | ((*vc << shift) & mask);
+        state.mem[word_addr] = Interval::constant(composed);
+      } else {
+        state.mem.erase(word_addr);
+      }
+    }
+  } else if (confined.size() <= small_access_words * 4) {
+    // Weak update on every word the store may touch.
+    const std::uint32_t first = static_cast<std::uint32_t>(confined.umin()) & ~3u;
+    for (std::int64_t a = first; a <= confined.umax() + size - 1; a += 4) {
+      const auto word_addr = static_cast<std::uint32_t>(a);
+      const auto it = state.mem.find(word_addr);
+      if (it == state.mem.end()) continue; // untracked: hull already poisons it
+      if (size == 4 && !value.is_top()) {
+        it->second = it->second.join(value);
+        if (it->second.is_top()) state.mem.erase(it);
+      } else {
+        state.mem.erase(it);
+      }
+    }
+  } else {
+    // Wide store: every tracked word inside the range is lost.
+    for (auto it = state.mem.begin(); it != state.mem.end();) {
+      if (static_cast<std::int64_t>(it->first) + 3 >= confined.umin() &&
+          static_cast<std::int64_t>(it->first) <= confined.umax() + size - 1) {
+        it = state.mem.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (state.mem.size() > options_.max_tracked_words) {
+    state.mem.clear(); // sound: hull covers every tracked key
+  }
+}
+
+AbsState ValueAnalysis::transfer_inst(const Inst& inst, std::uint32_t pc, AbsState state,
+                                      std::uint32_t fn_entry,
+                                      std::vector<AccessInfo>* accesses) const {
+  if (state.bottom) return state;
+  const Interval rs1 = state.regs[inst.rs1];
+  const Interval rs2 = state.regs[inst.rs2];
+  const auto set_rd = [&](const Interval& value) {
+    if (inst.rd != isa::reg_zero) state.regs[inst.rd] = value;
+  };
+  const auto imm_u = [&] {
+    return Interval::constant(static_cast<std::uint32_t>(inst.imm));
+  };
+
+  switch (inst.op) {
+  case Opcode::add: set_rd(rs1.add(rs2)); break;
+  case Opcode::sub: set_rd(rs1.sub(rs2)); break;
+  case Opcode::and_: set_rd(rs1.bit_and(rs2)); break;
+  case Opcode::or_: set_rd(rs1.bit_or(rs2)); break;
+  case Opcode::xor_: set_rd(rs1.bit_xor(rs2)); break;
+  case Opcode::sll: set_rd(rs1.shl(rs2)); break;
+  case Opcode::srl: set_rd(rs1.shr_u(rs2)); break;
+  case Opcode::sra: set_rd(rs1.shr_s(rs2)); break;
+  case Opcode::slt: set_rd(rs1.compare(Pred::lt_s, rs2)); break;
+  case Opcode::sltu: set_rd(rs1.compare(Pred::lt_u, rs2)); break;
+  case Opcode::mul: set_rd(rs1.mul(rs2)); break;
+  case Opcode::mulhu: set_rd(rs1.mulh_u(rs2)); break;
+  case Opcode::divu: set_rd(rs1.div_u(rs2)); break;
+  case Opcode::remu: set_rd(rs1.rem_u(rs2)); break;
+  case Opcode::div_: set_rd(rs1.div_s(rs2)); break;
+  case Opcode::rem_: set_rd(rs1.rem_s(rs2)); break;
+  case Opcode::cmovz:
+    if (rs2.is_constant() && *rs2.as_constant() == 0) set_rd(rs1);
+    else if (!rs2.contains(0)) { /* rd unchanged */ }
+    else set_rd(state.regs[inst.rd].join(rs1));
+    break;
+  case Opcode::cmovnz:
+    if (!rs2.contains(0)) set_rd(rs1);
+    else if (rs2.is_constant()) { /* rs2 == 0: rd unchanged */ }
+    else set_rd(state.regs[inst.rd].join(rs1));
+    break;
+  case Opcode::addi: set_rd(rs1.add(imm_u())); break;
+  case Opcode::andi: set_rd(rs1.bit_and(imm_u())); break;
+  case Opcode::ori: set_rd(rs1.bit_or(imm_u())); break;
+  case Opcode::xori: set_rd(rs1.bit_xor(imm_u())); break;
+  case Opcode::slli: set_rd(rs1.shl(Interval::constant(static_cast<std::uint32_t>(inst.imm & 31)))); break;
+  case Opcode::srli: set_rd(rs1.shr_u(Interval::constant(static_cast<std::uint32_t>(inst.imm & 31)))); break;
+  case Opcode::srai: set_rd(rs1.shr_s(Interval::constant(static_cast<std::uint32_t>(inst.imm & 31)))); break;
+  case Opcode::slti: set_rd(rs1.compare(Pred::lt_s, imm_u())); break;
+  case Opcode::sltiu: set_rd(rs1.compare(Pred::lt_u, imm_u())); break;
+  case Opcode::lui:
+    set_rd(Interval::constant(static_cast<std::uint32_t>(inst.imm) << 16));
+    break;
+  case Opcode::lw:
+  case Opcode::lh:
+  case Opcode::lhu:
+  case Opcode::lb:
+  case Opcode::lbu: {
+    Interval addr = rs1.add(imm_u());
+    addr = confine(addr, fn_entry);
+    if (accesses != nullptr) {
+      accesses->push_back({pc, false, inst.access_size(), addr});
+    }
+    const bool sign = inst.op == Opcode::lh || inst.op == Opcode::lb;
+    set_rd(read_mem(state, addr, inst.access_size(), sign));
+    break;
+  }
+  case Opcode::sw:
+  case Opcode::sh:
+  case Opcode::sb: {
+    Interval addr = rs1.add(imm_u());
+    addr = confine(addr, fn_entry);
+    if (accesses != nullptr) {
+      accesses->push_back({pc, true, inst.access_size(), addr});
+    }
+    write_mem(state, addr, inst.access_size(), state.regs[inst.rd], fn_entry);
+    break;
+  }
+  case Opcode::beq:
+  case Opcode::bne:
+  case Opcode::blt:
+  case Opcode::bge:
+  case Opcode::bltu:
+  case Opcode::bgeu:
+    break; // refinement happens on the edges
+  case Opcode::jal:
+  case Opcode::jalr:
+    set_rd(Interval::constant(pc + 4));
+    break;
+  case Opcode::ecall:
+    // Environment call clobbers the caller-saved registers.
+    for (const std::uint8_t r : {isa::reg_a0, isa::reg_a1, isa::reg_a2, isa::reg_a3,
+                                 isa::reg_t0, isa::reg_t1, isa::reg_t2}) {
+      state.regs[r] = Interval::top();
+    }
+    break;
+  case Opcode::halt:
+    break;
+  }
+  return state;
+}
+
+AbsState ValueAnalysis::transfer_node(int node, AbsState state) const {
+  const cfg::SgNode& n = sg_.node(node);
+  std::uint32_t pc = n.block->begin;
+  for (const Inst& inst : n.block->insts) {
+    state = transfer_inst(inst, pc, std::move(state), n.fn_entry, nullptr);
+    pc += 4;
+  }
+  return state;
+}
+
+AbsState ValueAnalysis::refine_along_edge(int edge, AbsState state) const {
+  if (state.bottom) return state;
+  const cfg::SgEdge& e = sg_.edge(edge);
+  const cfg::SgNode& from = sg_.node(e.from);
+  const cfg::CfgBlock& block = *from.block;
+  if (block.insts.empty()) return state;
+  const Inst& term = block.terminator();
+
+  if (term.is_conditional_branch() &&
+      (e.kind == cfg::EdgeKind::taken || e.kind == cfg::EdgeKind::fall)) {
+    const Pred p = e.kind == cfg::EdgeKind::taken ? term.branch_pred()
+                                                  : negate(term.branch_pred());
+    const Interval a = state.regs[term.rs1];
+    const Interval b = state.regs[term.rs2];
+    const Interval a_refined = a.refine(p, b);
+    // Mirror refinement for the right-hand side, using the weaker (but
+    // sound) non-strict forms where needed.
+    Interval b_refined = b;
+    switch (p) {
+    case Pred::eq: b_refined = b.meet(a); break;
+    case Pred::ne:
+      if (a.is_constant()) b_refined = b.refine(Pred::ne, a);
+      break;
+    case Pred::lt_s: b_refined = b.refine(Pred::ge_s, a); break;
+    case Pred::ge_s:
+      b_refined = b.meet(Interval::from_signed(INT32_MIN, a.smax()).is_bottom()
+                             ? b
+                             : Interval::from_signed(INT32_MIN, a.smax()));
+      break;
+    case Pred::lt_u: b_refined = b.refine(Pred::ge_u, a); break;
+    case Pred::ge_u:
+      b_refined = b.meet(Interval::from_unsigned(0, a.umax()));
+      break;
+    }
+    if (a_refined.is_bottom() || b_refined.is_bottom()) {
+      state.bottom = true;
+      return state;
+    }
+    state.regs[term.rs1] = a_refined;
+    if (term.rs2 != term.rs1) state.regs[term.rs2] = b_refined;
+    // r0 must stay the constant zero (refinement can only have shrunk
+    // it to exactly {0} or bottom, handled above).
+    state.regs[isa::reg_zero] = Interval::constant(0);
+    return state;
+  }
+
+  if (block.term == cfg::Term::indirect_jump && e.kind == cfg::EdgeKind::taken) {
+    // Landing on a specific target pins the jalr operand.
+    const cfg::SgNode& to = sg_.node(e.to);
+    const std::uint32_t target = to.block->begin;
+    const Interval pinned = Interval::constant(target - static_cast<std::uint32_t>(term.imm));
+    const Interval refined = state.regs[term.rs1].meet(pinned);
+    if (refined.is_bottom()) {
+      state.bottom = true;
+      return state;
+    }
+    state.regs[term.rs1] = refined;
+  }
+  return state;
+}
+
+void ValueAnalysis::run() {
+  const isa::Image& image = sg_.program().image();
+  std::deque<int> worklist;
+  std::vector<bool> queued(sg_.nodes().size(), false);
+  std::vector<unsigned> visits(sg_.nodes().size(), 0);
+
+  in_[static_cast<std::size_t>(sg_.entry_node())] = AbsState::entry_state();
+  worklist.push_back(sg_.entry_node());
+  queued[static_cast<std::size_t>(sg_.entry_node())] = true;
+
+  while (!worklist.empty()) {
+    const int node = worklist.front();
+    worklist.pop_front();
+    queued[static_cast<std::size_t>(node)] = false;
+    ++visits[static_cast<std::size_t>(node)];
+
+    const AbsState out = transfer_node(node, in_[static_cast<std::size_t>(node)]);
+    for (const int eid : sg_.node(node).succ_edges) {
+      AbsState along = refine_along_edge(eid, out);
+      const int target = sg_.edge(eid).to;
+      if (along.bottom) {
+        // Note: feasibility is monotone — once feasible, stays feasible.
+        continue;
+      }
+      edge_feasible_[static_cast<std::size_t>(eid)] = true;
+
+      AbsState& tin = in_[static_cast<std::size_t>(target)];
+      AbsState updated = tin;
+      const bool changed = updated.join_with(along, image, memmap_);
+      if (!changed) continue;
+      if (is_widen_point_[static_cast<std::size_t>(target)] &&
+          visits[static_cast<std::size_t>(target)] >= options_.widen_delay) {
+        updated.widen_from(tin);
+      }
+      if (visits[static_cast<std::size_t>(target)] >= options_.max_node_visits) {
+        // Safeguard: force convergence by jumping to a coarse state.
+        AbsState coarse = AbsState::entry_state();
+        coarse.add_written(Interval::top());
+        coarse.regs[isa::reg_zero] = Interval::constant(0);
+        updated = coarse;
+      }
+      if (!(updated == tin)) {
+        tin = std::move(updated);
+        if (!queued[static_cast<std::size_t>(target)]) {
+          worklist.push_back(target);
+          queued[static_cast<std::size_t>(target)] = true;
+        }
+      }
+    }
+  }
+
+  // Final pass: record access address intervals per node.
+  for (const cfg::SgNode& n : sg_.nodes()) {
+    auto& recorded = accesses_[static_cast<std::size_t>(n.id)];
+    recorded.clear();
+    AbsState state = in_[static_cast<std::size_t>(n.id)];
+    if (state.bottom) continue;
+    std::uint32_t pc = n.block->begin;
+    for (const Inst& inst : n.block->insts) {
+      state = transfer_inst(inst, pc, std::move(state), n.fn_entry, &recorded);
+      pc += 4;
+    }
+  }
+}
+
+Interval ValueAnalysis::mem_word_along_edge(int edge, std::uint32_t addr) const {
+  const cfg::SgEdge& e = sg_.edge(edge);
+  AbsState out = transfer_node(e.from, state_in(e.from));
+  out = refine_along_edge(edge, std::move(out));
+  if (out.bottom) return Interval::bottom();
+  const auto it = out.mem.find(addr);
+  if (it != out.mem.end()) return it->second;
+  return implicit_word(out, addr);
+}
+
+Interval ValueAnalysis::reg_before(int node, std::uint32_t pc, std::uint8_t reg) const {
+  const cfg::SgNode& n = sg_.node(node);
+  AbsState state = in_[static_cast<std::size_t>(node)];
+  if (state.bottom) return Interval::bottom();
+  std::uint32_t walk = n.block->begin;
+  for (const Inst& inst : n.block->insts) {
+    if (walk == pc) break;
+    state = transfer_inst(inst, walk, std::move(state), n.fn_entry, nullptr);
+    walk += 4;
+  }
+  return state.bottom ? Interval::bottom() : state.regs[reg];
+}
+
+std::map<std::uint32_t, std::vector<std::uint32_t>>
+ValueAnalysis::resolved_indirect_targets() const {
+  std::map<std::uint32_t, std::vector<std::uint32_t>> result;
+  for (const cfg::SgNode& n : sg_.nodes()) {
+    const cfg::CfgBlock& block = *n.block;
+    if (!block.indirect_unresolved) continue;
+    if (in_[static_cast<std::size_t>(n.id)].bottom) continue;
+    const Inst& term = block.terminator();
+    const Interval base = reg_before(n.id, block.term_pc(), term.rs1);
+    const Interval target = base.add(Interval::constant(static_cast<std::uint32_t>(term.imm)));
+    if (const auto c = target.as_constant()) {
+      result[block.term_pc()].push_back(*c & ~3u);
+    }
+  }
+  return result;
+}
+
+} // namespace wcet::analysis

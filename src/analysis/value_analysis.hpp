@@ -1,0 +1,121 @@
+// Value analysis (Figure 1, "Loop/Value Analysis"): interval abstract
+// interpretation of registers and memory over the supergraph.
+//
+// Memory model: words stored through statically known addresses are
+// tracked exactly (globals, stack slots — the stack pointer is constant
+// from _start, so frames resolve). A store through an imprecise address
+// joins its value into every tracked word it may alias and poisons the
+// "written hull"; reads of untracked addresses fall back to the image's
+// initial contents only while provably un-written. This reproduces the
+// paper's Section 4.3 observation: one unknown write "destroys all known
+// information about memory" — unless a per-function access fact confines
+// it, which is exactly what the `accesses` annotation does.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "annot/annotations.hpp"
+#include "cfg/domloop.hpp"
+#include "cfg/supergraph.hpp"
+#include "mem/memmap.hpp"
+#include "support/interval.hpp"
+
+namespace wcet::analysis {
+
+// Abstract machine state: register file + tracked memory words.
+struct AbsState {
+  bool bottom = true; // default: unreachable
+  Interval regs[isa::num_registers];
+  std::map<std::uint32_t, Interval> mem; // word-aligned tracked addresses
+  // Address regions possibly stored to since task entry, kept as a small
+  // list of disjoint intervals (a single hull would let one confined
+  // store poison unrelated globals across the address space).
+  std::vector<Interval> written;
+  static constexpr std::size_t max_written_regions = 6;
+  void add_written(const Interval& range);
+  bool possibly_written(const Interval& range) const;
+
+  static AbsState entry_state();
+  bool join_with(const AbsState& other, const isa::Image& image,
+                 const mem::MemoryMap& memmap); // returns true if changed
+  void widen_from(const AbsState& older);
+  bool operator==(const AbsState& other) const;
+};
+
+struct AccessInfo {
+  std::uint32_t pc = 0;
+  bool is_store = false;
+  int size = 0;
+  Interval addr = Interval::bottom(); // bottom: instruction unreachable
+};
+
+class ValueAnalysis {
+public:
+  struct Options {
+    Options() {}
+    // Confinement of imprecise accesses per function entry (annotation).
+    std::map<std::uint32_t, std::vector<annot::AccessRange>> access_facts;
+    std::size_t max_tracked_words = 8192;
+    unsigned widen_delay = 3;
+    std::size_t max_node_visits = 64; // per node before forced widening stop
+  };
+
+  ValueAnalysis(const cfg::Supergraph& sg, const cfg::LoopForest& loops,
+                const mem::MemoryMap& memmap, const Options& options = {});
+
+  void run();
+
+  // State at node entry (join over incoming edges). Bottom: unreachable.
+  const AbsState& state_in(int node) const { return in_[static_cast<std::size_t>(node)]; }
+  // Edge infeasibility discovered by branch refinement.
+  bool edge_feasible(int edge) const { return edge_feasible_[static_cast<std::size_t>(edge)]; }
+  bool node_reachable(int node) const { return !in_[static_cast<std::size_t>(node)].bottom; }
+
+  // Address intervals of every memory access in a node, in instruction
+  // order (empty interval entries for non-memory instructions are
+  // omitted; `pc` identifies the instruction).
+  const std::vector<AccessInfo>& accesses(int node) const {
+    return accesses_[static_cast<std::size_t>(node)];
+  }
+
+  // Register interval immediately before the instruction at `pc` within
+  // `node` (recomputed by walking the block from state_in).
+  Interval reg_before(int node, std::uint32_t pc, std::uint8_t reg) const;
+
+  // Indirect-branch feedback for the decode loop: jalr sites whose
+  // target interval collapsed to a single constant.
+  std::map<std::uint32_t, std::vector<std::uint32_t>> resolved_indirect_targets() const;
+
+  // Transfer a state through a full node (exposed for loop-bound
+  // analysis and tests).
+  AbsState transfer_node(int node, AbsState state) const;
+  // Apply branch refinement along an edge to the source's out state.
+  AbsState refine_along_edge(int edge, AbsState state) const;
+  // Value of the word at `addr` after traversing `edge` (loop-bound
+  // analysis uses this for memory-homed counters).
+  Interval mem_word_along_edge(int edge, std::uint32_t addr) const;
+
+private:
+  AbsState transfer_inst(const isa::Inst& inst, std::uint32_t pc, AbsState state,
+                         std::uint32_t fn_entry, std::vector<AccessInfo>* accesses) const;
+  Interval read_mem(const AbsState& state, const Interval& addr, int size,
+                    bool sign_extend) const;
+  void write_mem(AbsState& state, const Interval& addr, int size, Interval value,
+                 std::uint32_t fn_entry) const;
+  Interval implicit_word(const AbsState& state, std::uint32_t addr) const;
+  Interval confine(const Interval& addr, std::uint32_t fn_entry) const;
+
+  const cfg::Supergraph& sg_;
+  const cfg::LoopForest& loops_;
+  const mem::MemoryMap& memmap_;
+  Options options_;
+  std::vector<AbsState> in_;
+  std::vector<bool> edge_feasible_;
+  std::vector<std::vector<AccessInfo>> accesses_;
+  std::vector<bool> is_widen_point_;
+};
+
+} // namespace wcet::analysis

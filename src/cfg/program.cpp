@@ -1,0 +1,429 @@
+#include "cfg/program.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "isa/disasm.hpp"
+#include "support/diag.hpp"
+
+namespace wcet::cfg {
+
+using isa::Inst;
+using isa::Opcode;
+
+const CfgBlock& CfgFunction::block_at(std::uint32_t addr) const {
+  const auto it = blocks.find(addr);
+  WCET_CHECK(it != blocks.end(), "no block at given address");
+  return it->second;
+}
+
+namespace {
+
+// Decoded instruction fetch with diagnostics.
+std::optional<Inst> fetch(const isa::Image& image, std::uint32_t pc,
+                          std::vector<DecodeIssue>& issues) {
+  const auto word = image.read_word(pc);
+  if (!word) {
+    issues.push_back({pc, "control flow reaches unmapped address"});
+    return std::nullopt;
+  }
+  const auto inst = isa::decode(*word);
+  if (!inst) {
+    issues.push_back({pc, "control flow reaches invalid opcode"});
+    return std::nullopt;
+  }
+  return inst;
+}
+
+// Recognize the bounds-checked jump-table idiom ending in `inst` (a
+// non-return jalr) at `pc`. Walks the instruction window backwards
+// looking for
+//     lui  rB, hi(table)     (or movi expansion)
+//     ori  rB, rB, lo(table)
+//     slli rI, rIdx, 2
+//     add  rB, rB, rI
+//     lw   rT, 0(rB)
+//     jalr r?, rT, 0
+// and reads the table from a read-only section. The element count comes
+// from the table's object symbol size — tables must be emitted with a
+// .global symbol (mcc's switch lowering does this).
+std::vector<std::uint32_t> match_jump_table(const isa::Image& image,
+                                            const std::vector<std::pair<std::uint32_t, Inst>>& window,
+                                            const Inst& jalr) {
+  if (jalr.imm != 0) return {};
+  // Find the defining load of the jalr operand.
+  int load_at = -1;
+  for (int i = static_cast<int>(window.size()) - 1; i >= 0; --i) {
+    const Inst& inst = window[static_cast<std::size_t>(i)].second;
+    if (inst.writes_rd() && inst.rd == jalr.rs1) {
+      if (inst.op == Opcode::lw && inst.imm == 0) load_at = i;
+      break;
+    }
+  }
+  if (load_at < 0) return {};
+  const Inst load = window[static_cast<std::size_t>(load_at)].second;
+  // Find `add base, base, index` defining the load address.
+  int add_at = -1;
+  for (int i = load_at - 1; i >= 0; --i) {
+    const Inst& inst = window[static_cast<std::size_t>(i)].second;
+    if (inst.writes_rd() && inst.rd == load.rs1) {
+      if (inst.op == Opcode::add) add_at = i;
+      break;
+    }
+  }
+  if (add_at < 0) return {};
+  const Inst add = window[static_cast<std::size_t>(add_at)].second;
+  // One operand must resolve to a constant via lui/ori, the other may be
+  // anything (the scaled index).
+  const auto resolve_constant = [&](std::uint8_t reg, int before) -> std::optional<std::uint32_t> {
+    std::optional<std::uint32_t> upper;
+    for (int i = before - 1; i >= 0; --i) {
+      const Inst& inst = window[static_cast<std::size_t>(i)].second;
+      if (!inst.writes_rd() || inst.rd != reg) continue;
+      if (inst.op == Opcode::ori && inst.rs1 == reg) {
+        // Keep scanning for the lui that feeds it.
+        for (int j = i - 1; j >= 0; --j) {
+          const Inst& def = window[static_cast<std::size_t>(j)].second;
+          if (!def.writes_rd() || def.rd != reg) continue;
+          if (def.op == Opcode::lui) {
+            upper = (static_cast<std::uint32_t>(def.imm) << 16) |
+                    static_cast<std::uint32_t>(inst.imm);
+          }
+          break;
+        }
+      } else if (inst.op == Opcode::ori && inst.rs1 == isa::reg_zero) {
+        upper = static_cast<std::uint32_t>(inst.imm);
+      }
+      break;
+    }
+    return upper;
+  };
+  std::optional<std::uint32_t> table = resolve_constant(add.rs1, add_at);
+  if (!table) table = resolve_constant(add.rs2, add_at);
+  if (!table) return {};
+  // Element count from the covering object symbol.
+  const isa::Symbol* sym = image.symbol_covering(*table);
+  if (sym == nullptr || sym->addr != *table || sym->size < 4) return {};
+  const isa::Section* sec = image.section_at(*table);
+  if (sec == nullptr || sec->writable) return {}; // table must be immutable
+  std::vector<std::uint32_t> targets;
+  for (std::uint32_t off = 0; off + 4 <= sym->size; off += 4) {
+    const auto entry = image.read_word(*table + off);
+    if (!entry) return {};
+    targets.push_back(*entry);
+  }
+  std::sort(targets.begin(), targets.end());
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+  return targets;
+}
+
+struct Decoder {
+  const isa::Image& image;
+  const ResolutionHints& hints;
+  std::vector<DecodeIssue>& issues;
+  std::deque<std::uint32_t> pending_functions;
+  std::set<std::uint32_t> known_functions;
+
+  void enqueue_function(std::uint32_t entry) {
+    if (known_functions.insert(entry).second) pending_functions.push_back(entry);
+  }
+
+  CfgFunction decode_function(std::uint32_t entry) {
+    CfgFunction fn;
+    fn.entry = entry;
+    if (const isa::Symbol* sym = image.symbol_covering(entry);
+        sym != nullptr && sym->addr == entry) {
+      fn.name = sym->name;
+    } else {
+      std::ostringstream os;
+      os << "fn_0x" << std::hex << entry;
+      fn.name = os.str();
+    }
+
+    // Pass A: explore reachable instructions, collect leaders and edges.
+    std::map<std::uint32_t, Inst> insts;
+    std::set<std::uint32_t> leaders{entry};
+    std::deque<std::uint32_t> work{entry};
+    std::set<std::uint32_t> visited;
+    // Sliding window per linear run for the jump-table matcher.
+    std::map<std::uint32_t, std::vector<std::uint32_t>> resolved_indirect;
+
+    while (!work.empty()) {
+      std::uint32_t pc = work.front();
+      work.pop_front();
+      std::vector<std::pair<std::uint32_t, Inst>> window;
+      bool fell_into_visited = false;
+      for (;;) {
+        if (!visited.insert(pc).second) {
+          fell_into_visited = true;
+          break;
+        }
+        const auto inst_opt = fetch(image, pc, issues);
+        if (!inst_opt) {
+          fn.has_unresolved_indirect = true;
+          break;
+        }
+        const Inst inst = *inst_opt;
+        insts.emplace(pc, inst);
+        window.emplace_back(pc, inst);
+
+        if (inst.is_conditional_branch()) {
+          const std::uint32_t target = inst.target(pc);
+          leaders.insert(target);
+          leaders.insert(pc + 4);
+          work.push_back(target);
+          work.push_back(pc + 4);
+          break;
+        }
+        if (inst.op == Opcode::jal) {
+          const std::uint32_t target = inst.target(pc);
+          if (inst.is_call()) {
+            enqueue_function(target);
+            leaders.insert(pc + 4);
+            work.push_back(pc + 4);
+          } else {
+            leaders.insert(target);
+            work.push_back(target);
+          }
+          break;
+        }
+        if (inst.op == Opcode::jalr) {
+          if (inst.is_return()) break;
+          // Hints take precedence; then the table matcher.
+          std::vector<std::uint32_t> targets;
+          if (const auto hint = hints.indirect_targets.find(pc);
+              hint != hints.indirect_targets.end()) {
+            targets = hint->second;
+          } else {
+            targets = match_jump_table(image, window, inst);
+          }
+          if (inst.is_call()) {
+            if (targets.empty()) {
+              issues.push_back({pc, "unresolved indirect call (function pointer)"});
+              fn.has_unresolved_indirect = true;
+            }
+            for (const std::uint32_t callee : targets) enqueue_function(callee);
+            resolved_indirect[pc] = targets;
+            leaders.insert(pc + 4);
+            work.push_back(pc + 4);
+          } else {
+            if (targets.empty()) {
+              issues.push_back({pc, "unresolved indirect jump"});
+              fn.has_unresolved_indirect = true;
+            }
+            resolved_indirect[pc] = targets;
+            for (const std::uint32_t t : targets) {
+              leaders.insert(t);
+              work.push_back(t);
+            }
+          }
+          break;
+        }
+        if (inst.op == Opcode::halt) break;
+        if (inst.op == Opcode::ecall) {
+          leaders.insert(pc + 4);
+          work.push_back(pc + 4);
+          break;
+        }
+        pc += 4;
+      }
+      // A run that fell into already-decoded code splits the block there.
+      if (fell_into_visited && insts.count(pc) != 0) leaders.insert(pc);
+    }
+
+    // Pass B: slice the instruction map into basic blocks.
+    for (auto it = insts.begin(); it != insts.end();) {
+      const std::uint32_t begin = it->first;
+      CfgBlock block;
+      block.begin = begin;
+      std::uint32_t pc = begin;
+      while (it != insts.end() && it->first == pc) {
+        const Inst inst = it->second;
+        block.insts.push_back(inst);
+        ++it;
+        const std::uint32_t next = pc + 4;
+        const bool next_is_leader = leaders.count(next) != 0;
+        if (inst.ends_basic_block()) {
+          // Terminator kinds and successors.
+          if (inst.is_conditional_branch()) {
+            block.term = Term::branch;
+            block.succs = {next, inst.target(pc)};
+          } else if (inst.op == Opcode::jal) {
+            if (inst.is_call()) {
+              block.term = Term::call;
+              block.callees = {inst.target(pc)};
+              block.succs = {next};
+            } else {
+              block.term = Term::jump;
+              block.succs = {inst.target(pc)};
+            }
+          } else if (inst.op == Opcode::jalr) {
+            if (inst.is_return()) {
+              block.term = Term::ret;
+            } else if (inst.is_call()) {
+              block.term = Term::indirect_call;
+              block.callees = resolved_indirect[pc];
+              block.indirect_unresolved = block.callees.empty();
+              block.succs = {next};
+            } else {
+              block.term = Term::indirect_jump;
+              block.succs = resolved_indirect[pc];
+              block.indirect_unresolved = block.succs.empty();
+            }
+          } else if (inst.op == Opcode::ecall) {
+            block.term = Term::ecall;
+            if (insts.count(next) != 0) block.succs = {next};
+          } else {
+            WCET_CHECK(inst.op == Opcode::halt, "unexpected terminator");
+            block.term = Term::halt;
+          }
+          pc = next;
+          break;
+        }
+        if (next_is_leader || it == insts.end() || it->first != next) {
+          block.term = Term::fallthrough;
+          if (insts.count(next) != 0) block.succs = {next};
+          pc = next;
+          break;
+        }
+        pc = next;
+      }
+      block.end = pc;
+      fn.blocks.emplace(begin, std::move(block));
+      // Advance `it` to the next leader-aligned position (it already is).
+    }
+    return fn;
+  }
+};
+
+} // namespace
+
+Program Program::reconstruct(const isa::Image& image, std::uint32_t entry,
+                             const ResolutionHints& hints) {
+  Program program;
+  program.image_ = &image;
+  program.entry_ = entry;
+  Decoder decoder{image, hints, program.issues_, {}, {}};
+  decoder.enqueue_function(entry);
+  while (!decoder.pending_functions.empty()) {
+    const std::uint32_t fn_entry = decoder.pending_functions.front();
+    decoder.pending_functions.pop_front();
+    program.functions_.emplace(fn_entry, decoder.decode_function(fn_entry));
+  }
+  return program;
+}
+
+const CfgFunction& Program::function_at(std::uint32_t entry_addr) const {
+  const auto it = functions_.find(entry_addr);
+  WCET_CHECK(it != functions_.end(), "no function at given entry");
+  return it->second;
+}
+
+bool Program::fully_resolved() const {
+  for (const auto& [entry, fn] : functions_) {
+    if (fn.has_unresolved_indirect) return false;
+  }
+  return true;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> Program::call_edges() const {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (const auto& [entry, fn] : functions_) {
+    for (const auto& [addr, block] : fn.blocks) {
+      for (const std::uint32_t callee : block.callees) {
+        edges.emplace_back(entry, callee);
+      }
+    }
+  }
+  return edges;
+}
+
+std::set<std::uint32_t> Program::recursive_functions() const {
+  // Tarjan SCC over the call graph; members of non-trivial SCCs (or with
+  // self edges) are recursive.
+  std::map<std::uint32_t, std::vector<std::uint32_t>> adjacency;
+  for (const auto& [from, to] : call_edges()) adjacency[from].push_back(to);
+
+  std::set<std::uint32_t> result;
+  std::map<std::uint32_t, int> index, low;
+  std::vector<std::uint32_t> stack;
+  std::set<std::uint32_t> on_stack;
+  int counter = 0;
+
+  struct Frame {
+    std::uint32_t node;
+    std::size_t next_child = 0;
+  };
+  for (const auto& [fn_entry, fn] : functions_) {
+    if (index.count(fn_entry) != 0) continue;
+    std::vector<Frame> frames{{fn_entry}};
+    index[fn_entry] = low[fn_entry] = counter++;
+    stack.push_back(fn_entry);
+    on_stack.insert(fn_entry);
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const auto& children = adjacency[frame.node];
+      if (frame.next_child < children.size()) {
+        const std::uint32_t child = children[frame.next_child++];
+        if (index.count(child) == 0) {
+          index[child] = low[child] = counter++;
+          stack.push_back(child);
+          on_stack.insert(child);
+          frames.push_back({child});
+        } else if (on_stack.count(child) != 0) {
+          low[frame.node] = std::min(low[frame.node], index[child]);
+        }
+      } else {
+        if (low[frame.node] == index[frame.node]) {
+          std::vector<std::uint32_t> scc;
+          for (;;) {
+            const std::uint32_t member = stack.back();
+            stack.pop_back();
+            on_stack.erase(member);
+            scc.push_back(member);
+            if (member == frame.node) break;
+          }
+          const bool self_loop = [&] {
+            const auto& adj = adjacency[frame.node];
+            return std::find(adj.begin(), adj.end(), frame.node) != adj.end();
+          }();
+          if (scc.size() > 1 || self_loop) {
+            result.insert(scc.begin(), scc.end());
+          }
+        }
+        const std::uint32_t done = frame.node;
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().node] = std::min(low[frames.back().node], low[done]);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::string Program::dump() const {
+  std::ostringstream os;
+  for (const auto& [entry, fn] : functions_) {
+    os << "function " << fn.name << " @0x" << std::hex << entry << std::dec << '\n';
+    for (const auto& [addr, block] : fn.blocks) {
+      os << "  block [0x" << std::hex << block.begin << ", 0x" << block.end << ")";
+      os << " succs:";
+      for (const auto s : block.succs) os << " 0x" << s;
+      if (!block.callees.empty()) {
+        os << " calls:";
+        for (const auto c : block.callees) os << " 0x" << c;
+      }
+      os << std::dec << '\n';
+      std::uint32_t pc = block.begin;
+      for (const auto& inst : block.insts) {
+        os << "    " << isa::disassemble(inst, pc, image_) << '\n';
+        pc += 4;
+      }
+    }
+  }
+  return os.str();
+}
+
+} // namespace wcet::cfg

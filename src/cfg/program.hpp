@@ -1,0 +1,105 @@
+// Decoding phase (Figure 1): reconstruction of per-function control-flow
+// graphs from the binary image.
+//
+// Indirect control transfers — the paper's first tier-one challenge —
+// are resolved by, in order:
+//   1. compiler-convention jump-table pattern matching (bounds-checked
+//      `lw rT, 0(base+index*4); jr rT` against a sized read-only table),
+//   2. user hints from the annotation language ("targets of the branch
+//      at ADDR are ..."),
+//   3. the value-analysis feedback loop in the driver (a jalr whose
+//      operand interval collapses to constants triggers a re-decode).
+// Anything still unresolved is reported as an analysis obstruction, not
+// silently dropped: an unresolved transfer makes a sound WCET bound
+// impossible (Section 3.2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "isa/image.hpp"
+#include "isa/tiny32.hpp"
+
+namespace wcet::cfg {
+
+enum class Term {
+  fallthrough,   // block ends because the next address is a leader
+  branch,        // conditional branch: taken + fallthrough successors
+  jump,          // unconditional direct jump
+  indirect_jump, // jalr-based computed goto / switch
+  call,          // direct call; successor is the return site
+  indirect_call, // call through a register
+  ret,
+  halt,
+  ecall,         // environment call: may exit the task (EcallFn::exit)
+};
+
+struct CfgBlock {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0; // exclusive
+  std::vector<isa::Inst> insts;
+  Term term = Term::fallthrough;
+
+  // Intra-procedural successor addresses (fallthrough first, then taken
+  // / resolved indirect targets).
+  std::vector<std::uint32_t> succs;
+  // For calls: resolved callee entries (singleton for direct calls).
+  std::vector<std::uint32_t> callees;
+  bool indirect_unresolved = false;
+
+  std::uint32_t term_pc() const { return end - 4; }
+  const isa::Inst& terminator() const { return insts.back(); }
+};
+
+struct CfgFunction {
+  std::uint32_t entry = 0;
+  std::string name;
+  std::map<std::uint32_t, CfgBlock> blocks; // keyed by begin address
+  bool has_unresolved_indirect = false;
+
+  const CfgBlock& block_at(std::uint32_t addr) const;
+};
+
+// External resolution hints (annotations and value-analysis feedback).
+struct ResolutionHints {
+  // pc of the jalr -> possible targets (jump) / callees (call).
+  std::map<std::uint32_t, std::vector<std::uint32_t>> indirect_targets;
+};
+
+struct DecodeIssue {
+  std::uint32_t pc = 0;
+  std::string message;
+};
+
+class Program {
+public:
+  // Reconstruct CFGs for every function reachable from `entry`.
+  static Program reconstruct(const isa::Image& image, std::uint32_t entry,
+                             const ResolutionHints& hints = {});
+
+  const isa::Image& image() const { return *image_; }
+  std::uint32_t entry() const { return entry_; }
+  const std::map<std::uint32_t, CfgFunction>& functions() const { return functions_; }
+  const CfgFunction& function_at(std::uint32_t entry_addr) const;
+  const std::vector<DecodeIssue>& issues() const { return issues_; }
+  bool fully_resolved() const;
+
+  // All call-graph edges (caller entry, callee entry).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> call_edges() const;
+  // Functions on call-graph cycles (recursion — rule 16.2 territory).
+  std::set<std::uint32_t> recursive_functions() const;
+
+  std::string dump() const;
+
+private:
+  const isa::Image* image_ = nullptr;
+  std::uint32_t entry_ = 0;
+  std::map<std::uint32_t, CfgFunction> functions_;
+  std::vector<DecodeIssue> issues_;
+};
+
+} // namespace wcet::cfg

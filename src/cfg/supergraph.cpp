@@ -1,0 +1,197 @@
+#include "cfg/supergraph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/diag.hpp"
+
+namespace wcet::cfg {
+
+namespace {
+
+struct Expander {
+  const Program& program;
+  const Supergraph::Options& options;
+  std::vector<SgNode>& nodes;
+  std::vector<SgEdge>& edges;
+  std::vector<Instance>& instances;
+  std::vector<SupergraphIssue>& issues;
+  std::vector<std::uint32_t> call_path; // function entries on the DFS path
+
+  int add_edge(int from, int to, EdgeKind kind) {
+    const int id = static_cast<int>(edges.size());
+    edges.push_back(SgEdge{id, from, to, kind});
+    nodes[static_cast<std::size_t>(from)].succ_edges.push_back(id);
+    nodes[static_cast<std::size_t>(to)].pred_edges.push_back(id);
+    return id;
+  }
+
+  unsigned depth_limit(std::uint32_t fn_entry) const {
+    const auto it = options.recursion_depths.find(fn_entry);
+    // Depth 1 == "appears once on the path" == non-recursive behaviour.
+    return it == options.recursion_depths.end() ? 1 : std::max(1u, it->second);
+  }
+
+  // Expand `fn_entry`; returns {instance id, entry node id}.
+  std::pair<int, int> expand_function(std::uint32_t fn_entry, int caller_instance,
+                                      int call_site_node) {
+    if (nodes.size() > options.max_nodes) {
+      throw AnalysisError("supergraph exceeds node limit (context explosion)");
+    }
+    const CfgFunction& fn = program.function_at(fn_entry);
+    const int instance_id = static_cast<int>(instances.size());
+    instances.push_back(Instance{instance_id, fn_entry, caller_instance, call_site_node});
+    call_path.push_back(fn_entry);
+
+    // Create one node per block of this instance.
+    std::map<std::uint32_t, int> node_of_block;
+    for (const auto& [addr, block] : fn.blocks) {
+      const int id = static_cast<int>(nodes.size());
+      nodes.push_back(SgNode{id, instance_id, fn_entry, &block, {}, {}});
+      node_of_block.emplace(addr, id);
+    }
+
+    // Intra edges + call expansion.
+    for (const auto& [addr, block] : fn.blocks) {
+      const int from = node_of_block.at(addr);
+      switch (block.term) {
+      case Term::branch: {
+        WCET_CHECK(block.succs.size() == 2, "branch block needs 2 successors");
+        if (const auto it = node_of_block.find(block.succs[0]); it != node_of_block.end()) {
+          add_edge(from, it->second, EdgeKind::fall);
+        }
+        if (const auto it = node_of_block.find(block.succs[1]); it != node_of_block.end()) {
+          add_edge(from, it->second, EdgeKind::taken);
+        }
+        break;
+      }
+      case Term::fallthrough:
+      case Term::ecall:
+        for (const std::uint32_t succ : block.succs) {
+          if (const auto it = node_of_block.find(succ); it != node_of_block.end()) {
+            add_edge(from, it->second, EdgeKind::fall);
+          }
+        }
+        break;
+      case Term::jump:
+      case Term::indirect_jump:
+        for (const std::uint32_t succ : block.succs) {
+          if (const auto it = node_of_block.find(succ); it != node_of_block.end()) {
+            add_edge(from, it->second, EdgeKind::taken);
+          }
+        }
+        if (block.indirect_unresolved) {
+          issues.push_back({block.term_pc(), "unresolved indirect jump in expanded graph"});
+        }
+        break;
+      case Term::call:
+      case Term::indirect_call: {
+        WCET_CHECK(block.succs.size() == 1, "call block needs a return site");
+        const auto ret_it = node_of_block.find(block.succs[0]);
+        const int return_site = ret_it == node_of_block.end() ? -1 : ret_it->second;
+        if (block.indirect_unresolved) {
+          issues.push_back({block.term_pc(), "unresolved indirect call in expanded graph"});
+        }
+        bool any_callee = false;
+        for (const std::uint32_t callee : block.callees) {
+          const unsigned occurrences = static_cast<unsigned>(
+              std::count(call_path.begin(), call_path.end(), callee));
+          if (occurrences >= depth_limit(callee)) {
+            if (depth_limit(callee) == 1 &&
+                options.recursion_depths.count(callee) == 0) {
+              issues.push_back(
+                  {block.term_pc(),
+                   "recursive call without a recursion-depth annotation"});
+            }
+            // Cut: model the too-deep call as a no-op transfer to the
+            // return site (sound under the user's depth assertion).
+            if (return_site >= 0) add_edge(from, return_site, EdgeKind::cut);
+            continue;
+          }
+          any_callee = true;
+          const auto [callee_instance, callee_entry_node] =
+              expand_function(callee, instance_id, from);
+          add_edge(from, callee_entry_node, EdgeKind::call);
+          // Wire every return block of the callee back to the site.
+          const CfgFunction& callee_fn = program.function_at(callee);
+          for (const auto& [callee_addr, callee_block] : callee_fn.blocks) {
+            if (callee_block.term != Term::ret) continue;
+            // Find the callee instance's node for this block: nodes were
+            // appended contiguously, search the instance range.
+            for (std::size_t n = 0; n < nodes.size(); ++n) {
+              if (nodes[n].instance == callee_instance &&
+                  nodes[n].block == &callee_block && return_site >= 0) {
+                add_edge(static_cast<int>(n), return_site, EdgeKind::ret);
+              }
+            }
+          }
+        }
+        if (!any_callee && block.callees.empty() && return_site >= 0) {
+          // Unresolved call: conservatively continue at the return site
+          // (cost of the callee is unknown — the driver refuses to emit
+          // a bound when issues are present).
+          add_edge(from, return_site, EdgeKind::cut);
+        }
+        break;
+      }
+      case Term::ret:
+      case Term::halt:
+        break;
+      }
+    }
+    call_path.pop_back();
+    return {instance_id, node_of_block.at(fn_entry)};
+  }
+};
+
+} // namespace
+
+Supergraph Supergraph::expand(const Program& program, const Options& options) {
+  Supergraph sg;
+  sg.program_ = &program;
+  Expander expander{program, options, sg.nodes_, sg.edges_, sg.instances_, sg.issues_, {}};
+  const auto [root_instance, entry_node] =
+      expander.expand_function(program.entry(), -1, -1);
+  sg.entry_node_ = entry_node;
+  for (const SgNode& node : sg.nodes_) {
+    const bool root_ret =
+        node.instance == root_instance && node.block->term == Term::ret;
+    const bool halts = node.block->term == Term::halt;
+    // ecall blocks may terminate the task (EcallFn::exit).
+    const bool may_exit = node.block->term == Term::ecall;
+    if (root_ret || halts || may_exit) sg.exit_nodes_.push_back(node.id);
+  }
+  return sg;
+}
+
+std::string Supergraph::context_of(int node_id) const {
+  const SgNode& node = nodes_[static_cast<std::size_t>(node_id)];
+  std::vector<std::string> names;
+  int instance = node.instance;
+  while (instance >= 0) {
+    const Instance& inst = instances_[static_cast<std::size_t>(instance)];
+    names.push_back(program_->function_at(inst.fn_entry).name);
+    instance = inst.caller_instance;
+  }
+  std::ostringstream os;
+  for (auto it = names.rbegin(); it != names.rend(); ++it) {
+    if (it != names.rbegin()) os << " -> ";
+    os << *it;
+  }
+  os << " [0x" << std::hex << node.block->begin << ')';
+  return os.str();
+}
+
+std::string Supergraph::dump() const {
+  std::ostringstream os;
+  for (const SgNode& node : nodes_) {
+    os << 'n' << node.id << ' ' << context_of(node.id) << " ->";
+    for (const int e : node.succ_edges) {
+      os << ' ' << 'n' << edges_[static_cast<std::size_t>(e)].to;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+} // namespace wcet::cfg

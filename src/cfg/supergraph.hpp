@@ -1,0 +1,98 @@
+// Supergraph: the context-expanded interprocedural CFG on which every
+// analysis phase runs.
+//
+// Each function is cloned per call path ("virtual inlining"), giving the
+// analyses unlimited call-string context on acyclic call graphs — the
+// mechanism behind the paper's observation that loop bounds and cache
+// behaviour differ per execution context (VIVU, Section 4.2 rule 14.4
+// discussion). Recursion (rule 16.2) is unrolled up to a user-annotated
+// depth; without an annotation the cycle is cut and reported as a
+// tier-one obstruction.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cfg/program.hpp"
+
+namespace wcet::cfg {
+
+enum class EdgeKind {
+  fall,  // branch not taken / straight-line flow
+  taken, // branch taken / direct or indirect jump target
+  call,  // into callee entry
+  ret,   // callee return block back to the return site
+  cut,   // recursion cut under a depth annotation: call treated as no-op
+};
+
+struct SgEdge {
+  int id = -1;
+  int from = -1;
+  int to = -1;
+  EdgeKind kind = EdgeKind::fall;
+};
+
+struct SgNode {
+  int id = -1;
+  int instance = -1;           // function instance
+  std::uint32_t fn_entry = 0;  // defining function
+  const CfgBlock* block = nullptr; // owned by the Program (must outlive)
+  std::vector<int> succ_edges;
+  std::vector<int> pred_edges;
+};
+
+struct Instance {
+  int id = -1;
+  std::uint32_t fn_entry = 0;
+  int caller_instance = -1; // -1 for the root
+  int call_site_node = -1;  // node holding the call, -1 for the root
+};
+
+struct SupergraphIssue {
+  std::uint32_t pc = 0;
+  std::string message;
+};
+
+class Supergraph {
+public:
+  struct Options {
+    Options() {} // NOLINT: GCC 12 rejects `= {}` default args on aggregates here
+    // function entry address -> maximum recursion depth (from the
+    // annotation database). A function may appear on a call path at most
+    // this many times; deeper calls are cut.
+    std::map<std::uint32_t, unsigned> recursion_depths;
+    std::size_t max_nodes = 200000;
+  };
+
+  static Supergraph expand(const Program& program, const Options& options = {});
+
+  const Program& program() const { return *program_; }
+  const std::vector<SgNode>& nodes() const { return nodes_; }
+  const std::vector<SgEdge>& edges() const { return edges_; }
+  const std::vector<Instance>& instances() const { return instances_; }
+  const SgNode& node(int id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  const SgEdge& edge(int id) const { return edges_[static_cast<std::size_t>(id)]; }
+  int entry_node() const { return entry_node_; }
+  // Task exits: return blocks of the root instance, halt blocks anywhere.
+  const std::vector<int>& exit_nodes() const { return exit_nodes_; }
+  const std::vector<SupergraphIssue>& issues() const { return issues_; }
+
+  // Human-readable call-path context of a node:
+  // "main -> handler -> memcpy [0x1040)".
+  std::string context_of(int node_id) const;
+
+  std::string dump() const;
+
+private:
+  const Program* program_ = nullptr;
+  std::vector<SgNode> nodes_;
+  std::vector<SgEdge> edges_;
+  std::vector<Instance> instances_;
+  std::vector<int> exit_nodes_;
+  std::vector<SupergraphIssue> issues_;
+  int entry_node_ = -1;
+};
+
+} // namespace wcet::cfg

@@ -1,0 +1,27 @@
+#include "core/toolkit.hpp"
+
+namespace wcet {
+
+WcetReport analyze_source(std::string_view asm_source, const mem::HwConfig& hw,
+                          const std::string& annotations,
+                          const AnalysisOptions& options) {
+  const isa::Image image = isa::assemble(asm_source);
+  const Analyzer analyzer(image, hw, annotations);
+  return analyzer.analyze(options);
+}
+
+BoundCheck check_bounds(const isa::Image& image, const mem::HwConfig& hw,
+                        const WcetReport& report, sim::Simulator& sim) {
+  (void)image;
+  (void)hw;
+  BoundCheck check;
+  check.analysis_ok = report.ok;
+  check.wcet_bound = report.wcet_cycles;
+  check.bcet_bound = report.bcet_cycles;
+  const sim::SimResult run = sim.run();
+  check.run_completed = run.completed();
+  check.observed_cycles = run.cycles;
+  return check;
+}
+
+} // namespace wcet

@@ -1,0 +1,48 @@
+// Public facade of the library: one header that exposes the full
+// pipeline — assemble, simulate, analyze, validate — for examples,
+// benchmarks and downstream users.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "isa/assembler.hpp"
+#include "isa/disasm.hpp"
+#include "isa/image.hpp"
+#include "mem/hwmodel.hpp"
+#include "sim/simulator.hpp"
+#include "wcet/analyzer.hpp"
+
+namespace wcet {
+
+// Assemble + analyze in one step (convenience for small tasks).
+WcetReport analyze_source(std::string_view asm_source, const mem::HwConfig& hw,
+                          const std::string& annotations = "",
+                          const AnalysisOptions& options = {});
+
+// Outcome of checking a static bound against an observed execution.
+struct BoundCheck {
+  bool analysis_ok = false;
+  bool run_completed = false;
+  std::uint64_t observed_cycles = 0;
+  std::uint64_t wcet_bound = 0;
+  std::uint64_t bcet_bound = 0;
+
+  bool sound() const {
+    return analysis_ok && run_completed && bcet_bound <= observed_cycles &&
+           observed_cycles <= wcet_bound;
+  }
+  // WCET over-estimation factor against this particular observation.
+  double wcet_ratio() const {
+    return observed_cycles == 0 ? 0.0
+                                : static_cast<double>(wcet_bound) /
+                                      static_cast<double>(observed_cycles);
+  }
+};
+
+// Run one simulation and compare against the statically computed bounds.
+BoundCheck check_bounds(const isa::Image& image, const mem::HwConfig& hw,
+                        const WcetReport& report, sim::Simulator& sim);
+
+} // namespace wcet

@@ -1,0 +1,675 @@
+#include "isa/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "isa/tiny32.hpp"
+#include "support/diag.hpp"
+
+namespace wcet::isa {
+
+namespace {
+
+struct Operand {
+  enum class Kind { reg, expr, mem };
+  Kind kind = Kind::expr;
+  std::uint8_t reg = 0;       // reg / mem base
+  std::int64_t value = 0;     // expr / mem offset constant part
+  std::string symbol;         // optional symbol in expr / mem offset
+};
+
+struct Statement {
+  int line = 0;
+  std::vector<std::string> labels;
+  std::string directive; // ".word" etc., empty for instructions
+  std::string mnemonic;  // instruction or pseudo
+  std::vector<Operand> operands;
+  std::vector<Operand> data; // directive arguments
+  std::string string_arg;    // .asciz
+};
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw InputError("asm line " + std::to_string(line) + ": " + msg);
+}
+
+bool is_ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '.'; }
+bool is_ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' || c == '$'; }
+
+class Lexer {
+public:
+  Lexer(std::string_view text, int line) : text_(text), line_(line) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t')) ++pos_;
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!consume(c)) fail(line_, std::string("expected '") + c + "'");
+  }
+
+  std::string ident() {
+    skip_ws();
+    if (pos_ >= text_.size() || !is_ident_start(text_[pos_])) fail(line_, "expected identifier");
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && is_ident_char(text_[pos_])) ++pos_;
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::optional<std::int64_t> try_number() {
+    skip_ws();
+    std::size_t p = pos_;
+    bool neg = false;
+    if (p < text_.size() && (text_[p] == '-' || text_[p] == '+')) {
+      neg = text_[p] == '-';
+      ++p;
+    }
+    if (p >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[p]))) {
+      return std::nullopt;
+    }
+    std::int64_t value = 0;
+    if (p + 1 < text_.size() && text_[p] == '0' && (text_[p + 1] == 'x' || text_[p + 1] == 'X')) {
+      p += 2;
+      const std::size_t digits = p;
+      while (p < text_.size() && std::isxdigit(static_cast<unsigned char>(text_[p]))) {
+        const char c = text_[p];
+        const int d = std::isdigit(static_cast<unsigned char>(c)) ? c - '0'
+                                                                  : (std::tolower(c) - 'a' + 10);
+        value = value * 16 + d;
+        ++p;
+      }
+      if (p == digits) fail(line_, "bad hex literal");
+    } else {
+      while (p < text_.size() && std::isdigit(static_cast<unsigned char>(text_[p]))) {
+        value = value * 10 + (text_[p] - '0');
+        ++p;
+      }
+    }
+    pos_ = p;
+    return neg ? -value : value;
+  }
+
+  std::string quoted_string() {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != '"') fail(line_, "expected string literal");
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char e = text_[pos_++];
+        switch (e) {
+        case 'n': c = '\n'; break;
+        case 't': c = '\t'; break;
+        case '0': c = '\0'; break;
+        case '\\': c = '\\'; break;
+        case '"': c = '"'; break;
+        default: fail(line_, "bad escape in string");
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) fail(line_, "unterminated string");
+    ++pos_;
+    return out;
+  }
+
+  // expr := number | ident (('+'|'-') number)?
+  Operand expr() {
+    Operand op;
+    op.kind = Operand::Kind::expr;
+    if (auto num = try_number()) {
+      op.value = *num;
+      return op;
+    }
+    op.symbol = ident();
+    skip_ws();
+    if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+      const char sign = text_[pos_];
+      // Only treat as offset if a number follows (not part of operand sep).
+      const std::size_t save = pos_;
+      ++pos_;
+      if (auto num = try_number()) {
+        op.value = sign == '-' ? -*num : *num;
+      } else {
+        pos_ = save;
+      }
+    }
+    return op;
+  }
+
+  // operand := reg | expr | expr '(' reg ')'
+  Operand operand() {
+    skip_ws();
+    // Register?
+    if (pos_ < text_.size() && is_ident_start(text_[pos_])) {
+      const std::size_t save = pos_;
+      const std::string name = ident();
+      if (auto reg = reg_from_name(name)) {
+        Operand op;
+        op.kind = Operand::Kind::reg;
+        op.reg = *reg;
+        return op;
+      }
+      pos_ = save;
+    }
+    Operand op = expr();
+    if (consume('(')) {
+      const std::string base = ident();
+      const auto reg = reg_from_name(base);
+      if (!reg) fail(line_, "bad base register '" + base + "'");
+      expect(')');
+      op.kind = Operand::Kind::mem;
+      op.reg = *reg;
+    }
+    return op;
+  }
+
+private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_;
+};
+
+std::vector<Statement> parse(std::string_view source) {
+  std::vector<Statement> statements;
+  std::size_t pos = 0;
+  int line_no = 0;
+  while (pos <= source.size()) {
+    const std::size_t eol = source.find('\n', pos);
+    std::string_view line = source.substr(pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos);
+    pos = eol == std::string_view::npos ? source.size() + 1 : eol + 1;
+    ++line_no;
+    // Strip comments.
+    for (const char marker : {';', '#'}) {
+      const std::size_t c = line.find(marker);
+      if (c != std::string_view::npos) line = line.substr(0, c);
+    }
+    Lexer lex(line, line_no);
+    Statement st;
+    st.line = line_no;
+    // Labels.
+    for (;;) {
+      if (lex.at_end()) break;
+      if (lex.peek() == '.' || !is_ident_start(lex.peek())) break;
+      // Lookahead: ident followed by ':' is a label.
+      Lexer probe = lex;
+      const std::string name = probe.ident();
+      if (probe.consume(':')) {
+        st.labels.push_back(name);
+        lex = probe;
+      } else {
+        break;
+      }
+    }
+    if (!lex.at_end() && lex.peek() == '.') {
+      // Directive or label starting with '.'.
+      Lexer probe = lex;
+      const std::string name = probe.ident();
+      if (probe.consume(':')) {
+        st.labels.push_back(name);
+        lex = probe;
+        if (!lex.at_end()) {
+          // Fall through to instruction parsing below.
+          st.mnemonic = lex.ident();
+        }
+      } else {
+        st.directive = name;
+        lex = probe;
+        if (st.directive == ".asciz") {
+          st.string_arg = lex.quoted_string();
+        } else if (st.directive == ".global" || st.directive == ".entry") {
+          Operand op;
+          op.kind = Operand::Kind::expr;
+          op.symbol = lex.ident();
+          st.data.push_back(op);
+        } else {
+          while (!lex.at_end()) {
+            st.data.push_back(lex.expr());
+            if (!lex.consume(',')) break;
+          }
+        }
+      }
+    } else if (!lex.at_end()) {
+      st.mnemonic = lex.ident();
+    }
+    if (!st.mnemonic.empty()) {
+      while (!lex.at_end()) {
+        st.operands.push_back(lex.operand());
+        if (!lex.consume(',')) break;
+      }
+    }
+    if (!lex.at_end()) fail(line_no, "trailing garbage");
+    if (!st.labels.empty() || !st.directive.empty() || !st.mnemonic.empty()) {
+      statements.push_back(std::move(st));
+    }
+  }
+  return statements;
+}
+
+struct SectionBuild {
+  Section section;
+  bool addr_fixed = false;
+};
+
+// A single pseudo- or machine instruction expands to 1..2 words. The
+// expansion size must be computable in pass 1 (before symbols resolve),
+// so symbol-valued movi always takes the 2-word form.
+int expansion_words(const Statement& st) {
+  const std::string& m = st.mnemonic;
+  if (m == "movi" || m == "li" || m == "la") {
+    if (st.operands.size() == 2 && st.operands[1].kind == Operand::Kind::expr &&
+        st.operands[1].symbol.empty()) {
+      const std::int64_t v = st.operands[1].value;
+      if (v >= -0x8000 && v <= 0xFFFF) return 1;
+    }
+    return 2;
+  }
+  return 1;
+}
+
+class Assembler {
+public:
+  Image run(std::string_view source) {
+    const std::vector<Statement> statements = parse(source);
+    layout(statements);
+    emit(statements);
+    finish();
+    return std::move(image_);
+  }
+
+private:
+  void switch_section(const Statement& st) {
+    const std::string name = st.directive.substr(1); // drop '.'
+    auto it = sections_.find(name);
+    if (it == sections_.end()) {
+      SectionBuild b;
+      b.section.name = name;
+      b.section.executable = name == "text";
+      b.section.writable = name == "data" || name == "bss";
+      b.section.vaddr = name == "text" ? 0x1000 : name == "rodata" ? 0x8000 : 0x10000;
+      it = sections_.emplace(name, std::move(b)).first;
+    }
+    if (!st.data.empty()) {
+      if (!it->second.section.bytes.empty()) {
+        fail(st.line, "section base address must be set before any content");
+      }
+      if (!st.data[0].symbol.empty()) fail(st.line, "section address must be numeric");
+      it->second.section.vaddr = static_cast<std::uint32_t>(st.data[0].value);
+      it->second.addr_fixed = true;
+    }
+    current_ = &it->second;
+  }
+
+  std::uint32_t cursor() const {
+    WCET_CHECK(current_ != nullptr, "no current section");
+    return current_->section.vaddr + static_cast<std::uint32_t>(current_->section.bytes.size());
+  }
+
+  void reserve(std::size_t n) { current_->section.bytes.resize(current_->section.bytes.size() + n); }
+
+  void layout(const std::vector<Statement>& statements) {
+    current_ = nullptr;
+    for (const auto& st : statements) {
+      if (st.directive == ".text" || st.directive == ".data" || st.directive == ".rodata") {
+        switch_section(st);
+        for (const auto& label : st.labels) define_label(st.line, label);
+        continue;
+      }
+      if (!st.labels.empty() && current_ == nullptr) {
+        Statement text;
+        text.directive = ".text";
+        text.line = st.line;
+        switch_section(text);
+      }
+      for (const auto& label : st.labels) define_label(st.line, label);
+      if (st.directive == ".global") {
+        globals_.insert(st.data[0].symbol);
+      } else if (st.directive == ".entry") {
+        entry_symbol_ = st.data[0].symbol;
+      } else if (st.directive == ".word") {
+        align_to(4);
+        for (const auto& label : st.labels) redefine_label_here(label);
+        reserve(4 * st.data.size());
+      } else if (st.directive == ".half") {
+        align_to(2);
+        reserve(2 * st.data.size());
+      } else if (st.directive == ".byte") {
+        reserve(st.data.size());
+      } else if (st.directive == ".space") {
+        if (st.data.size() != 1 || !st.data[0].symbol.empty()) fail(st.line, ".space needs a size");
+        reserve(static_cast<std::size_t>(st.data[0].value));
+      } else if (st.directive == ".align") {
+        if (st.data.size() != 1) fail(st.line, ".align needs a value");
+        align_to(static_cast<std::uint32_t>(st.data[0].value));
+        for (const auto& label : st.labels) redefine_label_here(label);
+      } else if (st.directive == ".asciz") {
+        reserve(st.string_arg.size() + 1);
+      } else if (!st.directive.empty()) {
+        fail(st.line, "unknown directive '" + st.directive + "'");
+      }
+      if (!st.mnemonic.empty()) {
+        if (current_ == nullptr) {
+          Statement text;
+          text.directive = ".text";
+          text.line = st.line;
+          switch_section(text);
+        }
+        align_to(4);
+        for (const auto& label : st.labels) redefine_label_here(label);
+        reserve(4 * static_cast<std::size_t>(expansion_words(st)));
+      }
+    }
+    // Snapshot layout cursors, then reset content for pass 2.
+    for (auto& [name, build] : sections_) {
+      layout_sizes_[name] = build.section.bytes.size();
+      build.section.bytes.clear();
+    }
+  }
+
+  void define_label(int line, const std::string& name) {
+    if (current_ == nullptr) {
+      // Labels before any section directive go to .text; handled by caller.
+    }
+    if (labels_.count(name) != 0) fail(line, "duplicate label '" + name + "'");
+    labels_[name] = current_ ? cursor() : 0;
+    label_section_[name] = current_ ? current_->section.name : "text";
+  }
+
+  // .word/.align force alignment after the label was nominally defined;
+  // move the label to the aligned cursor.
+  void redefine_label_here(const std::string& name) { labels_[name] = cursor(); }
+
+  void align_to(std::uint32_t alignment) {
+    if (alignment == 0) return;
+    while ((cursor() % alignment) != 0) reserve(1);
+  }
+
+  std::int64_t resolve(int line, const Operand& op) const {
+    if (op.symbol.empty()) return op.value;
+    const auto it = labels_.find(op.symbol);
+    if (it == labels_.end()) fail(line, "undefined symbol '" + op.symbol + "'");
+    return static_cast<std::int64_t>(it->second) + op.value;
+  }
+
+  void emit_word(std::uint32_t word) {
+    for (int i = 0; i < 4; ++i) {
+      current_->section.bytes.push_back(static_cast<std::uint8_t>(word >> (8 * i)));
+    }
+  }
+
+  void emit_inst(const Inst& inst) { emit_word(encode(inst)); }
+
+  static std::uint8_t want_reg(int line, const Operand& op) {
+    if (op.kind != Operand::Kind::reg) fail(line, "expected register operand");
+    return op.reg;
+  }
+
+  std::int64_t want_expr(int line, const Operand& op) const {
+    if (op.kind != Operand::Kind::expr) fail(line, "expected immediate/symbol operand");
+    return resolve(line, op);
+  }
+
+  void emit_instruction(const Statement& st) {
+    const std::string& m = st.mnemonic;
+    const auto& ops = st.operands;
+    const int line = st.line;
+    const auto need = [&](std::size_t n) {
+      if (ops.size() != n) {
+        fail(line, m + " expects " + std::to_string(n) + " operands, got " +
+                       std::to_string(ops.size()));
+      }
+    };
+
+    // Pseudo-instructions first.
+    if (m == "movi" || m == "li" || m == "la") {
+      need(2);
+      const std::uint8_t rd = want_reg(line, ops[0]);
+      const std::int64_t value64 = want_expr(line, ops[1]);
+      const auto value = static_cast<std::uint32_t>(value64 & 0xFFFFFFFF);
+      if (expansion_words(st) == 1) {
+        if (value64 >= 0 && value64 <= 0xFFFF) {
+          emit_inst({Opcode::ori, rd, reg_zero, 0, static_cast<std::int64_t>(value & 0xFFFF)});
+        } else {
+          emit_inst({Opcode::addi, rd, reg_zero, 0, value64});
+        }
+      } else {
+        emit_inst({Opcode::lui, rd, 0, 0, static_cast<std::int64_t>(value >> 16)});
+        emit_inst({Opcode::ori, rd, rd, 0, static_cast<std::int64_t>(value & 0xFFFF)});
+      }
+      return;
+    }
+    if (m == "mov") {
+      need(2);
+      emit_inst({Opcode::addi, want_reg(line, ops[0]), want_reg(line, ops[1]), 0, 0});
+      return;
+    }
+    if (m == "nop") {
+      need(0);
+      emit_inst({Opcode::addi, reg_zero, reg_zero, 0, 0});
+      return;
+    }
+    if (m == "ret") {
+      need(0);
+      emit_inst({Opcode::jalr, reg_zero, reg_ra, 0, 0});
+      return;
+    }
+    if (m == "call" || m == "j") {
+      need(1);
+      const std::int64_t target = want_expr(line, ops[0]);
+      const std::int64_t off = target - (static_cast<std::int64_t>(cursor()) + 4);
+      emit_inst({Opcode::jal, m == "call" ? reg_ra : reg_zero, 0, 0, off});
+      return;
+    }
+    if (m == "jr" || m == "callr") {
+      need(1);
+      emit_inst({Opcode::jalr, m == "callr" ? reg_ra : reg_zero, want_reg(line, ops[0]), 0, 0});
+      return;
+    }
+    if (m == "beqz" || m == "bnez") {
+      need(2);
+      const std::int64_t target = want_expr(line, ops[1]);
+      const std::int64_t off = target - (static_cast<std::int64_t>(cursor()) + 4);
+      emit_inst({m == "beqz" ? Opcode::beq : Opcode::bne, 0, want_reg(line, ops[0]), reg_zero, off});
+      return;
+    }
+    if (m == "ble" || m == "bgt" || m == "bleu" || m == "bgtu") {
+      need(3);
+      const std::int64_t target = want_expr(line, ops[2]);
+      const std::int64_t off = target - (static_cast<std::int64_t>(cursor()) + 4);
+      // a <= b  ==  b >= a ; a > b  ==  b < a (operand swap).
+      const Opcode op = (m == "ble") ? Opcode::bge
+                        : (m == "bgt") ? Opcode::blt
+                        : (m == "bleu") ? Opcode::bgeu
+                                        : Opcode::bltu;
+      emit_inst({op, 0, want_reg(line, ops[1]), want_reg(line, ops[0]), off});
+      return;
+    }
+
+    const auto opcode = opcode_from_mnemonic(m);
+    if (!opcode) fail(line, "unknown mnemonic '" + m + "'");
+    Inst inst;
+    inst.op = *opcode;
+    switch (format_of(inst.op)) {
+    case Format::r:
+      need(3);
+      inst.rd = want_reg(line, ops[0]);
+      inst.rs1 = want_reg(line, ops[1]);
+      inst.rs2 = want_reg(line, ops[2]);
+      break;
+    case Format::i:
+      if (inst.op == Opcode::lui) {
+        need(2);
+        inst.rd = want_reg(line, ops[0]);
+        inst.imm = want_expr(line, ops[1]);
+      } else if (Inst{*opcode}.is_load() || Inst{*opcode}.is_store()) {
+        need(2);
+        inst.rd = want_reg(line, ops[0]); // loaded reg / stored source
+        if (ops[1].kind != Operand::Kind::mem) fail(line, "expected off(base) operand");
+        inst.rs1 = ops[1].reg;
+        Operand offset = ops[1];
+        offset.kind = Operand::Kind::expr;
+        inst.imm = resolve(line, offset);
+      } else {
+        need(3);
+        inst.rd = want_reg(line, ops[0]);
+        inst.rs1 = want_reg(line, ops[1]);
+        inst.imm = want_expr(line, ops[2]);
+      }
+      break;
+    case Format::b: {
+      need(3);
+      inst.rs1 = want_reg(line, ops[0]);
+      inst.rs2 = want_reg(line, ops[1]);
+      const std::int64_t target = want_expr(line, ops[2]);
+      inst.imm = target - (static_cast<std::int64_t>(cursor()) + 4);
+      break;
+    }
+    case Format::j: {
+      need(2);
+      inst.rd = want_reg(line, ops[0]);
+      const std::int64_t target = want_expr(line, ops[1]);
+      inst.imm = target - (static_cast<std::int64_t>(cursor()) + 4);
+      break;
+    }
+    case Format::sys:
+      need(0);
+      break;
+    }
+    try {
+      emit_inst(inst);
+    } catch (const InternalError& e) {
+      fail(line, e.what());
+    }
+  }
+
+  void emit(const std::vector<Statement>& statements) {
+    current_ = nullptr;
+    for (const auto& st : statements) {
+      if (st.directive == ".text" || st.directive == ".data" || st.directive == ".rodata") {
+        Statement no_addr = st; // address already fixed in pass 1
+        no_addr.data.clear();
+        switch_section(no_addr);
+        continue;
+      }
+      if ((!st.labels.empty() || !st.mnemonic.empty()) && current_ == nullptr) {
+        Statement text;
+        text.directive = ".text";
+        text.line = st.line;
+        switch_section(text);
+      }
+      if (st.directive == ".word") {
+        align_to(4);
+        for (const auto& d : st.data) {
+          emit_word(static_cast<std::uint32_t>(resolve(st.line, d) & 0xFFFFFFFF));
+        }
+      } else if (st.directive == ".half") {
+        align_to(2);
+        for (const auto& d : st.data) {
+          const auto v = static_cast<std::uint32_t>(resolve(st.line, d));
+          current_->section.bytes.push_back(static_cast<std::uint8_t>(v));
+          current_->section.bytes.push_back(static_cast<std::uint8_t>(v >> 8));
+        }
+      } else if (st.directive == ".byte") {
+        for (const auto& d : st.data) {
+          current_->section.bytes.push_back(
+              static_cast<std::uint8_t>(resolve(st.line, d) & 0xFF));
+        }
+      } else if (st.directive == ".space") {
+        reserve(static_cast<std::size_t>(st.data[0].value));
+      } else if (st.directive == ".align") {
+        align_to(static_cast<std::uint32_t>(st.data[0].value));
+      } else if (st.directive == ".asciz") {
+        for (const char c : st.string_arg) {
+          current_->section.bytes.push_back(static_cast<std::uint8_t>(c));
+        }
+        current_->section.bytes.push_back(0);
+      }
+      if (!st.mnemonic.empty()) {
+        align_to(4);
+        emit_instruction(st);
+      }
+    }
+  }
+
+  void finish() {
+    for (auto& [name, build] : sections_) {
+      WCET_CHECK(build.section.bytes.size() == layout_sizes_[name],
+                 "pass-2 size mismatch in section " + name);
+      image_.add_section(std::move(build.section));
+    }
+    // Symbols: functions are .global labels in executable sections; size
+    // runs to the next function symbol or section end.
+    std::map<std::uint32_t, std::string> function_starts;
+    for (const auto& [label, addr] : labels_) {
+      if (globals_.count(label) != 0) function_starts[addr] = label;
+    }
+    for (const auto& [label, addr] : labels_) {
+      Symbol sym;
+      sym.name = label;
+      sym.addr = addr;
+      if (globals_.count(label) != 0) {
+        sym.kind = label_section_.at(label) == "text" ? Symbol::Kind::function
+                                                      : Symbol::Kind::object;
+        auto next = function_starts.upper_bound(addr);
+        const Section* sec = image_.section_at(addr);
+        std::uint32_t end = sec != nullptr ? sec->end() : addr;
+        if (next != function_starts.end() && next->first < end) end = next->first;
+        sym.size = end - addr;
+      } else {
+        sym.kind = Symbol::Kind::label;
+      }
+      image_.add_symbol(std::move(sym));
+    }
+    if (!entry_symbol_.empty()) {
+      const auto it = labels_.find(entry_symbol_);
+      if (it == labels_.end()) throw InputError("entry symbol '" + entry_symbol_ + "' undefined");
+      image_.set_entry(it->second);
+    } else if (const auto it = labels_.find("_start"); it != labels_.end()) {
+      image_.set_entry(it->second);
+    } else if (const auto sec = sections_.find("text"); sec != sections_.end()) {
+      image_.set_entry(sec->second.section.vaddr);
+    }
+  }
+
+  std::map<std::string, SectionBuild> sections_;
+  std::map<std::string, std::size_t> layout_sizes_;
+  std::map<std::string, std::uint32_t> labels_;
+  std::map<std::string, std::string> label_section_;
+  std::set<std::string> globals_;
+  std::string entry_symbol_;
+  SectionBuild* current_ = nullptr;
+  Image image_;
+};
+
+} // namespace
+
+Image assemble(std::string_view source) {
+  Assembler assembler;
+  return assembler.run(source);
+}
+
+} // namespace wcet::isa

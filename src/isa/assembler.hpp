@@ -1,0 +1,34 @@
+// Two-pass assembler for tiny32.
+//
+// Accepted syntax (one statement per line; ';' or '#' start a comment):
+//
+//   .text [addr]      switch to the executable section (default 0x1000)
+//   .rodata [addr]    read-only data          (default 0x8000)
+//   .data [addr]      read-write data         (default 0x10000)
+//   .global name      mark `name` as a function symbol
+//   .entry name       set the image entry point
+//   .word e[, e...]   32-bit data; e may be a number or symbol[+/-off]
+//   .half / .byte     16-/8-bit data
+//   .space n          n zero bytes
+//   .align n          pad to n-byte alignment
+//   .asciz "s"        NUL-terminated string
+//   label:            define `label` at the current cursor
+//   mnemonic ops      machine instruction or pseudo-instruction
+//
+// Pseudo-instructions: movi/li/la rd, imm32|sym[+off]; mov rd, rs;
+// ret; call sym; callr rs; j sym; jr rs; nop; beqz/bnez rs, sym;
+// ble/bgt/bleu/bgtu a, b, sym (operand-swapped branches).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "isa/image.hpp"
+
+namespace wcet::isa {
+
+// Assemble `source` into an executable image. Throws InputError with a
+// line-numbered message on malformed input.
+Image assemble(std::string_view source);
+
+} // namespace wcet::isa

@@ -1,0 +1,72 @@
+#include "isa/disasm.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace wcet::isa {
+
+namespace {
+
+std::string target_text(std::uint32_t target, const Image* image) {
+  std::ostringstream os;
+  if (image != nullptr) {
+    return image->describe(target);
+  }
+  os << "0x" << std::hex << target;
+  return os.str();
+}
+
+} // namespace
+
+std::string disassemble(const Inst& inst, std::uint32_t pc, const Image* image) {
+  std::ostringstream os;
+  os << mnemonic(inst.op);
+  switch (format_of(inst.op)) {
+  case Format::r:
+    os << ' ' << reg_name(inst.rd) << ", " << reg_name(inst.rs1) << ", "
+       << reg_name(inst.rs2);
+    break;
+  case Format::i:
+    if (inst.is_load() || inst.is_store()) {
+      os << ' ' << reg_name(inst.rd) << ", " << inst.imm << '(' << reg_name(inst.rs1) << ')';
+    } else if (inst.op == Opcode::lui) {
+      os << ' ' << reg_name(inst.rd) << ", 0x" << std::hex << inst.imm;
+    } else if (inst.op == Opcode::jalr) {
+      os << ' ' << reg_name(inst.rd) << ", " << reg_name(inst.rs1) << ", " << inst.imm;
+    } else {
+      os << ' ' << reg_name(inst.rd) << ", " << reg_name(inst.rs1) << ", " << inst.imm;
+    }
+    break;
+  case Format::b:
+    os << ' ' << reg_name(inst.rs1) << ", " << reg_name(inst.rs2) << ", "
+       << target_text(inst.target(pc), image);
+    break;
+  case Format::j:
+    os << ' ' << reg_name(inst.rd) << ", " << target_text(inst.target(pc), image);
+    break;
+  case Format::sys:
+    break;
+  }
+  return os.str();
+}
+
+std::string disassemble_range(const Image& image, std::uint32_t begin, std::uint32_t end) {
+  std::ostringstream os;
+  for (std::uint32_t pc = begin; pc < end; pc += 4) {
+    const auto word = image.read_word(pc);
+    os << std::setw(8) << std::setfill('0') << std::hex << pc << "  ";
+    if (!word) {
+      os << "<unmapped>\n";
+      continue;
+    }
+    const auto inst = decode(*word);
+    if (!inst) {
+      os << ".word 0x" << std::hex << *word << '\n';
+      continue;
+    }
+    os << disassemble(*inst, pc, &image) << '\n';
+  }
+  return os.str();
+}
+
+} // namespace wcet::isa

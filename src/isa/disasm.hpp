@@ -1,0 +1,20 @@
+// Disassembler: renders decoded instructions for reports and debugging.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isa/image.hpp"
+#include "isa/tiny32.hpp"
+
+namespace wcet::isa {
+
+// Render one instruction. `pc` is needed for pc-relative targets; if an
+// image is given, targets are symbolized ("beq a0, zero, loop+0x8").
+std::string disassemble(const Inst& inst, std::uint32_t pc, const Image* image = nullptr);
+
+// Disassemble a [begin, end) address range of an image, one line per
+// instruction ("00001004  addi sp, sp, -16").
+std::string disassemble_range(const Image& image, std::uint32_t begin, std::uint32_t end);
+
+} // namespace wcet::isa

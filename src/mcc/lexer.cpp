@@ -1,0 +1,246 @@
+#include "mcc/lexer.hpp"
+
+#include <cctype>
+#include <map>
+
+#include "support/diag.hpp"
+
+namespace wcet::mcc {
+
+namespace {
+
+const std::map<std::string, Tok>& keywords() {
+  static const std::map<std::string, Tok> map = {
+      {"int", Tok::kw_int},         {"unsigned", Tok::kw_unsigned},
+      {"char", Tok::kw_char},       {"float", Tok::kw_float},
+      {"void", Tok::kw_void},       {"const", Tok::kw_const},
+      {"static", Tok::kw_static},   {"if", Tok::kw_if},
+      {"else", Tok::kw_else},       {"while", Tok::kw_while},
+      {"do", Tok::kw_do},           {"for", Tok::kw_for},
+      {"switch", Tok::kw_switch},   {"case", Tok::kw_case},
+      {"default", Tok::kw_default}, {"break", Tok::kw_break},
+      {"continue", Tok::kw_continue}, {"goto", Tok::kw_goto},
+      {"return", Tok::kw_return},   {"sizeof", Tok::kw_sizeof},
+  };
+  return map;
+}
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw InputError("mcc line " + std::to_string(line) + ": " + message);
+}
+
+char decode_escape(char c, int line) {
+  switch (c) {
+  case 'n': return '\n';
+  case 't': return '\t';
+  case 'r': return '\r';
+  case '0': return '\0';
+  case '\\': return '\\';
+  case '\'': return '\'';
+  case '"': return '"';
+  default: fail(line, std::string("unknown escape '\\") + c + "'");
+  }
+}
+
+} // namespace
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  int line = 1;
+  const auto push = [&](Tok kind) {
+    Token t;
+    t.kind = kind;
+    t.line = line;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= src.size()) fail(line, "unterminated comment");
+      i += 2;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const std::size_t start = i;
+      while (i < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(src[i])) || src[i] == '_')) {
+        ++i;
+      }
+      const std::string word(src.substr(start, i - start));
+      const auto kw = keywords().find(word);
+      Token t;
+      t.kind = kw != keywords().end() ? kw->second : Tok::identifier;
+      t.text = word;
+      t.line = line;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const std::size_t start = i;
+      bool is_float = false;
+      if (c == '0' && i + 1 < src.size() && (src[i + 1] == 'x' || src[i + 1] == 'X')) {
+        i += 2;
+        while (i < src.size() && std::isxdigit(static_cast<unsigned char>(src[i]))) ++i;
+      } else {
+        while (i < src.size() && std::isdigit(static_cast<unsigned char>(src[i]))) ++i;
+        if (i < src.size() && src[i] == '.') {
+          is_float = true;
+          ++i;
+          while (i < src.size() && std::isdigit(static_cast<unsigned char>(src[i]))) ++i;
+        }
+        if (i < src.size() && (src[i] == 'e' || src[i] == 'E')) {
+          is_float = true;
+          ++i;
+          if (i < src.size() && (src[i] == '+' || src[i] == '-')) ++i;
+          while (i < src.size() && std::isdigit(static_cast<unsigned char>(src[i]))) ++i;
+        }
+      }
+      std::string spelling(src.substr(start, i - start));
+      bool f_suffix = false;
+      bool u_suffix = false;
+      if (i < src.size() && (src[i] == 'f' || src[i] == 'F')) {
+        f_suffix = true;
+        ++i;
+      }
+      if (i < src.size() && (src[i] == 'u' || src[i] == 'U')) {
+        u_suffix = true;
+        ++i;
+      }
+      Token t;
+      t.line = line;
+      t.text = spelling;
+      t.is_unsigned = u_suffix;
+      if (is_float || f_suffix) {
+        t.kind = Tok::float_literal;
+        t.float_value = std::stod(spelling);
+      } else {
+        t.kind = Tok::int_literal;
+        t.int_value = static_cast<std::int64_t>(std::stoll(spelling, nullptr, 0));
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      if (i >= src.size()) fail(line, "unterminated char literal");
+      char value = src[i];
+      if (value == '\\') {
+        ++i;
+        if (i >= src.size()) fail(line, "unterminated char literal");
+        value = decode_escape(src[i], line);
+      }
+      ++i;
+      if (i >= src.size() || src[i] != '\'') fail(line, "unterminated char literal");
+      ++i;
+      Token t;
+      t.kind = Tok::int_literal;
+      t.int_value = static_cast<unsigned char>(value);
+      t.line = line;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"') {
+      ++i;
+      std::string bytes;
+      while (i < src.size() && src[i] != '"') {
+        char value = src[i];
+        if (value == '\n') fail(line, "newline in string literal");
+        if (value == '\\') {
+          ++i;
+          if (i >= src.size()) fail(line, "unterminated string literal");
+          value = decode_escape(src[i], line);
+        }
+        bytes.push_back(value);
+        ++i;
+      }
+      if (i >= src.size()) fail(line, "unterminated string literal");
+      ++i;
+      Token t;
+      t.kind = Tok::string_literal;
+      t.text = std::move(bytes);
+      t.line = line;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+
+    // Operators / punctuation (longest match first).
+    const auto two = i + 1 < src.size() ? src.substr(i, 2) : std::string_view{};
+    const auto three = i + 2 < src.size() ? src.substr(i, 3) : std::string_view{};
+    if (three == "...") { push(Tok::ellipsis); i += 3; continue; }
+    if (three == "<<=") { push(Tok::shl_assign); i += 3; continue; }
+    if (three == ">>=") { push(Tok::shr_assign); i += 3; continue; }
+    if (two == "==") { push(Tok::eq_eq); i += 2; continue; }
+    if (two == "!=") { push(Tok::bang_eq); i += 2; continue; }
+    if (two == "<=") { push(Tok::le); i += 2; continue; }
+    if (two == ">=") { push(Tok::ge); i += 2; continue; }
+    if (two == "<<") { push(Tok::shl); i += 2; continue; }
+    if (two == ">>") { push(Tok::shr); i += 2; continue; }
+    if (two == "&&") { push(Tok::amp_amp); i += 2; continue; }
+    if (two == "||") { push(Tok::pipe_pipe); i += 2; continue; }
+    if (two == "++") { push(Tok::plus_plus); i += 2; continue; }
+    if (two == "--") { push(Tok::minus_minus); i += 2; continue; }
+    if (two == "+=") { push(Tok::plus_assign); i += 2; continue; }
+    if (two == "-=") { push(Tok::minus_assign); i += 2; continue; }
+    if (two == "*=") { push(Tok::star_assign); i += 2; continue; }
+    if (two == "/=") { push(Tok::slash_assign); i += 2; continue; }
+    if (two == "%=") { push(Tok::percent_assign); i += 2; continue; }
+    if (two == "&=") { push(Tok::amp_assign); i += 2; continue; }
+    if (two == "|=") { push(Tok::pipe_assign); i += 2; continue; }
+    if (two == "^=") { push(Tok::caret_assign); i += 2; continue; }
+    switch (c) {
+    case '(': push(Tok::lparen); break;
+    case ')': push(Tok::rparen); break;
+    case '{': push(Tok::lbrace); break;
+    case '}': push(Tok::rbrace); break;
+    case '[': push(Tok::lbracket); break;
+    case ']': push(Tok::rbracket); break;
+    case ';': push(Tok::semi); break;
+    case ',': push(Tok::comma); break;
+    case ':': push(Tok::colon); break;
+    case '?': push(Tok::question); break;
+    case '=': push(Tok::assign); break;
+    case '+': push(Tok::plus); break;
+    case '-': push(Tok::minus); break;
+    case '*': push(Tok::star); break;
+    case '/': push(Tok::slash); break;
+    case '%': push(Tok::percent); break;
+    case '&': push(Tok::amp); break;
+    case '|': push(Tok::pipe); break;
+    case '^': push(Tok::caret); break;
+    case '~': push(Tok::tilde); break;
+    case '!': push(Tok::bang); break;
+    case '<': push(Tok::lt); break;
+    case '>': push(Tok::gt); break;
+    default:
+      fail(line, std::string("unexpected character '") + c + "'");
+    }
+    ++i;
+  }
+  Token end;
+  end.kind = Tok::end;
+  end.line = line;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+} // namespace wcet::mcc

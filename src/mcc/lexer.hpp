@@ -1,0 +1,15 @@
+// Lexer for the mcc C subset.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "mcc/ast.hpp"
+
+namespace wcet::mcc {
+
+// Tokenize `source`; the result always ends with a Tok::end token.
+// Throws InputError with line information on malformed input.
+std::vector<Token> lex(std::string_view source);
+
+} // namespace wcet::mcc

@@ -1,0 +1,302 @@
+#include "mcc/misra.hpp"
+
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace wcet::mcc {
+
+namespace {
+
+const char* impact_of(const std::string& rule) {
+  // Condensed from Section 4.2 of the paper.
+  if (rule == "13.4") {
+    return "float loop conditions defeat abstract-interpretation loop-bound "
+           "detection (integer-only analyzers); soft-float lowering hides the "
+           "counter behind opaque calls";
+  }
+  if (rule == "13.6") {
+    return "modifying the counter in the body breaks the simple counter-loop "
+           "pattern that automatic loop-bound detection relies on";
+  }
+  if (rule == "14.1") {
+    return "unreachable code widens the control-flow over-approximation and "
+           "adds spurious paths to the WCET computation";
+  }
+  if (rule == "14.4") {
+    return "goto can create irreducible loops: no automatic loop bounds, no "
+           "virtual loop unrolling, annotations always required";
+  }
+  if (rule == "14.5") {
+    return "continue only adds back edges and cannot create irreducible "
+           "loops; the rule is pure coding style (paper's correction of "
+           "Wenzel et al.)";
+  }
+  if (rule == "16.1") {
+    return "variadic functions imply data-dependent loops over the argument "
+           "list that cannot be bounded automatically";
+  }
+  if (rule == "16.2") {
+    return "recursion creates call-graph cycles analogous to irreducible "
+           "loops; depth annotations are always required";
+  }
+  if (rule == "20.4") {
+    return "heap allocation yields statically unknown addresses: cache "
+           "analysis degrades and the slowest memory region must be assumed";
+  }
+  if (rule == "20.7") {
+    return "setjmp/longjmp allow construction of irreducible control flow "
+           "with the same impact as goto-built loops";
+  }
+  return "";
+}
+
+class Checker {
+public:
+  explicit Checker(const TranslationUnit& unit) : unit_(unit) {}
+
+  std::vector<MisraViolation> run() {
+    for (const auto& fn : unit_.functions) {
+      if (fn->type->sig->varargs) {
+        report("16.1", fn->line, fn->name,
+               "function '" + fn->name + "' is declared with a variable number of arguments");
+      }
+      if (!fn->defined) continue;
+      current_fn_ = fn->name;
+      for (const auto& stmt : fn->body) visit_stmt(*stmt, /*reachable=*/true);
+      check_block_reachability(fn->body);
+    }
+    check_recursion();
+    return std::move(violations_);
+  }
+
+private:
+  void report(const std::string& rule, int line, const std::string& function,
+              const std::string& message) {
+    violations_.push_back({rule, line, function, message, impact_of(rule)});
+  }
+
+  // ---------------------------------------------------------- expressions
+  bool expr_has_float(const Expr& e) const {
+    if (e.type != nullptr && e.type->is_float()) return true;
+    if (e.lhs && expr_has_float(*e.lhs)) return true;
+    if (e.rhs && expr_has_float(*e.rhs)) return true;
+    if (e.third && expr_has_float(*e.third)) return true;
+    for (const auto& arg : e.args) {
+      if (expr_has_float(*arg)) return true;
+    }
+    return false;
+  }
+
+  void collect_counter_vars(const Expr& e, std::set<const Symbol*>& out) const {
+    // "Numeric variables being used within a for loop for iteration
+    // counting": variables updated by the for-statement's step
+    // expression.
+    if (e.kind == Expr::Kind::assign || e.kind == Expr::Kind::post_incdec ||
+        (e.kind == Expr::Kind::unary &&
+         (e.op == Tok::plus_plus || e.op == Tok::minus_minus))) {
+      if (e.lhs && e.lhs->kind == Expr::Kind::name && e.lhs->symbol != nullptr) {
+        out.insert(e.lhs->symbol);
+      }
+    }
+    if (e.lhs) collect_counter_vars(*e.lhs, out);
+    if (e.rhs) collect_counter_vars(*e.rhs, out);
+    if (e.third) collect_counter_vars(*e.third, out);
+  }
+
+  void check_counter_modification(const Stmt& body,
+                                  const std::set<const Symbol*>& counters) {
+    const std::function<void(const Expr&)> scan_expr = [&](const Expr& e) {
+      const bool writes = e.kind == Expr::Kind::assign ||
+                          e.kind == Expr::Kind::post_incdec ||
+                          (e.kind == Expr::Kind::unary &&
+                           (e.op == Tok::plus_plus || e.op == Tok::minus_minus));
+      if (writes && e.lhs->kind == Expr::Kind::name &&
+          counters.count(e.lhs->symbol) != 0) {
+        report("13.6", e.line, current_fn_,
+               "loop counter '" + e.lhs->symbol->name + "' is modified in the loop body");
+      }
+      if (e.lhs) scan_expr(*e.lhs);
+      if (e.rhs) scan_expr(*e.rhs);
+      if (e.third) scan_expr(*e.third);
+      for (const auto& arg : e.args) scan_expr(*arg);
+    };
+    const std::function<void(const Stmt&)> scan_stmt = [&](const Stmt& s) {
+      if (s.expr) scan_expr(*s.expr);
+      if (s.step_expr) scan_expr(*s.step_expr);
+      if (s.then_body) scan_stmt(*s.then_body);
+      if (s.else_body) scan_stmt(*s.else_body);
+      if (s.body) scan_stmt(*s.body);
+      for (const auto& child : s.stmts) scan_stmt(*child);
+      for (const auto& entry : s.cases) {
+        for (const auto& child : entry.body) scan_stmt(*child);
+      }
+    };
+    scan_stmt(body);
+  }
+
+  void visit_expr(const Expr& e) {
+    if (e.kind == Expr::Kind::call && e.lhs->kind == Expr::Kind::name) {
+      const std::string& callee = e.lhs->text;
+      if (callee == "malloc" || callee == "calloc" || callee == "free" ||
+          callee == "realloc") {
+        report("20.4", e.line, current_fn_,
+               "dynamic heap memory allocation ('" + callee + "')");
+      }
+      if (callee == "setjmp" || callee == "longjmp") {
+        report("20.7", e.line, current_fn_, "use of '" + callee + "'");
+      }
+    }
+    if (e.lhs) visit_expr(*e.lhs);
+    if (e.rhs) visit_expr(*e.rhs);
+    if (e.third) visit_expr(*e.third);
+    for (const auto& arg : e.args) visit_expr(*arg);
+  }
+
+  // ----------------------------------------------------------- statements
+  void visit_stmt(const Stmt& s, bool reachable) {
+    (void)reachable;
+    if (s.expr) visit_expr(*s.expr);
+    if (s.step_expr) visit_expr(*s.step_expr);
+    switch (s.kind) {
+    case Stmt::Kind::goto_:
+      report("14.4", s.line, current_fn_, "use of the goto statement");
+      break;
+    case Stmt::Kind::continue_:
+      report("14.5", s.line, current_fn_, "use of the continue statement");
+      break;
+    case Stmt::Kind::for_: {
+      if (s.expr && expr_has_float(*s.expr)) {
+        report("13.4", s.line, current_fn_,
+               "controlling expression of for statement contains a float object");
+      }
+      std::set<const Symbol*> counters;
+      if (s.step_expr) collect_counter_vars(*s.step_expr, counters);
+      if (!counters.empty() && s.body) check_counter_modification(*s.body, counters);
+      break;
+    }
+    default:
+      break;
+    }
+    if (s.then_body) visit_stmt(*s.then_body, true);
+    if (s.else_body) visit_stmt(*s.else_body, true);
+    if (s.body) visit_stmt(*s.body, true);
+    for (const auto& child : s.stmts) visit_stmt(*child, true);
+    for (const auto& entry : s.cases) {
+      for (const auto& child : entry.body) visit_stmt(*child, true);
+    }
+    if (s.kind == Stmt::Kind::block) check_block_reachability(s.stmts);
+    for (const auto& entry : s.cases) check_block_reachability(entry.body);
+  }
+
+  // Rule 14.1 (syntactic approximation): statements that follow a
+  // terminating statement inside the same block are unreachable, unless
+  // they carry a label (goto may jump to them).
+  static bool terminates(const Stmt& s) {
+    switch (s.kind) {
+    case Stmt::Kind::return_:
+    case Stmt::Kind::break_:
+    case Stmt::Kind::continue_:
+    case Stmt::Kind::goto_:
+      return true;
+    case Stmt::Kind::if_:
+      return s.else_body && terminates(*s.then_body) && terminates(*s.else_body);
+    case Stmt::Kind::block:
+      return !s.stmts.empty() && terminates(*s.stmts.back());
+    default:
+      return false;
+    }
+  }
+
+  void check_block_reachability(const std::vector<StmtPtr>& stmts) {
+    for (std::size_t i = 0; i + 1 < stmts.size(); ++i) {
+      if (!terminates(*stmts[i])) continue;
+      const Stmt& next = *stmts[i + 1];
+      if (next.kind == Stmt::Kind::label) break; // goto target: reachable
+      report("14.1", next.line, current_fn_, "statement is unreachable");
+      break; // one report per block is enough
+    }
+  }
+
+  // Rule 16.2: cycles in the call graph.
+  void check_recursion() {
+    std::map<std::string, std::set<std::string>> calls;
+    for (const auto& fn : unit_.functions) {
+      if (!fn->defined) continue;
+      std::set<std::string>& out = calls[fn->name];
+      const std::function<void(const Expr&)> scan_expr = [&](const Expr& e) {
+        if (e.kind == Expr::Kind::call && e.lhs->kind == Expr::Kind::name &&
+            e.lhs->symbol != nullptr &&
+            e.lhs->symbol->kind == Symbol::Kind::function) {
+          out.insert(e.lhs->text);
+        }
+        if (e.lhs) scan_expr(*e.lhs);
+        if (e.rhs) scan_expr(*e.rhs);
+        if (e.third) scan_expr(*e.third);
+        for (const auto& arg : e.args) scan_expr(*arg);
+      };
+      const std::function<void(const Stmt&)> scan_stmt = [&](const Stmt& s) {
+        if (s.expr) scan_expr(*s.expr);
+        if (s.step_expr) scan_expr(*s.step_expr);
+        if (s.then_body) scan_stmt(*s.then_body);
+        if (s.else_body) scan_stmt(*s.else_body);
+        if (s.body) scan_stmt(*s.body);
+        for (const auto& child : s.stmts) scan_stmt(*child);
+        for (const auto& entry : s.cases) {
+          for (const auto& child : entry.body) scan_stmt(*child);
+        }
+      };
+      for (const auto& stmt : fn->body) scan_stmt(*stmt);
+    }
+    // DFS cycle detection from every function.
+    for (const auto& fn : unit_.functions) {
+      if (!fn->defined) continue;
+      std::set<std::string> visited;
+      std::vector<std::string> stack{fn->name};
+      bool recursive = false;
+      while (!stack.empty() && !recursive) {
+        const std::string node = stack.back();
+        stack.pop_back();
+        for (const std::string& callee : calls[node]) {
+          if (callee == fn->name) {
+            recursive = true;
+            break;
+          }
+          if (visited.insert(callee).second) stack.push_back(callee);
+        }
+      }
+      if (recursive) {
+        report("16.2", fn->line, fn->name,
+               "function '" + fn->name + "' calls itself directly or indirectly");
+      }
+    }
+  }
+
+  const TranslationUnit& unit_;
+  std::string current_fn_;
+  std::vector<MisraViolation> violations_;
+};
+
+} // namespace
+
+std::vector<MisraViolation> check_misra(const TranslationUnit& unit) {
+  return Checker(unit).run();
+}
+
+std::string format_misra_report(const std::vector<MisraViolation>& violations) {
+  std::ostringstream os;
+  if (violations.empty()) {
+    os << "MISRA-C:2004 audit: no violations of the checked rules.\n";
+    return os.str();
+  }
+  os << "MISRA-C:2004 audit: " << violations.size() << " violation(s)\n";
+  for (const auto& v : violations) {
+    os << "  [rule " << v.rule << "] line " << v.line;
+    if (!v.function.empty()) os << " in " << v.function << "()";
+    os << ": " << v.message << "\n      WCET impact: " << v.wcet_impact << '\n';
+  }
+  return os.str();
+}
+
+} // namespace wcet::mcc

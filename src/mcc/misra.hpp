@@ -1,0 +1,35 @@
+// MISRA-C:2004 rule checker for the rules the paper analyzes in
+// Section 4.2, each annotated with its WCET-predictability impact:
+//
+//   13.4  no float objects in for-loop controlling expressions
+//   13.6  loop counters not modified inside the body
+//   14.1  no unreachable code
+//   14.4  no goto
+//   14.5  no continue
+//   16.1  no variadic functions
+//   16.2  no direct or indirect recursion
+//   20.4  no dynamic heap allocation
+//   20.7  no setjmp/longjmp
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mcc/ast.hpp"
+
+namespace wcet::mcc {
+
+struct MisraViolation {
+  std::string rule;      // "13.4", ...
+  int line = 0;
+  std::string function;  // enclosing function, empty for file scope
+  std::string message;
+  std::string wcet_impact; // the paper's predictability rationale
+};
+
+std::vector<MisraViolation> check_misra(const TranslationUnit& unit);
+
+// Render a violation list as an audit report.
+std::string format_misra_report(const std::vector<MisraViolation>& violations);
+
+} // namespace wcet::mcc

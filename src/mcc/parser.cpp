@@ -1,0 +1,839 @@
+#include "mcc/parser.hpp"
+
+#include <map>
+
+#include "mcc/lexer.hpp"
+#include "support/diag.hpp"
+
+namespace wcet::mcc {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw InputError("mcc line " + std::to_string(line) + ": " + message);
+}
+
+// Returns the referenced symbol name for address-valued initializer
+// expressions (&var, function or array names), empty otherwise.
+std::string symbol_address_of_expr(const Expr& e) {
+  if (e.kind == Expr::Kind::unary && e.op == Tok::amp &&
+      e.lhs->kind == Expr::Kind::name) {
+    return e.lhs->text;
+  }
+  if (e.kind == Expr::Kind::name && e.symbol != nullptr &&
+      (e.symbol->kind == Symbol::Kind::function ||
+       (e.symbol->type != nullptr && e.symbol->type->kind == Type::Kind::array))) {
+    return e.text;
+  }
+  if (e.kind == Expr::Kind::cast && e.lhs) return symbol_address_of_expr(*e.lhs);
+  return {};
+}
+
+class Parser {
+public:
+  explicit Parser(std::string_view source)
+      : tokens_(lex(source)), unit_(std::make_unique<TranslationUnit>()) {}
+
+  std::unique_ptr<TranslationUnit> run() {
+    scopes_.emplace_back(); // file scope
+    while (!at(Tok::end)) top_level();
+    return std::move(unit_);
+  }
+
+private:
+  // ------------------------------------------------------------ token ops
+  const Token& peek(int ahead = 0) const {
+    const std::size_t index = std::min(pos_ + static_cast<std::size_t>(ahead),
+                                       tokens_.size() - 1);
+    return tokens_[index];
+  }
+  bool at(Tok kind) const { return peek().kind == kind; }
+  const Token& advance() { return tokens_[pos_++]; }
+  bool accept(Tok kind) {
+    if (at(kind)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  const Token& expect(Tok kind, const char* what) {
+    if (!at(kind)) fail(peek().line, std::string("expected ") + what);
+    return advance();
+  }
+  int line() const { return peek().line; }
+
+  // ------------------------------------------------------------- scoping
+  Symbol* lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      const auto found = it->find(name);
+      if (found != it->end()) return found->second;
+    }
+    return nullptr;
+  }
+  void declare(Symbol* symbol) {
+    auto& scope = scopes_.back();
+    if (scope.count(symbol->name) != 0) {
+      fail(symbol->line, "redefinition of '" + symbol->name + "'");
+    }
+    scope.emplace(symbol->name, symbol);
+  }
+
+  // --------------------------------------------------------------- types
+  bool at_type_start() const {
+    switch (peek().kind) {
+    case Tok::kw_int:
+    case Tok::kw_unsigned:
+    case Tok::kw_char:
+    case Tok::kw_float:
+    case Tok::kw_void:
+    case Tok::kw_const:
+    case Tok::kw_static:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  struct DeclSpec {
+    const Type* base = nullptr;
+    bool is_const = false;
+    bool is_static = false;
+  };
+
+  DeclSpec decl_specifiers() {
+    DeclSpec spec;
+    for (;;) {
+      if (accept(Tok::kw_const)) {
+        spec.is_const = true;
+        continue;
+      }
+      if (accept(Tok::kw_static)) {
+        spec.is_static = true;
+        continue;
+      }
+      break;
+    }
+    TypeTable& types = unit_->types;
+    if (accept(Tok::kw_int)) spec.base = types.int_type();
+    else if (accept(Tok::kw_unsigned)) {
+      accept(Tok::kw_int);
+      spec.base = types.uint_type();
+    } else if (accept(Tok::kw_char)) spec.base = types.char_type();
+    else if (accept(Tok::kw_float)) spec.base = types.float_type();
+    else if (accept(Tok::kw_void)) spec.base = types.void_type();
+    else fail(line(), "expected type specifier");
+    // Trailing const (e.g. `int const`).
+    if (accept(Tok::kw_const)) spec.is_const = true;
+    return spec;
+  }
+
+  const Type* pointer_suffix(const Type* base) {
+    while (accept(Tok::star)) {
+      base = unit_->types.pointer_to(base);
+      accept(Tok::kw_const);
+    }
+    return base;
+  }
+
+  // declarator := '(' '*' name ')' '(' params ')'   (function pointer)
+  //             | name ('[' int ']')?
+  struct Declarator {
+    std::string name;
+    const Type* type = nullptr;
+    int line = 0;
+  };
+
+  Declarator declarator(const Type* base) {
+    Declarator d;
+    d.line = line();
+    if (at(Tok::lparen) && peek(1).kind == Tok::star) {
+      // Function pointer: base (*name)(params)
+      expect(Tok::lparen, "'('");
+      expect(Tok::star, "'*'");
+      d.name = expect(Tok::identifier, "identifier").text;
+      expect(Tok::rparen, "')'");
+      expect(Tok::lparen, "'('");
+      FuncSig sig;
+      sig.ret = base;
+      parse_param_types(sig);
+      expect(Tok::rparen, "')'");
+      d.type = unit_->types.pointer_to(unit_->types.function(std::move(sig)));
+      return d;
+    }
+    d.name = expect(Tok::identifier, "identifier").text;
+    std::vector<int> dims;
+    while (accept(Tok::lbracket)) {
+      ExprPtr length = expression();
+      const std::int64_t n = fold_int(*length);
+      expect(Tok::rbracket, "']'");
+      if (n <= 0) fail(d.line, "array length must be positive");
+      dims.push_back(static_cast<int>(n));
+    }
+    d.type = base;
+    for (auto it = dims.rbegin(); it != dims.rend(); ++it) {
+      d.type = unit_->types.array_of(d.type, *it);
+    }
+    return d;
+  }
+
+  void parse_param_types(FuncSig& sig, std::vector<Declarator>* names = nullptr) {
+    if (at(Tok::rparen)) return;
+    if (at(Tok::kw_void) && peek(1).kind == Tok::rparen) {
+      advance();
+      return;
+    }
+    for (;;) {
+      if (accept(Tok::ellipsis)) {
+        sig.varargs = true;
+        break;
+      }
+      const DeclSpec spec = decl_specifiers();
+      const Type* type = pointer_suffix(spec.base);
+      Declarator d;
+      if (at(Tok::identifier) || (at(Tok::lparen) && peek(1).kind == Tok::star)) {
+        d = declarator(type);
+        // Array parameters decay to pointers.
+        if (d.type->kind == Type::Kind::array) {
+          d.type = unit_->types.pointer_to(d.type->pointee);
+        }
+      } else {
+        d.type = type; // unnamed parameter (prototype)
+        d.line = line();
+      }
+      sig.params.push_back(d.type);
+      if (names != nullptr) names->push_back(d);
+      if (!accept(Tok::comma)) break;
+    }
+  }
+
+  // ----------------------------------------------------------- top level
+  void top_level() {
+    const DeclSpec spec = decl_specifiers();
+    const Type* type = pointer_suffix(spec.base);
+
+    // Function pointer global or plain declarator.
+    if (at(Tok::lparen)) {
+      global_variable(spec, declarator(type));
+      expect(Tok::semi, "';'");
+      return;
+    }
+    const Token& name_token = expect(Tok::identifier, "identifier");
+    if (at(Tok::lparen)) {
+      function_definition(spec, type, name_token);
+      return;
+    }
+    // Global variable (possibly array), possibly several declarators.
+    pos_ -= 1; // put the identifier back
+    for (;;) {
+      Declarator d = declarator(type);
+      global_variable(spec, std::move(d));
+      if (!accept(Tok::comma)) break;
+    }
+    expect(Tok::semi, "';'");
+  }
+
+  void global_variable(const DeclSpec& spec, Declarator d) {
+    auto symbol = std::make_unique<Symbol>();
+    symbol->kind = Symbol::Kind::global;
+    symbol->name = d.name;
+    symbol->type = d.type;
+    symbol->line = d.line;
+    symbol->is_const = spec.is_const;
+    symbol->is_static = spec.is_static;
+    if (accept(Tok::assign)) {
+      symbol->has_init = true;
+      parse_global_init(*symbol);
+    }
+    declare(symbol.get());
+    unit_->globals.push_back(std::move(symbol));
+  }
+
+  void parse_global_init(Symbol& symbol) {
+    // Encoded as raw bytes; integer/float constants, string literals for
+    // char arrays, brace lists, and link-time symbol addresses (&var,
+    // function or array names) are allowed.
+    const auto put_word = [&](std::uint32_t w) {
+      for (int i = 0; i < 4; ++i) {
+        symbol.init_bytes.push_back(static_cast<std::uint8_t>(w >> (8 * i)));
+      }
+    };
+    const auto symbol_address_of = [](const Expr& e) {
+      return symbol_address_of_expr(e);
+    };
+    const auto put_symbol_word = [&](const std::string& name) {
+      symbol.init_symbols.emplace_back(
+          static_cast<int>(symbol.init_bytes.size() / 4), name);
+      put_word(0);
+    };
+    if (symbol.type->kind == Type::Kind::array) {
+      const Type* elem = symbol.type->pointee;
+      if (at(Tok::string_literal) && elem->kind == Type::Kind::char_) {
+        const Token& s = advance();
+        for (const char c : s.text) {
+          symbol.init_bytes.push_back(static_cast<std::uint8_t>(c));
+        }
+        symbol.init_bytes.push_back(0);
+        return;
+      }
+      expect(Tok::lbrace, "'{'");
+      for (;;) {
+        ExprPtr e = conditional();
+        const std::string ref = symbol_address_of(*e);
+        if (!ref.empty() && elem->size_bytes() == 4) {
+          put_symbol_word(ref);
+        } else {
+          const std::int64_t v = fold_int(*e);
+          if (elem->size_bytes() == 1) {
+            symbol.init_bytes.push_back(static_cast<std::uint8_t>(v));
+          } else {
+            put_word(static_cast<std::uint32_t>(v));
+          }
+        }
+        if (!accept(Tok::comma)) break;
+        if (at(Tok::rbrace)) break; // trailing comma
+      }
+      expect(Tok::rbrace, "'}'");
+      return;
+    }
+    ExprPtr e = conditional();
+    {
+      const std::string ref = symbol_address_of(*e);
+      if (!ref.empty()) {
+        put_symbol_word(ref);
+        return;
+      }
+    }
+    if (symbol.type->is_float()) {
+      const double v = e->kind == Expr::Kind::float_lit ? e->float_value
+                                                        : static_cast<double>(fold_int(*e));
+      const float f = static_cast<float>(v);
+      std::uint32_t bits;
+      static_assert(sizeof bits == sizeof f);
+      __builtin_memcpy(&bits, &f, sizeof bits);
+      put_word(bits);
+    } else {
+      put_word(static_cast<std::uint32_t>(fold_int(*e)));
+    }
+  }
+
+  void function_definition(const DeclSpec& spec, const Type* ret, const Token& name_token) {
+    expect(Tok::lparen, "'('");
+    FuncSig sig;
+    sig.ret = ret;
+    std::vector<Declarator> param_names;
+    parse_param_types(sig, &param_names);
+    expect(Tok::rparen, "')'");
+
+    Function* fn = unit_->find_function(name_token.text);
+    if (fn == nullptr) {
+      auto owned = std::make_unique<Function>();
+      fn = owned.get();
+      fn->name = name_token.text;
+      fn->line = name_token.line;
+      fn->is_varargs = sig.varargs;
+      fn->type = unit_->types.function(std::move(sig));
+      unit_->functions.push_back(std::move(owned));
+      // Function symbol for name resolution.
+      auto symbol = std::make_unique<Symbol>();
+      symbol->kind = Symbol::Kind::function;
+      symbol->name = fn->name;
+      symbol->type = fn->type;
+      symbol->line = fn->line;
+      declare(symbol.get());
+      unit_->globals.push_back(std::move(symbol));
+    }
+    (void)spec;
+
+    if (accept(Tok::semi)) return; // prototype only
+    if (fn->defined) fail(name_token.line, "redefinition of '" + fn->name + "'");
+    fn->defined = true;
+
+    current_fn_ = fn;
+    scopes_.emplace_back(); // parameter scope
+    int index = 0;
+    for (const Declarator& d : param_names) {
+      if (d.name.empty()) fail(d.line, "parameter name required in definition");
+      auto param = std::make_unique<Symbol>();
+      param->kind = Symbol::Kind::param;
+      param->name = d.name;
+      param->type = d.type;
+      param->line = d.line;
+      param->param_index = index++;
+      declare(param.get());
+      fn->params.push_back(std::move(param));
+    }
+    expect(Tok::lbrace, "'{'");
+    while (!accept(Tok::rbrace)) {
+      fn->body.push_back(statement());
+    }
+    scopes_.pop_back();
+    current_fn_ = nullptr;
+  }
+
+  // ----------------------------------------------------------- statements
+  StmtPtr statement() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->line = line();
+
+    // Label: identifier ':' (but not the ?: else branch — statements
+    // only start here).
+    if (at(Tok::identifier) && peek(1).kind == Tok::colon) {
+      stmt->kind = Stmt::Kind::label;
+      stmt->label_name = advance().text;
+      advance(); // ':'
+      return stmt;
+    }
+    if (at_type_start()) return declaration();
+
+    switch (peek().kind) {
+    case Tok::semi:
+      advance();
+      stmt->kind = Stmt::Kind::empty;
+      return stmt;
+    case Tok::lbrace: {
+      advance();
+      stmt->kind = Stmt::Kind::block;
+      scopes_.emplace_back();
+      while (!accept(Tok::rbrace)) stmt->stmts.push_back(statement());
+      scopes_.pop_back();
+      return stmt;
+    }
+    case Tok::kw_if: {
+      advance();
+      stmt->kind = Stmt::Kind::if_;
+      expect(Tok::lparen, "'('");
+      stmt->expr = expression();
+      expect(Tok::rparen, "')'");
+      stmt->then_body = statement();
+      if (accept(Tok::kw_else)) stmt->else_body = statement();
+      return stmt;
+    }
+    case Tok::kw_while: {
+      advance();
+      stmt->kind = Stmt::Kind::while_;
+      expect(Tok::lparen, "'('");
+      stmt->expr = expression();
+      expect(Tok::rparen, "')'");
+      stmt->body = statement();
+      return stmt;
+    }
+    case Tok::kw_do: {
+      advance();
+      stmt->kind = Stmt::Kind::do_;
+      stmt->body = statement();
+      if (!accept(Tok::kw_while)) fail(stmt->line, "expected 'while' after do body");
+      expect(Tok::lparen, "'('");
+      stmt->expr = expression();
+      expect(Tok::rparen, "')'");
+      expect(Tok::semi, "';'");
+      return stmt;
+    }
+    case Tok::kw_for: {
+      advance();
+      stmt->kind = Stmt::Kind::for_;
+      expect(Tok::lparen, "'('");
+      // Init clause lives in then_body (decl or expression statement).
+      bool pushed_for_scope = false;
+      if (!at(Tok::semi)) {
+        if (at_type_start()) {
+          scopes_.emplace_back(); // for-scope for the declared counter
+          pushed_for_scope = true;
+          stmt->then_body = declaration();
+        } else {
+          auto init = std::make_unique<Stmt>();
+          init->kind = Stmt::Kind::expr;
+          init->line = line();
+          init->expr = expression();
+          expect(Tok::semi, "';'");
+          stmt->then_body = std::move(init);
+        }
+      } else {
+        advance();
+      }
+      if (!at(Tok::semi)) stmt->expr = expression();
+      expect(Tok::semi, "';'");
+      if (!at(Tok::rparen)) stmt->step_expr = expression();
+      expect(Tok::rparen, "')'");
+      stmt->body = statement();
+      if (pushed_for_scope) scopes_.pop_back();
+      return stmt;
+    }
+    case Tok::kw_switch: {
+      advance();
+      stmt->kind = Stmt::Kind::switch_;
+      expect(Tok::lparen, "'('");
+      stmt->expr = expression();
+      expect(Tok::rparen, "')'");
+      expect(Tok::lbrace, "'{'");
+      scopes_.emplace_back();
+      while (!accept(Tok::rbrace)) {
+        SwitchCase entry;
+        entry.line = line();
+        if (accept(Tok::kw_case)) {
+          ExprPtr value = conditional();
+          entry.value = fold_int(*value);
+        } else if (accept(Tok::kw_default)) {
+          entry.is_default = true;
+        } else {
+          fail(line(), "expected 'case' or 'default' inside switch");
+        }
+        expect(Tok::colon, "':'");
+        while (!at(Tok::kw_case) && !at(Tok::kw_default) && !at(Tok::rbrace)) {
+          entry.body.push_back(statement());
+        }
+        stmt->cases.push_back(std::move(entry));
+      }
+      scopes_.pop_back();
+      return stmt;
+    }
+    case Tok::kw_break:
+      advance();
+      expect(Tok::semi, "';'");
+      stmt->kind = Stmt::Kind::break_;
+      return stmt;
+    case Tok::kw_continue:
+      advance();
+      expect(Tok::semi, "';'");
+      stmt->kind = Stmt::Kind::continue_;
+      return stmt;
+    case Tok::kw_goto:
+      advance();
+      stmt->kind = Stmt::Kind::goto_;
+      stmt->label_name = expect(Tok::identifier, "label").text;
+      expect(Tok::semi, "';'");
+      return stmt;
+    case Tok::kw_return:
+      advance();
+      stmt->kind = Stmt::Kind::return_;
+      if (!at(Tok::semi)) stmt->expr = expression();
+      expect(Tok::semi, "';'");
+      return stmt;
+    default: {
+      stmt->kind = Stmt::Kind::expr;
+      stmt->expr = expression();
+      expect(Tok::semi, "';'");
+      return stmt;
+    }
+    }
+  }
+
+  StmtPtr declaration() {
+    const DeclSpec spec = decl_specifiers();
+    const Type* base = pointer_suffix(spec.base);
+    auto block = std::make_unique<Stmt>();
+    block->kind = Stmt::Kind::block;
+    block->line = line();
+    for (;;) {
+      Declarator d = declarator(base);
+      auto symbol = std::make_unique<Symbol>();
+      symbol->kind = Symbol::Kind::local;
+      symbol->name = d.name;
+      symbol->type = d.type;
+      symbol->line = d.line;
+      symbol->is_const = spec.is_const;
+      declare(symbol.get());
+
+      auto decl = std::make_unique<Stmt>();
+      decl->kind = Stmt::Kind::decl;
+      decl->line = d.line;
+      decl->decl_symbol = symbol.get();
+      if (accept(Tok::assign)) decl->expr = assignment();
+      WCET_CHECK(current_fn_ != nullptr, "declaration outside function");
+      current_fn_->locals.push_back(std::move(symbol));
+      block->stmts.push_back(std::move(decl));
+      if (!accept(Tok::comma)) break;
+    }
+    expect(Tok::semi, "';'");
+    if (block->stmts.size() == 1) return std::move(block->stmts.front());
+    return block;
+  }
+
+  // ---------------------------------------------------------- expressions
+  ExprPtr expression() { return assignment(); }
+
+  ExprPtr assignment() {
+    ExprPtr left = conditional();
+    switch (peek().kind) {
+    case Tok::assign:
+    case Tok::plus_assign:
+    case Tok::minus_assign:
+    case Tok::star_assign:
+    case Tok::slash_assign:
+    case Tok::percent_assign:
+    case Tok::amp_assign:
+    case Tok::pipe_assign:
+    case Tok::caret_assign:
+    case Tok::shl_assign:
+    case Tok::shr_assign: {
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::assign;
+      node->line = line();
+      node->op = advance().kind;
+      node->lhs = std::move(left);
+      node->rhs = assignment();
+      return node;
+    }
+    default:
+      return left;
+    }
+  }
+
+  ExprPtr conditional() {
+    ExprPtr cond = binary(0);
+    if (!accept(Tok::question)) return cond;
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::conditional;
+    node->line = line();
+    node->lhs = std::move(cond);
+    node->rhs = expression();
+    expect(Tok::colon, "':'");
+    node->third = conditional();
+    return node;
+  }
+
+  static int precedence_of(Tok op) {
+    switch (op) {
+    case Tok::pipe_pipe: return 1;
+    case Tok::amp_amp: return 2;
+    case Tok::pipe: return 3;
+    case Tok::caret: return 4;
+    case Tok::amp: return 5;
+    case Tok::eq_eq:
+    case Tok::bang_eq: return 6;
+    case Tok::lt:
+    case Tok::gt:
+    case Tok::le:
+    case Tok::ge: return 7;
+    case Tok::shl:
+    case Tok::shr: return 8;
+    case Tok::plus:
+    case Tok::minus: return 9;
+    case Tok::star:
+    case Tok::slash:
+    case Tok::percent: return 10;
+    default: return 0;
+    }
+  }
+
+  ExprPtr binary(int min_prec) {
+    ExprPtr left = unary();
+    for (;;) {
+      const Tok op = peek().kind;
+      const int prec = precedence_of(op);
+      if (prec == 0 || prec < min_prec) return left;
+      const int op_line = line();
+      advance();
+      ExprPtr right = binary(prec + 1);
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::binary;
+      node->line = op_line;
+      node->op = op;
+      node->lhs = std::move(left);
+      node->rhs = std::move(right);
+      left = std::move(node);
+    }
+  }
+
+  bool at_cast() const {
+    if (!at(Tok::lparen)) return false;
+    switch (peek(1).kind) {
+    case Tok::kw_int:
+    case Tok::kw_unsigned:
+    case Tok::kw_char:
+    case Tok::kw_float:
+    case Tok::kw_void:
+    case Tok::kw_const:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  ExprPtr unary() {
+    const int start_line = line();
+    switch (peek().kind) {
+    case Tok::minus:
+    case Tok::tilde:
+    case Tok::bang:
+    case Tok::star:
+    case Tok::amp: {
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::unary;
+      node->line = start_line;
+      node->op = advance().kind;
+      node->lhs = unary();
+      return node;
+    }
+    case Tok::plus:
+      advance();
+      return unary();
+    case Tok::plus_plus:
+    case Tok::minus_minus: {
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::unary;
+      node->line = start_line;
+      node->op = advance().kind;
+      node->lhs = unary();
+      return node;
+    }
+    case Tok::kw_sizeof: {
+      advance();
+      expect(Tok::lparen, "'('");
+      const DeclSpec spec = decl_specifiers();
+      const Type* type = pointer_suffix(spec.base);
+      expect(Tok::rparen, "')'");
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::int_lit;
+      node->line = start_line;
+      node->int_value = type->size_bytes();
+      return node;
+    }
+    default:
+      break;
+    }
+    if (at_cast()) {
+      advance(); // '('
+      const DeclSpec spec = decl_specifiers();
+      const Type* type = pointer_suffix(spec.base);
+      expect(Tok::rparen, "')'");
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::cast;
+      node->line = start_line;
+      node->cast_type = type;
+      node->lhs = unary();
+      return node;
+    }
+    return postfix();
+  }
+
+  ExprPtr postfix() {
+    ExprPtr node = primary();
+    for (;;) {
+      if (accept(Tok::lbracket)) {
+        auto index = std::make_unique<Expr>();
+        index->kind = Expr::Kind::index;
+        index->line = line();
+        index->lhs = std::move(node);
+        index->rhs = expression();
+        expect(Tok::rbracket, "']'");
+        node = std::move(index);
+        continue;
+      }
+      if (accept(Tok::lparen)) {
+        auto call = std::make_unique<Expr>();
+        call->kind = Expr::Kind::call;
+        call->line = line();
+        call->lhs = std::move(node);
+        if (!at(Tok::rparen)) {
+          for (;;) {
+            call->args.push_back(assignment());
+            if (!accept(Tok::comma)) break;
+          }
+        }
+        expect(Tok::rparen, "')'");
+        node = std::move(call);
+        continue;
+      }
+      if (at(Tok::plus_plus) || at(Tok::minus_minus)) {
+        auto post = std::make_unique<Expr>();
+        post->kind = Expr::Kind::post_incdec;
+        post->line = line();
+        post->op = advance().kind;
+        post->lhs = std::move(node);
+        node = std::move(post);
+        continue;
+      }
+      return node;
+    }
+  }
+
+  ExprPtr primary() {
+    auto node = std::make_unique<Expr>();
+    node->line = line();
+    switch (peek().kind) {
+    case Tok::int_literal: {
+      const Token& token = advance();
+      node->kind = Expr::Kind::int_lit;
+      node->int_value = token.int_value;
+      node->is_unsigned_literal = token.is_unsigned;
+      return node;
+    }
+    case Tok::float_literal:
+      node->kind = Expr::Kind::float_lit;
+      node->float_value = advance().float_value;
+      return node;
+    case Tok::string_literal:
+      node->kind = Expr::Kind::string_lit;
+      node->text = advance().text;
+      return node;
+    case Tok::identifier: {
+      const Token& token = advance();
+      Symbol* symbol = lookup(token.text);
+      if (symbol == nullptr) fail(token.line, "use of undeclared '" + token.text + "'");
+      node->kind = Expr::Kind::name;
+      node->text = token.text;
+      node->symbol = symbol;
+      return node;
+    }
+    case Tok::lparen: {
+      advance();
+      ExprPtr inner = expression();
+      expect(Tok::rparen, "')'");
+      return inner;
+    }
+    default:
+      fail(line(), "expected expression");
+    }
+  }
+
+  // Minimal constant folding for contexts that require compile-time
+  // integers (array lengths, case labels, global initializers).
+  std::int64_t fold_int(const Expr& e) const {
+    switch (e.kind) {
+    case Expr::Kind::int_lit:
+      return e.int_value;
+    case Expr::Kind::unary:
+      if (e.op == Tok::minus) return -fold_int(*e.lhs);
+      if (e.op == Tok::tilde) return ~fold_int(*e.lhs) & 0xFFFFFFFFll;
+      if (e.op == Tok::bang) return fold_int(*e.lhs) == 0 ? 1 : 0;
+      break;
+    case Expr::Kind::binary: {
+      const std::int64_t a = fold_int(*e.lhs);
+      const std::int64_t b = fold_int(*e.rhs);
+      switch (e.op) {
+      case Tok::plus: return a + b;
+      case Tok::minus: return a - b;
+      case Tok::star: return a * b;
+      case Tok::slash: return b != 0 ? a / b : 0;
+      case Tok::percent: return b != 0 ? a % b : 0;
+      case Tok::shl: return (a << (b & 31)) & 0xFFFFFFFFll;
+      case Tok::shr: return (a & 0xFFFFFFFFll) >> (b & 31);
+      case Tok::amp: return a & b;
+      case Tok::pipe: return a | b;
+      case Tok::caret: return a ^ b;
+      default: break;
+      }
+      break;
+    }
+    case Expr::Kind::cast:
+      return fold_int(*e.lhs);
+    default:
+      break;
+    }
+    fail(e.line, "expected a compile-time integer constant");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::unique_ptr<TranslationUnit> unit_;
+  std::vector<std::map<std::string, Symbol*>> scopes_;
+  Function* current_fn_ = nullptr;
+};
+
+} // namespace
+
+std::unique_ptr<TranslationUnit> parse(std::string_view source) {
+  return Parser(source).run();
+}
+
+} // namespace wcet::mcc

@@ -1,0 +1,16 @@
+// Parser for the mcc C subset: builds the AST with names resolved
+// against lexical scopes (declaration before use, as in C). Semantic
+// analysis (mcc/sema.hpp) then assigns types and folds constants.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "mcc/ast.hpp"
+
+namespace wcet::mcc {
+
+// Parse a translation unit. Throws InputError on malformed input.
+std::unique_ptr<TranslationUnit> parse(std::string_view source);
+
+} // namespace wcet::mcc

@@ -1,0 +1,15 @@
+// Semantic analysis for mcc: assigns a type to every expression, applies
+// the usual arithmetic conversions (char promotes to int; float wins;
+// unsigned wins over int), types pointer arithmetic, checks lvalues and
+// call signatures, and marks address-taken symbols (which forces them
+// into memory during code generation).
+#pragma once
+
+#include "mcc/ast.hpp"
+
+namespace wcet::mcc {
+
+// Analyze in place. Throws InputError on semantic errors.
+void analyze(TranslationUnit& unit);
+
+} // namespace wcet::mcc

@@ -1,0 +1,50 @@
+#include "mem/cache.hpp"
+
+#include <algorithm>
+
+namespace wcet::mem {
+
+namespace {
+constexpr std::uint32_t empty_line = ~0u;
+}
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  WCET_CHECK(config.sets > 0 && config.ways > 0 && config.line_bytes >= 4,
+             "bad cache geometry");
+  WCET_CHECK((config.line_bytes & (config.line_bytes - 1)) == 0,
+             "cache line size must be a power of two");
+  lines_.assign(static_cast<std::size_t>(config.sets) * config.ways, empty_line);
+}
+
+bool Cache::access(std::uint32_t addr) {
+  if (!config_.enabled) return false;
+  const unsigned set = config_.set_index(addr);
+  const std::uint32_t line = config_.line_of(addr);
+  auto* base = &lines_[static_cast<std::size_t>(set) * config_.ways];
+  for (unsigned w = 0; w < config_.ways; ++w) {
+    if (base[w] == line) {
+      // Move to MRU position.
+      std::rotate(base, base + w, base + w + 1);
+      return true;
+    }
+  }
+  // Miss: evict LRU (last), insert at MRU.
+  std::rotate(base, base + config_.ways - 1, base + config_.ways);
+  base[0] = line;
+  return false;
+}
+
+bool Cache::would_hit(std::uint32_t addr) const {
+  if (!config_.enabled) return false;
+  const unsigned set = config_.set_index(addr);
+  const std::uint32_t line = config_.line_of(addr);
+  const auto* base = &lines_[static_cast<std::size_t>(set) * config_.ways];
+  for (unsigned w = 0; w < config_.ways; ++w) {
+    if (base[w] == line) return true;
+  }
+  return false;
+}
+
+void Cache::flush() { std::fill(lines_.begin(), lines_.end(), empty_line); }
+
+} // namespace wcet::mem

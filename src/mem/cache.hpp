@@ -1,0 +1,50 @@
+// Concrete set-associative LRU cache (tag store only — data always comes
+// from backing memory, so the model tracks timing, not contents). The
+// abstract must/may analysis in src/analysis/cache_analysis.* must stay
+// in lock-step with this model; property tests enforce the relationship
+// "must-hits hit, may-misses miss".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/diag.hpp"
+
+namespace wcet::mem {
+
+struct CacheConfig {
+  bool enabled = true;
+  unsigned sets = 16;
+  unsigned ways = 2;
+  unsigned line_bytes = 16;
+
+  unsigned set_index(std::uint32_t addr) const {
+    return (addr / line_bytes) % sets;
+  }
+  std::uint32_t tag(std::uint32_t addr) const { return addr / line_bytes / sets; }
+  std::uint32_t line_of(std::uint32_t addr) const { return addr / line_bytes; }
+};
+
+class Cache {
+public:
+  explicit Cache(const CacheConfig& config);
+
+  const CacheConfig& config() const { return config_; }
+
+  // Perform a load access: returns true on hit; allocates and updates
+  // LRU on miss. Stores do not go through the cache (write-through,
+  // no-write-allocate; see DESIGN.md) and must not call this.
+  bool access(std::uint32_t addr);
+
+  // Non-mutating lookup.
+  bool would_hit(std::uint32_t addr) const;
+
+  void flush();
+
+private:
+  CacheConfig config_;
+  // ways entries per set, most recently used first; ~0u marks empty.
+  std::vector<std::uint32_t> lines_;
+};
+
+} // namespace wcet::mem

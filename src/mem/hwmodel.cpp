@@ -1,0 +1,40 @@
+#include "mem/hwmodel.hpp"
+
+namespace wcet::mem {
+
+unsigned base_cycles(isa::Opcode op, const PipelineConfig& pipeline) {
+  using isa::Opcode;
+  switch (op) {
+  case Opcode::mul:
+  case Opcode::mulhu:
+    return pipeline.mul_latency;
+  case Opcode::divu:
+  case Opcode::remu:
+  case Opcode::div_:
+  case Opcode::rem_:
+    return pipeline.div_latency;
+  case Opcode::ecall:
+    return pipeline.ecall_latency;
+  default:
+    return 1;
+  }
+}
+
+unsigned control_penalty(const isa::Inst& inst, bool taken,
+                         const PipelineConfig& pipeline) {
+  if (inst.is_conditional_branch()) {
+    return taken ? pipeline.branch_taken_penalty : 0;
+  }
+  if (inst.op == isa::Opcode::jal || inst.op == isa::Opcode::jalr) {
+    return pipeline.jump_penalty;
+  }
+  return 0;
+}
+
+HwConfig typical_hw() {
+  HwConfig hw;
+  hw.memory = typical_embedded_map();
+  return hw;
+}
+
+} // namespace wcet::mem

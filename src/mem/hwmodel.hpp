@@ -1,0 +1,61 @@
+// Hardware timing model shared verbatim by the cycle-accurate simulator
+// (src/sim) and the abstract pipeline analysis (src/analysis). Keeping
+// one definition of every cost is what makes the soundness property
+// "simulated cycles <= WCET bound" meaningful and testable.
+//
+// Timing semantics (scalar, in-order, no timing anomalies by design):
+//   cost(inst) = fetch_cost + base_cost(op) + mem_cost + control_penalty
+//   fetch_cost   = 1 on I-cache hit, 1 + region read latency otherwise
+//   mem_cost     = loads: 1 on D-cache hit, 1 + region read latency
+//                  otherwise; stores: region write latency (write-through,
+//                  no write-allocate); 0 for non-memory instructions
+//   control_penalty = taken branches and jumps pay a refill penalty
+#pragma once
+
+#include "isa/tiny32.hpp"
+#include "mem/cache.hpp"
+#include "mem/memmap.hpp"
+
+namespace wcet::mem {
+
+struct PipelineConfig {
+  unsigned branch_taken_penalty = 2;
+  unsigned jump_penalty = 2;    // jal and jalr
+  unsigned mul_latency = 3;     // mul, mulhu
+  unsigned div_latency = 12;    // divu, remu, div, rem (data-independent)
+  unsigned ecall_latency = 10;  // fixed supervisor cost
+};
+
+struct HwConfig {
+  PipelineConfig pipeline;
+  CacheConfig icache{.enabled = true, .sets = 32, .ways = 2, .line_bytes = 16};
+  CacheConfig dcache{.enabled = true, .sets = 32, .ways = 2, .line_bytes = 16};
+  MemoryMap memory;
+};
+
+// Cost of the execute stage, excluding fetch, memory and control
+// penalties. Deterministic per opcode (tiny32 divides in constant time —
+// the *hardware* is predictable here; the paper's unpredictability comes
+// from *software* structure on top).
+unsigned base_cycles(isa::Opcode op, const PipelineConfig& pipeline);
+
+inline unsigned fetch_cycles(bool icache_hit, unsigned region_read_latency) {
+  return icache_hit ? 1 : 1 + region_read_latency;
+}
+
+inline unsigned load_cycles(bool dcache_hit, unsigned region_read_latency) {
+  return dcache_hit ? 1 : 1 + region_read_latency;
+}
+
+inline unsigned store_cycles(unsigned region_write_latency) {
+  return region_write_latency;
+}
+
+// Penalty paid when the instruction redirects the pc. For conditional
+// branches this applies only on the taken path.
+unsigned control_penalty(const isa::Inst& inst, bool taken, const PipelineConfig& pipeline);
+
+// Default configuration used by examples, benches and most tests.
+HwConfig typical_hw();
+
+} // namespace wcet::mem

@@ -1,0 +1,174 @@
+#include "mem/memmap.hpp"
+
+#include <algorithm>
+
+#include "support/diag.hpp"
+
+namespace wcet::mem {
+
+MemoryMap::MemoryMap() {
+  default_region_.name = "external-bus";
+  default_region_.base = 0;
+  default_region_.size = 0; // matches nothing explicitly; used as fallback
+  default_region_.read_latency = 40;
+  default_region_.write_latency = 40;
+  default_region_.cacheable = false;
+}
+
+void MemoryMap::add_region(Region region) {
+  for (const auto& r : regions_) {
+    const bool overlap = region.base < r.end() && r.base < region.end();
+    if (overlap) {
+      throw InputError("memory region '" + region.name + "' overlaps '" + r.name + "'");
+    }
+  }
+  regions_.push_back(std::move(region));
+}
+
+void MemoryMap::add_region_override(const Region& region) {
+  std::vector<Region> rebuilt;
+  rebuilt.reserve(regions_.size() + 2);
+  for (const Region& existing : regions_) {
+    const std::uint64_t lo = std::max<std::uint64_t>(existing.base, region.base);
+    const std::uint64_t hi = std::min<std::uint64_t>(existing.end(), region.end());
+    if (lo >= hi) {
+      rebuilt.push_back(existing); // no overlap
+      continue;
+    }
+    // Keep the non-overlapped remainders of the existing region.
+    if (existing.base < region.base) {
+      Region before = existing;
+      before.size = region.base - existing.base;
+      rebuilt.push_back(before);
+    }
+    if (existing.end() > region.end()) {
+      Region after = existing;
+      after.base = region.end();
+      after.size = existing.end() - region.end();
+      rebuilt.push_back(after);
+    }
+  }
+  rebuilt.push_back(region);
+  regions_ = std::move(rebuilt);
+}
+
+const Region& MemoryMap::region_for(std::uint32_t addr) const {
+  for (const auto& r : regions_) {
+    if (r.contains(addr)) return r;
+  }
+  return default_region_;
+}
+
+const Region* MemoryMap::find(const std::string& name) const {
+  for (const auto& r : regions_) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+std::pair<unsigned, unsigned> MemoryMap::latency_bounds(const Interval& addr,
+                                                        bool write) const {
+  WCET_CHECK(!addr.is_bottom(), "latency bounds of unreachable access");
+  unsigned lo = ~0u;
+  unsigned hi = 0;
+  const auto consider = [&](const Region& r) {
+    const unsigned lat = write ? r.write_latency : r.read_latency;
+    lo = std::min(lo, lat);
+    hi = std::max(hi, lat);
+  };
+  bool gap = false; // does the interval touch addresses outside all regions?
+  // Walk regions intersecting [umin, umax]; detect gaps by coverage count.
+  std::uint64_t covered = 0;
+  for (const auto& r : regions_) {
+    const std::int64_t lo_a = std::max<std::int64_t>(addr.umin(), r.base);
+    const std::int64_t hi_a = std::min<std::int64_t>(addr.umax(), static_cast<std::int64_t>(r.end()) - 1);
+    if (lo_a <= hi_a) {
+      consider(r);
+      covered += static_cast<std::uint64_t>(hi_a - lo_a + 1);
+    }
+  }
+  if (covered < addr.size()) gap = true;
+  if (gap) consider(default_region_);
+  WCET_CHECK(hi != 0 || lo != ~0u, "no region considered");
+  return {lo, hi};
+}
+
+std::pair<unsigned, unsigned> MemoryMap::read_latency_bounds(const Interval& addr) const {
+  return latency_bounds(addr, false);
+}
+
+std::pair<unsigned, unsigned> MemoryMap::write_latency_bounds(const Interval& addr) const {
+  return latency_bounds(addr, true);
+}
+
+bool MemoryMap::all_cacheable(const Interval& addr) const {
+  if (addr.is_bottom()) return true;
+  std::uint64_t covered = 0;
+  for (const auto& r : regions_) {
+    const std::int64_t lo_a = std::max<std::int64_t>(addr.umin(), r.base);
+    const std::int64_t hi_a = std::min<std::int64_t>(addr.umax(), static_cast<std::int64_t>(r.end()) - 1);
+    if (lo_a <= hi_a) {
+      if (!r.cacheable) return false;
+      covered += static_cast<std::uint64_t>(hi_a - lo_a + 1);
+    }
+  }
+  if (covered < addr.size()) return default_region_.cacheable;
+  return true;
+}
+
+const Region* MemoryMap::unique_region(const Interval& addr) const {
+  if (addr.is_bottom()) return nullptr;
+  const Region& lo = region_for(static_cast<std::uint32_t>(addr.umin()));
+  const Region& hi = region_for(static_cast<std::uint32_t>(addr.umax()));
+  if (&lo != &hi) return nullptr;
+  if (!lo.contains(static_cast<std::uint32_t>(addr.umin())) &&
+      lo.size != 0) {
+    return nullptr;
+  }
+  // Contiguous region covering both ends covers everything between.
+  if (lo.size == 0) {
+    // Default region: only unique if no explicit region intersects.
+    for (const auto& r : regions_) {
+      const std::int64_t lo_a = std::max<std::int64_t>(addr.umin(), r.base);
+      const std::int64_t hi_a =
+          std::min<std::int64_t>(addr.umax(), static_cast<std::int64_t>(r.end()) - 1);
+      if (lo_a <= hi_a) return nullptr;
+    }
+  }
+  return &lo;
+}
+
+MemoryMap typical_embedded_map() {
+  MemoryMap map;
+  map.add_region({.name = "sram-code",
+                  .base = 0x00000000,
+                  .size = 0x00008000,
+                  .read_latency = 1,
+                  .write_latency = 1,
+                  .cacheable = true,
+                  .io = false});
+  map.add_region({.name = "flash",
+                  .base = 0x00008000,
+                  .size = 0x00008000,
+                  .read_latency = 12,
+                  .write_latency = 60,
+                  .cacheable = true,
+                  .io = false});
+  map.add_region({.name = "sram-data",
+                  .base = 0x00010000,
+                  .size = 0x00030000,
+                  .read_latency = 2,
+                  .write_latency = 2,
+                  .cacheable = true,
+                  .io = false});
+  map.add_region({.name = "can-mmio",
+                  .base = 0xF0000000,
+                  .size = 0x00001000,
+                  .read_latency = 30,
+                  .write_latency = 30,
+                  .cacheable = false,
+                  .io = true});
+  return map;
+}
+
+} // namespace wcet::mem

@@ -1,0 +1,282 @@
+#include "sim/simulator.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "support/diag.hpp"
+
+namespace wcet::sim {
+
+using isa::Inst;
+using isa::Opcode;
+
+namespace {
+constexpr std::uint32_t page_bits = 12;
+constexpr std::uint32_t page_size = 1u << page_bits;
+} // namespace
+
+struct Simulator::Page {
+  std::array<std::uint8_t, page_size> bytes{};
+};
+
+Simulator::Simulator(const isa::Image& image, const mem::HwConfig& hw)
+    : image_(image), hw_(hw), icache_(hw.icache), dcache_(hw.dcache) {
+  for (const auto& section : image.sections()) {
+    write_bytes(section.vaddr, section.bytes);
+  }
+}
+
+Simulator::~Simulator() = default;
+
+Simulator::Page& Simulator::page_for(std::uint32_t addr) {
+  auto& slot = pages_[addr >> page_bits];
+  if (!slot) slot = std::make_unique<Page>();
+  return *slot;
+}
+
+std::uint8_t Simulator::load_byte(std::uint32_t addr) {
+  const auto it = pages_.find(addr >> page_bits);
+  if (it == pages_.end()) return 0;
+  return it->second->bytes[addr & (page_size - 1)];
+}
+
+void Simulator::store_byte(std::uint32_t addr, std::uint8_t value) {
+  page_for(addr).bytes[addr & (page_size - 1)] = value;
+}
+
+void Simulator::set_register(std::uint8_t reg, std::uint32_t value) {
+  WCET_CHECK(reg < isa::num_registers, "bad register");
+  if (reg != isa::reg_zero) regs_[reg] = value;
+}
+
+std::uint32_t Simulator::register_value(std::uint8_t reg) const {
+  WCET_CHECK(reg < isa::num_registers, "bad register");
+  return regs_[reg];
+}
+
+void Simulator::write_word(std::uint32_t addr, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) store_byte(addr + static_cast<std::uint32_t>(i),
+                                         static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void Simulator::write_bytes(std::uint32_t addr, std::span<const std::uint8_t> bytes) {
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    store_byte(addr + static_cast<std::uint32_t>(i), bytes[i]);
+  }
+}
+
+std::uint32_t Simulator::read_word(std::uint32_t addr) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | load_byte(addr + static_cast<std::uint32_t>(i));
+  return v;
+}
+
+std::uint32_t Simulator::load(std::uint32_t addr, int size, bool sign_extend, bool& io) {
+  const mem::Region& region = hw_.memory.region_for(addr);
+  io = region.io;
+  std::uint32_t raw;
+  if (region.io && mmio_read_) {
+    raw = mmio_read_(addr, size);
+  } else {
+    raw = 0;
+    for (int i = size - 1; i >= 0; --i) {
+      raw = (raw << 8) | load_byte(addr + static_cast<std::uint32_t>(i));
+    }
+  }
+  if (sign_extend) {
+    if (size == 1) return static_cast<std::uint32_t>(static_cast<std::int8_t>(raw));
+    if (size == 2) return static_cast<std::uint32_t>(static_cast<std::int16_t>(raw));
+  }
+  return raw;
+}
+
+void Simulator::store(std::uint32_t addr, int size, std::uint32_t value) {
+  for (int i = 0; i < size; ++i) {
+    store_byte(addr + static_cast<std::uint32_t>(i), static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+}
+
+SimResult Simulator::run(const SimOptions& options) { return run_from(image_.entry(), options); }
+
+SimResult Simulator::run_from(std::uint32_t pc, const SimOptions& options) {
+  SimResult result;
+  icache_.flush();
+  dcache_.flush();
+
+  const auto trap = [&](const std::string& reason) {
+    result.stop = SimResult::Stop::trapped;
+    std::ostringstream os;
+    os << reason << " at pc=" << image_.describe(pc);
+    result.trap_reason = os.str();
+    return result;
+  };
+
+  while (result.instructions < options.max_steps) {
+    if ((pc & 3) != 0) return trap("misaligned pc");
+    const auto word = image_.read_word(pc);
+    if (!word) return trap("fetch from unmapped address");
+    const auto inst_opt = isa::decode(*word);
+    if (!inst_opt) return trap("invalid opcode");
+    const Inst inst = *inst_opt;
+
+    // --- Timing: fetch.
+    const mem::Region& fetch_region = hw_.memory.region_for(pc);
+    bool fetch_hit = false;
+    if (fetch_region.cacheable && hw_.icache.enabled) {
+      fetch_hit = icache_.access(pc);
+    }
+    result.cycles += mem::fetch_cycles(fetch_hit, fetch_region.read_latency);
+    result.cycles += mem::base_cycles(inst.op, hw_.pipeline);
+
+    ++result.instructions;
+    if (options.collect_exec_counts) ++result.exec_counts[pc];
+
+    const auto rs1 = regs_[inst.rs1];
+    const auto rs2 = regs_[inst.rs2];
+    const auto set_rd = [&](std::uint32_t value) {
+      if (inst.rd != isa::reg_zero) regs_[inst.rd] = value;
+    };
+    std::uint32_t next_pc = pc + 4;
+    bool taken = false;
+
+    switch (inst.op) {
+    case Opcode::add: set_rd(rs1 + rs2); break;
+    case Opcode::sub: set_rd(rs1 - rs2); break;
+    case Opcode::and_: set_rd(rs1 & rs2); break;
+    case Opcode::or_: set_rd(rs1 | rs2); break;
+    case Opcode::xor_: set_rd(rs1 ^ rs2); break;
+    case Opcode::sll: set_rd(rs1 << (rs2 & 31)); break;
+    case Opcode::srl: set_rd(rs1 >> (rs2 & 31)); break;
+    case Opcode::sra:
+      set_rd(static_cast<std::uint32_t>(static_cast<std::int32_t>(rs1) >> (rs2 & 31)));
+      break;
+    case Opcode::slt:
+      set_rd(static_cast<std::int32_t>(rs1) < static_cast<std::int32_t>(rs2) ? 1 : 0);
+      break;
+    case Opcode::sltu: set_rd(rs1 < rs2 ? 1 : 0); break;
+    case Opcode::mul: set_rd(rs1 * rs2); break;
+    case Opcode::mulhu:
+      set_rd(static_cast<std::uint32_t>(
+          (static_cast<std::uint64_t>(rs1) * static_cast<std::uint64_t>(rs2)) >> 32));
+      break;
+    case Opcode::divu: set_rd(rs2 == 0 ? 0 : rs1 / rs2); break;
+    case Opcode::remu: set_rd(rs2 == 0 ? rs1 : rs1 % rs2); break;
+    case Opcode::div_: {
+      const auto a = static_cast<std::int32_t>(rs1);
+      const auto b = static_cast<std::int32_t>(rs2);
+      std::int32_t q = 0;
+      if (b == 0) q = 0;
+      else if (a == INT32_MIN && b == -1) q = INT32_MIN;
+      else q = a / b;
+      set_rd(static_cast<std::uint32_t>(q));
+      break;
+    }
+    case Opcode::rem_: {
+      const auto a = static_cast<std::int32_t>(rs1);
+      const auto b = static_cast<std::int32_t>(rs2);
+      std::int32_t r = 0;
+      if (b == 0) r = a;
+      else if (a == INT32_MIN && b == -1) r = 0;
+      else r = a % b;
+      set_rd(static_cast<std::uint32_t>(r));
+      break;
+    }
+    case Opcode::cmovz:
+      if (rs2 == 0) set_rd(rs1);
+      break;
+    case Opcode::cmovnz:
+      if (rs2 != 0) set_rd(rs1);
+      break;
+    case Opcode::addi: set_rd(rs1 + static_cast<std::uint32_t>(inst.imm)); break;
+    case Opcode::andi: set_rd(rs1 & static_cast<std::uint32_t>(inst.imm)); break;
+    case Opcode::ori: set_rd(rs1 | static_cast<std::uint32_t>(inst.imm)); break;
+    case Opcode::xori: set_rd(rs1 ^ static_cast<std::uint32_t>(inst.imm)); break;
+    case Opcode::slli: set_rd(rs1 << (inst.imm & 31)); break;
+    case Opcode::srli: set_rd(rs1 >> (inst.imm & 31)); break;
+    case Opcode::srai:
+      set_rd(static_cast<std::uint32_t>(static_cast<std::int32_t>(rs1) >> (inst.imm & 31)));
+      break;
+    case Opcode::slti:
+      set_rd(static_cast<std::int32_t>(rs1) < static_cast<std::int32_t>(inst.imm) ? 1 : 0);
+      break;
+    case Opcode::sltiu:
+      set_rd(rs1 < static_cast<std::uint32_t>(inst.imm) ? 1 : 0);
+      break;
+    case Opcode::lui: set_rd(static_cast<std::uint32_t>(inst.imm) << 16); break;
+    case Opcode::lw:
+    case Opcode::lh:
+    case Opcode::lhu:
+    case Opcode::lb:
+    case Opcode::lbu: {
+      const std::uint32_t addr = rs1 + static_cast<std::uint32_t>(inst.imm);
+      const int size = inst.access_size();
+      if (addr % static_cast<std::uint32_t>(size) != 0) return trap("misaligned load");
+      const bool sign = inst.op == Opcode::lh || inst.op == Opcode::lb;
+      bool io = false;
+      const std::uint32_t value = load(addr, size, sign, io);
+      const mem::Region& region = hw_.memory.region_for(addr);
+      bool hit = false;
+      if (!io && region.cacheable && hw_.dcache.enabled) hit = dcache_.access(addr);
+      result.cycles += mem::load_cycles(hit, region.read_latency);
+      set_rd(value);
+      break;
+    }
+    case Opcode::sw:
+    case Opcode::sh:
+    case Opcode::sb: {
+      const std::uint32_t addr = rs1 + static_cast<std::uint32_t>(inst.imm);
+      const int size = inst.access_size();
+      if (addr % static_cast<std::uint32_t>(size) != 0) return trap("misaligned store");
+      const mem::Region& region = hw_.memory.region_for(addr);
+      if (!region.io) store(addr, size, regs_[inst.rd]);
+      result.cycles += mem::store_cycles(region.write_latency);
+      break;
+    }
+    case Opcode::beq: taken = rs1 == rs2; break;
+    case Opcode::bne: taken = rs1 != rs2; break;
+    case Opcode::blt:
+      taken = static_cast<std::int32_t>(rs1) < static_cast<std::int32_t>(rs2);
+      break;
+    case Opcode::bge:
+      taken = static_cast<std::int32_t>(rs1) >= static_cast<std::int32_t>(rs2);
+      break;
+    case Opcode::bltu: taken = rs1 < rs2; break;
+    case Opcode::bgeu: taken = rs1 >= rs2; break;
+    case Opcode::jal:
+      set_rd(pc + 4);
+      next_pc = inst.target(pc);
+      break;
+    case Opcode::jalr: {
+      const std::uint32_t target = (rs1 + static_cast<std::uint32_t>(inst.imm)) & ~3u;
+      set_rd(pc + 4);
+      next_pc = target;
+      break;
+    }
+    case Opcode::ecall: {
+      const auto fn = static_cast<isa::EcallFn>(regs_[isa::reg_a0]);
+      if (fn == isa::EcallFn::exit) {
+        result.stop = SimResult::Stop::exited;
+        result.exit_code = regs_[isa::reg_a1];
+        result.cycles += mem::control_penalty(inst, true, hw_.pipeline);
+        return result;
+      }
+      if (fn == isa::EcallFn::putchar) {
+        result.output.push_back(static_cast<char>(regs_[isa::reg_a1]));
+      }
+      break;
+    }
+    case Opcode::halt:
+      result.stop = SimResult::Stop::halted;
+      return result;
+    }
+
+    if (inst.is_conditional_branch() && taken) next_pc = inst.target(pc);
+    result.cycles += mem::control_penalty(inst, taken, hw_.pipeline);
+    pc = next_pc;
+  }
+  result.stop = SimResult::Stop::step_limit;
+  result.trap_reason = "step limit reached";
+  return result;
+}
+
+} // namespace wcet::sim

@@ -1,0 +1,82 @@
+// tiny32 simulator: functional semantics plus cycle accounting under the
+// shared hardware timing model (mem/hwmodel.hpp). The simulator is the
+// experiment ground truth: observed cycle counts from here are compared
+// against statically computed WCET/BCET bounds.
+//
+// Caches start cold (empty) at run(); the abstract cache analysis makes
+// the same assumption.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "isa/image.hpp"
+#include "isa/tiny32.hpp"
+#include "mem/cache.hpp"
+#include "mem/hwmodel.hpp"
+
+namespace wcet::sim {
+
+struct SimOptions {
+  std::uint64_t max_steps = 50'000'000;
+  bool collect_exec_counts = false; // per-pc instruction execution counts
+};
+
+struct SimResult {
+  enum class Stop { halted, exited, trapped, step_limit };
+  Stop stop = Stop::halted;
+  std::uint32_t exit_code = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  std::string trap_reason;
+  std::string output; // bytes written via the putchar ecall
+  std::unordered_map<std::uint32_t, std::uint64_t> exec_counts;
+
+  bool completed() const { return stop == Stop::halted || stop == Stop::exited; }
+};
+
+class Simulator {
+public:
+  Simulator(const isa::Image& image, const mem::HwConfig& hw);
+  ~Simulator(); // out of line: Page is an incomplete type here
+
+  // Pre-run state injection (task inputs).
+  void set_register(std::uint8_t reg, std::uint32_t value);
+  std::uint32_t register_value(std::uint8_t reg) const;
+  void write_word(std::uint32_t addr, std::uint32_t value);
+  void write_bytes(std::uint32_t addr, std::span<const std::uint8_t> bytes);
+  std::uint32_t read_word(std::uint32_t addr);
+
+  // Reads from io regions are routed here (device simulation); the
+  // default handler returns 0.
+  using MmioRead = std::function<std::uint32_t(std::uint32_t addr, int size)>;
+  void set_mmio_read(MmioRead handler) { mmio_read_ = std::move(handler); }
+
+  // Run from the image entry (or an explicit pc) until halt/exit/trap.
+  // Registers keep their injected values; caches and cycle counters are
+  // reset at the start of each run.
+  SimResult run(const SimOptions& options = {});
+  SimResult run_from(std::uint32_t pc, const SimOptions& options = {});
+
+private:
+  struct Page;
+  std::uint8_t load_byte(std::uint32_t addr);
+  void store_byte(std::uint32_t addr, std::uint8_t value);
+  std::uint32_t load(std::uint32_t addr, int size, bool sign_extend, bool& io);
+  void store(std::uint32_t addr, int size, std::uint32_t value);
+  Page& page_for(std::uint32_t addr);
+
+  const isa::Image& image_;
+  mem::HwConfig hw_;
+  mem::Cache icache_;
+  mem::Cache dcache_;
+  std::uint32_t regs_[isa::num_registers] = {};
+  std::unordered_map<std::uint32_t, std::unique_ptr<Page>> pages_;
+  MmioRead mmio_read_;
+};
+
+} // namespace wcet::sim

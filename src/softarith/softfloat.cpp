@@ -1,0 +1,261 @@
+#include "softarith/softfloat.hpp"
+
+#include <cstring>
+
+namespace wcet::softarith {
+
+namespace {
+
+constexpr std::uint32_t sign_bit = 0x80000000u;
+
+struct Unpacked {
+  std::uint32_t sign = 0; // 0 or 1
+  std::int32_t exp = 0;   // unbiased
+  std::uint32_t frac = 0; // 24-bit significand with implicit bit, or 0
+  bool is_zero = false;
+  bool is_inf = false;
+  bool is_nan = false;
+};
+
+Unpacked unpack(std::uint32_t bits) {
+  Unpacked u;
+  u.sign = bits >> 31;
+  const std::uint32_t exp_field = (bits >> 23) & 0xFF;
+  const std::uint32_t frac_field = bits & 0x7FFFFF;
+  if (exp_field == 0) {
+    // Zero or subnormal; subnormals are treated as zero (DAZ).
+    u.is_zero = true;
+  } else if (exp_field == 0xFF) {
+    if (frac_field == 0) u.is_inf = true;
+    else u.is_nan = true;
+  } else {
+    u.exp = static_cast<std::int32_t>(exp_field) - 127;
+    u.frac = frac_field | 0x800000;
+  }
+  return u;
+}
+
+std::uint32_t pack_zero(std::uint32_t sign) { return sign << 31; }
+std::uint32_t pack_inf(std::uint32_t sign) { return (sign << 31) | 0x7F800000u; }
+
+// Round and pack a result given sign, unbiased exponent for a significand
+// normalized to [2^23, 2^24), and a 24+3-bit significand where the low 3
+// bits are guard/round/sticky.
+std::uint32_t round_pack(std::uint32_t sign, std::int32_t exp, std::uint32_t sig_grs) {
+  // Round to nearest even on the 3 GRS bits.
+  std::uint32_t sig = sig_grs >> 3;
+  const std::uint32_t grs = sig_grs & 7;
+  if (grs > 4 || (grs == 4 && (sig & 1) != 0)) ++sig;
+  if (sig == 0x1000000) { // rounding overflowed into the next binade
+    sig >>= 1;
+    ++exp;
+  }
+  if (exp > 127) return pack_inf(sign);
+  if (exp < -126) return pack_zero(sign); // FTZ
+  return (sign << 31) | (static_cast<std::uint32_t>(exp + 127) << 23) | (sig & 0x7FFFFF);
+}
+
+// Shift right collecting sticky into bit 0.
+std::uint32_t shift_right_sticky(std::uint32_t value, std::int32_t amount) {
+  if (amount <= 0) return value;
+  if (amount > 31) return value != 0 ? 1u : 0u;
+  const std::uint32_t shifted = value >> amount;
+  const std::uint32_t lost = value & ((1u << amount) - 1);
+  return shifted | (lost != 0 ? 1u : 0u);
+}
+
+int count_leading_zeros(std::uint32_t v) {
+  if (v == 0) return 32;
+  int n = 0;
+  while ((v & 0x80000000u) == 0) {
+    v <<= 1;
+    ++n;
+  }
+  return n;
+}
+
+} // namespace
+
+std::uint32_t f32_add(std::uint32_t a_bits, std::uint32_t b_bits) {
+  const Unpacked a = unpack(a_bits);
+  const Unpacked b = unpack(b_bits);
+  if (a.is_nan || b.is_nan) return f32_quiet_nan;
+  if (a.is_inf && b.is_inf) {
+    return a.sign == b.sign ? pack_inf(a.sign) : f32_quiet_nan;
+  }
+  if (a.is_inf) return pack_inf(a.sign);
+  if (b.is_inf) return pack_inf(b.sign);
+  if (a.is_zero && b.is_zero) {
+    // (+0) + (-0) == +0 under RNE.
+    return a.sign == b.sign ? pack_zero(a.sign) : pack_zero(0);
+  }
+  if (a.is_zero) return b_bits & ~0u;
+  if (b.is_zero) return a_bits & ~0u;
+
+  // Order so that x has the larger magnitude (exp, then frac).
+  Unpacked x = a;
+  Unpacked y = b;
+  if (y.exp > x.exp || (y.exp == x.exp && y.frac > x.frac)) {
+    x = b;
+    y = a;
+  }
+  // Significands with 3 GRS bits.
+  std::uint32_t xs = x.frac << 3;
+  std::uint32_t ys = shift_right_sticky(y.frac << 3, x.exp - y.exp);
+  std::int32_t exp = x.exp;
+  std::uint32_t sig;
+  std::uint32_t sign = x.sign;
+  if (x.sign == y.sign) {
+    sig = xs + ys;
+    if (sig >= (1u << 27)) { // carried past 2^24 (with GRS): renormalize
+      sig = shift_right_sticky(sig, 1);
+      ++exp;
+    }
+  } else {
+    sig = xs - ys;
+    if (sig == 0) return pack_zero(0);
+    const int shift = count_leading_zeros(sig) - (32 - 27);
+    if (shift > 0) {
+      sig <<= shift;
+      exp -= shift;
+    }
+  }
+  return round_pack(sign, exp, sig);
+}
+
+std::uint32_t f32_sub(std::uint32_t a, std::uint32_t b) {
+  return f32_add(a, b ^ sign_bit);
+}
+
+std::uint32_t f32_mul(std::uint32_t a_bits, std::uint32_t b_bits) {
+  const Unpacked a = unpack(a_bits);
+  const Unpacked b = unpack(b_bits);
+  const std::uint32_t sign = a.sign ^ b.sign;
+  if (a.is_nan || b.is_nan) return f32_quiet_nan;
+  if (a.is_inf || b.is_inf) {
+    if (a.is_zero || b.is_zero) return f32_quiet_nan; // 0 * inf
+    return pack_inf(sign);
+  }
+  if (a.is_zero || b.is_zero) return pack_zero(sign);
+
+  std::uint64_t product =
+      static_cast<std::uint64_t>(a.frac) * static_cast<std::uint64_t>(b.frac);
+  // product in [2^46, 2^48): normalize to 24+3 bits with sticky.
+  std::int32_t exp = a.exp + b.exp;
+  if (product >= (1ull << 47)) {
+    ++exp;
+  } else {
+    product <<= 1;
+  }
+  // Keep 27 bits (24 + GRS): drop 48-27 = 21 bits with sticky.
+  const std::uint64_t dropped = product & ((1ull << 21) - 1);
+  std::uint32_t sig = static_cast<std::uint32_t>(product >> 21) | (dropped != 0 ? 1u : 0u);
+  return round_pack(sign, exp, sig);
+}
+
+std::uint32_t f32_div(std::uint32_t a_bits, std::uint32_t b_bits) {
+  const Unpacked a = unpack(a_bits);
+  const Unpacked b = unpack(b_bits);
+  const std::uint32_t sign = a.sign ^ b.sign;
+  if (a.is_nan || b.is_nan) return f32_quiet_nan;
+  if (a.is_inf) return b.is_inf ? f32_quiet_nan : pack_inf(sign);
+  if (b.is_inf) return pack_zero(sign);
+  if (b.is_zero) return a.is_zero ? f32_quiet_nan : pack_inf(sign);
+  if (a.is_zero) return pack_zero(sign);
+
+  std::int32_t exp = a.exp - b.exp;
+  // Pre-shift so the quotient lands in [2^26, 2^27) (24 + GRS bits).
+  int shift = 26;
+  if (a.frac < b.frac) {
+    shift = 27;
+    --exp;
+  }
+  const std::uint64_t dividend = static_cast<std::uint64_t>(a.frac) << shift;
+  const std::uint64_t quotient = dividend / b.frac;
+  const std::uint64_t rem = dividend % b.frac;
+  const std::uint32_t sig = static_cast<std::uint32_t>(quotient) | (rem != 0 ? 1u : 0u);
+  return round_pack(sign, exp, sig);
+}
+
+namespace {
+
+// Total order key for finite comparisons; NaN handled by callers.
+std::int64_t compare_key(std::uint32_t bits) {
+  // Treat subnormals as signed zero (DAZ), and map sign-magnitude to a
+  // monotone integer.
+  const std::uint32_t exp_field = (bits >> 23) & 0xFF;
+  std::uint32_t magnitude = bits & 0x7FFFFFFF;
+  if (exp_field == 0) magnitude = 0;
+  return (bits & sign_bit) != 0 ? -static_cast<std::int64_t>(magnitude)
+                                : static_cast<std::int64_t>(magnitude);
+}
+
+bool is_nan_bits(std::uint32_t bits) {
+  return ((bits >> 23) & 0xFF) == 0xFF && (bits & 0x7FFFFF) != 0;
+}
+
+} // namespace
+
+std::uint32_t f32_lt(std::uint32_t a, std::uint32_t b) {
+  if (is_nan_bits(a) || is_nan_bits(b)) return 0;
+  return compare_key(a) < compare_key(b) ? 1 : 0;
+}
+
+std::uint32_t f32_le(std::uint32_t a, std::uint32_t b) {
+  if (is_nan_bits(a) || is_nan_bits(b)) return 0;
+  return compare_key(a) <= compare_key(b) ? 1 : 0;
+}
+
+std::uint32_t f32_eq(std::uint32_t a, std::uint32_t b) {
+  if (is_nan_bits(a) || is_nan_bits(b)) return 0;
+  return compare_key(a) == compare_key(b) ? 1 : 0;
+}
+
+std::uint32_t f32_from_i32(std::int32_t value) {
+  if (value == 0) return 0;
+  const std::uint32_t sign = value < 0 ? 1u : 0u;
+  std::uint32_t magnitude =
+      value < 0 ? (value == INT32_MIN ? 0x80000000u : static_cast<std::uint32_t>(-value))
+                : static_cast<std::uint32_t>(value);
+  const int clz = count_leading_zeros(magnitude);
+  const std::int32_t exp = 31 - clz;
+  // Normalize so the leading bit sits at position 26 (24 + GRS - 1).
+  std::uint32_t sig;
+  if (exp <= 26) {
+    sig = magnitude << (26 - exp);
+  } else {
+    sig = shift_right_sticky(magnitude, exp - 26);
+  }
+  return round_pack(sign, exp, sig);
+}
+
+std::int32_t f32_to_i32(std::uint32_t bits) {
+  const Unpacked u = unpack(bits);
+  if (u.is_nan) return 0;
+  if (u.is_inf) return u.sign != 0 ? INT32_MIN : INT32_MAX;
+  if (u.is_zero) return 0;
+  if (u.exp < 0) return 0; // |value| < 1 truncates to 0
+  if (u.exp > 30) return u.sign != 0 ? INT32_MIN : INT32_MAX;
+  std::uint32_t magnitude;
+  if (u.exp >= 23) {
+    magnitude = u.frac << (u.exp - 23);
+  } else {
+    magnitude = u.frac >> (23 - u.exp);
+  }
+  return u.sign != 0 ? -static_cast<std::int32_t>(magnitude)
+                     : static_cast<std::int32_t>(magnitude);
+}
+
+std::uint32_t f32_bits(float value) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &value, sizeof bits);
+  return bits;
+}
+
+float f32_value(std::uint32_t bits) {
+  float value;
+  std::memcpy(&value, &bits, sizeof value);
+  return value;
+}
+
+} // namespace wcet::softarith

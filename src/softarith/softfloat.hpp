@@ -1,0 +1,39 @@
+// Software binary32 floating point (paper Section 4.3, "Software
+// Arithmetic"): the tiny32 target has no FPU — like the HCS12X, and like
+// the MPC5554 for double precision — so float operations in compiled
+// code lower to these routines.
+//
+// Scope: normal numbers, zeros, infinities and NaNs with round-to-
+// nearest-even. Subnormal results are flushed to zero and subnormal
+// inputs are treated as zero (FTZ/DAZ — documented deviation from IEEE
+// 754, common in embedded soft-float libraries). Tests compare against
+// hardware floats on operands where FTZ does not bite.
+//
+// Values are bit patterns (std::uint32_t), never host floats — the
+// library must behave identically on any host.
+#pragma once
+
+#include <cstdint>
+
+namespace wcet::softarith {
+
+inline constexpr std::uint32_t f32_quiet_nan = 0x7FC00000u;
+
+std::uint32_t f32_add(std::uint32_t a, std::uint32_t b);
+std::uint32_t f32_sub(std::uint32_t a, std::uint32_t b);
+std::uint32_t f32_mul(std::uint32_t a, std::uint32_t b);
+std::uint32_t f32_div(std::uint32_t a, std::uint32_t b);
+
+// Comparisons return 0/1; any NaN operand makes lt/le/eq return 0.
+std::uint32_t f32_lt(std::uint32_t a, std::uint32_t b);
+std::uint32_t f32_le(std::uint32_t a, std::uint32_t b);
+std::uint32_t f32_eq(std::uint32_t a, std::uint32_t b);
+
+std::uint32_t f32_from_i32(std::int32_t value);
+std::int32_t f32_to_i32(std::uint32_t value); // truncates toward zero
+
+// Convenience for tests: reinterpret a host float's bits.
+std::uint32_t f32_bits(float value);
+float f32_value(std::uint32_t bits);
+
+} // namespace wcet::softarith

@@ -1,0 +1,13 @@
+#include "support/diag.hpp"
+
+#include <sstream>
+
+namespace wcet {
+
+void internal_fail(const char* file, int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "internal error at " << file << ':' << line << ": " << msg;
+  throw InternalError(os.str());
+}
+
+} // namespace wcet

@@ -1,0 +1,42 @@
+// Diagnostics: error types and check helpers shared by all modules.
+//
+// Errors that indicate a malformed input (bad assembly, bad annotation
+// file, bad C source) throw InputError; internal invariant violations
+// throw InternalError. Analysis outcomes that are expected in normal
+// operation (e.g. "loop bound not found") are *results*, not errors, and
+// are modeled as data, never as exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace wcet {
+
+// Malformed user input (source text, annotation text, binary image).
+class InputError : public std::runtime_error {
+public:
+  explicit InputError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Broken internal invariant; indicates a bug in this library.
+class InternalError : public std::logic_error {
+public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+// Resource limit exceeded during analysis (ILP overflow, context blowup).
+class AnalysisError : public std::runtime_error {
+public:
+  explicit AnalysisError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void internal_fail(const char* file, int line, const std::string& msg);
+
+// Invariant check that stays enabled in release builds: analysis
+// soundness must never silently degrade.
+#define WCET_CHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) ::wcet::internal_fail(__FILE__, __LINE__, (msg));         \
+  } while (false)
+
+} // namespace wcet

@@ -1,0 +1,303 @@
+#include "support/ilp.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/diag.hpp"
+
+namespace wcet {
+
+int IlpProblem::add_variable(std::string name) {
+  names_.push_back(std::move(name));
+  objective_.emplace_back(0);
+  return static_cast<int>(names_.size()) - 1;
+}
+
+void IlpProblem::set_objective(int var, Rational coeff) {
+  objective_[static_cast<std::size_t>(var)] = std::move(coeff);
+}
+
+void IlpProblem::add_constraint(std::vector<LinTerm> terms, Cmp cmp, Rational rhs) {
+  for (const auto& t : terms) {
+    WCET_CHECK(t.var >= 0 && t.var < num_variables(), "constraint references unknown variable");
+  }
+  rows_.push_back(Row{std::move(terms), cmp, std::move(rhs)});
+}
+
+namespace {
+
+// Dense simplex tableau with explicit basis bookkeeping.
+class Tableau {
+public:
+  Tableau(std::size_t rows, std::size_t cols) : cols_(cols), cells_(rows * cols) {}
+
+  Rational& at(std::size_t r, std::size_t c) { return cells_[r * cols_ + c]; }
+  const Rational& at(std::size_t r, std::size_t c) const { return cells_[r * cols_ + c]; }
+
+  void pivot(std::size_t pr, std::size_t pc, std::size_t num_rows) {
+    const Rational inv = Rational(1) / at(pr, pc);
+    for (std::size_t c = 0; c < cols_; ++c) at(pr, c) *= inv;
+    for (std::size_t r = 0; r < num_rows; ++r) {
+      if (r == pr) continue;
+      const Rational factor = at(r, pc);
+      if (factor.is_zero()) continue;
+      for (std::size_t c = 0; c < cols_; ++c) {
+        at(r, c) -= factor * at(pr, c);
+      }
+    }
+  }
+
+private:
+  std::size_t cols_;
+  std::vector<Rational> cells_;
+};
+
+} // namespace
+
+LpSolution IlpProblem::solve_lp() const { return solve_lp_with({}); }
+
+LpSolution IlpProblem::solve_lp_with(const std::vector<Row>& extra) const {
+  const std::size_t n = static_cast<std::size_t>(num_variables());
+  std::vector<Row> rows = rows_;
+  rows.insert(rows.end(), extra.begin(), extra.end());
+  const std::size_t m = rows.size();
+
+  // Normalize: rhs >= 0.
+  for (auto& row : rows) {
+    if (row.rhs.is_negative()) {
+      row.rhs = -row.rhs;
+      for (auto& t : row.terms) t.coeff = -t.coeff;
+      if (row.cmp == Cmp::le) row.cmp = Cmp::ge;
+      else if (row.cmp == Cmp::ge) row.cmp = Cmp::le;
+    }
+  }
+
+  // Column layout: [structural n][slack/surplus per row][artificial per
+  // row as needed][rhs].
+  std::size_t num_slack = 0;
+  std::size_t num_art = 0;
+  for (const auto& row : rows) {
+    if (row.cmp != Cmp::eq) ++num_slack;
+    if (row.cmp != Cmp::le) ++num_art;
+  }
+  const std::size_t total_cols = n + num_slack + num_art + 1;
+  const std::size_t rhs_col = total_cols - 1;
+  const std::size_t obj_row = m; // one extra row for reduced costs
+
+  Tableau tab(m + 1, total_cols);
+  std::vector<std::size_t> basis(m);
+  std::vector<bool> is_artificial(total_cols, false);
+
+  std::size_t next_slack = n;
+  std::size_t next_art = n + num_slack;
+  for (std::size_t r = 0; r < m; ++r) {
+    for (const auto& t : rows[r].terms) {
+      tab.at(r, static_cast<std::size_t>(t.var)) += t.coeff;
+    }
+    tab.at(r, rhs_col) = rows[r].rhs;
+    switch (rows[r].cmp) {
+    case Cmp::le:
+      tab.at(r, next_slack) = Rational(1);
+      basis[r] = next_slack++;
+      break;
+    case Cmp::ge:
+      tab.at(r, next_slack) = Rational(-1);
+      ++next_slack;
+      tab.at(r, next_art) = Rational(1);
+      is_artificial[next_art] = true;
+      basis[r] = next_art++;
+      break;
+    case Cmp::eq:
+      tab.at(r, next_art) = Rational(1);
+      is_artificial[next_art] = true;
+      basis[r] = next_art++;
+      break;
+    }
+  }
+
+  const auto run_simplex = [&](bool allow_artificials) -> bool {
+    // Returns false on unboundedness. Bland's rule: smallest eligible
+    // column index enters, row with smallest basic variable leaves.
+    for (;;) {
+      std::size_t enter = total_cols;
+      for (std::size_t c = 0; c + 1 < total_cols; ++c) {
+        if (!allow_artificials && is_artificial[c]) continue;
+        if (tab.at(obj_row, c).is_positive()) {
+          enter = c;
+          break;
+        }
+      }
+      if (enter == total_cols) return true; // optimal
+      std::size_t leave = m;
+      Rational best_ratio;
+      for (std::size_t r = 0; r < m; ++r) {
+        const Rational& a = tab.at(r, enter);
+        if (!a.is_positive()) continue;
+        const Rational ratio = tab.at(r, rhs_col) / a;
+        if (leave == m || ratio < best_ratio ||
+            (ratio == best_ratio && basis[r] < basis[leave])) {
+          leave = r;
+          best_ratio = ratio;
+        }
+      }
+      if (leave == m) return false; // unbounded
+      tab.pivot(leave, enter, m + 1);
+      basis[leave] = enter;
+    }
+  };
+
+  // Phase 1: maximize -(sum of artificials) == drive them to zero.
+  if (num_art > 0) {
+    for (std::size_t c = 0; c < total_cols; ++c) {
+      if (is_artificial[c]) tab.at(obj_row, c) = Rational(-1);
+    }
+    // Make reduced costs consistent with the initial basis (price out
+    // the artificial basic columns).
+    for (std::size_t r = 0; r < m; ++r) {
+      if (is_artificial[basis[r]]) {
+        for (std::size_t c = 0; c < total_cols; ++c) {
+          tab.at(obj_row, c) += tab.at(r, c);
+        }
+      }
+    }
+    const bool bounded = run_simplex(true);
+    WCET_CHECK(bounded, "phase-1 LP cannot be unbounded");
+    if (!tab.at(obj_row, rhs_col).is_zero()) {
+      LpSolution s;
+      s.status = LpSolution::Status::infeasible;
+      return s;
+    }
+    // Pivot any artificial still in the basis (at value zero) out.
+    for (std::size_t r = 0; r < m; ++r) {
+      if (!is_artificial[basis[r]]) continue;
+      std::size_t enter = total_cols;
+      for (std::size_t c = 0; c + 1 < total_cols; ++c) {
+        if (!is_artificial[c] && !tab.at(r, c).is_zero()) {
+          enter = c;
+          break;
+        }
+      }
+      if (enter != total_cols) {
+        tab.pivot(r, enter, m + 1);
+        basis[r] = enter;
+      }
+      // Otherwise the row is all-zero over real columns: redundant row;
+      // the artificial stays basic at value zero, which is harmless.
+    }
+    // Reset objective row for phase 2.
+    for (std::size_t c = 0; c < total_cols; ++c) tab.at(obj_row, c) = Rational(0);
+  }
+
+  // Phase 2: maximize the real objective. Objective row holds
+  // c_j - z_j; start from c and price out basic columns. Artificial
+  // columns are barred from entering the basis (run_simplex(false)):
+  // blocking at the pivot rule is the only robust way — any objective-row
+  // penalty on them gets rewritten by pricing.
+  for (std::size_t j = 0; j < n; ++j) tab.at(obj_row, j) = objective_[j];
+  for (std::size_t r = 0; r < m; ++r) {
+    const Rational cb = basis[r] < n ? objective_[basis[r]] : Rational(0);
+    if (cb.is_zero()) continue;
+    for (std::size_t c = 0; c < total_cols; ++c) {
+      tab.at(obj_row, c) -= cb * tab.at(r, c);
+    }
+  }
+
+  if (!run_simplex(false)) {
+    LpSolution s;
+    s.status = LpSolution::Status::unbounded;
+    return s;
+  }
+
+  LpSolution s;
+  s.status = LpSolution::Status::optimal;
+  s.values.assign(n, Rational(0));
+  for (std::size_t r = 0; r < m; ++r) {
+    if (basis[r] < n) s.values[basis[r]] = tab.at(r, rhs_col);
+  }
+  s.objective = Rational(0);
+  for (std::size_t j = 0; j < n; ++j) s.objective += objective_[j] * s.values[j];
+  return s;
+}
+
+void IlpProblem::branch_and_bound(std::vector<Row>& extra, LpSolution& best,
+                                  int& nodes_left, bool& hit_limit) const {
+  if (nodes_left <= 0) {
+    hit_limit = true;
+    return;
+  }
+  --nodes_left;
+  const LpSolution relax = solve_lp_with(extra);
+  if (relax.status == LpSolution::Status::unbounded) {
+    best = relax;
+    return;
+  }
+  if (!relax.ok()) return;
+  if (best.ok() && relax.objective <= best.objective) return; // bound
+  // Find a fractional variable.
+  int frac_var = -1;
+  for (int j = 0; j < num_variables(); ++j) {
+    if (!relax.values[static_cast<std::size_t>(j)].is_integer()) {
+      frac_var = j;
+      break;
+    }
+  }
+  if (frac_var < 0) {
+    if (!best.ok() || relax.objective > best.objective) best = relax;
+    return;
+  }
+  const Rational v = relax.values[static_cast<std::size_t>(frac_var)];
+  // Ceil branch first: for maximization it tends to find the incumbent
+  // faster on counting problems.
+  extra.push_back(Row{{{frac_var, Rational(1)}}, Cmp::ge, Rational(v.ceil64())});
+  branch_and_bound(extra, best, nodes_left, hit_limit);
+  extra.pop_back();
+  if (best.status == LpSolution::Status::unbounded) return;
+  extra.push_back(Row{{{frac_var, Rational(1)}}, Cmp::le, Rational(v.floor64())});
+  branch_and_bound(extra, best, nodes_left, hit_limit);
+  extra.pop_back();
+}
+
+LpSolution IlpProblem::solve_ilp(int node_limit) const {
+  std::vector<Row> extra;
+  LpSolution best;
+  best.status = LpSolution::Status::infeasible;
+  int nodes_left = node_limit;
+  bool hit_limit = false;
+  branch_and_bound(extra, best, nodes_left, hit_limit);
+  if (!best.ok() && hit_limit) {
+    best.status = LpSolution::Status::node_limit;
+  }
+  return best;
+}
+
+std::string IlpProblem::to_string() const {
+  std::ostringstream os;
+  os << "maximize";
+  bool first = true;
+  for (int j = 0; j < num_variables(); ++j) {
+    const auto& c = objective_[static_cast<std::size_t>(j)];
+    if (c.is_zero()) continue;
+    os << (first ? " " : " + ") << c.to_string() << ' ' << names_[static_cast<std::size_t>(j)];
+    first = false;
+  }
+  os << "\nsubject to\n";
+  for (const auto& row : rows_) {
+    bool f = true;
+    for (const auto& t : row.terms) {
+      os << (f ? "  " : " + ") << t.coeff.to_string() << ' '
+         << names_[static_cast<std::size_t>(t.var)];
+      f = false;
+    }
+    switch (row.cmp) {
+    case Cmp::le: os << " <= "; break;
+    case Cmp::ge: os << " >= "; break;
+    case Cmp::eq: os << " == "; break;
+    }
+    os << row.rhs.to_string() << '\n';
+  }
+  return os.str();
+}
+
+} // namespace wcet

@@ -1,0 +1,70 @@
+// Exact linear programming (two-phase primal simplex on rationals) with
+// branch & bound for integrality. This is the solver behind IPET path
+// analysis: maximize the execution-count-weighted sum of basic-block
+// times subject to flow conservation and loop/flow-fact constraints.
+//
+// Problems produced by IPET are small (hundreds of variables); the
+// solver favours exactness and simplicity over scale. Bland's rule is
+// used throughout, so the iteration never cycles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/rational.hpp"
+
+namespace wcet {
+
+enum class Cmp { le, ge, eq };
+
+struct LinTerm {
+  int var = 0;
+  Rational coeff;
+};
+
+struct LpSolution {
+  enum class Status { optimal, infeasible, unbounded, node_limit };
+  Status status = Status::infeasible;
+  Rational objective;
+  std::vector<Rational> values; // per structural variable
+
+  bool ok() const { return status == Status::optimal; }
+};
+
+class IlpProblem {
+public:
+  // All variables are constrained to be >= 0.
+  int add_variable(std::string name);
+  int num_variables() const { return static_cast<int>(names_.size()); }
+  const std::string& variable_name(int var) const { return names_[static_cast<std::size_t>(var)]; }
+
+  void set_objective(int var, Rational coeff); // maximize sum coeff*var
+  void add_constraint(std::vector<LinTerm> terms, Cmp cmp, Rational rhs);
+  int num_constraints() const { return static_cast<int>(rows_.size()); }
+
+  // Solve the LP relaxation.
+  LpSolution solve_lp() const;
+  // Solve with integrality on all variables (branch & bound on the LP).
+  LpSolution solve_ilp(int node_limit = 20000) const;
+
+  std::string to_string() const; // LP-format dump for debugging/reports
+
+private:
+  struct Row {
+    std::vector<LinTerm> terms;
+    Cmp cmp = Cmp::le;
+    Rational rhs;
+  };
+
+  LpSolution solve_lp_with(const std::vector<Row>& extra) const;
+  void branch_and_bound(std::vector<Row>& extra, LpSolution& best, int& nodes_left,
+                        bool& hit_limit) const;
+
+  std::vector<std::string> names_;
+  std::vector<Rational> objective_;
+  std::vector<Row> rows_;
+};
+
+} // namespace wcet

@@ -1,0 +1,150 @@
+#include "support/rational.hpp"
+
+#include <ostream>
+
+#include "support/diag.hpp"
+
+namespace wcet {
+
+namespace {
+
+__int128 abs128(__int128 v) { return v < 0 ? -v : v; }
+
+__int128 gcd128(__int128 a, __int128 b) {
+  a = abs128(a);
+  b = abs128(b);
+  while (b != 0) {
+    const __int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+// Guard band: keep magnitudes well below the 128-bit limit so that a
+// single multiply in the next operation cannot wrap.
+constexpr __int128 k_magnitude_limit = static_cast<__int128>(1) << 62;
+
+std::string int128_to_string(__int128 v) {
+  if (v == 0) return "0";
+  const bool neg = v < 0;
+  __int128 a = neg ? -v : v;
+  std::string digits;
+  while (a > 0) {
+    digits.push_back(static_cast<char>('0' + static_cast<int>(a % 10)));
+    a /= 10;
+  }
+  if (neg) digits.push_back('-');
+  return {digits.rbegin(), digits.rend()};
+}
+
+} // namespace
+
+void Rational::check_magnitude(__int128 v) {
+  if (abs128(v) >= k_magnitude_limit) {
+    throw AnalysisError("rational arithmetic overflow in path analysis");
+  }
+}
+
+Rational::Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+  WCET_CHECK(den != 0, "rational with zero denominator");
+  normalize();
+}
+
+Rational Rational::from_int128(__int128 num, __int128 den) {
+  WCET_CHECK(den != 0, "rational with zero denominator");
+  Rational r;
+  r.num_ = num;
+  r.den_ = den;
+  r.normalize();
+  return r;
+}
+
+void Rational::normalize() {
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_ == 0) {
+    den_ = 1;
+    return;
+  }
+  const __int128 g = gcd128(num_, den_);
+  num_ /= g;
+  den_ /= g;
+  check_magnitude(num_);
+  check_magnitude(den_);
+}
+
+std::int64_t Rational::numerator64() const {
+  WCET_CHECK(abs128(num_) <= INT64_MAX, "rational numerator out of int64 range");
+  return static_cast<std::int64_t>(num_);
+}
+
+std::int64_t Rational::denominator64() const {
+  WCET_CHECK(den_ <= INT64_MAX, "rational denominator out of int64 range");
+  return static_cast<std::int64_t>(den_);
+}
+
+std::int64_t Rational::floor64() const {
+  __int128 q = num_ / den_;
+  if (num_ % den_ != 0 && num_ < 0) --q;
+  WCET_CHECK(abs128(q) <= INT64_MAX, "rational floor out of int64 range");
+  return static_cast<std::int64_t>(q);
+}
+
+std::int64_t Rational::ceil64() const {
+  __int128 q = num_ / den_;
+  if (num_ % den_ != 0 && num_ > 0) ++q;
+  WCET_CHECK(abs128(q) <= INT64_MAX, "rational ceil out of int64 range");
+  return static_cast<std::int64_t>(q);
+}
+
+double Rational::to_double() const {
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+Rational Rational::operator-() const { return from_int128(-num_, den_); }
+
+Rational Rational::operator+(const Rational& rhs) const {
+  return from_int128(num_ * rhs.den_ + rhs.num_ * den_, den_ * rhs.den_);
+}
+
+Rational Rational::operator-(const Rational& rhs) const {
+  return from_int128(num_ * rhs.den_ - rhs.num_ * den_, den_ * rhs.den_);
+}
+
+Rational Rational::operator*(const Rational& rhs) const {
+  // Cross-reduce before multiplying to keep magnitudes small.
+  const __int128 g1 = gcd128(num_, rhs.den_);
+  const __int128 g2 = gcd128(rhs.num_, den_);
+  const __int128 n1 = g1 == 0 ? num_ : num_ / g1;
+  const __int128 d2 = g1 == 0 ? rhs.den_ : rhs.den_ / g1;
+  const __int128 n2 = g2 == 0 ? rhs.num_ : rhs.num_ / g2;
+  const __int128 d1 = g2 == 0 ? den_ : den_ / g2;
+  return from_int128(n1 * n2, d1 * d2);
+}
+
+Rational Rational::operator/(const Rational& rhs) const {
+  WCET_CHECK(rhs.num_ != 0, "rational division by zero");
+  return *this * from_int128(rhs.den_, rhs.num_);
+}
+
+bool Rational::operator<(const Rational& rhs) const {
+  return num_ * rhs.den_ < rhs.num_ * den_;
+}
+
+bool Rational::operator<=(const Rational& rhs) const {
+  return num_ * rhs.den_ <= rhs.num_ * den_;
+}
+
+std::string Rational::to_string() const {
+  if (den_ == 1) return int128_to_string(num_);
+  return int128_to_string(num_) + "/" + int128_to_string(den_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.to_string();
+}
+
+} // namespace wcet

@@ -1,0 +1,310 @@
+#include "wcet/analyzer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <sstream>
+
+#include "analysis/loop_bounds.hpp"
+#include "analysis/pipeline_analysis.hpp"
+#include "analysis/value_analysis.hpp"
+#include "cfg/domloop.hpp"
+#include "cfg/program.hpp"
+#include "cfg/supergraph.hpp"
+#include "support/diag.hpp"
+
+namespace wcet {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+} // namespace
+
+Analyzer::Analyzer(const isa::Image& image, const mem::HwConfig& hw,
+                   const std::string& annotation_text)
+    : image_(image), hw_(hw) {
+  annotations_ = annot::parse_annotations(annotation_text, image);
+  // Merge annotation regions into the memory map: annotation regions
+  // take precedence, splitting whatever base-map coverage they overlap.
+  for (const mem::Region& region : annotations_.regions) {
+    hw_.memory.add_region_override(region);
+  }
+}
+
+WcetReport Analyzer::analyze(const AnalysisOptions& options) const {
+  return analyze_entry(image_.entry(), options);
+}
+
+WcetReport Analyzer::analyze_function(const std::string& name,
+                                      const AnalysisOptions& options) const {
+  const isa::Symbol* sym = image_.find_symbol(name);
+  if (sym == nullptr) throw InputError("no such function symbol: " + name);
+  return analyze_entry(sym->addr, options);
+}
+
+WcetReport Analyzer::analyze_entry(std::uint32_t entry,
+                                   const AnalysisOptions& options) const {
+  WcetReport report;
+  const auto t_total = std::chrono::steady_clock::now();
+
+  // ---------------------------------------------------------- decoding
+  cfg::ResolutionHints hints;
+  if (options.use_annotations) hints.indirect_targets = annotations_.indirect_targets;
+
+  cfg::Supergraph::Options sg_options;
+  if (options.use_annotations) {
+    sg_options.recursion_depths = annotations_.recursion_depths;
+  }
+
+  std::unique_ptr<cfg::Program> program;
+  std::unique_ptr<cfg::Supergraph> supergraph;
+  std::unique_ptr<cfg::LoopForest> forest;
+  std::unique_ptr<cfg::Dominators> dominators;
+  std::unique_ptr<analysis::ValueAnalysis> values;
+
+  analysis::ValueAnalysis::Options va_options;
+  if (options.use_annotations) va_options.access_facts = annotations_.access_facts;
+
+  double decode_ms = 0;
+  double value_ms = 0;
+  for (int round = 0; round < std::max(1, options.max_decode_rounds); ++round) {
+    auto t = std::chrono::steady_clock::now();
+    program = std::make_unique<cfg::Program>(
+        cfg::Program::reconstruct(image_, entry, hints));
+    supergraph = std::make_unique<cfg::Supergraph>(
+        cfg::Supergraph::expand(*program, sg_options));
+    forest = std::make_unique<cfg::LoopForest>(*supergraph);
+    dominators = std::make_unique<cfg::Dominators>(*supergraph);
+    decode_ms += ms_since(t);
+
+    t = std::chrono::steady_clock::now();
+    values = std::make_unique<analysis::ValueAnalysis>(*supergraph, *forest, hw_.memory,
+                                                       va_options);
+    values->run();
+    value_ms += ms_since(t);
+
+    if (program->fully_resolved()) break;
+    // Feedback edge of Figure 1: value analysis results feed the
+    // decoder.
+    const auto resolved = values->resolved_indirect_targets();
+    bool grew = false;
+    for (const auto& [pc, targets] : resolved) {
+      auto& known = hints.indirect_targets[pc];
+      for (const std::uint32_t target : targets) {
+        if (std::find(known.begin(), known.end(), target) == known.end()) {
+          known.push_back(target);
+          grew = true;
+        }
+      }
+    }
+    if (!grew) break;
+  }
+  report.timings.decode_ms = decode_ms;
+  report.timings.value_ms = value_ms;
+
+  report.functions = static_cast<int>(program->functions().size());
+  for (const auto& [addr, fn] : program->functions()) {
+    report.blocks += static_cast<int>(fn.blocks.size());
+  }
+  report.sg_nodes = static_cast<int>(supergraph->nodes().size());
+  report.sg_edges = static_cast<int>(supergraph->edges().size());
+
+  for (const cfg::DecodeIssue& issue : program->issues()) {
+    std::ostringstream os;
+    os << "decode: " << issue.message << " at " << image_.describe(issue.pc);
+    report.obstructions.push_back(os.str());
+  }
+  for (const cfg::SupergraphIssue& issue : supergraph->issues()) {
+    std::ostringstream os;
+    os << "expansion: " << issue.message << " at " << image_.describe(issue.pc);
+    report.obstructions.push_back(os.str());
+  }
+
+  // ------------------------------------------------------- loop bounds
+  auto t = std::chrono::steady_clock::now();
+  analysis::LoopBoundAnalysis loop_analysis(*supergraph, *forest, *dominators, *values);
+  const std::vector<analysis::LoopBoundResult> loop_results = loop_analysis.run();
+
+  std::map<int, std::uint64_t> merged_bounds;
+  report.loop_count = static_cast<int>(forest->loops().size());
+  for (const cfg::Loop& loop : forest->loops()) {
+    const analysis::LoopBoundResult& lr = loop_results[static_cast<std::size_t>(loop.id)];
+    LoopInfo info;
+    const cfg::SgNode& header = supergraph->node(loop.header);
+    info.header_addr = header.block->begin;
+    info.context = supergraph->context_of(loop.header);
+    info.irreducible = loop.irreducible;
+    info.analyzed_bound = lr.bound;
+    info.detail = lr.detail;
+    if (lr.irreducible) ++report.irreducible_loops;
+
+    if (options.use_annotations) {
+      // An annotation "loop at X" applies to the innermost loop whose
+      // body covers X.
+      std::optional<std::uint64_t> annotated;
+      for (const annot::LoopBoundFact& fact : annotations_.loop_bounds) {
+        if (!fact.mode.empty() && fact.mode != options.mode) continue;
+        bool covers = false;
+        for (const int node_id : loop.nodes) {
+          const cfg::CfgBlock& block = *supergraph->node(node_id).block;
+          if (fact.addr >= block.begin && fact.addr < block.end) {
+            covers = true;
+            break;
+          }
+        }
+        if (!covers) continue;
+        // Innermost: no child loop also covers the address.
+        bool child_covers = false;
+        for (const int child : loop.children) {
+          for (const int node_id : forest->loop(child).nodes) {
+            const cfg::CfgBlock& block = *supergraph->node(node_id).block;
+            if (fact.addr >= block.begin && fact.addr < block.end) {
+              child_covers = true;
+              break;
+            }
+          }
+          if (child_covers) break;
+        }
+        if (child_covers) continue;
+        annotated = annotated ? std::min(*annotated, fact.max_iterations)
+                              : fact.max_iterations;
+      }
+      info.annotated_bound = annotated;
+    }
+
+    if (info.analyzed_bound && info.annotated_bound) {
+      info.used_bound = std::min(*info.analyzed_bound, *info.annotated_bound);
+    } else if (info.analyzed_bound) {
+      info.used_bound = info.analyzed_bound;
+    } else {
+      info.used_bound = info.annotated_bound;
+    }
+    if (info.used_bound) {
+      merged_bounds[loop.id] = *info.used_bound;
+      ++report.bounded_loops;
+    }
+    report.loops.push_back(std::move(info));
+  }
+  report.timings.loop_ms = ms_since(t);
+
+  // ---------------------------------------------------- cache analysis
+  t = std::chrono::steady_clock::now();
+  analysis::CacheAnalysis caches(*supergraph, *forest, *values, hw_.memory, hw_.icache,
+                                 hw_.dcache);
+  caches.run();
+  report.cache_stats = caches.stats();
+  report.timings.cache_ms = ms_since(t);
+
+  // ------------------------------------------------- pipeline analysis
+  t = std::chrono::steady_clock::now();
+  analysis::PipelineAnalysis pipeline(*supergraph, *values, caches, hw_);
+  pipeline.run();
+  report.timings.pipeline_ms = ms_since(t);
+
+  // ----------------------------------------------------- path analysis
+  t = std::chrono::steady_clock::now();
+  analysis::Ipet ipet(*supergraph, *forest, *values, pipeline);
+  analysis::IpetOptions ipet_options;
+  ipet_options.loop_bounds = merged_bounds;
+  if (options.use_annotations) {
+    for (const annot::FlowCapFact& cap : annotations_.flow_caps) {
+      if (cap.mode.empty() || cap.mode == options.mode) ipet_options.flow_caps.push_back(cap);
+    }
+    ipet_options.flow_ratios = annotations_.flow_ratios;
+    ipet_options.infeasible_pairs = annotations_.infeasible_pairs;
+    ipet_options.excluded_addrs = annotations_.excluded_addrs(options.mode);
+  }
+
+  ipet_options.maximize = true;
+  const analysis::IpetResult wcet_result = ipet.solve(ipet_options);
+  report.ilp_variables = wcet_result.variables;
+  report.ilp_constraints = wcet_result.constraints;
+
+  switch (wcet_result.status) {
+  case analysis::IpetResult::Status::ok:
+    report.wcet_cycles = wcet_result.bound;
+    for (const auto& [node, count] : wcet_result.node_counts) {
+      report.wcet_block_counts[supergraph->node(node).block->begin] += count;
+    }
+    break;
+  case analysis::IpetResult::Status::missing_loop_bounds:
+    for (const int loop_id : wcet_result.loops_missing_bounds) {
+      const cfg::Loop& loop = forest->loop(loop_id);
+      std::ostringstream os;
+      os << "loop bound missing for loop at "
+         << image_.describe(supergraph->node(loop.header).block->begin) << " ("
+         << supergraph->context_of(loop.header) << "): "
+         << report.loops[static_cast<std::size_t>(loop_id)].detail;
+      report.obstructions.push_back(os.str());
+    }
+    break;
+  case analysis::IpetResult::Status::infeasible:
+    report.obstructions.push_back("path analysis: ILP infeasible (contradictory flow facts?)");
+    break;
+  case analysis::IpetResult::Status::unbounded:
+    report.obstructions.push_back("path analysis: ILP unbounded (missing loop bound?)");
+    break;
+  case analysis::IpetResult::Status::node_limit:
+    report.obstructions.push_back("path analysis: branch & bound node limit reached");
+    break;
+  }
+
+  if (wcet_result.ok()) {
+    ipet_options.maximize = false;
+    const analysis::IpetResult bcet_result = ipet.solve(ipet_options);
+    if (bcet_result.ok()) report.bcet_cycles = bcet_result.bound;
+  }
+  report.timings.path_ms = ms_since(t);
+  report.timings.total_ms = ms_since(t_total);
+
+  report.ok = wcet_result.ok() && report.obstructions.empty();
+  return report;
+}
+
+std::string WcetReport::to_string() const {
+  std::ostringstream os;
+  os << "=== WCET analysis report ===\n";
+  os << (ok ? "status: OK" : "status: NO BOUND (obstructions present)") << '\n';
+  if (ok) {
+    os << "WCET bound: " << wcet_cycles << " cycles\n";
+    os << "BCET bound: " << bcet_cycles << " cycles\n";
+  }
+  for (const std::string& issue : obstructions) {
+    os << "obstruction: " << issue << '\n';
+  }
+  os << "decoding: " << functions << " functions, " << blocks << " blocks; supergraph "
+     << sg_nodes << " nodes / " << sg_edges << " edges\n";
+  os << "loops: " << loop_count << " total, " << bounded_loops << " bounded, "
+     << irreducible_loops << " irreducible\n";
+  for (const LoopInfo& loop : loops) {
+    os << "  loop @0x" << std::hex << loop.header_addr << std::dec << " [" << loop.context
+       << "]";
+    if (loop.irreducible) os << " IRREDUCIBLE";
+    if (loop.used_bound) {
+      os << " bound=" << *loop.used_bound
+         << (loop.analyzed_bound ? " (analysis" : " (annotation");
+      if (loop.analyzed_bound && loop.annotated_bound) os << "+annotation";
+      os << ")";
+    } else {
+      os << " UNBOUNDED";
+    }
+    os << " -- " << loop.detail << '\n';
+  }
+  os << "cache: ifetch AH/AM/NC/UC = " << cache_stats.fetch_hit << '/'
+     << cache_stats.fetch_miss << '/' << cache_stats.fetch_nc << '/'
+     << cache_stats.fetch_uncached << "; data AH/AM/NC/UC = " << cache_stats.data_hit
+     << '/' << cache_stats.data_miss << '/' << cache_stats.data_nc << '/'
+     << cache_stats.data_uncached << "; persistent = " << cache_stats.persistent << '\n';
+  os << "ILP: " << ilp_variables << " variables, " << ilp_constraints << " constraints\n";
+  os << "timings (ms): decode " << timings.decode_ms << ", value " << timings.value_ms
+     << ", loop " << timings.loop_ms << ", cache " << timings.cache_ms << ", pipeline "
+     << timings.pipeline_ms << ", path " << timings.path_ms << ", total "
+     << timings.total_ms << '\n';
+  return os.str();
+}
+
+} // namespace wcet

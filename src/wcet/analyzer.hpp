@@ -1,0 +1,106 @@
+// The static WCET analyzer: Figure 1 of the paper as a driver.
+//
+//   binary image
+//     -> decoding phase            (cfg::Program::reconstruct)
+//     -> loop/value analysis       (ValueAnalysis + LoopBoundAnalysis,
+//        with a feedback edge: value-analysis results resolve indirect
+//        branches and trigger a re-decode, bounded by max_decode_rounds)
+//     -> cache/pipeline analysis   (CacheAnalysis + PipelineAnalysis)
+//     -> path analysis             (Ipet)
+//     -> WCET bound + report
+//
+// Tier-one obstructions (unresolved indirect control flow, unannotated
+// recursion, unbounded reachable loops) are collected and make the
+// analysis refuse to state a bound — a silent unsound bound would
+// violate the paper's first requirement, soundness (Section 3).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/cache_analysis.hpp"
+#include "analysis/ipet.hpp"
+#include "annot/annotations.hpp"
+#include "isa/image.hpp"
+#include "mem/hwmodel.hpp"
+
+namespace wcet {
+
+struct AnalysisOptions {
+  AnalysisOptions() {}
+  std::string mode;            // operating mode; empty = all behaviours
+  bool use_annotations = true; // off: measure the un-annotated baseline
+  int max_decode_rounds = 3;   // value-analysis -> decode feedback trips
+};
+
+struct LoopInfo {
+  std::uint32_t header_addr = 0;
+  std::string context;
+  bool irreducible = false;
+  std::optional<std::uint64_t> analyzed_bound;
+  std::optional<std::uint64_t> annotated_bound;
+  std::optional<std::uint64_t> used_bound;
+  std::string detail;
+};
+
+struct PhaseTimings {
+  double decode_ms = 0;
+  double value_ms = 0;
+  double loop_ms = 0;
+  double cache_ms = 0;
+  double pipeline_ms = 0;
+  double path_ms = 0;
+  double total_ms = 0;
+};
+
+struct WcetReport {
+  bool ok = false;
+  std::uint64_t wcet_cycles = 0;
+  std::uint64_t bcet_cycles = 0;
+  std::vector<std::string> obstructions;
+
+  // Phase artifacts (the Figure-1 data stations).
+  int functions = 0;
+  int blocks = 0;
+  int sg_nodes = 0;
+  int sg_edges = 0;
+  int loop_count = 0;
+  int bounded_loops = 0;
+  int irreducible_loops = 0;
+  analysis::CacheAnalysis::Stats cache_stats;
+  int ilp_variables = 0;
+  int ilp_constraints = 0;
+  std::vector<LoopInfo> loops;
+  PhaseTimings timings;
+
+  // Execution counts on the worst-case path, summed per block address.
+  std::map<std::uint32_t, std::uint64_t> wcet_block_counts;
+
+  std::string to_string() const;
+};
+
+class Analyzer {
+public:
+  // Annotation regions are merged into a copy of `hw`'s memory map
+  // (same-name regions are replaced).
+  Analyzer(const isa::Image& image, const mem::HwConfig& hw,
+           const std::string& annotation_text = "");
+
+  const annot::AnnotationDb& annotations() const { return annotations_; }
+  const mem::HwConfig& hw() const { return hw_; }
+
+  WcetReport analyze(const AnalysisOptions& options = {}) const;
+  WcetReport analyze_entry(std::uint32_t entry, const AnalysisOptions& options = {}) const;
+  WcetReport analyze_function(const std::string& name,
+                              const AnalysisOptions& options = {}) const;
+
+private:
+  const isa::Image& image_;
+  mem::HwConfig hw_;
+  annot::AnnotationDb annotations_;
+};
+
+} // namespace wcet

@@ -1,0 +1,349 @@
+// End-to-end analyzer scenarios: annotation-driven bounds, operating
+// modes, flow facts, infeasible pairs, error-path exclusion, memory
+// region facts — each checked against simulator ground truth where a
+// run exists.
+#include <gtest/gtest.h>
+
+#include "core/toolkit.hpp"
+
+namespace wcet {
+namespace {
+
+struct Scenario {
+  isa::Image image;
+  mem::HwConfig hw;
+
+  explicit Scenario(const std::string& source, mem::HwConfig hw_config = mem::typical_hw())
+      : image(isa::assemble(source)), hw(std::move(hw_config)) {}
+
+  WcetReport analyze(const std::string& annotations = "",
+                     const AnalysisOptions& options = {}) const {
+    return Analyzer(image, hw, annotations).analyze(options);
+  }
+  sim::SimResult run(std::uint32_t a0 = 0) {
+    sim::Simulator sim(image, hw);
+    sim.set_register(isa::reg_a0, a0);
+    return sim.run();
+  }
+};
+
+TEST(Analyzer, AnnotationBoundsDataDependentLoop) {
+  Scenario s(R"(
+        .global _start
+        .global spin
+_start: movi a0, 40           ; worst-case input prepared by the test
+        call spin
+        halt
+spin:   movi t0, 0
+sloop:  addi t0, t0, 1
+        blt  t0, a0, sloop
+        ret
+)");
+  // a0 is only known at run time from the analyzer's point of view if we
+  // clear it: analyze the callee in isolation via its entry.
+  const Analyzer analyzer(s.image, s.hw, "loop at \"sloop\" max 40");
+  const WcetReport without = Analyzer(s.image, s.hw).analyze_function("spin");
+  EXPECT_FALSE(without.ok) << "data-dependent loop must need an annotation";
+  const WcetReport with = analyzer.analyze_function("spin");
+  ASSERT_TRUE(with.ok) << with.to_string();
+  ASSERT_EQ(with.loops.size(), 1u);
+  EXPECT_EQ(with.loops[0].used_bound, std::uint64_t{40});
+  EXPECT_FALSE(with.loops[0].analyzed_bound.has_value());
+}
+
+TEST(Analyzer, AnnotationTightensAnalyzedBound) {
+  // Analysis finds 100; the user asserts 10; min wins.
+  Scenario s(R"(
+        .global _start
+        .global lp
+_start: movi t0, 0
+        movi t1, 100
+lp:     addi t0, t0, 1
+        blt  t0, t1, lp
+        halt
+)");
+  const WcetReport base = s.analyze();
+  ASSERT_TRUE(base.ok);
+  const WcetReport tightened = s.analyze("loop at \"lp\" max 10");
+  ASSERT_TRUE(tightened.ok);
+  EXPECT_EQ(tightened.loops[0].used_bound, std::uint64_t{10});
+  EXPECT_LT(tightened.wcet_cycles, base.wcet_cycles);
+}
+
+TEST(Analyzer, RecursionDepthAnnotation) {
+  Scenario s(R"(
+        .global _start
+        .global fac
+_start: movi a0, 5
+        call fac
+        halt
+fac:    movi t0, 2
+        blt  a0, t0, base
+        addi sp, sp, -8
+        sw   ra, 0(sp)
+        sw   a0, 4(sp)
+        addi a0, a0, -1
+        call fac
+        lw   t1, 4(sp)
+        mul  a0, a0, t1
+        lw   ra, 0(sp)
+        addi sp, sp, 8
+        ret
+base:   movi a0, 1
+        ret
+)");
+  const WcetReport without = s.analyze();
+  EXPECT_FALSE(without.ok);
+  const WcetReport with = s.analyze("recursion \"fac\" max 6");
+  ASSERT_TRUE(with.ok) << with.to_string();
+  const auto run = s.run();
+  ASSERT_TRUE(run.completed());
+  EXPECT_LE(run.cycles, with.wcet_cycles);
+  EXPECT_GE(run.cycles, with.bcet_cycles);
+}
+
+TEST(Analyzer, OperatingModesTightenBounds) {
+  // Ground/air split controlled by a mode flag the analysis cannot see:
+  // per-mode exclusion produces two tighter bounds (paper Section 4.3).
+  Scenario s(R"(
+        .global _start
+        .global ground_work
+        .global air_work
+_start: movi t1, modeflag
+        lw   t1, 0(t1)
+        beq  t1, zero, ground
+        call air_work
+        j    done
+ground: call ground_work
+done:   halt
+
+ground_work:                 ; short path
+        movi t0, 0
+        movi t1, 5
+gl:     addi t0, t0, 1
+        blt  t0, t1, gl
+        ret
+air_work:                    ; long path
+        movi t0, 0
+        movi t1, 200
+al:     addi t0, t0, 1
+        blt  t0, t1, al
+        ret
+        .data
+        .global modeflag
+modeflag: .word 0
+)");
+  // The mode flag is loaded from RAM; a wild store never happens but the
+  // flag is in .data with initial value 0 — so plain analysis would
+  // actually prune the air path. Force both paths feasible by declaring
+  // the flag volatile-ish: override its region as io.
+  const std::string region =
+      "region \"flagio\" at " + std::to_string(s.image.find_symbol("modeflag")->addr) +
+      " size 4 read 2 write 2 io\n";
+  const WcetReport global = s.analyze(region);
+  ASSERT_TRUE(global.ok) << global.to_string();
+
+  AnalysisOptions ground_options;
+  ground_options.mode = "GROUND";
+  const WcetReport ground = s.analyze(region + "mode GROUND excludes \"air_work\"\n",
+                                      ground_options);
+  ASSERT_TRUE(ground.ok) << ground.to_string();
+
+  AnalysisOptions air_options;
+  air_options.mode = "AIR";
+  const WcetReport air =
+      s.analyze(region + "mode AIR excludes \"ground_work\"\n", air_options);
+  ASSERT_TRUE(air.ok);
+
+  EXPECT_LT(ground.wcet_cycles, global.wcet_cycles / 5)
+      << "ground mode must be far tighter than the global bound";
+  EXPECT_LE(air.wcet_cycles, global.wcet_cycles);
+  // The global bound must still cover the worse mode.
+  EXPECT_GE(global.wcet_cycles, air.wcet_cycles);
+}
+
+TEST(Analyzer, InfeasiblePairExcludesCombinedWorstCase) {
+  // Two expensive blocks that a scheduling invariant makes mutually
+  // exclusive (the paper's read/write buffer cycles).
+  Scenario s(R"(
+        .global _start
+        .global readpath
+        .global writepath
+_start: movi t1, cycleflag
+        lw   t1, 0(t1)
+        beq  t1, zero, wr
+        call readpath
+        j    done2
+wr:     call writepath
+done2:  halt
+readpath:
+        movi t0, 0
+        movi t1, 60
+rl:     addi t0, t0, 1
+        blt  t0, t1, rl
+        ret
+writepath:
+        movi t0, 0
+        movi t1, 50
+wl:     addi t0, t0, 1
+        blt  t0, t1, wl
+        ret
+        .data
+        .global cycleflag
+cycleflag: .word 0
+)");
+  const std::string region =
+      "region \"flagio\" at " + std::to_string(s.image.find_symbol("cycleflag")->addr) +
+      " size 4 read 2 write 2 io\n";
+  const WcetReport plain = s.analyze(region);
+  ASSERT_TRUE(plain.ok);
+  // Branching structure alone already excludes one path per run; the
+  // infeasible-pair constraint must not *increase* the bound, and in a
+  // flow-fact-only encoding it pins the cheaper path away:
+  const WcetReport constrained = s.analyze(
+      region + "infeasible at \"readpath\" with \"writepath\"\n");
+  ASSERT_TRUE(constrained.ok);
+  EXPECT_LE(constrained.wcet_cycles, plain.wcet_cycles);
+}
+
+TEST(Analyzer, NeverExecutedErrorPathLowersBound) {
+  Scenario s(R"(
+        .global _start
+        .global errorpath
+_start: movi t1, status
+        lw   t1, 0(t1)
+        beq  t1, zero, ok
+        call errorpath
+ok:     halt
+errorpath:
+        movi t0, 0
+        movi t1, 300
+el:     addi t0, t0, 1
+        blt  t0, t1, el
+        ret
+        .data
+        .global status
+status: .word 0
+)");
+  const std::string region =
+      "region \"statio\" at " + std::to_string(s.image.find_symbol("status")->addr) +
+      " size 4 read 2 write 2 io\n";
+  const WcetReport with_errors = s.analyze(region);
+  ASSERT_TRUE(with_errors.ok);
+  const WcetReport excluded = s.analyze(region + "never at \"errorpath\"\n");
+  ASSERT_TRUE(excluded.ok);
+  EXPECT_LT(excluded.wcet_cycles * 3, with_errors.wcet_cycles);
+}
+
+TEST(Analyzer, FlowCapConstrainsBlock) {
+  Scenario s(R"(
+        .global _start
+        .global body
+_start: movi t0, 0
+        movi t1, 100
+head:   call body
+        addi t0, t0, 1
+        blt  t0, t1, head
+        halt
+body:   ret
+)");
+  const WcetReport plain = s.analyze();
+  ASSERT_TRUE(plain.ok);
+  // The user asserts the whole task only ever runs the body 10 times.
+  const WcetReport capped = s.analyze("flow at \"body\" <= 10\n");
+  ASSERT_TRUE(capped.ok);
+  EXPECT_LT(capped.wcet_cycles, plain.wcet_cycles);
+}
+
+TEST(Analyzer, RegionAnnotationChangesLatency) {
+  // Declaring the scratch buffer to live in a slow region must raise
+  // the bound.
+  Scenario s(R"(
+        .global _start
+_start: movi t0, 0x50000
+        lw   t1, 0(t0)
+        halt
+)");
+  const WcetReport fast = s.analyze("region \"scratch\" at 0x50000 size 256 read 2 write 2\n");
+  const WcetReport slow =
+      s.analyze("region \"scratch\" at 0x50000 size 256 read 90 write 90 uncached\n");
+  ASSERT_TRUE(fast.ok);
+  ASSERT_TRUE(slow.ok);
+  EXPECT_GT(slow.wcet_cycles, fast.wcet_cycles + 80);
+}
+
+TEST(Analyzer, AccessFactConfinesDamage) {
+  // Without the fact, the wild store forces the worst memory assumption
+  // on the following load; with it, the load stays classified.
+  Scenario s(R"(
+        .global _start
+        .global buffer
+_start: movi t0, buffer
+        movi t1, 1
+        sw   t1, 0(t0)
+        sw   t1, 0(a0)        ; imprecise store (a0 unknown)
+        lw   t2, 0(t0)
+        halt
+        .data
+        .global buffer
+buffer: .word 0
+)");
+  const WcetReport without = s.analyze();
+  const WcetReport with = s.analyze("accesses \"_start\" at 0x60000 size 256\n");
+  ASSERT_TRUE(without.ok);
+  ASSERT_TRUE(with.ok);
+  EXPECT_LT(with.wcet_cycles, without.wcet_cycles);
+}
+
+TEST(Analyzer, UnresolvedIndirectBlocksBound) {
+  Scenario s(R"(
+        .global _start
+        .global h1
+        .global h2
+_start: callr t0
+        halt
+h1:     ret
+h2:     ret
+)");
+  const WcetReport without = s.analyze();
+  EXPECT_FALSE(without.ok);
+  const WcetReport with = s.analyze("targets at \"_start\" are \"h1\", \"h2\"\n");
+  ASSERT_TRUE(with.ok) << with.to_string();
+}
+
+TEST(Analyzer, WcetPathCountsAreConsistent) {
+  Scenario s(R"(
+        .global _start
+_start: movi t0, 0
+        movi t1, 7
+lp:     addi t0, t0, 1
+        blt  t0, t1, lp
+        halt
+)");
+  const WcetReport report = s.analyze();
+  ASSERT_TRUE(report.ok);
+  // The loop body block must be counted 7 times on the WCET path.
+  bool found = false;
+  for (const auto& [addr, count] : report.wcet_block_counts) {
+    if (count == 7) found = true;
+  }
+  EXPECT_TRUE(found) << report.to_string();
+}
+
+TEST(Analyzer, AnalyzeFunctionByName) {
+  Scenario s(R"(
+        .global _start
+        .global leaf
+_start: call leaf
+        halt
+leaf:   addi a0, a0, 1
+        ret
+)");
+  const WcetReport report = Analyzer(s.image, s.hw).analyze_function("leaf");
+  ASSERT_TRUE(report.ok);
+  EXPECT_GT(report.wcet_cycles, 0u);
+  EXPECT_THROW(Analyzer(s.image, s.hw).analyze_function("nosuch"), InputError);
+}
+
+} // namespace
+} // namespace wcet

@@ -1,0 +1,301 @@
+// Decoding phase and graph structure: CFG reconstruction, jump-table
+// resolution, call graph, supergraph expansion (contexts, recursion
+// cuts), dominators, loop forest and irreducibility.
+#include <gtest/gtest.h>
+
+#include "cfg/domloop.hpp"
+#include "cfg/program.hpp"
+#include "cfg/supergraph.hpp"
+#include "isa/assembler.hpp"
+
+namespace wcet::cfg {
+namespace {
+
+using isa::assemble;
+
+TEST(Decode, StraightLineAndBranch) {
+  const isa::Image image = assemble(R"(
+        .global main
+main:   movi t0, 1
+        beq  a0, zero, out
+        addi t0, t0, 1
+out:    ret
+)");
+  const Program program = Program::reconstruct(image, image.entry());
+  ASSERT_EQ(program.functions().size(), 1u);
+  const CfgFunction& fn = program.functions().begin()->second;
+  EXPECT_EQ(fn.name, "main");
+  EXPECT_EQ(fn.blocks.size(), 3u);
+  const CfgBlock& head = fn.blocks.begin()->second;
+  EXPECT_EQ(head.term, Term::branch);
+  ASSERT_EQ(head.succs.size(), 2u);
+  EXPECT_TRUE(program.fully_resolved());
+}
+
+TEST(Decode, CallsCreateFunctionsAndCallGraph) {
+  const isa::Image image = assemble(R"(
+        .global main
+        .global helper
+main:   call helper
+        halt
+helper: addi a0, a0, 1
+        ret
+)");
+  const Program program = Program::reconstruct(image, image.entry());
+  EXPECT_EQ(program.functions().size(), 2u);
+  const auto edges = program.call_edges();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(program.function_at(edges[0].second).name, "helper");
+  EXPECT_TRUE(program.recursive_functions().empty());
+}
+
+TEST(Decode, RecursionDetected) {
+  const isa::Image image = assemble(R"(
+        .global main
+        .global even
+        .global odd
+main:   call even
+        halt
+even:   beq a0, zero, even_done
+        addi a0, a0, -1
+        call odd
+even_done: ret
+odd:    beq a0, zero, odd_done
+        addi a0, a0, -1
+        call even
+odd_done: ret
+)");
+  const Program program = Program::reconstruct(image, image.entry());
+  const auto recursive = program.recursive_functions();
+  EXPECT_EQ(recursive.size(), 2u); // even and odd, mutually recursive
+  EXPECT_EQ(recursive.count(image.find_symbol("main")->addr), 0u);
+}
+
+TEST(Decode, JumpTableResolved) {
+  // The compiler-convention dense-switch idiom must resolve without
+  // annotations (bounds check + .global'd read-only table).
+  const isa::Image image = assemble(R"(
+        .global main
+main:   sltiu t1, a0, 3
+        beq  t1, zero, default
+        slli t1, a0, 2
+        movi t2, jumptab
+        add  t2, t2, t1
+        lw   t2, 0(t2)
+        jr   t2
+case0:  movi a0, 10
+        ret
+case1:  movi a0, 20
+        ret
+case2:  movi a0, 30
+        ret
+default: movi a0, 99
+        ret
+        .rodata
+        .align 4
+        .global jumptab
+jumptab: .word case0, case1, case2
+)");
+  const Program program = Program::reconstruct(image, image.entry());
+  EXPECT_TRUE(program.fully_resolved()) << program.dump();
+  const CfgFunction& fn = program.functions().begin()->second;
+  // Find the dispatch block and check all three targets.
+  bool found = false;
+  for (const auto& [addr, block] : fn.blocks) {
+    if (block.term == Term::indirect_jump) {
+      found = true;
+      EXPECT_EQ(block.succs.size(), 3u);
+      EXPECT_FALSE(block.indirect_unresolved);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Decode, UnresolvedIndirectReported) {
+  const isa::Image image = assemble(R"(
+        .global main
+main:   jr   a0
+)");
+  const Program program = Program::reconstruct(image, image.entry());
+  EXPECT_FALSE(program.fully_resolved());
+  ASSERT_FALSE(program.issues().empty());
+  EXPECT_NE(program.issues()[0].message.find("indirect"), std::string::npos);
+}
+
+TEST(Decode, HintsResolveIndirectCalls) {
+  const isa::Image image = assemble(R"(
+        .global main
+        .global f
+        .global g
+main:   callr t0
+        halt
+f:      ret
+g:      ret
+)");
+  ResolutionHints hints;
+  hints.indirect_targets[0x1000] = {image.find_symbol("f")->addr,
+                                    image.find_symbol("g")->addr};
+  const Program program = Program::reconstruct(image, image.entry(), hints);
+  EXPECT_TRUE(program.fully_resolved());
+  EXPECT_EQ(program.functions().size(), 3u);
+}
+
+// ------------------------------------------------------------ supergraph
+
+TEST(Supergraph, ContextCloning) {
+  // One callee called from two sites: two instances, separate nodes.
+  const isa::Image image = assemble(R"(
+        .global main
+        .global leaf
+main:   call leaf
+        call leaf
+        halt
+leaf:   ret
+)");
+  const Program program = Program::reconstruct(image, image.entry());
+  const Supergraph sg = Supergraph::expand(program);
+  EXPECT_EQ(sg.instances().size(), 3u); // main + 2x leaf
+  int leaf_nodes = 0;
+  for (const SgNode& node : sg.nodes()) {
+    if (program.function_at(node.fn_entry).name == "leaf") ++leaf_nodes;
+  }
+  EXPECT_EQ(leaf_nodes, 2);
+  EXPECT_NE(sg.context_of(sg.nodes().back().id).find("main"), std::string::npos);
+}
+
+TEST(Supergraph, RecursionWithoutAnnotationIsAnIssue) {
+  const isa::Image image = assemble(R"(
+        .global main
+        .global f
+main:   call f
+        halt
+f:      beq a0, zero, done
+        addi a0, a0, -1
+        call f
+done:   ret
+)");
+  const Program program = Program::reconstruct(image, image.entry());
+  const Supergraph sg = Supergraph::expand(program);
+  ASSERT_FALSE(sg.issues().empty());
+  EXPECT_NE(sg.issues()[0].message.find("recursion"), std::string::npos);
+}
+
+TEST(Supergraph, RecursionUnrolledWithDepth) {
+  const isa::Image image = assemble(R"(
+        .global main
+        .global f
+main:   call f
+        halt
+f:      beq a0, zero, done
+        addi a0, a0, -1
+        call f
+done:   ret
+)");
+  const Program program = Program::reconstruct(image, image.entry());
+  Supergraph::Options options;
+  options.recursion_depths[image.find_symbol("f")->addr] = 4;
+  const Supergraph sg = Supergraph::expand(program, options);
+  EXPECT_TRUE(sg.issues().empty());
+  // main + 4 unrolled instances of f.
+  EXPECT_EQ(sg.instances().size(), 5u);
+  // The deepest call is cut: exactly one cut edge.
+  int cuts = 0;
+  for (const SgEdge& edge : sg.edges()) {
+    if (edge.kind == EdgeKind::cut) ++cuts;
+  }
+  EXPECT_EQ(cuts, 1);
+}
+
+// ------------------------------------------------------- dominators/loops
+
+TEST(Dominators, DiamondAndLoop) {
+  const isa::Image image = assemble(R"(
+        .global main
+main:   beq a0, zero, left
+        addi t0, t0, 1
+        j    merge
+left:   addi t0, t0, 2
+merge:  addi t1, zero, 0
+loop:   addi t1, t1, 1
+        blt  t1, a1, loop
+        halt
+)");
+  const Program program = Program::reconstruct(image, image.entry());
+  const Supergraph sg = Supergraph::expand(program);
+  const Dominators doms(sg);
+  // Entry dominates everything reachable.
+  for (const SgNode& node : sg.nodes()) {
+    if (doms.reachable(node.id)) {
+      EXPECT_TRUE(doms.dominates(sg.entry_node(), node.id));
+    }
+  }
+  // The merge block is not dominated by either diamond arm.
+  const LoopForest forest(sg);
+  ASSERT_EQ(forest.loops().size(), 1u);
+  EXPECT_FALSE(forest.loops()[0].irreducible);
+}
+
+TEST(Loops, NestingAndMembership) {
+  const isa::Image image = assemble(R"(
+        .global main
+main:   movi t0, 0
+outer:  movi t1, 0
+inner:  addi t1, t1, 1
+        blt  t1, a0, inner
+        addi t0, t0, 1
+        blt  t0, a1, outer
+        halt
+)");
+  const Program program = Program::reconstruct(image, image.entry());
+  const Supergraph sg = Supergraph::expand(program);
+  const LoopForest forest(sg);
+  ASSERT_EQ(forest.loops().size(), 2u);
+  const Loop& outer = forest.loops()[0];
+  const Loop& inner = forest.loops()[1];
+  EXPECT_EQ(inner.parent, outer.id);
+  EXPECT_EQ(outer.depth, 0);
+  EXPECT_EQ(inner.depth, 1);
+  EXPECT_GT(outer.nodes.size(), inner.nodes.size());
+  for (const int node : inner.nodes) {
+    EXPECT_TRUE(forest.loop_contains(outer.id, node));
+  }
+  EXPECT_FALSE(forest.has_irreducible_loops());
+}
+
+TEST(Loops, IrreducibleFromGoto) {
+  // Two entries into the cycle: through `head` and directly to `mid`.
+  const isa::Image image = assemble(R"(
+        .global main
+main:   beq a0, zero, mid
+head:   addi t0, t0, 1
+mid:    addi t1, t1, 1
+        blt  t1, a1, head
+        halt
+)");
+  const Program program = Program::reconstruct(image, image.entry());
+  const Supergraph sg = Supergraph::expand(program);
+  const LoopForest forest(sg);
+  ASSERT_EQ(forest.loops().size(), 1u);
+  EXPECT_TRUE(forest.loops()[0].irreducible);
+  EXPECT_EQ(forest.loops()[0].entries.size(), 2u);
+  EXPECT_TRUE(forest.has_irreducible_loops());
+}
+
+TEST(Loops, SelfLoopDetected) {
+  const isa::Image image = assemble(R"(
+        .global main
+main:   movi t0, 0
+spin:   addi t0, t0, 1
+        blt  t0, a0, spin
+        halt
+)");
+  const Program program = Program::reconstruct(image, image.entry());
+  const Supergraph sg = Supergraph::expand(program);
+  const LoopForest forest(sg);
+  ASSERT_EQ(forest.loops().size(), 1u);
+  EXPECT_EQ(forest.loops()[0].back_edges.size(), 1u);
+  EXPECT_EQ(forest.loops()[0].entry_edges.size(), 1u);
+}
+
+} // namespace
+} // namespace wcet::cfg

@@ -1,0 +1,260 @@
+// Interval domain: algebraic properties plus randomized concrete
+// soundness — every abstract operation must over-approximate the
+// corresponding 32-bit machine operation.
+#include <gtest/gtest.h>
+
+#include "support/interval.hpp"
+#include "support/rng.hpp"
+
+namespace wcet {
+namespace {
+
+TEST(Interval, BasicLattice) {
+  const Interval top = Interval::top();
+  const Interval bot = Interval::bottom();
+  const Interval c = Interval::constant(42);
+
+  EXPECT_TRUE(top.is_top());
+  EXPECT_TRUE(bot.is_bottom());
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_EQ(c.as_constant(), 42u);
+
+  EXPECT_EQ(top.join(c), top);
+  EXPECT_EQ(bot.join(c), c);
+  EXPECT_EQ(top.meet(c), c);
+  EXPECT_EQ(bot.meet(c), bot);
+  EXPECT_TRUE(top.includes(c));
+  EXPECT_TRUE(c.includes(bot));
+  EXPECT_FALSE(c.includes(top));
+}
+
+TEST(Interval, SignedViews) {
+  const Interval minus_one = Interval::constant(0xFFFFFFFFu);
+  EXPECT_EQ(minus_one.smin(), -1);
+  EXPECT_EQ(minus_one.smax(), -1);
+
+  const Interval signed_range = Interval::from_signed(-10, 10);
+  EXPECT_TRUE(signed_range.is_top()) << "crossing zero wraps to top";
+
+  const Interval negatives = Interval::from_signed(-20, -10);
+  EXPECT_EQ(negatives.smin(), -20);
+  EXPECT_EQ(negatives.smax(), -10);
+  EXPECT_TRUE(negatives.contains(0xFFFFFFF6u)); // -10
+}
+
+TEST(Interval, WrapAwareness) {
+  // 0xFFFFFFFF + 1 wraps to 0 for a constant.
+  const Interval wrapped = Interval::constant(0xFFFFFFFFu).add(Interval::constant(1));
+  EXPECT_EQ(wrapped.as_constant(), 0u);
+  // A whole range wrapping consistently stays precise.
+  const Interval shifted =
+      Interval::from_unsigned(0xFFFFFFF0u, 0xFFFFFFFFu).add(Interval::constant(0x20));
+  EXPECT_EQ(shifted.umin(), 0x10);
+  EXPECT_EQ(shifted.umax(), 0x1F);
+  // A result range straddling the wrap boundary must go to top.
+  const Interval straddle = Interval::from_unsigned(0xFFFFFFF0u, 0xFFFFFFFFu)
+                                .add(Interval::from_unsigned(0, 0x20));
+  EXPECT_TRUE(straddle.is_top());
+}
+
+TEST(Interval, DivisionConventions) {
+  // tiny32: x / 0 == 0, x % 0 == x.
+  const Interval x = Interval::from_unsigned(10, 20);
+  EXPECT_TRUE(x.div_u(Interval::constant(0)).contains(0));
+  EXPECT_TRUE(x.rem_u(Interval::constant(0)).includes(x));
+  EXPECT_EQ(Interval::constant(100).div_u(Interval::constant(7)).as_constant(), 14u);
+}
+
+TEST(Interval, RefineUnsigned) {
+  const Interval x = Interval::from_unsigned(0, 100);
+  const Interval lt = x.refine(Pred::lt_u, Interval::constant(10));
+  EXPECT_EQ(lt.umax(), 9);
+  const Interval ge = x.refine(Pred::ge_u, Interval::constant(50));
+  EXPECT_EQ(ge.umin(), 50);
+  EXPECT_TRUE(x.refine(Pred::lt_u, Interval::constant(0)).is_bottom());
+}
+
+TEST(Interval, RefineSigned) {
+  const Interval x = Interval::top();
+  const Interval neg = x.refine(Pred::lt_s, Interval::constant(0));
+  EXPECT_EQ(neg.smax(), -1);
+  const Interval nonneg = x.refine(Pred::ge_s, Interval::constant(0));
+  EXPECT_EQ(nonneg.umin(), 0);
+  EXPECT_EQ(nonneg.umax(), 0x7FFFFFFF);
+}
+
+TEST(Interval, RefineEquality) {
+  const Interval x = Interval::from_unsigned(5, 10);
+  EXPECT_EQ(x.refine(Pred::eq, Interval::constant(7)).as_constant(), 7u);
+  EXPECT_TRUE(x.refine(Pred::eq, Interval::constant(20)).is_bottom());
+  const Interval trimmed = x.refine(Pred::ne, Interval::constant(5));
+  EXPECT_EQ(trimmed.umin(), 6);
+}
+
+TEST(Interval, CompareOutcomes) {
+  const Interval small = Interval::from_unsigned(0, 5);
+  const Interval big = Interval::from_unsigned(10, 20);
+  EXPECT_EQ(small.compare(Pred::lt_u, big).as_constant(), 1u);
+  EXPECT_EQ(big.compare(Pred::lt_u, small).as_constant(), 0u);
+  const Interval overlap = Interval::from_unsigned(3, 12);
+  EXPECT_EQ(small.compare(Pred::lt_u, overlap), Interval::boolean());
+}
+
+TEST(Interval, WideningTerminatesAndCovers) {
+  Interval x = Interval::constant(0);
+  for (int i = 0; i < 100; ++i) {
+    const Interval next = x.add(Interval::constant(1));
+    const Interval widened = x.widen(x.join(next));
+    ASSERT_TRUE(widened.includes(x));
+    if (widened == x) break;
+    x = widened;
+  }
+  EXPECT_TRUE(x.includes(Interval::constant(100000)));
+}
+
+// ------------------------- randomized concrete soundness -----------------
+
+struct BinOpCase {
+  const char* name;
+  Interval (Interval::*abstract)(const Interval&) const;
+  std::uint32_t (*concrete)(std::uint32_t, std::uint32_t);
+};
+
+const BinOpCase binop_cases[] = {
+    {"add", &Interval::add, [](std::uint32_t a, std::uint32_t b) { return a + b; }},
+    {"sub", &Interval::sub, [](std::uint32_t a, std::uint32_t b) { return a - b; }},
+    {"mul", &Interval::mul, [](std::uint32_t a, std::uint32_t b) { return a * b; }},
+    {"div_u", &Interval::div_u,
+     [](std::uint32_t a, std::uint32_t b) { return b == 0 ? 0 : a / b; }},
+    {"rem_u", &Interval::rem_u,
+     [](std::uint32_t a, std::uint32_t b) { return b == 0 ? a : a % b; }},
+    {"div_s", &Interval::div_s,
+     [](std::uint32_t a, std::uint32_t b) {
+       const auto sa = static_cast<std::int32_t>(a);
+       const auto sb = static_cast<std::int32_t>(b);
+       if (sb == 0) return 0u;
+       if (sa == INT32_MIN && sb == -1) return static_cast<std::uint32_t>(INT32_MIN);
+       return static_cast<std::uint32_t>(sa / sb);
+     }},
+    {"rem_s", &Interval::rem_s,
+     [](std::uint32_t a, std::uint32_t b) {
+       const auto sa = static_cast<std::int32_t>(a);
+       const auto sb = static_cast<std::int32_t>(b);
+       if (sb == 0) return a;
+       if (sa == INT32_MIN && sb == -1) return 0u;
+       return static_cast<std::uint32_t>(sa % sb);
+     }},
+    {"and", &Interval::bit_and, [](std::uint32_t a, std::uint32_t b) { return a & b; }},
+    {"or", &Interval::bit_or, [](std::uint32_t a, std::uint32_t b) { return a | b; }},
+    {"xor", &Interval::bit_xor, [](std::uint32_t a, std::uint32_t b) { return a ^ b; }},
+    {"shl", &Interval::shl, [](std::uint32_t a, std::uint32_t b) { return a << (b & 31); }},
+    {"shr_u", &Interval::shr_u,
+     [](std::uint32_t a, std::uint32_t b) { return a >> (b & 31); }},
+    {"shr_s", &Interval::shr_s,
+     [](std::uint32_t a, std::uint32_t b) {
+       return static_cast<std::uint32_t>(static_cast<std::int32_t>(a) >> (b & 31));
+     }},
+    {"mulh_u", &Interval::mulh_u,
+     [](std::uint32_t a, std::uint32_t b) {
+       return static_cast<std::uint32_t>(
+           (static_cast<std::uint64_t>(a) * static_cast<std::uint64_t>(b)) >> 32);
+     }},
+};
+
+class IntervalSoundness : public ::testing::TestWithParam<BinOpCase> {};
+
+// Draw random intervals and random members; the concrete result must lie
+// inside the abstract result.
+TEST_P(IntervalSoundness, ConcreteContained) {
+  const BinOpCase& test_case = GetParam();
+  Rng rng(0xABCDEF0 + std::string_view(test_case.name).size());
+  const auto random_interval = [&] {
+    // Mix of shapes: constants, small ranges, boundary-heavy ranges.
+    switch (rng.below(4)) {
+    case 0: return Interval::constant(rng.next_u32());
+    case 1: {
+      const std::uint32_t lo = rng.next_u32();
+      return Interval::from_unsigned(lo, static_cast<std::int64_t>(lo) + rng.below(100));
+    }
+    case 2: {
+      const std::int64_t lo = rng.range(-200, 200);
+      return Interval::from_signed(lo, lo + rng.below(300));
+    }
+    default: return Interval::top();
+    }
+  };
+  for (int trial = 0; trial < 3000; ++trial) {
+    const Interval ia = random_interval();
+    const Interval ib = random_interval();
+    if (ia.is_bottom() || ib.is_bottom()) continue;
+    // Pick concrete members.
+    const std::uint32_t a = static_cast<std::uint32_t>(
+        ia.umin() + static_cast<std::int64_t>(rng.next_u64() % ia.size()));
+    const std::uint32_t b = static_cast<std::uint32_t>(
+        ib.umin() + static_cast<std::int64_t>(rng.next_u64() % ib.size()));
+    ASSERT_TRUE(ia.contains(a));
+    ASSERT_TRUE(ib.contains(b));
+    const Interval abstract = (ia.*test_case.abstract)(ib);
+    const std::uint32_t concrete = test_case.concrete(a, b);
+    ASSERT_TRUE(abstract.contains(concrete))
+        << test_case.name << "(" << a << ", " << b << ") = " << concrete
+        << " not in " << abstract.to_string() << " (from " << ia.to_string() << ", "
+        << ib.to_string() << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, IntervalSoundness, ::testing::ValuesIn(binop_cases),
+                         [](const ::testing::TestParamInfo<BinOpCase>& info) {
+                           return info.param.name;
+                         });
+
+// Refinement soundness: refine(p, rhs) keeps every member satisfying p.
+class RefineSoundness : public ::testing::TestWithParam<Pred> {};
+
+TEST_P(RefineSoundness, KeepsSatisfyingMembers) {
+  const Pred p = GetParam();
+  Rng rng(77);
+  const auto satisfied = [&](std::uint32_t a, std::uint32_t b) {
+    switch (p) {
+    case Pred::eq: return a == b;
+    case Pred::ne: return a != b;
+    case Pred::lt_u: return a < b;
+    case Pred::ge_u: return a >= b;
+    case Pred::lt_s: return static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b);
+    case Pred::ge_s: return static_cast<std::int32_t>(a) >= static_cast<std::int32_t>(b);
+    }
+    return false;
+  };
+  for (int trial = 0; trial < 3000; ++trial) {
+    const std::uint32_t lo = rng.next_u32() & 0xFFFF0000;
+    const Interval ia = Interval::from_unsigned(lo, static_cast<std::int64_t>(lo) + rng.below(1000));
+    const std::uint32_t b = rng.below(2) != 0u ? rng.next_u32()
+                                               : lo + rng.below(1200);
+    const Interval ib = Interval::constant(b);
+    const std::uint32_t a = static_cast<std::uint32_t>(
+        ia.umin() + static_cast<std::int64_t>(rng.next_u64() % ia.size()));
+    if (!satisfied(a, b)) continue;
+    const Interval refined = ia.refine(p, ib);
+    ASSERT_TRUE(refined.contains(a))
+        << "refine dropped " << a << " though " << a << ' ' << to_string(p) << ' ' << b
+        << " holds; " << ia.to_string() << " -> " << refined.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPreds, RefineSoundness,
+                         ::testing::Values(Pred::eq, Pred::ne, Pred::lt_u, Pred::ge_u,
+                                           Pred::lt_s, Pred::ge_s),
+                         [](const ::testing::TestParamInfo<Pred>& info) {
+                           switch (info.param) {
+                           case Pred::eq: return "eq";
+                           case Pred::ne: return "ne";
+                           case Pred::lt_u: return "ltu";
+                           case Pred::ge_u: return "geu";
+                           case Pred::lt_s: return "lts";
+                           case Pred::ge_s: return "ges";
+                           }
+                           return "unknown";
+                         });
+
+} // namespace
+} // namespace wcet

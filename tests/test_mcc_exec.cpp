@@ -1,0 +1,263 @@
+// mcc compile-and-run battery: every language feature executed on the
+// simulator and checked against expected results, plus analyzer
+// integration on compiled binaries.
+#include <gtest/gtest.h>
+
+#include "core/toolkit.hpp"
+#include "mcc/runtime.hpp"
+
+namespace wcet {
+namespace {
+
+std::uint32_t run_c(const std::string& source) {
+  const mcc::CompileResult built = mcc::compile_program(source);
+  sim::Simulator sim(built.image, mem::typical_hw());
+  const sim::SimResult r = sim.run();
+  EXPECT_TRUE(r.completed()) << r.trap_reason;
+  return r.exit_code;
+}
+
+struct ExecCase {
+  const char* name;
+  const char* source;
+  std::uint32_t expected;
+};
+
+class MccExec : public ::testing::TestWithParam<ExecCase> {};
+
+TEST_P(MccExec, ProducesExpectedExitCode) {
+  EXPECT_EQ(run_c(GetParam().source), GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, MccExec,
+    ::testing::Values(
+        ExecCase{"return_constant", "int main(void) { return 42; }", 42},
+        ExecCase{"arith_precedence", "int main(void) { return 2 + 3 * 4 - 6 / 2; }", 11},
+        ExecCase{"unsigned_division",
+                 "int main(void) { unsigned int a = 3000000000u; return (int)(a / "
+                 "1000000000u); }",
+                 3},
+        ExecCase{"signed_division", "int main(void) { int a = -7; return a / 2 + 10; }", 7},
+        ExecCase{"shift_ops",
+                 "int main(void) { int a = 1 << 5; unsigned int b = 0x80000000u >> 28; "
+                 "return a + (int)b; }",
+                 40},
+        ExecCase{"comparison_chain",
+                 "int main(void) { int a = 3 < 5; int b = 5 <= 5; int c = 7 > 9; int d = "
+                 "(2 != 2); return a + b + c + d; }",
+                 2},
+        ExecCase{"logical_shortcircuit",
+                 "int g = 0;\n"
+                 "int bump(void) { g = g + 1; return 1; }\n"
+                 "int main(void) { int r = (0 && bump()) + (1 || bump()); return r * 10 + "
+                 "g; }",
+                 10},
+        ExecCase{"ternary", "int main(void) { int x = 5; return x > 3 ? 30 : 40; }", 30},
+        ExecCase{"while_loop",
+                 "int main(void) { int i = 0; int s = 0; while (i < 7) { s += i; i++; } "
+                 "return s; }",
+                 21},
+        ExecCase{"do_while",
+                 "int main(void) { int i = 0; int s = 0; do { s += 2; i++; } while (i < "
+                 "5); return s; }",
+                 10},
+        ExecCase{"nested_loops",
+                 "int main(void) { int s = 0; int i; int j; for (i = 0; i < 5; i++) for "
+                 "(j = 0; j < i; j++) s++; return s; }",
+                 10},
+        ExecCase{"break_statement",
+                 "int main(void) { int i; int s = 0; for (i = 0; i < 100; i++) { if (i == "
+                 "5) break; s += i; } return s; }",
+                 10},
+        ExecCase{"switch_fallthrough",
+                 "int main(void) { int s = 0; switch (2) { case 1: s += 1; case 2: s += "
+                 "2; case 3: s += 4; break; case 4: s += 8; } return s; }",
+                 6},
+        ExecCase{"switch_sparse",
+                 "int main(void) { switch (1000) { case 1: return 1; case 1000: return "
+                 "7; default: return 9; } }",
+                 7},
+        ExecCase{"global_array_sum",
+                 "int t[6] = {1, 2, 3, 4, 5, 6};\n"
+                 "int main(void) { int s = 0; int i; for (i = 0; i < 6; i++) s += t[i]; "
+                 "return s; }",
+                 21},
+        ExecCase{"local_array",
+                 "int main(void) { int a[4]; int i; for (i = 0; i < 4; i++) a[i] = i * "
+                 "i; return a[3] + a[2]; }",
+                 13},
+        ExecCase{"two_dim_array",
+                 "int m[2][3] = {1, 2, 3, 4, 5, 6};\n"
+                 "int main(void) { return m[1][2] + m[0][1]; }",
+                 8},
+        ExecCase{"pointer_walk",
+                 "int t[4] = {10, 20, 30, 40};\n"
+                 "int main(void) { int* p = t; int s = 0; int i; for (i = 0; i < 4; i++) "
+                 "{ s += *p; p = p + 1; } return s; }",
+                 100},
+        ExecCase{"pointer_to_pointer",
+                 "int v = 5;\n"
+                 "int* p = &v;\n"
+                 "int main(void) { int** pp = &p; **pp = 9; return v; }",
+                 9},
+        ExecCase{"char_string",
+                 "char msg[4] = \"abc\";\n"
+                 "int main(void) { return msg[0] + msg[2] - 2 * 'a'; }",
+                 2},
+        ExecCase{"compound_assign",
+                 "int main(void) { int x = 10; x += 5; x -= 3; x *= 2; x /= 4; x %= 4; x "
+                 "<<= 2; x |= 1; x ^= 2; x &= 0xF; return x; }",
+                 11},
+        ExecCase{"incdec_semantics",
+                 "int main(void) { int i = 5; int a = i++; int b = ++i; int c = i--; int "
+                 "d = --i; return a * 1000 + b * 100 + c * 10 + d; }",
+                 5 * 1000 + 7 * 100 + 7 * 10 + 5},
+        ExecCase{"recursion_fib",
+                 "int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); "
+                 "}\nint main(void) { return fib(11); }",
+                 89},
+        ExecCase{"many_args",
+                 "int f(int a, int b, int c, int d, int e, int g, int h) { return a + b "
+                 "+ c + d + e + g + h; }\n"
+                 "int main(void) { return f(1, 2, 3, 4, 5, 6, 7); }",
+                 28},
+        ExecCase{"function_pointer_select",
+                 "int inc(int x) { return x + 1; }\n"
+                 "int dbl(int x) { return x + x; }\n"
+                 "int main(void) { int (*op)(int); op = inc; int a = op(4); op = dbl; "
+                 "return a + op(4); }",
+                 13},
+        ExecCase{"varargs_sum",
+                 "int vsum(int n, ...) { int* ap = __va_start(); int s = 0; int i; for "
+                 "(i = 0; i < n; i++) s += ap[i]; return s; }\n"
+                 "int main(void) { return vsum(3, 7, 8, 9) + vsum(1, 18); }",
+                 42},
+        ExecCase{"malloc_lists",
+                 "int main(void) { int* a = (int*)malloc(12); int* b = (int*)malloc(8); "
+                 "a[2] = 5; b[1] = 6; return a[2] + b[1] + (a == b ? 100 : 0); }",
+                 11},
+        ExecCase{"setjmp_longjmp",
+                 "int env[16];\n"
+                 "void deep(int n) { if (n == 0) longjmp(env, 42); deep(n - 1); }\n"
+                 "int main(void) { int r = setjmp(env); if (r) return r; deep(5); return "
+                 "1; }",
+                 42},
+        ExecCase{"goto_exit",
+                 "int main(void) { int i; int s = 0; for (i = 0; i < 100; i++) { s += i; "
+                 "if (s > 10) goto out; } out: return s; }",
+                 15},
+        ExecCase{"float_arith",
+                 "int main(void) { float a = 3.5f; float b = 1.25f; return (int)(a * b * "
+                 "8.0f); }",
+                 35},
+        ExecCase{"float_compare",
+                 "int main(void) { float a = 0.1f; float s = 0.0f; int n = 0; while (s < "
+                 "1.0f) { s = s + a; n++; } return n; }",
+                 10},
+        ExecCase{"float_div_neg",
+                 "int main(void) { float a = -9.0f; float b = 2.0f; return (int)(a / b) "
+                 "+ 100; }",
+                 96},
+        ExecCase{"int_float_conversions",
+                 "int main(void) { int i = 7; float f = (float)i / 2.0f; return "
+                 "(int)(f * 10.0f); }",
+                 35},
+        ExecCase{"static_global", "static int counter = 3;\n"
+                                  "int main(void) { counter += 4; return counter; }",
+                 7},
+        ExecCase{"const_global_table",
+                 "const int weights[3] = {2, 3, 5};\n"
+                 "int main(void) { return weights[0] * weights[1] * weights[2]; }",
+                 30},
+        ExecCase{"sizeof_values",
+                 "int main(void) { return sizeof(int) + sizeof(char) + sizeof(int*); }",
+                 9},
+        ExecCase{"putchar_output", "int main(void) { putchar('O'); putchar('K'); return 0; }",
+                 0}),
+    [](const ::testing::TestParamInfo<ExecCase>& info) { return info.param.name; });
+
+TEST(MccExec, PutcharProducesOutput) {
+  const auto built = mcc::compile_program(
+      "int main(void) { putchar('h'); putchar('i'); return 0; }");
+  sim::Simulator sim(built.image, mem::typical_hw());
+  const auto r = sim.run();
+  ASSERT_TRUE(r.completed());
+  EXPECT_EQ(r.output, "hi");
+}
+
+TEST(MccExec, CompiledCounterLoopIsExactlyBounded) {
+  const auto built = mcc::compile_program(R"(
+int main(void) {
+  int s = 0;
+  int i;
+  for (i = 0; i < 25; i++) { s += i; }
+  return s;
+}
+)");
+  const mem::HwConfig hw = mem::typical_hw();
+  const Analyzer analyzer(built.image, hw);
+  const WcetReport report = analyzer.analyze();
+  ASSERT_TRUE(report.ok) << report.to_string();
+  sim::Simulator sim(built.image, hw);
+  const auto run = sim.run();
+  ASSERT_TRUE(run.completed());
+  EXPECT_LE(run.cycles, report.wcet_cycles);
+  EXPECT_GE(run.cycles, report.bcet_cycles);
+  // The bound should be tight on this cache-friendly program (< 5% gap).
+  EXPECT_LT(report.wcet_cycles, run.cycles + run.cycles / 20 + 32);
+}
+
+TEST(MccExec, CompiledSwitchResolvesAndBounds) {
+  const auto built = mcc::compile_program(R"(
+int classify(int x) {
+  switch (x) {
+    case 0: return 1;
+    case 1: return 2;
+    case 2: return 4;
+    case 3: return 8;
+    case 4: return 16;
+    default: return 0;
+  }
+}
+int main(void) {
+  int s = 0;
+  int i;
+  for (i = 0; i < 6; i++) { s += classify(i); }
+  return s;
+}
+)");
+  const mem::HwConfig hw = mem::typical_hw();
+  const WcetReport report = Analyzer(built.image, hw).analyze();
+  ASSERT_TRUE(report.ok) << report.to_string();
+  sim::Simulator sim(built.image, hw);
+  const auto run = sim.run();
+  ASSERT_TRUE(run.completed());
+  EXPECT_EQ(run.exit_code, 31u);
+  EXPECT_LE(run.cycles, report.wcet_cycles);
+}
+
+TEST(MccExec, MisraViolationsSurfaceInCompileResult) {
+  const auto built = mcc::compile_program(R"(
+int main(void) {
+  int i = 0;
+again:
+  i++;
+  if (i < 3) goto again;
+  return i;
+}
+)");
+  bool found = false;
+  for (const auto& v : built.violations) {
+    if (v.rule == "14.4") found = true;
+    EXPECT_GT(v.line, 0);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MccExec, NoMainIsAnError) {
+  EXPECT_THROW(mcc::compile_program("int helper(void) { return 1; }"), InputError);
+}
+
+} // namespace
+} // namespace wcet

@@ -1,0 +1,148 @@
+// Memory map and hardware model: region lookup, latency bounds over
+// address intervals, cacheability queries, and the override-with-split
+// mechanism used by annotation regions.
+#include <gtest/gtest.h>
+
+#include "mem/hwmodel.hpp"
+#include "mem/memmap.hpp"
+#include "support/diag.hpp"
+
+namespace wcet::mem {
+namespace {
+
+TEST(MemoryMap, RegionLookupAndDefault) {
+  const MemoryMap map = typical_embedded_map();
+  EXPECT_EQ(map.region_for(0x1000).name, "sram-code");
+  EXPECT_EQ(map.region_for(0x8000).name, "flash");
+  EXPECT_EQ(map.region_for(0x20000).name, "sram-data");
+  EXPECT_EQ(map.region_for(0xF0000800).name, "can-mmio");
+  EXPECT_EQ(map.region_for(0x80000000).name, "external-bus"); // fallback
+  EXPECT_TRUE(map.region_for(0xF0000000).io);
+  EXPECT_FALSE(map.region_for(0x1000).io);
+}
+
+TEST(MemoryMap, OverlapRejected) {
+  MemoryMap map;
+  map.add_region({.name = "a", .base = 0x1000, .size = 0x1000});
+  EXPECT_THROW(map.add_region({.name = "b", .base = 0x1800, .size = 0x1000}),
+               InputError);
+  // Adjacent is fine.
+  map.add_region({.name = "c", .base = 0x2000, .size = 0x1000});
+}
+
+TEST(MemoryMap, LatencyBoundsSingleRegion) {
+  const MemoryMap map = typical_embedded_map();
+  const Interval flash_addr = Interval::from_unsigned(0x8000, 0x8FFF);
+  const auto [rlo, rhi] = map.read_latency_bounds(flash_addr);
+  EXPECT_EQ(rlo, 12u);
+  EXPECT_EQ(rhi, 12u);
+  const auto [wlo, whi] = map.write_latency_bounds(flash_addr);
+  EXPECT_EQ(wlo, 60u);
+  EXPECT_EQ(whi, 60u);
+}
+
+TEST(MemoryMap, LatencyBoundsSpanRegions) {
+  const MemoryMap map = typical_embedded_map();
+  // Spans flash (12) into sram-data (2).
+  const Interval span = Interval::from_unsigned(0xF000, 0x10010);
+  const auto [lo, hi] = map.read_latency_bounds(span);
+  EXPECT_EQ(lo, 2u);
+  EXPECT_EQ(hi, 12u);
+}
+
+TEST(MemoryMap, UnknownAddressAssumesSlowestModule) {
+  // The paper's Section 4.3: an unknown access must be charged against
+  // the slowest reachable memory.
+  const MemoryMap map = typical_embedded_map();
+  const auto [lo, hi] = map.read_latency_bounds(Interval::top());
+  EXPECT_EQ(lo, 1u);  // fastest: sram-code
+  EXPECT_EQ(hi, 40u); // slowest: external bus fallback
+}
+
+TEST(MemoryMap, CacheabilityQueries) {
+  const MemoryMap map = typical_embedded_map();
+  EXPECT_TRUE(map.all_cacheable(Interval::from_unsigned(0x20000, 0x20FFF)));
+  EXPECT_FALSE(map.all_cacheable(Interval::from_unsigned(0xF0000000, 0xF0000010)));
+  EXPECT_FALSE(map.all_cacheable(Interval::top())); // touches the bus
+}
+
+TEST(MemoryMap, UniqueRegion) {
+  const MemoryMap map = typical_embedded_map();
+  EXPECT_NE(map.unique_region(Interval::from_unsigned(0x8000, 0x80FF)), nullptr);
+  EXPECT_EQ(map.unique_region(Interval::from_unsigned(0x7FF0, 0x8010)), nullptr);
+}
+
+TEST(MemoryMap, OverrideSplitsUnderlyingRegion) {
+  MemoryMap map = typical_embedded_map();
+  // Carve an io window out of the middle of sram-data.
+  map.add_region_override({.name = "flagio",
+                           .base = 0x20000,
+                           .size = 0x100,
+                           .read_latency = 9,
+                           .write_latency = 9,
+                           .cacheable = false,
+                           .io = true});
+  EXPECT_EQ(map.region_for(0x20010).name, "flagio");
+  EXPECT_TRUE(map.region_for(0x20010).io);
+  // The surrounding pieces still belong to sram-data with old timing.
+  EXPECT_EQ(map.region_for(0x1FFFC).name, "sram-data");
+  EXPECT_EQ(map.region_for(0x20100).name, "sram-data");
+  EXPECT_EQ(map.region_for(0x20100).read_latency, 2u);
+  // Latency bounds across the carve-out see both.
+  const auto [lo, hi] = map.read_latency_bounds(
+      Interval::from_unsigned(0x1FF00, 0x20200));
+  EXPECT_EQ(lo, 2u);
+  EXPECT_EQ(hi, 9u);
+}
+
+TEST(MemoryMap, OverrideAtRegionEdges) {
+  MemoryMap map;
+  map.add_region({.name = "base", .base = 0x1000, .size = 0x1000});
+  // Override covering the region's head.
+  map.add_region_override({.name = "head", .base = 0x800, .size = 0x900});
+  EXPECT_EQ(map.region_for(0x1000).name, "head");
+  EXPECT_EQ(map.region_for(0x1100).name, "base");
+  // Override swallowing a region entirely.
+  map.add_region_override({.name = "all", .base = 0x0, .size = 0x4000});
+  EXPECT_EQ(map.region_for(0x1100).name, "all");
+}
+
+TEST(HwModel, BaseCycles) {
+  const PipelineConfig pipeline;
+  EXPECT_EQ(base_cycles(isa::Opcode::add, pipeline), 1u);
+  EXPECT_EQ(base_cycles(isa::Opcode::mul, pipeline), pipeline.mul_latency);
+  EXPECT_EQ(base_cycles(isa::Opcode::divu, pipeline), pipeline.div_latency);
+  EXPECT_EQ(base_cycles(isa::Opcode::rem_, pipeline), pipeline.div_latency);
+  EXPECT_EQ(base_cycles(isa::Opcode::ecall, pipeline), pipeline.ecall_latency);
+}
+
+TEST(HwModel, FetchAndAccessCosts) {
+  EXPECT_EQ(fetch_cycles(true, 12), 1u);
+  EXPECT_EQ(fetch_cycles(false, 12), 13u);
+  EXPECT_EQ(load_cycles(true, 40), 1u);
+  EXPECT_EQ(load_cycles(false, 40), 41u);
+  EXPECT_EQ(store_cycles(7), 7u);
+}
+
+TEST(HwModel, ControlPenalties) {
+  const PipelineConfig pipeline;
+  const isa::Inst branch{isa::Opcode::beq, 0, 1, 2, 8};
+  EXPECT_EQ(control_penalty(branch, true, pipeline), pipeline.branch_taken_penalty);
+  EXPECT_EQ(control_penalty(branch, false, pipeline), 0u);
+  const isa::Inst jump{isa::Opcode::jal, 0, 0, 0, 16};
+  EXPECT_EQ(control_penalty(jump, true, pipeline), pipeline.jump_penalty);
+  const isa::Inst alu{isa::Opcode::add, 1, 2, 3, 0};
+  EXPECT_EQ(control_penalty(alu, true, pipeline), 0u);
+}
+
+TEST(CacheConfig, IndexAndTagGeometry) {
+  const CacheConfig config{.enabled = true, .sets = 16, .ways = 2, .line_bytes = 32};
+  EXPECT_EQ(config.line_of(0x1000), 0x1000u / 32);
+  EXPECT_EQ(config.set_index(0x1000), (0x1000u / 32) % 16);
+  // Two addresses a full way apart map to the same set.
+  EXPECT_EQ(config.set_index(0x1000), config.set_index(0x1000 + 16 * 32));
+  EXPECT_NE(config.tag(0x1000), config.tag(0x1000 + 16 * 32));
+}
+
+} // namespace
+} // namespace wcet::mem

@@ -1,0 +1,199 @@
+// Exact rational arithmetic and the simplex/branch&bound ILP solver that
+// path analysis relies on.
+#include <gtest/gtest.h>
+
+#include "support/ilp.hpp"
+#include "support/rational.hpp"
+#include "support/rng.hpp"
+
+namespace wcet {
+namespace {
+
+TEST(Rational, BasicArithmetic) {
+  const Rational half(1, 2);
+  const Rational third(1, 3);
+  EXPECT_EQ((half + third).to_string(), "5/6");
+  EXPECT_EQ((half - third).to_string(), "1/6");
+  EXPECT_EQ((half * third).to_string(), "1/6");
+  EXPECT_EQ((half / third).to_string(), "3/2");
+  EXPECT_EQ((-half).to_string(), "-1/2");
+}
+
+TEST(Rational, NormalizationAndCompare) {
+  EXPECT_EQ(Rational(4, 8), Rational(1, 2));
+  EXPECT_EQ(Rational(-3, -9), Rational(1, 3));
+  EXPECT_EQ(Rational(3, -9).to_string(), "-1/3");
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(7, 2), Rational(3));
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor64(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil64(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor64(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil64(), -3);
+  EXPECT_EQ(Rational(6, 2).floor64(), 3);
+  EXPECT_EQ(Rational(6, 2).ceil64(), 3);
+  EXPECT_TRUE(Rational(6, 2).is_integer());
+  EXPECT_FALSE(Rational(7, 2).is_integer());
+}
+
+TEST(Rational, RandomFieldAxioms) {
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const Rational a(rng.range(-1000, 1000), rng.range(1, 50));
+    const Rational b(rng.range(-1000, 1000), rng.range(1, 50));
+    const Rational c(rng.range(-1000, 1000), rng.range(1, 50));
+    ASSERT_EQ(a + b, b + a);
+    ASSERT_EQ((a + b) + c, a + (b + c));
+    ASSERT_EQ(a * (b + c), a * b + a * c);
+    if (!b.is_zero()) ASSERT_EQ((a / b) * b, a);
+  }
+}
+
+// ------------------------------------------------------------------- LP
+
+TEST(Ilp, SimpleMaximize) {
+  IlpProblem p;
+  const int x = p.add_variable("x");
+  const int y = p.add_variable("y");
+  p.set_objective(x, 3);
+  p.set_objective(y, 5);
+  p.add_constraint({{x, Rational(1)}}, Cmp::le, 4);
+  p.add_constraint({{y, Rational(2)}}, Cmp::le, 12);
+  p.add_constraint({{x, Rational(3)}, {y, Rational(2)}}, Cmp::le, 18);
+  const LpSolution s = p.solve_lp();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.objective, Rational(36)); // classic textbook optimum
+  EXPECT_EQ(s.values[static_cast<std::size_t>(x)], Rational(2));
+  EXPECT_EQ(s.values[static_cast<std::size_t>(y)], Rational(6));
+}
+
+TEST(Ilp, EqualityAndGe) {
+  IlpProblem p;
+  const int x = p.add_variable("x");
+  const int y = p.add_variable("y");
+  p.set_objective(x, 1);
+  p.add_constraint({{x, Rational(1)}, {y, Rational(1)}}, Cmp::eq, 10);
+  p.add_constraint({{y, Rational(1)}}, Cmp::ge, 4);
+  const LpSolution s = p.solve_lp();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.objective, Rational(6));
+}
+
+TEST(Ilp, InfeasibleDetected) {
+  IlpProblem p;
+  const int x = p.add_variable("x");
+  p.set_objective(x, 1);
+  p.add_constraint({{x, Rational(1)}}, Cmp::le, 1);
+  p.add_constraint({{x, Rational(1)}}, Cmp::ge, 2);
+  EXPECT_EQ(p.solve_lp().status, LpSolution::Status::infeasible);
+}
+
+TEST(Ilp, UnboundedDetected) {
+  IlpProblem p;
+  const int x = p.add_variable("x");
+  p.set_objective(x, 1);
+  p.add_constraint({{x, Rational(1)}}, Cmp::ge, 0);
+  EXPECT_EQ(p.solve_lp().status, LpSolution::Status::unbounded);
+}
+
+TEST(Ilp, ArtificialsCannotReenter) {
+  // Regression: flow-conservation-style equality systems once made an
+  // artificial variable re-enter in phase 2 and reported "unbounded".
+  IlpProblem p;
+  const int n0 = p.add_variable("n0");
+  const int e0 = p.add_variable("e0");
+  const int n1 = p.add_variable("n1");
+  const int sink = p.add_variable("sink");
+  p.set_objective(n0, 5);
+  p.set_objective(n1, 7);
+  p.add_constraint({{n0, Rational(-1)}}, Cmp::eq, -1); // n0 == 1 (entry)
+  p.add_constraint({{n0, Rational(-1)}, {e0, Rational(1)}}, Cmp::eq, 0);
+  p.add_constraint({{n1, Rational(-1)}, {e0, Rational(1)}}, Cmp::eq, 0);
+  p.add_constraint({{n1, Rational(-1)}, {sink, Rational(1)}}, Cmp::eq, 0);
+  p.add_constraint({{sink, Rational(1)}}, Cmp::eq, 1);
+  const LpSolution s = p.solve_lp();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.objective, Rational(12));
+}
+
+TEST(Ilp, BranchAndBoundIntegrality) {
+  // max 3x + 2y s.t. 2x + y <= 4.5: LP optimum fractional, ILP must give
+  // the best integer point (x=0, y=4 -> 8).
+  IlpProblem p;
+  const int x = p.add_variable("x");
+  const int y = p.add_variable("y");
+  p.set_objective(x, 3);
+  p.set_objective(y, 2);
+  p.add_constraint({{x, Rational(2)}, {y, Rational(1)}}, Cmp::le, Rational(9, 2));
+  const LpSolution s = p.solve_ilp();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.objective, Rational(8));
+  for (const Rational& v : s.values) EXPECT_TRUE(v.is_integer());
+}
+
+TEST(Ilp, KnapsackAgainstBruteForce) {
+  // Random small knapsacks: ILP must match exhaustive search.
+  Rng rng(99);
+  for (int instance = 0; instance < 25; ++instance) {
+    const int n = 5;
+    std::vector<std::int64_t> weight(n), value(n);
+    const std::int64_t capacity = 10 + static_cast<std::int64_t>(rng.below(20));
+    for (int i = 0; i < n; ++i) {
+      weight[static_cast<std::size_t>(i)] = 1 + rng.below(8);
+      value[static_cast<std::size_t>(i)] = 1 + rng.below(12);
+    }
+    IlpProblem p;
+    std::vector<LinTerm> cap_terms;
+    for (int i = 0; i < n; ++i) {
+      const int v = p.add_variable("x" + std::to_string(i));
+      p.set_objective(v, value[static_cast<std::size_t>(i)]);
+      p.add_constraint({{v, Rational(1)}}, Cmp::le, 1); // 0/1 knapsack
+      cap_terms.push_back({v, Rational(weight[static_cast<std::size_t>(i)])});
+    }
+    p.add_constraint(std::move(cap_terms), Cmp::le, Rational(capacity));
+    const LpSolution s = p.solve_ilp();
+    ASSERT_TRUE(s.ok());
+
+    std::int64_t best = 0;
+    for (int mask = 0; mask < (1 << n); ++mask) {
+      std::int64_t w = 0;
+      std::int64_t v = 0;
+      for (int i = 0; i < n; ++i) {
+        if ((mask >> i) & 1) {
+          w += weight[static_cast<std::size_t>(i)];
+          v += value[static_cast<std::size_t>(i)];
+        }
+      }
+      if (w <= capacity) best = std::max(best, v);
+    }
+    EXPECT_EQ(s.objective, Rational(best)) << "knapsack instance " << instance;
+  }
+}
+
+TEST(Ilp, MinimizeViaNegation) {
+  // BCET-style: minimize by maximizing the negated objective.
+  IlpProblem p;
+  const int x = p.add_variable("x");
+  p.set_objective(x, -1);
+  p.add_constraint({{x, Rational(1)}}, Cmp::ge, 3);
+  p.add_constraint({{x, Rational(1)}}, Cmp::le, 9);
+  const LpSolution s = p.solve_lp();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(-s.objective, Rational(3));
+}
+
+TEST(Ilp, DumpContainsProblem) {
+  IlpProblem p;
+  const int x = p.add_variable("count_a");
+  p.set_objective(x, 7);
+  p.add_constraint({{x, Rational(1)}}, Cmp::le, 3);
+  const std::string dump = p.to_string();
+  EXPECT_NE(dump.find("count_a"), std::string::npos);
+  EXPECT_NE(dump.find("maximize"), std::string::npos);
+}
+
+} // namespace
+} // namespace wcet

@@ -1,0 +1,268 @@
+// Simulator: functional semantics per opcode, timing model behaviour
+// (caches, region latencies, penalties), traps and MMIO.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "mem/hwmodel.hpp"
+#include "sim/simulator.hpp"
+
+namespace wcet {
+namespace {
+
+using isa::assemble;
+
+sim::SimResult run_asm(const std::string& body, std::uint32_t* a0_out = nullptr,
+                       mem::HwConfig hw = mem::typical_hw()) {
+  const isa::Image image = assemble(body);
+  sim::Simulator sim(image, hw);
+  const sim::SimResult result = sim.run();
+  if (a0_out != nullptr) *a0_out = sim.register_value(isa::reg_a0);
+  return result;
+}
+
+TEST(Sim, AluBasics) {
+  std::uint32_t a0 = 0;
+  const auto r = run_asm(R"(
+_start: movi t0, 21
+        movi t1, 2
+        mul  a0, t0, t1
+        halt
+)", &a0);
+  ASSERT_TRUE(r.completed());
+  EXPECT_EQ(a0, 42u);
+}
+
+struct AluCase {
+  const char* name;
+  const char* op;
+  std::uint32_t a, b, expected;
+};
+
+class AluSemantics : public ::testing::TestWithParam<AluCase> {};
+
+TEST_P(AluSemantics, MatchesReference) {
+  const AluCase& c = GetParam();
+  std::uint32_t a0 = 0;
+  std::string src = "_start: movi t0, " + std::to_string(c.a) + "\n";
+  src += "        movi t1, " + std::to_string(c.b) + "\n";
+  src += std::string("        ") + c.op + " a0, t0, t1\n        halt\n";
+  const auto r = run_asm(src, &a0);
+  ASSERT_TRUE(r.completed());
+  EXPECT_EQ(a0, c.expected) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, AluSemantics,
+    ::testing::Values(
+        AluCase{"add_wrap", "add", 0xFFFFFFFFu, 2u, 1u},
+        AluCase{"sub_wrap", "sub", 1u, 3u, 0xFFFFFFFEu},
+        AluCase{"and", "and", 0xF0F0u, 0xFF00u, 0xF000u},
+        AluCase{"or", "or", 0xF0F0u, 0x0F0Fu, 0xFFFFu},
+        AluCase{"xor", "xor", 0xFFFFu, 0x00FFu, 0xFF00u},
+        AluCase{"sll_mask", "sll", 1u, 33u, 2u},
+        AluCase{"srl", "srl", 0x80000000u, 31u, 1u},
+        AluCase{"sra_neg", "sra", 0x80000000u, 31u, 0xFFFFFFFFu},
+        AluCase{"slt_true", "slt", 0xFFFFFFFFu, 0u, 1u}, // -1 < 0
+        AluCase{"sltu_false", "sltu", 0xFFFFFFFFu, 0u, 0u},
+        AluCase{"mulhu", "mulhu", 0x10000u, 0x10000u, 1u},
+        AluCase{"divu_zero", "divu", 7u, 0u, 0u},
+        AluCase{"remu_zero", "remu", 7u, 0u, 7u},
+        AluCase{"div_signed", "div", 0xFFFFFFF9u, 2u, 0xFFFFFFFDu},  // -7/2 = -3
+        AluCase{"rem_signed", "rem", 0xFFFFFFF9u, 2u, 0xFFFFFFFFu},  // -7%2 = -1
+        AluCase{"div_overflow", "div", 0x80000000u, 0xFFFFFFFFu, 0x80000000u},
+        AluCase{"rem_overflow", "rem", 0x80000000u, 0xFFFFFFFFu, 0u}),
+    [](const ::testing::TestParamInfo<AluCase>& info) { return info.param.name; });
+
+TEST(Sim, LoadStoreWidths) {
+  std::uint32_t a0 = 0;
+  const auto r = run_asm(R"(
+_start: movi t0, 0x20000
+        movi t1, 0xDEADBEEF
+        sw   t1, 0(t0)
+        lb   a0, 0(t0)       ; 0xEF sign-extended
+        lbu  t2, 1(t0)       ; 0xBE
+        add  a0, a0, t2
+        lhu  t2, 2(t0)       ; 0xDEAD
+        add  a0, a0, t2
+        halt
+)", &a0);
+  ASSERT_TRUE(r.completed());
+  // sext(0xEF) = -17 -> 0xFFFFFFEF; + 0xBE + 0xDEAD
+  EXPECT_EQ(a0, 0xFFFFFFEFu + 0xBEu + 0xDEADu);
+}
+
+TEST(Sim, PredicatedMoves) {
+  std::uint32_t a0 = 0;
+  const auto r = run_asm(R"(
+_start: movi a0, 0
+        movi t0, 7
+        movi t1, 0
+        cmovz a0, t0, t1     ; t1 == 0 -> a0 = 7
+        movi t2, 1
+        movi t0, 99
+        cmovz a0, t0, t2     ; t2 != 0 -> unchanged
+        halt
+)", &a0);
+  ASSERT_TRUE(r.completed());
+  EXPECT_EQ(a0, 7u);
+}
+
+TEST(Sim, CmovnzTakesWhenNonzero) {
+  std::uint32_t a0 = 0;
+  const auto r = run_asm(R"(
+_start: movi a0, 1
+        movi t0, 42
+        movi t1, 5
+        cmovnz a0, t0, t1
+        halt
+)", &a0);
+  ASSERT_TRUE(r.completed());
+  EXPECT_EQ(a0, 42u);
+}
+
+TEST(Sim, ExitAndOutput) {
+  const isa::Image image = assemble(R"(
+_start: movi a0, 1          ; putchar
+        movi a1, 72         ; 'H'
+        ecall
+        movi a1, 105        ; 'i'
+        ecall
+        movi a0, 0          ; exit
+        movi a1, 3
+        ecall
+        halt
+)");
+  sim::Simulator sim(image, mem::typical_hw());
+  const auto r = sim.run();
+  EXPECT_EQ(r.stop, sim::SimResult::Stop::exited);
+  EXPECT_EQ(r.exit_code, 3u);
+  EXPECT_EQ(r.output, "Hi");
+}
+
+TEST(Sim, Traps) {
+  const auto misaligned = run_asm(R"(
+_start: movi t0, 0x20001
+        lw   a0, 0(t0)
+        halt
+)");
+  EXPECT_EQ(misaligned.stop, sim::SimResult::Stop::trapped);
+  EXPECT_NE(misaligned.trap_reason.find("misaligned"), std::string::npos);
+
+  const auto wild_jump = run_asm(R"(
+_start: movi t0, 0x500000
+        jr   t0
+)");
+  EXPECT_EQ(wild_jump.stop, sim::SimResult::Stop::trapped);
+}
+
+TEST(Sim, StepLimit) {
+  const isa::Image image = assemble(R"(
+_start: j _start
+)");
+  sim::Simulator sim(image, mem::typical_hw());
+  sim::SimOptions options;
+  options.max_steps = 100;
+  const auto r = sim.run(options);
+  EXPECT_EQ(r.stop, sim::SimResult::Stop::step_limit);
+  EXPECT_EQ(r.instructions, 100u);
+}
+
+TEST(Sim, ICacheMakesSecondIterationCheaper) {
+  // Two identical passes over the same straight-line code: with a cold
+  // I-cache the first pass misses, the second hits.
+  const isa::Image image = assemble(R"(
+_start: movi t0, 0           ; i = 0
+        movi t1, 2
+loop:   addi t2, zero, 1     ; body filler
+        addi t2, zero, 2
+        addi t2, zero, 3
+        addi t0, t0, 1
+        blt  t0, t1, loop
+        halt
+)");
+  mem::HwConfig hw = mem::typical_hw();
+  sim::Simulator cached(image, hw);
+  const auto with_cache = cached.run();
+  hw.icache.enabled = false;
+  sim::Simulator uncached(image, hw);
+  const auto without_cache = uncached.run();
+  ASSERT_TRUE(with_cache.completed());
+  ASSERT_TRUE(without_cache.completed());
+  EXPECT_EQ(with_cache.instructions, without_cache.instructions);
+  EXPECT_LT(with_cache.cycles, without_cache.cycles);
+}
+
+TEST(Sim, SlowRegionCostsMore) {
+  // Same load executed from flash (latency 12) vs sram-data (latency 2),
+  // D-cache disabled to expose the region latency.
+  mem::HwConfig hw = mem::typical_hw();
+  hw.dcache.enabled = false;
+  std::uint32_t a0 = 0;
+  // Same instruction count in both programs (explicit lui+ori).
+  const auto flash = run_asm(R"(
+_start: lui  t0, 0
+        ori  t0, t0, 0x8000
+        lw   a0, 0(t0)
+        halt
+)", &a0, hw);
+  const auto sram = run_asm(R"(
+_start: lui  t0, 2
+        ori  t0, t0, 0
+        lw   a0, 0(t0)
+        halt
+)", &a0, hw);
+  ASSERT_TRUE(flash.completed());
+  ASSERT_TRUE(sram.completed());
+  EXPECT_EQ(flash.cycles - sram.cycles, 10u); // 12 - 2
+}
+
+TEST(Sim, MmioReadsUseHandlerAndBypassMemory) {
+  const isa::Image image = assemble(R"(
+_start: movi t0, 0xF0000000
+        lw   a0, 0(t0)
+        lw   a1, 4(t0)
+        halt
+)");
+  sim::Simulator sim(image, mem::typical_hw());
+  sim.set_mmio_read([](std::uint32_t addr, int) { return addr & 0xFF; });
+  const auto r = sim.run();
+  ASSERT_TRUE(r.completed());
+  EXPECT_EQ(sim.register_value(isa::reg_a0), 0u);
+  EXPECT_EQ(sim.register_value(isa::reg_a1), 4u);
+}
+
+TEST(Sim, ExecCountsCollected) {
+  const isa::Image image = assemble(R"(
+_start: movi t0, 0
+        movi t1, 5
+loop:   addi t0, t0, 1
+        blt  t0, t1, loop
+        halt
+)");
+  sim::Simulator sim(image, mem::typical_hw());
+  sim::SimOptions options;
+  options.collect_exec_counts = true;
+  const auto r = sim.run(options);
+  ASSERT_TRUE(r.completed());
+  EXPECT_EQ(r.exec_counts.at(0x1008), 5u); // addi in the loop
+  EXPECT_EQ(r.exec_counts.at(0x1000), 1u);
+}
+
+TEST(Sim, RegisterAndMemoryInjection) {
+  const isa::Image image = assemble(R"(
+_start: movi t0, 0x20000
+        lw   t1, 0(t0)
+        add  a0, a1, t1
+        halt
+)");
+  sim::Simulator sim(image, mem::typical_hw());
+  sim.set_register(isa::reg_a1, 30);
+  sim.write_word(0x20000, 12);
+  EXPECT_EQ(sim.read_word(0x20000), 12u);
+  const auto r = sim.run();
+  ASSERT_TRUE(r.completed());
+  EXPECT_EQ(sim.register_value(isa::reg_a0), 42u);
+}
+
+} // namespace
+} // namespace wcet

@@ -1,0 +1,75 @@
+// End-to-end smoke test: assemble -> decode -> analyze -> simulate and
+// check the fundamental soundness contract
+//     BCET bound <= observed cycles <= WCET bound.
+#include <gtest/gtest.h>
+
+#include "core/toolkit.hpp"
+
+namespace wcet {
+namespace {
+
+constexpr const char* counter_loop_program = R"(
+        .text 0x1000
+        .global _start
+        .global sum_loop
+_start:
+        movi  sp, 0x40000
+        call  sum_loop
+        halt
+
+; int sum_loop(): sums table[0..15]
+sum_loop:
+        movi  a1, table
+        movi  a0, 0          ; acc
+        movi  t0, 0          ; i
+        movi  t1, 16         ; limit
+loop:
+        slli  t2, t0, 2
+        add   t2, t2, a1
+        lw    t2, 0(t2)
+        add   a0, a0, t2
+        addi  t0, t0, 1
+        blt   t0, t1, loop
+        ret
+
+        .rodata 0x8000
+        .global table
+table:  .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+)";
+
+TEST(Smoke, AssembleAnalyzeSimulate) {
+  const isa::Image image = isa::assemble(counter_loop_program);
+  const mem::HwConfig hw = mem::typical_hw();
+
+  const Analyzer analyzer(image, hw);
+  const WcetReport report = analyzer.analyze();
+  SCOPED_TRACE(report.to_string());
+
+  ASSERT_TRUE(report.ok) << report.to_string();
+  EXPECT_EQ(report.bounded_loops, 1);
+  EXPECT_EQ(report.irreducible_loops, 0);
+  ASSERT_EQ(report.loops.size(), 1u);
+  // Exact back-edge bound: 16 body executions = 15 back edges.
+  EXPECT_EQ(report.loops[0].used_bound, std::uint64_t{15});
+
+  sim::Simulator sim(image, hw);
+  const sim::SimResult run = sim.run();
+  ASSERT_TRUE(run.completed()) << run.trap_reason;
+  EXPECT_EQ(sim.register_value(isa::reg_a0), 136u); // 1+...+16
+
+  EXPECT_LE(run.cycles, report.wcet_cycles);
+  EXPECT_GE(run.cycles, report.bcet_cycles);
+  EXPECT_GT(report.wcet_cycles, 0u);
+}
+
+TEST(Smoke, ReportIsPrintable) {
+  const isa::Image image = isa::assemble(counter_loop_program);
+  const Analyzer analyzer(image, mem::typical_hw());
+  const WcetReport report = analyzer.analyze();
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("WCET"), std::string::npos);
+  EXPECT_NE(text.find("loops: 1 total"), std::string::npos);
+}
+
+} // namespace
+} // namespace wcet

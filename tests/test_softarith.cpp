@@ -1,0 +1,322 @@
+// Software arithmetic: lDivMod reconstruction correctness + Table-1
+// distribution claims, the constant-iteration remedy, soft-float
+// correctness against host IEEE hardware, and native-vs-tiny32
+// cross-validation of the exact instruction streams.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <map>
+
+#include "core/toolkit.hpp"
+#include "softarith/ldivmod.hpp"
+#include "softarith/softfloat.hpp"
+#include "support/rng.hpp"
+
+namespace wcet::softarith {
+namespace {
+
+TEST(LDivMod, CorrectnessAgainstHardwareDivision) {
+  Rng rng(2024);
+  for (int i = 0; i < 200000; ++i) {
+    const std::uint32_t a = rng.next_u32();
+    const std::uint32_t b = rng.next_u32();
+    const LDivModResult r = ldivmod(a, b);
+    if (b == 0) {
+      EXPECT_EQ(r.quotient, 0xFFFFFFFFu);
+      EXPECT_EQ(r.remainder, a);
+      continue;
+    }
+    ASSERT_EQ(r.quotient, a / b) << a << '/' << b;
+    ASSERT_EQ(r.remainder, a % b) << a << '%' << b;
+  }
+}
+
+TEST(LDivMod, EdgeOperands) {
+  EXPECT_EQ(ldivmod(0, 5).quotient, 0u);
+  EXPECT_EQ(ldivmod(0, 5).iterations, 0u); // divisor < 2^16: EDIV path
+  EXPECT_EQ(ldivmod(UINT32_MAX, 1).quotient, UINT32_MAX);
+  EXPECT_EQ(ldivmod(UINT32_MAX, UINT32_MAX).quotient, 1u);
+  EXPECT_EQ(ldivmod(5, UINT32_MAX).quotient, 0u);
+  EXPECT_EQ(ldivmod(5, UINT32_MAX).iterations, 1u); // bh == 0xFFFF compare path
+  EXPECT_EQ(ldivmod(0x12345678, 0x10000).quotient, 0x1234u);
+}
+
+TEST(LDivMod, IterationCountStructure) {
+  // 0 iterations iff the divisor fits 16 bits.
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint32_t a = rng.next_u32();
+    const std::uint32_t b = rng.next_u32();
+    if (b == 0) continue;
+    const LDivModResult r = ldivmod(a, b);
+    if ((b >> 16) == 0) {
+      ASSERT_EQ(r.iterations, 0u);
+    } else {
+      ASSERT_GE(r.iterations, 1u);
+    }
+  }
+}
+
+TEST(LDivMod, Table1ShapeClaims) {
+  // The paper's three headline claims on a 2M random-input sample:
+  //   (a) more than 99.8 % take exactly 1 iteration,
+  //   (b) more than 99.99 % take 0, 1 or 2 iterations (the paper states
+  //       99.999 % at 10^8 samples; the bench reproduces that),
+  //   (c) the maximum is far above the typical count.
+  Rng rng(42);
+  const int n = 2000000;
+  std::map<unsigned, long> histogram;
+  unsigned max_iterations = 0;
+  for (int i = 0; i < n; ++i) {
+    const LDivModResult r = ldivmod(rng.next_u32(), rng.next_u32());
+    ++histogram[r.iterations];
+    max_iterations = std::max(max_iterations, r.iterations);
+  }
+  const double p1 = static_cast<double>(histogram[1]) / n;
+  EXPECT_GT(p1, 0.998);
+  const double p012 =
+      static_cast<double>(histogram[0] + histogram[1] + histogram[2]) / n;
+  EXPECT_GT(p012, 0.9999);
+  EXPECT_GE(max_iterations, 8u);
+}
+
+TEST(LDivMod, SafeModeTailIsReachable) {
+  // Directed search: constructing an input that satisfies the alias
+  // coincidence drives the routine into unit-stepping safe mode.
+  bool found_tail = false;
+  Rng rng(4711);
+  for (int i = 0; i < 4000000 && !found_tail; ++i) {
+    const std::uint32_t b = 0x01000000u | (rng.next_u32() & 0x00FFFFFFu);
+    const std::uint32_t a = 0xF0000000u | (rng.next_u32() & 0x0FFFFFFFu);
+    const LDivModResult r = ldivmod(a, b);
+    if (r.iterations > 50) found_tail = true;
+  }
+  EXPECT_TRUE(found_tail) << "no long-tail input found in the directed search";
+}
+
+TEST(BitSerial, AlwaysCorrectAndConstantIterations) {
+  Rng rng(99);
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint32_t a = rng.next_u32();
+    const std::uint32_t b = rng.next_u32();
+    const UDivResult r = udivmod_bitserial(a, b);
+    if (b == 0) {
+      EXPECT_EQ(r.quotient, 0u);
+      EXPECT_EQ(r.remainder, a);
+    } else {
+      ASSERT_EQ(r.quotient, a / b);
+      ASSERT_EQ(r.remainder, a % b);
+    }
+  }
+}
+
+// --------------------- tiny32 twin cross-validation ---------------------
+
+struct DivProgram {
+  isa::Image image;
+  std::uint32_t in_a, in_b, out_q, out_r, out_iters;
+
+  explicit DivProgram(std::string_view source) : image(isa::assemble(source)) {
+    in_a = image.find_symbol("input_a")->addr;
+    in_b = image.find_symbol("input_b")->addr;
+    out_q = image.find_symbol("out_q")->addr;
+    out_r = image.find_symbol("out_r")->addr;
+    out_iters = image.find_symbol("out_iters")->addr;
+  }
+
+  struct Result {
+    std::uint32_t q, r, iters;
+  };
+  Result run(std::uint32_t a, std::uint32_t b) const {
+    sim::Simulator sim(image, mem::typical_hw());
+    sim.write_word(in_a, a);
+    sim.write_word(in_b, b);
+    const auto res = sim.run();
+    EXPECT_TRUE(res.completed()) << res.trap_reason;
+    return {sim.read_word(out_q), sim.read_word(out_r), sim.read_word(out_iters)};
+  }
+};
+
+TEST(LDivModTiny32, MatchesNativeIncludingIterationCounts) {
+  DivProgram program(ldivmod_tiny32_program());
+  Rng rng(31337);
+  for (int i = 0; i < 300; ++i) {
+    std::uint32_t a = rng.next_u32();
+    std::uint32_t b = rng.next_u32();
+    switch (i & 3) { // force interesting divisor classes
+    case 0: b &= 0xFFFF; break;                       // EDIV path
+    case 1: b = 0x01000000u | (b & 0xFFFFFF); break;  // small bh
+    default: break;
+    }
+    const LDivModResult native = ldivmod(a, b);
+    const DivProgram::Result target = program.run(a, b);
+    ASSERT_EQ(target.q, native.quotient) << a << '/' << b;
+    ASSERT_EQ(target.r, native.remainder) << a << '%' << b;
+    ASSERT_EQ(target.iters, native.iterations)
+        << "iteration counts diverged for " << a << '/' << b;
+  }
+}
+
+TEST(BitSerialTiny32, MatchesNativeAndAnalyzesToConstantBound) {
+  DivProgram program(bitserial_tiny32_program());
+  Rng rng(2718);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint32_t a = rng.next_u32();
+    const std::uint32_t b = i == 0 ? 0 : rng.next_u32();
+    const UDivResult native = udivmod_bitserial(a, b);
+    const DivProgram::Result target = program.run(a, b);
+    ASSERT_EQ(target.q, native.quotient);
+    ASSERT_EQ(target.r, native.remainder);
+    ASSERT_EQ(target.iters, 32u);
+  }
+  // The analyzer bounds the 32-iteration loop automatically.
+  const WcetReport report =
+      Analyzer(program.image, mem::typical_hw()).analyze();
+  ASSERT_TRUE(report.ok) << report.to_string();
+  ASSERT_EQ(report.loops.size(), 1u);
+  EXPECT_EQ(report.loops[0].used_bound, std::uint64_t{31}); // 32 trips = 31 back edges
+}
+
+TEST(LDivModTiny32, NeedsAnnotationThenBoundsSoundly) {
+  DivProgram program(ldivmod_tiny32_program());
+  const mem::HwConfig hw = mem::typical_hw();
+  // The inputs live in .data; without an io override the value analysis
+  // constant-folds the zero-initialized words. Mark them volatile.
+  std::ostringstream io;
+  io << "region \"inputs\" at " << program.in_a << " size 8 read 2 write 2 io\n";
+  const WcetReport without = Analyzer(program.image, hw, io.str()).analyze();
+  EXPECT_FALSE(without.ok) << "data-dependent refinement loop must defeat analysis";
+
+  // Annotate every unbounded loop at its reported header with the
+  // structural worst case (~260 unit steps + a few digit passes).
+  std::ostringstream annotations;
+  annotations << io.str();
+  for (const LoopInfo& loop : without.loops) {
+    if (!loop.used_bound) {
+      annotations << "loop at " << loop.header_addr << " max 300\n";
+    }
+  }
+  const Analyzer annotated(program.image, hw, annotations.str());
+  const WcetReport with = annotated.analyze();
+  ASSERT_TRUE(with.ok) << with.to_string();
+  // Simulate on the annotated machine: the inputs are io now, so they
+  // arrive through the mmio handler.
+  sim::Simulator sim(program.image, annotated.hw());
+  sim.set_mmio_read([&](std::uint32_t addr, int) {
+    if (addr == program.in_a) return 0xFFFFFFFFu;
+    if (addr == program.in_b) return 0x00010001u;
+    return 0u;
+  });
+  const auto run = sim.run();
+  ASSERT_TRUE(run.completed());
+  EXPECT_LE(run.cycles, with.wcet_cycles);
+  EXPECT_GE(run.cycles, with.bcet_cycles);
+}
+
+// ------------------------------ soft float ------------------------------
+
+float host_add(float a, float b) { return a + b; }
+float host_sub(float a, float b) { return a - b; }
+float host_mul(float a, float b) { return a * b; }
+float host_div(float a, float b) { return a / b; }
+
+struct F32Case {
+  const char* name;
+  std::uint32_t (*soft)(std::uint32_t, std::uint32_t);
+  float (*hard)(float, float);
+};
+
+class SoftFloatVsHardware : public ::testing::TestWithParam<F32Case> {};
+
+TEST_P(SoftFloatVsHardware, AgreesOnNormalOperands) {
+  const F32Case& c = GetParam();
+  Rng rng(std::string_view(c.name).size() * 1299721);
+  int checked = 0;
+  for (int i = 0; i < 200000; ++i) {
+    // Random finite operands with moderate exponents so neither the
+    // inputs, the outputs, nor intermediate rounding go subnormal (the
+    // library flushes to zero there by design).
+    const auto make = [&] {
+      const std::uint32_t sign = rng.below(2) << 31;
+      const std::uint32_t exp = (64 + rng.below(128)) << 23;
+      const std::uint32_t frac = rng.next_u32() & 0x7FFFFF;
+      return sign | exp | frac;
+    };
+    const std::uint32_t a = make();
+    const std::uint32_t b = make();
+    const float expected = c.hard(f32_value(a), f32_value(b));
+    if (!std::isfinite(expected) ||
+        (expected != 0.0f && std::fabs(expected) < 1e-30f)) {
+      continue; // overflow/underflow cases are exercised separately
+    }
+    const std::uint32_t got = c.soft(a, b);
+    ASSERT_EQ(got, f32_bits(expected))
+        << c.name << '(' << f32_value(a) << ", " << f32_value(b) << ')';
+    ++checked;
+  }
+  EXPECT_GT(checked, 100000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ops, SoftFloatVsHardware,
+                         ::testing::Values(F32Case{"add", f32_add, host_add},
+                                           F32Case{"sub", f32_sub, host_sub},
+                                           F32Case{"mul", f32_mul, host_mul},
+                                           F32Case{"div", f32_div, host_div}),
+                         [](const ::testing::TestParamInfo<F32Case>& info) {
+                           return info.param.name;
+                         });
+
+TEST(SoftFloat, SpecialValues) {
+  const std::uint32_t inf = 0x7F800000u;
+  const std::uint32_t ninf = 0xFF800000u;
+  const std::uint32_t one = f32_bits(1.0f);
+  EXPECT_EQ(f32_add(inf, one), inf);
+  EXPECT_EQ(f32_add(inf, ninf), f32_quiet_nan);
+  EXPECT_EQ(f32_mul(inf, 0), f32_quiet_nan);
+  EXPECT_EQ(f32_div(one, 0), inf);
+  EXPECT_EQ(f32_div(0, 0), f32_quiet_nan);
+  EXPECT_EQ(f32_add(f32_quiet_nan, one), f32_quiet_nan);
+  // Comparisons with NaN are all false.
+  EXPECT_EQ(f32_lt(f32_quiet_nan, one), 0u);
+  EXPECT_EQ(f32_eq(f32_quiet_nan, f32_quiet_nan), 0u);
+  // Signed zeros compare equal.
+  EXPECT_EQ(f32_eq(0x80000000u, 0u), 1u);
+  EXPECT_EQ(f32_lt(0x80000000u, 0u), 0u);
+}
+
+TEST(SoftFloat, Comparisons) {
+  Rng rng(555);
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint32_t a = (64 + rng.below(128)) << 23 | (rng.next_u32() & 0x807FFFFF);
+    const std::uint32_t b = (64 + rng.below(128)) << 23 | (rng.next_u32() & 0x807FFFFF);
+    const float fa = f32_value(a);
+    const float fb = f32_value(b);
+    ASSERT_EQ(f32_lt(a, b), fa < fb ? 1u : 0u);
+    ASSERT_EQ(f32_le(a, b), fa <= fb ? 1u : 0u);
+    ASSERT_EQ(f32_eq(a, b), fa == fb ? 1u : 0u);
+  }
+}
+
+TEST(SoftFloat, IntConversions) {
+  Rng rng(777);
+  for (int i = 0; i < 100000; ++i) {
+    const std::int32_t v = static_cast<std::int32_t>(rng.next_u32());
+    ASSERT_EQ(f32_from_i32(v), f32_bits(static_cast<float>(v))) << v;
+  }
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint32_t bits = (64 + rng.below(120)) << 23 | (rng.next_u32() & 0x807FFFFF);
+    const float f = f32_value(bits);
+    // Out-of-range casts are UB on the host; the library saturates and
+    // is tested on the explicit clamp cases below.
+    if (f >= 2147483648.0f || f <= -2147483648.0f) continue;
+    ASSERT_EQ(f32_to_i32(bits), static_cast<std::int32_t>(f)) << f;
+  }
+  EXPECT_EQ(f32_to_i32(f32_bits(0.99f)), 0);
+  EXPECT_EQ(f32_to_i32(f32_bits(-0.99f)), 0);
+  EXPECT_EQ(f32_to_i32(f32_bits(1e20f)), INT32_MAX);
+  EXPECT_EQ(f32_to_i32(f32_bits(-1e20f)), INT32_MIN);
+}
+
+} // namespace
+} // namespace wcet::softarith

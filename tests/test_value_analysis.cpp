@@ -1,0 +1,278 @@
+// Value analysis: constant propagation, branch refinement, the tracked
+// memory model (strong/weak updates, wild-store poisoning, read-only
+// data), access-fact confinement and indirect-target feedback.
+#include <gtest/gtest.h>
+
+#include "analysis/value_analysis.hpp"
+#include "cfg/domloop.hpp"
+#include "cfg/program.hpp"
+#include "cfg/supergraph.hpp"
+#include "isa/assembler.hpp"
+#include "mem/hwmodel.hpp"
+
+namespace wcet::analysis {
+namespace {
+
+struct Pipeline {
+  isa::Image image;
+  cfg::Program program;
+  cfg::Supergraph sg;
+  cfg::LoopForest forest;
+  std::unique_ptr<ValueAnalysis> values;
+
+  explicit Pipeline(const std::string& source,
+                    const ValueAnalysis::Options& options = {})
+      : image(isa::assemble(source)),
+        program(cfg::Program::reconstruct(image, image.entry())),
+        sg(cfg::Supergraph::expand(program)),
+        forest(sg) {
+    static mem::MemoryMap map = mem::typical_embedded_map();
+    values = std::make_unique<ValueAnalysis>(sg, forest, map, options);
+    values->run();
+  }
+
+  // Node whose block starts at the given symbol/label address (the
+  // label must be a control-flow leader, e.g. a branch target).
+  int node_at(std::uint32_t addr) const {
+    for (const cfg::SgNode& node : sg.nodes()) {
+      if (node.block->begin == addr) return node.id;
+    }
+    ADD_FAILURE() << "no node at 0x" << std::hex << addr;
+    return -1;
+  }
+  // Register interval immediately before the instruction at `addr`
+  // (works for any address, not only block leaders).
+  Interval reg_at(std::uint32_t addr, std::uint8_t reg) const {
+    for (const cfg::SgNode& node : sg.nodes()) {
+      if (addr >= node.block->begin && addr < node.block->end) {
+        return values->reg_before(node.id, addr, reg);
+      }
+    }
+    ADD_FAILURE() << "no block covering 0x" << std::hex << addr;
+    return Interval::bottom();
+  }
+  std::uint32_t sym(const std::string& name) const {
+    const isa::Symbol* s = image.find_symbol(name);
+    EXPECT_NE(s, nullptr) << name;
+    return s != nullptr ? s->addr : 0;
+  }
+};
+
+TEST(ValueAnalysis, ConstantPropagationThroughMovi) {
+  Pipeline p(R"(
+        .global main
+        .global target
+main:   movi t0, 0x12345678
+        addi t1, t0, 8
+target: halt
+)");
+  EXPECT_EQ(p.reg_at(p.sym("target"), isa::reg_t0).as_constant(), 0x12345678u);
+  EXPECT_EQ(p.reg_at(p.sym("target"), isa::reg_t1).as_constant(), 0x12345680u);
+  EXPECT_EQ(p.reg_at(p.sym("target"), isa::reg_zero).as_constant(), 0u);
+}
+
+TEST(ValueAnalysis, BranchRefinement) {
+  Pipeline p(R"(
+        .global main
+        .global small
+        .global big
+main:   movi t1, 10
+        bltu a0, t1, small
+big:    halt
+small:  halt
+)");
+  const AbsState& small_state = p.values->state_in(p.node_at(p.sym("small")));
+  ASSERT_FALSE(small_state.bottom);
+  EXPECT_LE(small_state.regs[isa::reg_a0].umax(), 9);
+  const AbsState& big_state = p.values->state_in(p.node_at(p.sym("big")));
+  ASSERT_FALSE(big_state.bottom);
+  EXPECT_GE(big_state.regs[isa::reg_a0].umin(), 10);
+}
+
+TEST(ValueAnalysis, InfeasibleEdgePruned) {
+  // t0 is constant 5, so `beq t0, zero` can never be taken: the dead
+  // branch must be unreachable (rule 14.1's precision effect).
+  Pipeline p(R"(
+        .global main
+        .global dead
+        .global live
+main:   movi t0, 5
+        beq  t0, zero, dead
+live:   halt
+dead:   halt
+)");
+  EXPECT_FALSE(p.values->node_reachable(p.node_at(p.sym("dead"))));
+  EXPECT_TRUE(p.values->node_reachable(p.node_at(p.sym("live"))));
+}
+
+TEST(ValueAnalysis, TrackedMemoryStrongUpdate) {
+  Pipeline p(R"(
+        .global main
+        .global after
+main:   movi t0, 0x20000
+        movi t1, 77
+        sw   t1, 0(t0)
+        lw   t2, 0(t0)
+after:  halt
+)");
+  EXPECT_EQ(p.reg_at(p.sym("after"), isa::reg_t2).as_constant(), 77u);
+}
+
+TEST(ValueAnalysis, RodataReadsStayPreciseDespiteWildStores) {
+  // A wild store (unknown address) poisons tracked RAM but must not
+  // poison read-only sections.
+  Pipeline p(R"(
+        .global main
+        .global after
+main:   movi t0, 0x20000
+        movi t1, 55
+        sw   t1, 0(t0)      ; tracked word
+        sw   t1, 0(a0)      ; wild store (a0 unknown)
+        lw   t2, 0(t0)      ; may have been overwritten -> top
+        movi t0, konst
+        lw   a1, 0(t0)      ; rodata: still exactly 1234
+after:  halt
+        .rodata
+        .global konst
+konst:  .word 1234
+)");
+  EXPECT_TRUE(p.reg_at(p.sym("after"), isa::reg_t2).is_top());
+  EXPECT_EQ(p.reg_at(p.sym("after"), isa::reg_a1).as_constant(), 1234u);
+}
+
+TEST(ValueAnalysis, AccessFactsConfineWildStores) {
+  // With a per-function access fact, the wild store only destroys
+  // knowledge inside the declared range (paper Section 4.3 remedy).
+  const std::string source = R"(
+        .global main
+        .global after
+main:   movi t0, 0x20000
+        movi t1, 55
+        sw   t1, 0(t0)
+        sw   t1, 0(a0)      ; wild, but confined by the fact
+        lw   t2, 0(t0)
+after:  halt
+)";
+  ValueAnalysis::Options options;
+  // Confine main's imprecise accesses to 0x30000..0x30FFF.
+  const isa::Image probe = isa::assemble(source);
+  options.access_facts[probe.entry()] = {{0x30000, 0x1000}};
+  Pipeline p(source, options);
+  EXPECT_EQ(p.reg_at(p.sym("after"), isa::reg_t2).as_constant(), 55u)
+      << "fact should have protected the tracked word";
+}
+
+TEST(ValueAnalysis, LoopCounterIntervalAtExit) {
+  Pipeline p(R"(
+        .global main
+        .global after
+main:   movi t0, 0
+        movi t1, 8
+loop:   addi t0, t0, 1
+        blt  t0, t1, loop
+after:  halt
+)");
+  const AbsState& state = p.values->state_in(p.node_at(p.sym("after")));
+  ASSERT_FALSE(state.bottom);
+  // At the exit, the counter is exactly the limit (refined by >=).
+  EXPECT_GE(state.regs[isa::reg_t0].umin(), 8);
+}
+
+TEST(ValueAnalysis, CallPassesStateAndRaIsKnown) {
+  Pipeline p(R"(
+        .global main
+        .global leaf
+        .global after
+main:   movi a0, 123
+        call leaf
+after:  halt
+leaf:   addi a1, a0, 1
+        ret
+)");
+  // Inside leaf, a0 carries the argument constant.
+  const int leaf_node = p.node_at(p.sym("leaf"));
+  const AbsState& leaf_state = p.values->state_in(leaf_node);
+  EXPECT_EQ(leaf_state.regs[isa::reg_a0].as_constant(), 123u);
+  // After the call returns, a1 was computed in the callee.
+  const AbsState& after = p.values->state_in(p.node_at(p.sym("after")));
+  EXPECT_EQ(after.regs[isa::reg_a1].as_constant(), 124u);
+}
+
+TEST(ValueAnalysis, EcallClobbersCallerSaved) {
+  Pipeline p(R"(
+        .global main
+        .global after
+main:   movi a2, 9
+        movi s0, 17
+        movi a0, 1
+        movi a1, 65
+        ecall
+after:  halt
+)");
+  EXPECT_TRUE(p.reg_at(p.sym("after"), isa::reg_a2).is_top());
+  EXPECT_EQ(p.reg_at(p.sym("after"), isa::reg_s0).as_constant(), 17u);
+}
+
+TEST(ValueAnalysis, IndirectTargetFeedback) {
+  // A function pointer loaded from a constant global collapses to a
+  // single constant: the analysis reports it for the decode loop.
+  Pipeline p(R"(
+        .global main
+        .global handler
+main:   movi t0, fnptr
+        lw   t1, 0(t0)
+        callr t1
+        halt
+handler: ret
+        .rodata
+        .global fnptr
+fnptr:  .word handler
+)");
+  const auto resolved = p.values->resolved_indirect_targets();
+  ASSERT_EQ(resolved.size(), 1u);
+  EXPECT_EQ(resolved.begin()->second.at(0), p.sym("handler"));
+}
+
+TEST(ValueAnalysis, SubWordLoadsBounded) {
+  Pipeline p(R"(
+        .global main
+        .global after
+main:   lbu  t0, 0(a0)     ; unknown byte: [0, 255]
+        lb   t1, 0(a0)     ; signed byte
+        lhu  t2, 0(a1)     ; careful: a1 may be misaligned; still bounded
+after:  halt
+)");
+  EXPECT_LE(p.reg_at(p.sym("after"), isa::reg_t0).umax(), 255);
+  // Signed sub-word ranges cross zero, which a contiguous unsigned
+  // interval cannot represent: top is the sound answer.
+  EXPECT_TRUE(p.reg_at(p.sym("after"), isa::reg_t1).is_top());
+  EXPECT_LE(p.reg_at(p.sym("after"), isa::reg_t2).umax(), 65535);
+}
+
+TEST(ValueAnalysis, AccessRecordsMatchInstructions) {
+  Pipeline p(R"(
+        .global main
+main:   movi t0, 0x20000
+        lw   t1, 4(t0)
+        sw   t1, 8(t0)
+        halt
+)");
+  int loads = 0;
+  int stores = 0;
+  for (const cfg::SgNode& node : p.sg.nodes()) {
+    for (const AccessInfo& access : p.values->accesses(node.id)) {
+      if (access.is_store) {
+        ++stores;
+        EXPECT_EQ(access.addr.as_constant(), 0x20008u);
+      } else {
+        ++loads;
+        EXPECT_EQ(access.addr.as_constant(), 0x20004u);
+      }
+    }
+  }
+  EXPECT_EQ(loads, 1);
+  EXPECT_EQ(stores, 1);
+}
+
+} // namespace
+} // namespace wcet::analysis
