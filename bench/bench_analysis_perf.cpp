@@ -45,7 +45,7 @@ void BM_analyze_scaling(benchmark::State& state) {
   state.counters["image_bytes"] =
       static_cast<double>(built.image.sections()[0].bytes.size());
 }
-BENCHMARK(BM_analyze_scaling)->Arg(1)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_analyze_scaling)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
 void BM_compile_scaling(benchmark::State& state) {
   const std::string source = synthetic_program(static_cast<int>(state.range(0)), 3);

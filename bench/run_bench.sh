@@ -1,0 +1,21 @@
+#!/bin/sh
+# Build the benchmarks in Release and record the analysis-perf results
+# as BENCH_analysis.json at the repo root, so successive PRs have a perf
+# trajectory to compare against.
+#
+#   $ bench/run_bench.sh [extra benchmark args...]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir="$repo_root/build-bench"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release -DWCET_BENCH=ON
+cmake --build "$build_dir" -j"$(nproc)" --target bench_analysis_perf
+
+"$build_dir/bench_analysis_perf" \
+  --benchmark_format=json \
+  --benchmark_out="$repo_root/BENCH_analysis.json" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "wrote $repo_root/BENCH_analysis.json"

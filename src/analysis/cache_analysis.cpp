@@ -1,10 +1,11 @@
 #include "analysis/cache_analysis.hpp"
 
 #include <algorithm>
-#include <deque>
+#include <map>
 #include <set>
 
 #include "support/diag.hpp"
+#include "support/fixpoint.hpp"
 
 namespace wcet::analysis {
 
@@ -24,21 +25,14 @@ AbsCache::AbsCache(const mem::CacheConfig& config, bool must)
 bool AbsCache::contains(std::uint32_t line) const {
   if (!config_.enabled) return false;
   const auto& set = sets_[config_.set_index(line * config_.line_bytes)];
-  return set.count(line) != 0;
+  return set.contains(line);
 }
 
 void AbsCache::age_set(unsigned set_index, unsigned below_age) {
-  auto& set = sets_[set_index];
-  for (auto it = set.begin(); it != set.end();) {
-    if (it->second < below_age) {
-      ++it->second;
-    }
-    if (it->second >= config_.ways) {
-      it = set.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  sets_[set_index].retain([&](std::uint32_t, unsigned& age) {
+    if (age < below_age) ++age;
+    return age < config_.ways;
+  });
 }
 
 void AbsCache::access(std::uint32_t line) {
@@ -46,26 +40,18 @@ void AbsCache::access(std::uint32_t line) {
   const unsigned s = config_.set_index(line * config_.line_bytes);
   auto& set = sets_[s];
   const auto it = set.find(line);
+  const unsigned old_age = it != set.end() ? it->second : config_.ways;
   if (must_) {
     // Lines younger than the accessed line's (upper-bound) age grow
     // older; on a potential miss everything ages.
-    const unsigned old_age = it != set.end() ? it->second : config_.ways;
     age_set(s, old_age);
   } else {
     // May analysis: lines whose lower-bound age is <= the accessed
     // line's lower-bound age grow older; absent line == certain miss.
-    const unsigned old_age = it != set.end() ? it->second : config_.ways;
-    auto& may_set = sets_[s];
-    for (auto walk = may_set.begin(); walk != may_set.end();) {
-      if (walk->first != line && walk->second <= old_age) {
-        ++walk->second;
-      }
-      if (walk->second >= config_.ways) {
-        walk = may_set.erase(walk);
-      } else {
-        ++walk;
-      }
-    }
+    set.retain([&](std::uint32_t other_line, unsigned& age) {
+      if (other_line != line && age <= old_age) ++age;
+      return age < config_.ways;
+    });
   }
   sets_[s][line] = 0;
 }
@@ -105,31 +91,46 @@ bool AbsCache::join_with(const AbsCache& other) {
     auto& mine = sets_[s];
     const auto& theirs = other.sets_[s];
     if (must_) {
-      // Intersection, maximal age.
-      for (auto it = mine.begin(); it != mine.end();) {
-        const auto o = theirs.find(it->first);
-        if (o == theirs.end()) {
-          it = mine.erase(it);
-          changed = true;
-          continue;
+      // Intersection, maximal age: linear merge-join over the two
+      // sorted sets.
+      auto ot = theirs.begin();
+      bool aged = false;
+      const bool dropped = mine.retain([&](std::uint32_t line, unsigned& age) {
+        while (ot != theirs.end() && ot->first < line) ++ot;
+        if (ot == theirs.end() || ot->first != line) return false;
+        if (ot->second > age) {
+          age = ot->second;
+          aged = true;
         }
-        if (o->second > it->second) {
-          it->second = o->second;
-          changed = true;
-        }
-        ++it;
-      }
+        return true;
+      });
+      changed = changed || aged || dropped;
     } else {
-      // Union, minimal age.
-      for (const auto& [line, age] : theirs) {
-        const auto it = mine.find(line);
-        if (it == mine.end()) {
-          mine.emplace(line, age);
-          changed = true;
-        } else if (age < it->second) {
-          it->second = age;
-          changed = true;
+      // Union, minimal age: merge the sorted sets into a fresh vector
+      // only when something actually changes.
+      if (theirs.empty()) continue;
+      std::vector<std::pair<std::uint32_t, unsigned>> merged;
+      merged.reserve(mine.size() + theirs.size());
+      auto a = mine.begin();
+      auto b = theirs.begin();
+      bool set_changed = false;
+      while (a != mine.end() || b != theirs.end()) {
+        if (b == theirs.end() || (a != mine.end() && a->first < b->first)) {
+          merged.push_back(*a++);
+        } else if (a == mine.end() || b->first < a->first) {
+          merged.push_back(*b++);
+          set_changed = true;
+        } else {
+          const unsigned age = std::min(a->second, b->second);
+          if (age < a->second) set_changed = true;
+          merged.push_back({a->first, age});
+          ++a;
+          ++b;
         }
+      }
+      if (set_changed) {
+        mine.assign_sorted(std::move(merged));
+        changed = true;
       }
     }
   }
@@ -142,9 +143,14 @@ bool AbsCache::operator==(const AbsCache& other) const {
 
 CacheAnalysis::CacheAnalysis(const cfg::Supergraph& sg, const cfg::LoopForest& loops,
                              const ValueAnalysis& values, const mem::MemoryMap& memmap,
-                             const mem::CacheConfig& icache, const mem::CacheConfig& dcache)
+                             const mem::CacheConfig& icache, const mem::CacheConfig& dcache,
+                             Schedule schedule, std::vector<int> schedule_priorities)
     : sg_(sg), loops_(loops), values_(values), memmap_(memmap), iconfig_(icache),
-      dconfig_(dcache) {
+      dconfig_(dcache), schedule_(schedule),
+      schedule_priorities_(std::move(schedule_priorities)) {
+  if (schedule_ == Schedule::priority && schedule_priorities_.empty()) {
+    schedule_priorities_ = cfg::rpo_priorities(sg);
+  }
   const std::size_t n = sg.nodes().size();
   in_i_.assign(n, CachePair{AbsCache::cold(iconfig_, true), AbsCache::cold(iconfig_, false)});
   in_d_.assign(n, CachePair{AbsCache::cold(dconfig_, true), AbsCache::cold(dconfig_, false)});
@@ -259,41 +265,61 @@ void CacheAnalysis::transfer(int node, CachePair& icache, CachePair& dcache, boo
   }
 }
 
+template <typename PushFn>
+void CacheAnalysis::join_successors(int node, const CachePair& icache,
+                                    const CachePair& dcache, PushFn&& push_changed) {
+  for (const int eid : sg_.node(node).succ_edges) {
+    if (!values_.edge_feasible(eid)) continue;
+    const int target = sg_.edge(eid).to;
+    const auto t = static_cast<std::size_t>(target);
+    bool changed = false;
+    if (!has_state_[t]) {
+      in_i_[t] = icache;
+      in_d_[t] = dcache;
+      has_state_[t] = true;
+      changed = true;
+    } else {
+      changed |= in_i_[t].join_with(icache);
+      changed |= in_d_[t].join_with(dcache);
+    }
+    if (changed) push_changed(target);
+  }
+}
+
 void CacheAnalysis::fixpoint() {
-  std::deque<int> worklist;
-  std::vector<bool> queued(sg_.nodes().size(), false);
+  // Priority worklist in reverse-postorder (see support/fixpoint.hpp).
+  // Re-queueing is gated on join_with's exact change reporting: an
+  // unchanged successor is never pushed, and a successor that already
+  // absorbed this out-state joins as a no-op merge pass.
+  PriorityWorklist worklist(schedule_priorities_);
+
   const int entry = sg_.entry_node();
   has_state_[static_cast<std::size_t>(entry)] = true;
-  worklist.push_back(entry);
-  queued[static_cast<std::size_t>(entry)] = true;
+  worklist.push(entry);
 
-  while (!worklist.empty()) {
-    const int node = worklist.front();
-    worklist.pop_front();
-    queued[static_cast<std::size_t>(node)] = false;
-
+  run_fixpoint(worklist, [&](const int node) {
     CachePair icache = in_i_[static_cast<std::size_t>(node)];
     CachePair dcache = in_d_[static_cast<std::size_t>(node)];
     transfer(node, icache, dcache, false);
+    join_successors(node, icache, dcache, [&](const int target) { worklist.push(target); });
+  });
+}
 
-    for (const int eid : sg_.node(node).succ_edges) {
-      if (!values_.edge_feasible(eid)) continue;
-      const int target = sg_.edge(eid).to;
-      const auto t = static_cast<std::size_t>(target);
-      bool changed = false;
-      if (!has_state_[t]) {
-        in_i_[t] = icache;
-        in_d_[t] = dcache;
-        has_state_[t] = true;
-        changed = true;
-      } else {
-        changed |= in_i_[t].join_with(icache);
-        changed |= in_d_[t].join_with(dcache);
-      }
-      if (changed && !queued[t]) {
-        worklist.push_back(target);
-        queued[t] = true;
-      }
+void CacheAnalysis::fixpoint_round_robin() {
+  // Reference iteration: sweep every node in id order, joining
+  // out-states into successors, until one full sweep changes nothing.
+  // No worklist, no change summaries — the simplest sound schedule the
+  // priority engine is validated against.
+  has_state_[static_cast<std::size_t>(sg_.entry_node())] = true;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const cfg::SgNode& node : sg_.nodes()) {
+      if (!has_state_[static_cast<std::size_t>(node.id)]) continue;
+      CachePair icache = in_i_[static_cast<std::size_t>(node.id)];
+      CachePair dcache = in_d_[static_cast<std::size_t>(node.id)];
+      transfer(node.id, icache, dcache, false);
+      join_successors(node.id, icache, dcache, [&](int) { changed = true; });
     }
   }
 }
@@ -385,7 +411,11 @@ void CacheAnalysis::persistence() {
 }
 
 void CacheAnalysis::run() {
-  fixpoint();
+  if (schedule_ == Schedule::priority) {
+    fixpoint();
+  } else {
+    fixpoint_round_robin();
+  }
   // Record classifications with the final states.
   for (const cfg::SgNode& node : sg_.nodes()) {
     const auto id = static_cast<std::size_t>(node.id);

@@ -16,7 +16,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <span>
 #include <vector>
 
@@ -24,6 +23,7 @@
 #include "cfg/domloop.hpp"
 #include "mem/cache.hpp"
 #include "mem/memmap.hpp"
+#include "support/flat_map.hpp"
 
 namespace wcet::analysis {
 
@@ -63,8 +63,9 @@ private:
 
   mem::CacheConfig config_;
   bool must_;
-  // Per set: line -> abstract age in [0, ways).
-  std::vector<std::map<std::uint32_t, unsigned>> sets_;
+  // Per set: line -> abstract age in [0, ways), as a sorted flat vector
+  // (sets hold at most a handful of lines; merge-joins beat tree maps).
+  std::vector<FlatMap<std::uint32_t, unsigned>> sets_;
 };
 
 struct FetchClass {
@@ -84,9 +85,18 @@ struct DataClass {
 
 class CacheAnalysis {
 public:
+  // Fixpoint scheduling strategy. `priority` is the production engine
+  // (bucketed RPO worklist); `round_robin` sweeps all nodes in id order
+  // until stable — the reference iteration the engine is validated
+  // against in tests (the cache domain has no widening, so both must
+  // reach the identical fixpoint).
+  enum class Schedule { priority, round_robin };
+
   CacheAnalysis(const cfg::Supergraph& sg, const cfg::LoopForest& loops,
                 const ValueAnalysis& values, const mem::MemoryMap& memmap,
-                const mem::CacheConfig& icache, const mem::CacheConfig& dcache);
+                const mem::CacheConfig& icache, const mem::CacheConfig& dcache,
+                Schedule schedule = Schedule::priority,
+                std::vector<int> schedule_priorities = {});
 
   void run();
 
@@ -128,7 +138,13 @@ private:
   AccessClass classify(const CachePair& state, std::span<const std::uint32_t> lines) const;
   static void apply_access(CachePair& state, std::span<const std::uint32_t> lines);
   void transfer(int node, CachePair& icache, CachePair& dcache, bool record);
+  // Join a node's out-state into every feasible successor, calling
+  // `push_changed(target)` for each successor whose in-state grew.
+  template <typename PushFn>
+  void join_successors(int node, const CachePair& icache, const CachePair& dcache,
+                       PushFn&& push_changed);
   void fixpoint();
+  void fixpoint_round_robin();
   void persistence();
 
   const cfg::Supergraph& sg_;
@@ -137,6 +153,8 @@ private:
   const mem::MemoryMap& memmap_;
   mem::CacheConfig iconfig_;
   mem::CacheConfig dconfig_;
+  Schedule schedule_ = Schedule::priority;
+  std::vector<int> schedule_priorities_;
   std::vector<CachePair> in_i_;
   std::vector<CachePair> in_d_;
   std::vector<bool> has_state_;

@@ -49,6 +49,8 @@ public:
   unsigned edge_extra(int edge) const { return edge_extra_[static_cast<std::size_t>(edge)]; }
 
 private:
+  void compute_node_timing(int node);
+
   const cfg::Supergraph& sg_;
   const ValueAnalysis& values_;
   const CacheAnalysis& caches_;

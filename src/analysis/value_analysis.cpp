@@ -1,9 +1,9 @@
 #include "analysis/value_analysis.hpp"
 
 #include <algorithm>
-#include <deque>
 
 #include "support/diag.hpp"
+#include "support/fixpoint.hpp"
 
 namespace wcet::analysis {
 
@@ -12,7 +12,17 @@ using isa::Opcode;
 
 namespace {
 
-constexpr std::uint64_t small_access_words = 64; // enumeration budget
+// Mix an interval as two words (bottom tag + packed bounds): an
+// in-band sentinel for bottom could collide with a real interval and
+// make two distinct states hash identically.
+void mix_interval(StateHash& h, const Interval& iv) {
+  if (iv.is_bottom()) {
+    h.mix_pair(0, 0);
+    return;
+  }
+  h.mix_pair(1, (static_cast<std::uint64_t>(iv.umin()) << 32) |
+                    static_cast<std::uint64_t>(iv.umax()));
+}
 
 Interval sized_top(int size, bool sign_extend) {
   switch (size) {
@@ -99,26 +109,20 @@ bool AbsState::join_with(const AbsState& other, const isa::Image& image,
   // Tracked words: a key absent on one side means "possibly any value
   // consistent with the written hull" there; since every tracked key is
   // inside the hull by construction, the sound join for a one-sided key
-  // is TOP — represented by dropping the key.
-  for (auto it = mem.begin(); it != mem.end();) {
-    const auto other_it = other.mem.find(it->first);
-    if (other_it == other.mem.end()) {
-      it = mem.erase(it);
-      changed = true;
-      continue;
-    }
-    const Interval joined = it->second.join(other_it->second);
-    if (joined != it->second) {
-      it->second = joined;
+  // is TOP — represented by dropping the key. Both sides are sorted, so
+  // this is a single merge-join pass.
+  auto ot = other.mem.begin();
+  const bool dropped = mem.retain([&](std::uint32_t key, Interval& value) {
+    while (ot != other.mem.end() && ot->first < key) ++ot;
+    if (ot == other.mem.end() || ot->first != key) return false; // one-sided -> TOP
+    const Interval joined = value.join(ot->second);
+    if (joined != value) {
+      value = joined;
       changed = true;
     }
-    if (it->second.is_top()) {
-      it = mem.erase(it);
-      continue;
-    }
-    ++it;
-  }
-  return changed;
+    return !value.is_top();
+  });
+  return changed || dropped;
 }
 
 void AbsState::widen_from(const AbsState& older) {
@@ -128,22 +132,36 @@ void AbsState::widen_from(const AbsState& older) {
   }
   // Written regions only grow through add_written; the region-count cap
   // bounds the chain, so no dedicated widening is needed here.
-  for (auto it = mem.begin(); it != mem.end();) {
-    const auto old_it = older.mem.find(it->first);
-    if (old_it != older.mem.end()) {
-      it->second = old_it->second.widen(it->second);
+  auto old_it = older.mem.begin();
+  mem.retain([&](std::uint32_t key, Interval& value) {
+    while (old_it != older.mem.end() && old_it->first < key) ++old_it;
+    if (old_it != older.mem.end() && old_it->first == key) {
+      value = old_it->second.widen(value);
     }
-    if (it->second.is_top()) {
-      it = mem.erase(it);
-    } else {
-      ++it;
-    }
+    return !value.is_top();
+  });
+}
+
+std::uint64_t AbsState::summary_hash() const {
+  StateHash h;
+  if (bottom) return h.value();
+  h.mix(1);
+  for (int r = 0; r < isa::num_registers; ++r) mix_interval(h, regs[r]);
+  h.mix(mem.size());
+  for (const auto& [addr, value] : mem) {
+    h.mix(addr);
+    mix_interval(h, value);
   }
+  for (const Interval& region : written) mix_interval(h, region);
+  return h.value();
 }
 
 ValueAnalysis::ValueAnalysis(const cfg::Supergraph& sg, const cfg::LoopForest& loops,
-                             const mem::MemoryMap& memmap, const Options& options)
-    : sg_(sg), loops_(loops), memmap_(memmap), options_(options) {
+                             const mem::MemoryMap& memmap, const Options& options,
+                             std::vector<int> schedule_priorities)
+    : sg_(sg), loops_(loops), memmap_(memmap), options_(options),
+      schedule_priorities_(std::move(schedule_priorities)) {
+  if (schedule_priorities_.empty()) schedule_priorities_ = cfg::rpo_priorities(sg);
   in_.resize(sg.nodes().size());
   edge_feasible_.assign(sg.edges().size(), false);
   accesses_.resize(sg.nodes().size());
@@ -210,10 +228,16 @@ Interval ValueAnalysis::read_mem(const AbsState& state, const Interval& addr, in
   };
 
   if (size == 4) {
-    if (addr.size() <= small_access_words * 4) {
+    // Width cap on the enumeration: only walk word-aligned candidate
+    // addresses, and only when the interval spans at most
+    // `max_enum_words` words. Anything wider (e.g. a near-TOP address)
+    // widens straight to the region hull — enumerating it would make
+    // analysis time explode for zero precision (every word joins to TOP
+    // anyway).
+    if (addr.size() <= options_.max_enum_words * 4) {
       Interval result = Interval::bottom();
-      for (std::int64_t a = addr.umin(); a <= addr.umax(); ++a) {
-        if ((a & 3) != 0) continue; // misaligned would trap
+      const std::int64_t first = (addr.umin() + 3) & ~std::int64_t{3};
+      for (std::int64_t a = first; a <= addr.umax(); a += 4) {
         result = result.join(read_word_at(static_cast<std::uint32_t>(a)));
         if (result.is_top()) break;
       }
@@ -277,8 +301,9 @@ void ValueAnalysis::write_mem(AbsState& state, const Interval& addr, int size,
         state.mem.erase(word_addr);
       }
     }
-  } else if (confined.size() <= small_access_words * 4) {
-    // Weak update on every word the store may touch.
+  } else if (confined.size() <= options_.max_enum_words * 4) {
+    // Weak update on every word the store may touch (width-capped, see
+    // read_mem; wider stores take the hull path below).
     const std::uint32_t first = static_cast<std::uint32_t>(confined.umin()) & ~3u;
     for (std::int64_t a = first; a <= confined.umax() + size - 1; a += 4) {
       const auto word_addr = static_cast<std::uint32_t>(a);
@@ -292,15 +317,12 @@ void ValueAnalysis::write_mem(AbsState& state, const Interval& addr, int size,
       }
     }
   } else {
-    // Wide store: every tracked word inside the range is lost.
-    for (auto it = state.mem.begin(); it != state.mem.end();) {
-      if (static_cast<std::int64_t>(it->first) + 3 >= confined.umin() &&
-          static_cast<std::int64_t>(it->first) <= confined.umax() + size - 1) {
-        it = state.mem.erase(it);
-      } else {
-        ++it;
-      }
-    }
+    // Wide store: every tracked word inside the range is lost. One
+    // linear compaction pass instead of per-key erasure.
+    state.mem.retain([&](std::uint32_t key, Interval&) {
+      return !(static_cast<std::int64_t>(key) + 3 >= confined.umin() &&
+               static_cast<std::int64_t>(key) <= confined.umax() + size - 1);
+    });
   }
   if (state.mem.size() > options_.max_tracked_words) {
     state.mem.clear(); // sound: hull covers every tracked key
@@ -481,18 +503,16 @@ AbsState ValueAnalysis::refine_along_edge(int edge, AbsState state) const {
 
 void ValueAnalysis::run() {
   const isa::Image& image = sg_.program().image();
-  std::deque<int> worklist;
-  std::vector<bool> queued(sg_.nodes().size(), false);
+  // Priority worklist in reverse-postorder: predecessors stabilise
+  // before successors, so loop bodies converge with far fewer re-visits
+  // than FIFO scheduling.
+  PriorityWorklist worklist(schedule_priorities_);
   std::vector<unsigned> visits(sg_.nodes().size(), 0);
 
   in_[static_cast<std::size_t>(sg_.entry_node())] = AbsState::entry_state();
-  worklist.push_back(sg_.entry_node());
-  queued[static_cast<std::size_t>(sg_.entry_node())] = true;
+  worklist.push(sg_.entry_node());
 
-  while (!worklist.empty()) {
-    const int node = worklist.front();
-    worklist.pop_front();
-    queued[static_cast<std::size_t>(node)] = false;
+  run_fixpoint(worklist, [&](const int node) {
     ++visits[static_cast<std::size_t>(node)];
 
     const AbsState out = transfer_node(node, in_[static_cast<std::size_t>(node)]);
@@ -506,14 +526,21 @@ void ValueAnalysis::run() {
       edge_feasible_[static_cast<std::size_t>(eid)] = true;
 
       AbsState& tin = in_[static_cast<std::size_t>(target)];
+      const bool widen_now = is_widen_point_[static_cast<std::size_t>(target)] &&
+                             visits[static_cast<std::size_t>(target)] >= options_.widen_delay;
+      const bool coarse_now =
+          visits[static_cast<std::size_t>(target)] >= options_.max_node_visits;
+      if (!widen_now && !coarse_now) {
+        // Hot path: join in place; join_with reports changes exactly, so
+        // no state copy or deep equality check is needed.
+        if (tin.join_with(along, image, memmap_)) worklist.push(target);
+        continue;
+      }
       AbsState updated = tin;
       const bool changed = updated.join_with(along, image, memmap_);
       if (!changed) continue;
-      if (is_widen_point_[static_cast<std::size_t>(target)] &&
-          visits[static_cast<std::size_t>(target)] >= options_.widen_delay) {
-        updated.widen_from(tin);
-      }
-      if (visits[static_cast<std::size_t>(target)] >= options_.max_node_visits) {
+      if (widen_now) updated.widen_from(tin);
+      if (coarse_now) {
         // Safeguard: force convergence by jumping to a coarse state.
         AbsState coarse = AbsState::entry_state();
         coarse.add_written(Interval::top());
@@ -522,13 +549,10 @@ void ValueAnalysis::run() {
       }
       if (!(updated == tin)) {
         tin = std::move(updated);
-        if (!queued[static_cast<std::size_t>(target)]) {
-          worklist.push_back(target);
-          queued[static_cast<std::size_t>(target)] = true;
-        }
+        worklist.push(target);
       }
     }
-  }
+  });
 
   // Final pass: record access address intervals per node.
   for (const cfg::SgNode& n : sg_.nodes()) {

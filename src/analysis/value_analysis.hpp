@@ -21,15 +21,19 @@
 #include "cfg/domloop.hpp"
 #include "cfg/supergraph.hpp"
 #include "mem/memmap.hpp"
+#include "support/flat_map.hpp"
 #include "support/interval.hpp"
 
 namespace wcet::analysis {
 
-// Abstract machine state: register file + tracked memory words.
+// Abstract machine state: register file + tracked memory words. The
+// tracked-word table is a sorted flat vector (support/flat_map.hpp):
+// joins and widenings run as linear merge-joins and iteration order is
+// deterministic by address.
 struct AbsState {
   bool bottom = true; // default: unreachable
   Interval regs[isa::num_registers];
-  std::map<std::uint32_t, Interval> mem; // word-aligned tracked addresses
+  FlatMap<std::uint32_t, Interval> mem; // word-aligned tracked addresses
   // Address regions possibly stored to since task entry, kept as a small
   // list of disjoint intervals (a single hull would let one confined
   // store poison unrelated globals across the address space).
@@ -43,6 +47,10 @@ struct AbsState {
                  const mem::MemoryMap& memmap); // returns true if changed
   void widen_from(const AbsState& older);
   bool operator==(const AbsState& other) const;
+  // Fingerprint over the full state (FNV-1a), for cross-run determinism
+  // checks and debugging summaries. Never used to gate joins: a hash
+  // match cannot prove state equality (see support/fixpoint.hpp).
+  std::uint64_t summary_hash() const;
 };
 
 struct AccessInfo {
@@ -61,10 +69,18 @@ public:
     std::size_t max_tracked_words = 8192;
     unsigned widen_delay = 3;
     std::size_t max_node_visits = 64; // per node before forced widening stop
+    // Width cap on per-address enumeration of imprecise memory accesses:
+    // an access whose address interval spans more than this many words
+    // widens to the region hull (TOP) instead of being enumerated.
+    std::size_t max_enum_words = 64;
   };
 
+  // `schedule_priorities` is the per-node fixpoint scheduling priority
+  // (cfg::rpo_priorities); pass it to share one computation across all
+  // phases, or leave empty to have the analysis derive it itself.
   ValueAnalysis(const cfg::Supergraph& sg, const cfg::LoopForest& loops,
-                const mem::MemoryMap& memmap, const Options& options = {});
+                const mem::MemoryMap& memmap, const Options& options = {},
+                std::vector<int> schedule_priorities = {});
 
   void run();
 
@@ -112,6 +128,7 @@ private:
   const cfg::LoopForest& loops_;
   const mem::MemoryMap& memmap_;
   Options options_;
+  std::vector<int> schedule_priorities_;
   std::vector<AbsState> in_;
   std::vector<bool> edge_feasible_;
   std::vector<std::vector<AccessInfo>> accesses_;

@@ -6,26 +6,22 @@
 
 namespace wcet::cfg {
 
-Dominators::Dominators(const Supergraph& sg) {
+std::vector<int> reverse_postorder(const Supergraph& sg) {
   const std::size_t n = sg.nodes().size();
-  idom_.assign(n, -1);
-  reachable_.assign(n, false);
-  rpo_index_.assign(n, -1);
-
-  // Iterative DFS for postorder.
+  std::vector<bool> visited(n, false);
   std::vector<int> postorder;
   postorder.reserve(n);
   std::vector<std::pair<int, std::size_t>> stack;
   stack.emplace_back(sg.entry_node(), 0);
-  reachable_[static_cast<std::size_t>(sg.entry_node())] = true;
+  visited[static_cast<std::size_t>(sg.entry_node())] = true;
   while (!stack.empty()) {
     auto& [node, child] = stack.back();
     const auto& succs = sg.node(node).succ_edges;
     if (child < succs.size()) {
       const int next = sg.edge(succs[child]).to;
       ++child;
-      if (!reachable_[static_cast<std::size_t>(next)]) {
-        reachable_[static_cast<std::size_t>(next)] = true;
+      if (!visited[static_cast<std::size_t>(next)]) {
+        visited[static_cast<std::size_t>(next)] = true;
         stack.emplace_back(next, 0);
       }
     } else {
@@ -33,8 +29,30 @@ Dominators::Dominators(const Supergraph& sg) {
       stack.pop_back();
     }
   }
-  rpo_.assign(postorder.rbegin(), postorder.rend());
+  return {postorder.rbegin(), postorder.rend()};
+}
+
+std::vector<int> rpo_priorities(const Supergraph& sg) {
+  return rpo_priorities(sg, reverse_postorder(sg));
+}
+
+std::vector<int> rpo_priorities(const Supergraph& sg, const std::vector<int>& rpo) {
+  std::vector<int> priority(sg.nodes().size(), static_cast<int>(sg.nodes().size()));
+  for (std::size_t i = 0; i < rpo.size(); ++i) {
+    priority[static_cast<std::size_t>(rpo[i])] = static_cast<int>(i);
+  }
+  return priority;
+}
+
+Dominators::Dominators(const Supergraph& sg) {
+  const std::size_t n = sg.nodes().size();
+  idom_.assign(n, -1);
+  reachable_.assign(n, false);
+  rpo_index_.assign(n, -1);
+
+  rpo_ = reverse_postorder(sg);
   for (std::size_t i = 0; i < rpo_.size(); ++i) {
+    reachable_[static_cast<std::size_t>(rpo_[i])] = true;
     rpo_index_[static_cast<std::size_t>(rpo_[i])] = static_cast<int>(i);
   }
 

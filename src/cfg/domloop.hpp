@@ -15,6 +15,18 @@
 
 namespace wcet::cfg {
 
+// Reverse postorder of the nodes reachable from the supergraph entry
+// (a weak-topological iteration order: predecessors before successors
+// except along back edges). Shared by the dominator computation and the
+// fixpoint engine's priority worklists.
+std::vector<int> reverse_postorder(const Supergraph& sg);
+
+// Per-node scheduling priority for support/fixpoint.hpp: the node's
+// reverse-postorder index; unreachable nodes are bucketed last. The
+// second overload reuses an already-computed RPO (e.g. Dominators::rpo).
+std::vector<int> rpo_priorities(const Supergraph& sg);
+std::vector<int> rpo_priorities(const Supergraph& sg, const std::vector<int>& rpo);
+
 class Dominators {
 public:
   explicit Dominators(const Supergraph& sg);

@@ -1,0 +1,105 @@
+// Sorted flat-vector map: the hot-path replacement for std::map in the
+// analysis abstract states (tracked memory words, abstract cache sets).
+//
+// Entries are (key, value) pairs kept sorted by key in one contiguous
+// vector. Lookup is binary search, iteration is a linear scan in key
+// order (deterministic), and the lattice-join operations the analyses
+// need (intersection-style and union-style merges) are O(n + m)
+// merge-joins instead of O(n log n) tree walks with pointer chasing.
+// Point insertion/erasure is O(n) by memmove, which wins for the small
+// working sets these states hold in practice.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace wcet {
+
+template <typename Key, typename Value>
+class FlatMap {
+public:
+  using Entry = std::pair<Key, Value>;
+  using iterator = typename std::vector<Entry>::iterator;
+  using const_iterator = typename std::vector<Entry>::const_iterator;
+
+  iterator begin() { return entries_.begin(); }
+  iterator end() { return entries_.end(); }
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+  iterator lower_bound(Key key) {
+    return std::lower_bound(entries_.begin(), entries_.end(), key,
+                            [](const Entry& e, Key k) { return e.first < k; });
+  }
+  const_iterator lower_bound(Key key) const {
+    return std::lower_bound(entries_.begin(), entries_.end(), key,
+                            [](const Entry& e, Key k) { return e.first < k; });
+  }
+
+  iterator find(Key key) {
+    const iterator it = lower_bound(key);
+    return it != entries_.end() && it->first == key ? it : entries_.end();
+  }
+  const_iterator find(Key key) const {
+    const const_iterator it = lower_bound(key);
+    return it != entries_.end() && it->first == key ? it : entries_.end();
+  }
+
+  bool contains(Key key) const { return find(key) != entries_.end(); }
+
+  Value& operator[](Key key) {
+    const iterator it = lower_bound(key);
+    if (it != entries_.end() && it->first == key) return it->second;
+    return entries_.insert(it, Entry{key, Value{}})->second;
+  }
+
+  void insert_or_assign(Key key, Value value) { (*this)[key] = std::move(value); }
+
+  // Erase by key; returns true when an entry was removed.
+  bool erase(Key key) {
+    const iterator it = find(key);
+    if (it == entries_.end()) return false;
+    entries_.erase(it);
+    return true;
+  }
+  iterator erase(iterator it) { return entries_.erase(it); }
+
+  bool operator==(const FlatMap& other) const { return entries_ == other.entries_; }
+  bool operator!=(const FlatMap& other) const { return !(*this == other); }
+
+  // In-place filtered rewrite: keeps entries for which `keep(key, value)`
+  // returns true; `keep` may mutate the value before the verdict.
+  template <typename KeepFn>
+  bool retain(KeepFn&& keep) {
+    bool changed = false;
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (keep(entries_[i].first, entries_[i].second)) {
+        if (out != i) entries_[out] = std::move(entries_[i]);
+        ++out;
+      } else {
+        changed = true;
+      }
+    }
+    entries_.resize(out);
+    return changed;
+  }
+
+  // Adopt an already-sorted, duplicate-free entry vector (merge-join
+  // results).
+  void assign_sorted(std::vector<Entry> entries) { entries_ = std::move(entries); }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+private:
+  std::vector<Entry> entries_;
+};
+
+} // namespace wcet

@@ -1,9 +1,9 @@
 #include "support/ilp.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <queue>
 #include <sstream>
-#include <cstdio>
-#include <cstdlib>
 
 #include "support/diag.hpp"
 
@@ -28,247 +28,468 @@ void IlpProblem::add_constraint(std::vector<LinTerm> terms, Cmp cmp, Rational rh
 
 namespace {
 
-// Dense simplex tableau with explicit basis bookkeeping.
-class Tableau {
+// Consecutive degenerate pivots before the column rule falls back from
+// Dantzig to Bland (which cannot cycle).
+constexpr int k_bland_switch = 128;
+
+// Row-wise simplex tableau with explicit basis bookkeeping. Rows are
+// individual vectors (with the rhs held separately) so that the warm
+// start can append branch rows and their slack columns in place.
+class Simplex {
 public:
-  Tableau(std::size_t rows, std::size_t cols) : cols_(cols), cells_(rows * cols) {}
+  enum class Status { optimal, infeasible, unbounded, stalled };
 
-  Rational& at(std::size_t r, std::size_t c) { return cells_[r * cols_ + c]; }
-  const Rational& at(std::size_t r, std::size_t c) const { return cells_[r * cols_ + c]; }
+  Simplex(std::size_t num_vars, const std::vector<IlpProblem::Row>& base,
+          const std::vector<IlpProblem::Row>& extra, const std::vector<Rational>& objective)
+      : n_(num_vars), objective_(objective) {
+    std::vector<IlpProblem::Row> rows = base;
+    rows.insert(rows.end(), extra.begin(), extra.end());
+    // Normalize: rhs >= 0.
+    for (auto& row : rows) {
+      if (row.rhs.is_negative()) {
+        row.rhs = -row.rhs;
+        for (auto& t : row.terms) t.coeff = -t.coeff;
+        if (row.cmp == Cmp::le) row.cmp = Cmp::ge;
+        else if (row.cmp == Cmp::ge) row.cmp = Cmp::le;
+      }
+    }
+    m_ = rows.size();
 
-  void pivot(std::size_t pr, std::size_t pc, std::size_t num_rows) {
-    const Rational inv = Rational(1) / at(pr, pc);
-    for (std::size_t c = 0; c < cols_; ++c) at(pr, c) *= inv;
-    for (std::size_t r = 0; r < num_rows; ++r) {
-      if (r == pr) continue;
-      const Rational factor = at(r, pc);
-      if (factor.is_zero()) continue;
-      for (std::size_t c = 0; c < cols_; ++c) {
-        at(r, c) -= factor * at(pr, c);
+    // Column layout: [structural n][slack/surplus per row][artificial
+    // per row as needed]; the rhs lives in its own vector.
+    std::size_t num_slack = 0;
+    num_art_ = 0;
+    for (const auto& row : rows) {
+      if (row.cmp != Cmp::eq) ++num_slack;
+      if (row.cmp != Cmp::le) ++num_art_;
+    }
+    cols_ = n_ + num_slack + num_art_;
+    is_artificial_.assign(cols_, false);
+    mat_.assign(m_, std::vector<Rational>(cols_));
+    rhs_.resize(m_);
+    basis_.resize(m_);
+    obj_.assign(cols_, Rational(0));
+
+    std::size_t next_slack = n_;
+    std::size_t next_art = n_ + num_slack;
+    for (std::size_t r = 0; r < m_; ++r) {
+      for (const auto& t : rows[r].terms) {
+        mat_[r][static_cast<std::size_t>(t.var)] += t.coeff;
+      }
+      rhs_[r] = rows[r].rhs;
+      switch (rows[r].cmp) {
+      case Cmp::le:
+        mat_[r][next_slack] = Rational(1);
+        basis_[r] = next_slack++;
+        break;
+      case Cmp::ge:
+        mat_[r][next_slack] = Rational(-1);
+        ++next_slack;
+        mat_[r][next_art] = Rational(1);
+        is_artificial_[next_art] = true;
+        basis_[r] = next_art++;
+        break;
+      case Cmp::eq:
+        mat_[r][next_art] = Rational(1);
+        is_artificial_[next_art] = true;
+        basis_[r] = next_art++;
+        break;
       }
     }
   }
 
+  // Two-phase primal solve from scratch.
+  Status solve() {
+    if (num_art_ > 0) {
+      // Phase 1: maximize -(sum of artificials) == drive them to zero.
+      for (std::size_t c = 0; c < cols_; ++c) {
+        obj_[c] = is_artificial_[c] ? Rational(-1) : Rational(0);
+      }
+      obj_rhs_ = Rational(0);
+      // Price out the artificial basic columns.
+      for (std::size_t r = 0; r < m_; ++r) {
+        if (!is_artificial_[basis_[r]]) continue;
+        for (std::size_t c = 0; c < cols_; ++c) {
+          if (!mat_[r][c].is_zero()) obj_[c] += mat_[r][c];
+        }
+        obj_rhs_ += rhs_[r];
+      }
+      const Status phase1 = primal(true);
+      WCET_CHECK(phase1 != Status::unbounded, "phase-1 LP cannot be unbounded");
+      if (!obj_rhs_.is_zero()) return Status::infeasible;
+      // Pivot any artificial still in the basis (at value zero) out.
+      for (std::size_t r = 0; r < m_; ++r) {
+        if (!is_artificial_[basis_[r]]) continue;
+        std::size_t enter = cols_;
+        for (std::size_t c = 0; c < cols_; ++c) {
+          if (!is_artificial_[c] && !mat_[r][c].is_zero()) {
+            enter = c;
+            break;
+          }
+        }
+        if (enter != cols_) pivot(r, enter);
+        // Otherwise the row is all-zero over real columns: redundant
+        // row; the artificial stays basic at value zero, harmless.
+      }
+    }
+
+    // Phase 2: maximize the real objective. The objective row holds
+    // c_j - z_j; start from c and price out basic columns. Artificial
+    // columns are barred from entering the basis: blocking at the pivot
+    // rule is the only robust way — any objective-row penalty on them
+    // gets rewritten by pricing.
+    for (std::size_t c = 0; c < cols_; ++c) {
+      obj_[c] = c < n_ ? objective_[c] : Rational(0);
+    }
+    obj_rhs_ = Rational(0);
+    for (std::size_t r = 0; r < m_; ++r) {
+      const Rational cb = basis_[r] < n_ ? objective_[basis_[r]] : Rational(0);
+      if (cb.is_zero()) continue;
+      for (std::size_t c = 0; c < cols_; ++c) {
+        if (!mat_[r][c].is_zero()) obj_[c].sub_mul(cb, mat_[r][c]);
+      }
+      obj_rhs_.sub_mul(cb, rhs_[r]);
+    }
+    return primal(false);
+  }
+
+  // Warm start: append `row` to an optimal tableau and re-optimize with
+  // the dual simplex. Only inequality rows are supported (branch & bound
+  // emits single-variable bounds). Returns `stalled` if the dual
+  // iteration hits its safety limit; the caller then re-solves cold.
+  Status reoptimize_with_row(const IlpProblem::Row& row) {
+    // Convert to <= form (possibly with negative rhs — that is the
+    // primal infeasibility the dual simplex repairs).
+    WCET_CHECK(row.cmp != Cmp::eq, "warm start supports inequality rows only");
+    const bool flip = row.cmp == Cmp::ge;
+    // New slack column for the appended row.
+    for (std::size_t r = 0; r < m_; ++r) mat_[r].emplace_back(0);
+    obj_.emplace_back(0);
+    is_artificial_.push_back(false);
+    const std::size_t slack_col = cols_++;
+
+    std::vector<Rational> new_row(cols_);
+    for (const auto& t : row.terms) {
+      const auto c = static_cast<std::size_t>(t.var);
+      if (flip) new_row[c] -= t.coeff;
+      else new_row[c] += t.coeff;
+    }
+    new_row[slack_col] = Rational(1);
+    Rational new_rhs = flip ? -row.rhs : row.rhs;
+
+    // Express the row in the current basis: eliminate every basic
+    // column (each tableau row is a unit vector in its basic column).
+    for (std::size_t r = 0; r < m_; ++r) {
+      const Rational factor = new_row[basis_[r]];
+      if (factor.is_zero()) continue;
+      const std::vector<Rational>& brow = mat_[r];
+      for (std::size_t c = 0; c < cols_; ++c) {
+        if (!brow[c].is_zero()) new_row[c].sub_mul(factor, brow[c]);
+      }
+      new_rhs.sub_mul(factor, rhs_[r]);
+    }
+    mat_.push_back(std::move(new_row));
+    rhs_.push_back(std::move(new_rhs));
+    basis_.push_back(slack_col);
+    ++m_;
+    return dual();
+  }
+
+  LpSolution extract() const {
+    LpSolution s;
+    s.status = LpSolution::Status::optimal;
+    s.values.assign(n_, Rational(0));
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (basis_[r] < n_) s.values[basis_[r]] = rhs_[r];
+    }
+    s.objective = Rational(0);
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (!objective_[j].is_zero()) s.objective += objective_[j] * s.values[j];
+    }
+    return s;
+  }
+
 private:
-  std::size_t cols_;
-  std::vector<Rational> cells_;
+  Status primal(bool allow_artificials) {
+    int degenerate_streak = 0;
+    for (;;) {
+      // Entering column: Dantzig's rule (largest reduced cost) while
+      // progress is healthy, Bland's rule (first eligible) after a
+      // degenerate streak — Bland cannot cycle, so termination holds.
+      std::size_t enter = cols_;
+      if (degenerate_streak < k_bland_switch) {
+        for (std::size_t c = 0; c < cols_; ++c) {
+          if (!allow_artificials && is_artificial_[c]) continue;
+          if (!obj_[c].is_positive()) continue;
+          if (enter == cols_ || obj_[enter] < obj_[c]) enter = c;
+        }
+      } else {
+        for (std::size_t c = 0; c < cols_; ++c) {
+          if (!allow_artificials && is_artificial_[c]) continue;
+          if (obj_[c].is_positive()) {
+            enter = c;
+            break;
+          }
+        }
+      }
+      if (enter == cols_) return Status::optimal;
+
+      // Ratio test: row with the smallest rhs/coefficient ratio leaves;
+      // ties break towards the smallest basic variable (Bland).
+      std::size_t leave = m_;
+      Rational best_ratio;
+      for (std::size_t r = 0; r < m_; ++r) {
+        const Rational& a = mat_[r][enter];
+        if (!a.is_positive()) continue;
+        const Rational ratio = rhs_[r] / a;
+        if (leave == m_ || ratio < best_ratio ||
+            (ratio == best_ratio && basis_[r] < basis_[leave])) {
+          leave = r;
+          best_ratio = ratio;
+        }
+      }
+      if (leave == m_) return Status::unbounded;
+      degenerate_streak = best_ratio.is_zero() ? degenerate_streak + 1 : 0;
+      pivot(leave, enter);
+    }
+  }
+
+  // Dual simplex: restores primal feasibility (negative rhs entries)
+  // while keeping the objective row dual-feasible. Used after warm-start
+  // row additions.
+  Status dual() {
+    const std::size_t iteration_limit = 4 * (m_ + cols_) + 100;
+    for (std::size_t iter = 0; iter < iteration_limit; ++iter) {
+      // Leaving row: most negative rhs (ties to the smallest row).
+      std::size_t leave = m_;
+      for (std::size_t r = 0; r < m_; ++r) {
+        if (!rhs_[r].is_negative()) continue;
+        if (leave == m_ || rhs_[r] < rhs_[leave]) leave = r;
+      }
+      if (leave == m_) return Status::optimal;
+
+      // Entering column: minimize obj_c / a_c over negative pivot-row
+      // entries (both numerator and denominator are <= 0, so the ratio
+      // is >= 0); ties break towards the smallest column index.
+      std::size_t enter = cols_;
+      Rational best_num, best_den; // compare obj_e/a_e < obj_c/a_c cross-multiplied
+      for (std::size_t c = 0; c < cols_; ++c) {
+        if (is_artificial_[c]) continue;
+        const Rational& a = mat_[leave][c];
+        if (!a.is_negative()) continue;
+        if (enter == cols_) {
+          enter = c;
+          best_num = obj_[c];
+          best_den = a;
+          continue;
+        }
+        // obj_c / a_c < obj_e / a_e  <=>  obj_c * a_e < obj_e * a_c
+        // (multiplying by the negative denominators flips twice).
+        if (obj_[c] * best_den < best_num * a) {
+          enter = c;
+          best_num = obj_[c];
+          best_den = a;
+        }
+      }
+      if (enter == cols_) return Status::infeasible; // no way to repair the row
+      pivot(leave, enter);
+    }
+    return Status::stalled;
+  }
+
+  void pivot(std::size_t pr, std::size_t pc) {
+    std::vector<Rational>& prow = mat_[pr];
+    const Rational inv = Rational(1) / prow[pc];
+    // Collect the nonzero columns of the pivot row once; every other
+    // row is then updated only at those columns (the tableau stays
+    // sparse for flow-conservation systems, so this skips the vast
+    // majority of cells).
+    nz_.clear();
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (prow[c].is_zero()) continue;
+      prow[c] *= inv;
+      nz_.push_back(c);
+    }
+    rhs_[pr] *= inv;
+
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (r == pr) continue;
+      std::vector<Rational>& row = mat_[r];
+      const Rational factor = row[pc];
+      if (factor.is_zero()) continue;
+      for (const std::size_t c : nz_) row[c].sub_mul(factor, prow[c]);
+      rhs_[r].sub_mul(factor, rhs_[pr]);
+    }
+    {
+      const Rational factor = obj_[pc];
+      if (!factor.is_zero()) {
+        for (const std::size_t c : nz_) obj_[c].sub_mul(factor, prow[c]);
+        obj_rhs_.sub_mul(factor, rhs_[pr]);
+      }
+    }
+    basis_[pr] = pc;
+  }
+
+  std::size_t n_ = 0;
+  std::size_t m_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t num_art_ = 0;
+  std::vector<Rational> objective_; // structural objective coefficients
+  std::vector<std::vector<Rational>> mat_;
+  std::vector<Rational> rhs_;
+  std::vector<Rational> obj_; // reduced-cost row
+  Rational obj_rhs_;
+  std::vector<std::size_t> basis_;
+  std::vector<bool> is_artificial_;
+  std::vector<std::size_t> nz_; // scratch: pivot-row nonzeros
 };
+
+LpSolution status_only(LpSolution::Status status) {
+  LpSolution s;
+  s.status = status;
+  return s;
+}
 
 } // namespace
 
 LpSolution IlpProblem::solve_lp() const { return solve_lp_with({}); }
 
 LpSolution IlpProblem::solve_lp_with(const std::vector<Row>& extra) const {
-  const std::size_t n = static_cast<std::size_t>(num_variables());
-  std::vector<Row> rows = rows_;
-  rows.insert(rows.end(), extra.begin(), extra.end());
-  const std::size_t m = rows.size();
-
-  // Normalize: rhs >= 0.
-  for (auto& row : rows) {
-    if (row.rhs.is_negative()) {
-      row.rhs = -row.rhs;
-      for (auto& t : row.terms) t.coeff = -t.coeff;
-      if (row.cmp == Cmp::le) row.cmp = Cmp::ge;
-      else if (row.cmp == Cmp::ge) row.cmp = Cmp::le;
-    }
+  Simplex simplex(static_cast<std::size_t>(num_variables()), rows_, extra, objective_);
+  switch (simplex.solve()) {
+  case Simplex::Status::optimal: return simplex.extract();
+  case Simplex::Status::infeasible: return status_only(LpSolution::Status::infeasible);
+  case Simplex::Status::unbounded: return status_only(LpSolution::Status::unbounded);
+  case Simplex::Status::stalled: break; // unreachable: primal never stalls
   }
-
-  // Column layout: [structural n][slack/surplus per row][artificial per
-  // row as needed][rhs].
-  std::size_t num_slack = 0;
-  std::size_t num_art = 0;
-  for (const auto& row : rows) {
-    if (row.cmp != Cmp::eq) ++num_slack;
-    if (row.cmp != Cmp::le) ++num_art;
-  }
-  const std::size_t total_cols = n + num_slack + num_art + 1;
-  const std::size_t rhs_col = total_cols - 1;
-  const std::size_t obj_row = m; // one extra row for reduced costs
-
-  Tableau tab(m + 1, total_cols);
-  std::vector<std::size_t> basis(m);
-  std::vector<bool> is_artificial(total_cols, false);
-
-  std::size_t next_slack = n;
-  std::size_t next_art = n + num_slack;
-  for (std::size_t r = 0; r < m; ++r) {
-    for (const auto& t : rows[r].terms) {
-      tab.at(r, static_cast<std::size_t>(t.var)) += t.coeff;
-    }
-    tab.at(r, rhs_col) = rows[r].rhs;
-    switch (rows[r].cmp) {
-    case Cmp::le:
-      tab.at(r, next_slack) = Rational(1);
-      basis[r] = next_slack++;
-      break;
-    case Cmp::ge:
-      tab.at(r, next_slack) = Rational(-1);
-      ++next_slack;
-      tab.at(r, next_art) = Rational(1);
-      is_artificial[next_art] = true;
-      basis[r] = next_art++;
-      break;
-    case Cmp::eq:
-      tab.at(r, next_art) = Rational(1);
-      is_artificial[next_art] = true;
-      basis[r] = next_art++;
-      break;
-    }
-  }
-
-  const auto run_simplex = [&](bool allow_artificials) -> bool {
-    // Returns false on unboundedness. Bland's rule: smallest eligible
-    // column index enters, row with smallest basic variable leaves.
-    for (;;) {
-      std::size_t enter = total_cols;
-      for (std::size_t c = 0; c + 1 < total_cols; ++c) {
-        if (!allow_artificials && is_artificial[c]) continue;
-        if (tab.at(obj_row, c).is_positive()) {
-          enter = c;
-          break;
-        }
-      }
-      if (enter == total_cols) return true; // optimal
-      std::size_t leave = m;
-      Rational best_ratio;
-      for (std::size_t r = 0; r < m; ++r) {
-        const Rational& a = tab.at(r, enter);
-        if (!a.is_positive()) continue;
-        const Rational ratio = tab.at(r, rhs_col) / a;
-        if (leave == m || ratio < best_ratio ||
-            (ratio == best_ratio && basis[r] < basis[leave])) {
-          leave = r;
-          best_ratio = ratio;
-        }
-      }
-      if (leave == m) return false; // unbounded
-      tab.pivot(leave, enter, m + 1);
-      basis[leave] = enter;
-    }
-  };
-
-  // Phase 1: maximize -(sum of artificials) == drive them to zero.
-  if (num_art > 0) {
-    for (std::size_t c = 0; c < total_cols; ++c) {
-      if (is_artificial[c]) tab.at(obj_row, c) = Rational(-1);
-    }
-    // Make reduced costs consistent with the initial basis (price out
-    // the artificial basic columns).
-    for (std::size_t r = 0; r < m; ++r) {
-      if (is_artificial[basis[r]]) {
-        for (std::size_t c = 0; c < total_cols; ++c) {
-          tab.at(obj_row, c) += tab.at(r, c);
-        }
-      }
-    }
-    const bool bounded = run_simplex(true);
-    WCET_CHECK(bounded, "phase-1 LP cannot be unbounded");
-    if (!tab.at(obj_row, rhs_col).is_zero()) {
-      LpSolution s;
-      s.status = LpSolution::Status::infeasible;
-      return s;
-    }
-    // Pivot any artificial still in the basis (at value zero) out.
-    for (std::size_t r = 0; r < m; ++r) {
-      if (!is_artificial[basis[r]]) continue;
-      std::size_t enter = total_cols;
-      for (std::size_t c = 0; c + 1 < total_cols; ++c) {
-        if (!is_artificial[c] && !tab.at(r, c).is_zero()) {
-          enter = c;
-          break;
-        }
-      }
-      if (enter != total_cols) {
-        tab.pivot(r, enter, m + 1);
-        basis[r] = enter;
-      }
-      // Otherwise the row is all-zero over real columns: redundant row;
-      // the artificial stays basic at value zero, which is harmless.
-    }
-    // Reset objective row for phase 2.
-    for (std::size_t c = 0; c < total_cols; ++c) tab.at(obj_row, c) = Rational(0);
-  }
-
-  // Phase 2: maximize the real objective. Objective row holds
-  // c_j - z_j; start from c and price out basic columns. Artificial
-  // columns are barred from entering the basis (run_simplex(false)):
-  // blocking at the pivot rule is the only robust way — any objective-row
-  // penalty on them gets rewritten by pricing.
-  for (std::size_t j = 0; j < n; ++j) tab.at(obj_row, j) = objective_[j];
-  for (std::size_t r = 0; r < m; ++r) {
-    const Rational cb = basis[r] < n ? objective_[basis[r]] : Rational(0);
-    if (cb.is_zero()) continue;
-    for (std::size_t c = 0; c < total_cols; ++c) {
-      tab.at(obj_row, c) -= cb * tab.at(r, c);
-    }
-  }
-
-  if (!run_simplex(false)) {
-    LpSolution s;
-    s.status = LpSolution::Status::unbounded;
-    return s;
-  }
-
-  LpSolution s;
-  s.status = LpSolution::Status::optimal;
-  s.values.assign(n, Rational(0));
-  for (std::size_t r = 0; r < m; ++r) {
-    if (basis[r] < n) s.values[basis[r]] = tab.at(r, rhs_col);
-  }
-  s.objective = Rational(0);
-  for (std::size_t j = 0; j < n; ++j) s.objective += objective_[j] * s.values[j];
-  return s;
-}
-
-void IlpProblem::branch_and_bound(std::vector<Row>& extra, LpSolution& best,
-                                  int& nodes_left, bool& hit_limit) const {
-  if (nodes_left <= 0) {
-    hit_limit = true;
-    return;
-  }
-  --nodes_left;
-  const LpSolution relax = solve_lp_with(extra);
-  if (relax.status == LpSolution::Status::unbounded) {
-    best = relax;
-    return;
-  }
-  if (!relax.ok()) return;
-  if (best.ok() && relax.objective <= best.objective) return; // bound
-  // Find a fractional variable.
-  int frac_var = -1;
-  for (int j = 0; j < num_variables(); ++j) {
-    if (!relax.values[static_cast<std::size_t>(j)].is_integer()) {
-      frac_var = j;
-      break;
-    }
-  }
-  if (frac_var < 0) {
-    if (!best.ok() || relax.objective > best.objective) best = relax;
-    return;
-  }
-  const Rational v = relax.values[static_cast<std::size_t>(frac_var)];
-  // Ceil branch first: for maximization it tends to find the incumbent
-  // faster on counting problems.
-  extra.push_back(Row{{{frac_var, Rational(1)}}, Cmp::ge, Rational(v.ceil64())});
-  branch_and_bound(extra, best, nodes_left, hit_limit);
-  extra.pop_back();
-  if (best.status == LpSolution::Status::unbounded) return;
-  extra.push_back(Row{{{frac_var, Rational(1)}}, Cmp::le, Rational(v.floor64())});
-  branch_and_bound(extra, best, nodes_left, hit_limit);
-  extra.pop_back();
+  WCET_CHECK(false, "simplex returned an impossible status");
+  return status_only(LpSolution::Status::infeasible);
 }
 
 LpSolution IlpProblem::solve_ilp(int node_limit) const {
-  std::vector<Row> extra;
-  LpSolution best;
-  best.status = LpSolution::Status::infeasible;
-  int nodes_left = node_limit;
-  bool hit_limit = false;
-  branch_and_bound(extra, best, nodes_left, hit_limit);
-  if (!best.ok() && hit_limit) {
-    best.status = LpSolution::Status::node_limit;
+  // Branch & bound, best-bound order with ceil-first diving. The root
+  // relaxation is solved cold (two-phase). After branching, the ceil
+  // child is *dived* immediately: its single branch row is appended to
+  // the live parent tableau and re-optimized with the dual simplex —
+  // one row, one warm re-solve per dive step. Floor siblings go onto
+  // the best-bound queue; when popped they rebuild warm from a copy of
+  // the root-optimal tableau by replaying their branch-row path (still
+  // dual re-solves, never two-phase-from-scratch).
+  const auto n = static_cast<std::size_t>(num_variables());
+  Simplex root(n, rows_, {}, objective_);
+  switch (root.solve()) {
+  case Simplex::Status::optimal: break;
+  case Simplex::Status::infeasible: return status_only(LpSolution::Status::infeasible);
+  case Simplex::Status::unbounded: return status_only(LpSolution::Status::unbounded);
+  case Simplex::Status::stalled: WCET_CHECK(false, "primal simplex cannot stall");
   }
+  const LpSolution root_solution = root.extract();
+
+  struct Node {
+    std::vector<Row> extra; // branch rows on the path from the root
+    Rational bound;         // parent relaxation objective (upper bound)
+    std::uint64_t seq = 0;  // FIFO tie-break
+  };
+  const auto worse = [](const Node& a, const Node& b) {
+    if (a.bound != b.bound) return a.bound < b.bound;
+    return a.seq > b.seq;
+  };
+  std::priority_queue<Node, std::vector<Node>, decltype(worse)> open(worse);
+  std::uint64_t seq = 0;
+  open.push(Node{{}, root_solution.objective, seq++});
+
+  LpSolution best = status_only(LpSolution::Status::infeasible);
+  int nodes_used = 0;
+  bool hit_limit = false;
+
+  const auto first_fractional = [&](const LpSolution& s) {
+    for (int j = 0; j < num_variables(); ++j) {
+      if (!s.values[static_cast<std::size_t>(j)].is_integer()) return j;
+    }
+    return -1;
+  };
+
+  while (!open.empty() && !hit_limit) {
+    Node node = open.top();
+    open.pop();
+    if (best.ok() && node.bound <= best.objective) continue; // bound
+    if (nodes_used >= node_limit) {
+      hit_limit = true;
+      break;
+    }
+    ++nodes_used;
+
+    // Rebuild this node's relaxation warm from the root tableau. The
+    // copy is lazy: the root node itself (empty path — the common
+    // no-branching case) reuses the stored root solution and only
+    // materializes a tableau copy if it actually has to dive.
+    LpSolution relax;
+    std::optional<Simplex> warm;
+    bool warm_live = true; // false once the live tableau diverged from `relax`
+    if (node.extra.empty()) {
+      relax = root_solution;
+    } else {
+      warm = root;
+      Simplex::Status status = Simplex::Status::optimal;
+      for (const Row& row : node.extra) {
+        status = warm->reoptimize_with_row(row);
+        if (status != Simplex::Status::optimal) break;
+      }
+      switch (status) {
+      case Simplex::Status::optimal: relax = warm->extract(); break;
+      case Simplex::Status::infeasible: continue;
+      case Simplex::Status::unbounded: return status_only(LpSolution::Status::unbounded);
+      case Simplex::Status::stalled:
+        // Dual iteration hit its safety limit: fall back to an exact
+        // cold solve; the live tableau is no longer usable for diving.
+        relax = solve_lp_with(node.extra);
+        warm_live = false;
+        break;
+      }
+    }
+
+    // Dive: follow ceil branches on the live tableau while profitable,
+    // queueing each floor sibling for best-bound exploration.
+    for (;;) {
+      if (relax.status == LpSolution::Status::unbounded) return relax;
+      if (!relax.ok()) break;
+      if (best.ok() && relax.objective <= best.objective) break; // bound
+      const int frac_var = first_fractional(relax);
+      if (frac_var < 0) {
+        best = std::move(relax); // improved integral incumbent
+        break;
+      }
+      const Rational v = relax.values[static_cast<std::size_t>(frac_var)];
+      const Row up{{{frac_var, Rational(1)}}, Cmp::ge, Rational(v.ceil64())};
+      const Row down{{{frac_var, Rational(1)}}, Cmp::le, Rational(v.floor64())};
+      Node sibling{node.extra, relax.objective, seq++};
+      sibling.extra.push_back(down);
+      open.push(std::move(sibling));
+      node.extra.push_back(up);
+      if (!warm_live) {
+        // No live tableau to extend: queue the ceil child instead.
+        open.push(Node{std::move(node.extra), relax.objective, seq++});
+        break;
+      }
+      if (nodes_used >= node_limit) {
+        hit_limit = true;
+        break;
+      }
+      ++nodes_used;
+      if (!warm) warm = root; // first dive from the root node's own path
+      const Simplex::Status status = warm->reoptimize_with_row(up);
+      if (status == Simplex::Status::infeasible) break;
+      if (status == Simplex::Status::unbounded) return status_only(LpSolution::Status::unbounded);
+      if (status == Simplex::Status::stalled) {
+        relax = solve_lp_with(node.extra);
+        warm_live = false;
+        continue;
+      }
+      relax = warm->extract();
+    }
+  }
+
+  if (!best.ok() && hit_limit) best.status = LpSolution::Status::node_limit;
   return best;
 }
 

@@ -3,9 +3,15 @@
 // analysis: maximize the execution-count-weighted sum of basic-block
 // times subject to flow conservation and loop/flow-fact constraints.
 //
-// Problems produced by IPET are small (hundreds of variables); the
-// solver favours exactness and simplicity over scale. Bland's rule is
-// used throughout, so the iteration never cycles.
+// The solver is exact (all arithmetic on 128-bit rationals) but tuned
+// for the large sparse systems IPET produces:
+//   - pivots touch only the nonzero columns of the pivot row,
+//   - column selection uses Dantzig's rule with an automatic fallback
+//     to Bland's rule after a degenerate-pivot streak (cycle-free),
+//   - branch & bound explores nodes in best-bound order and re-solves
+//     children by appending their branch rows to the root-optimal
+//     tableau and running the dual simplex (warm start) instead of
+//     two-phase-from-scratch.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +41,12 @@ struct LpSolution {
 
 class IlpProblem {
 public:
+  struct Row {
+    std::vector<LinTerm> terms;
+    Cmp cmp = Cmp::le;
+    Rational rhs;
+  };
+
   // All variables are constrained to be >= 0.
   int add_variable(std::string name);
   int num_variables() const { return static_cast<int>(names_.size()); }
@@ -52,15 +64,7 @@ public:
   std::string to_string() const; // LP-format dump for debugging/reports
 
 private:
-  struct Row {
-    std::vector<LinTerm> terms;
-    Cmp cmp = Cmp::le;
-    Rational rhs;
-  };
-
   LpSolution solve_lp_with(const std::vector<Row>& extra) const;
-  void branch_and_bound(std::vector<Row>& extra, LpSolution& best, int& nodes_left,
-                        bool& hit_limit) const;
 
   std::vector<std::string> names_;
   std::vector<Rational> objective_;

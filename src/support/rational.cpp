@@ -10,15 +10,33 @@ namespace {
 
 __int128 abs128(__int128 v) { return v < 0 ? -v : v; }
 
+int ctz128(unsigned __int128 v) {
+  const auto lo = static_cast<std::uint64_t>(v);
+  if (lo != 0) return __builtin_ctzll(lo);
+  return 64 + __builtin_ctzll(static_cast<std::uint64_t>(v >> 64));
+}
+
+// Binary (Stein) gcd: avoids the libgcc 128-bit division in the hot
+// simplex pivot path.
 __int128 gcd128(__int128 a, __int128 b) {
-  a = abs128(a);
-  b = abs128(b);
-  while (b != 0) {
-    const __int128 t = a % b;
-    a = b;
-    b = t;
+  auto ua = static_cast<unsigned __int128>(abs128(a));
+  auto ub = static_cast<unsigned __int128>(abs128(b));
+  if (ua == 0) return static_cast<__int128>(ub);
+  if (ub == 0) return static_cast<__int128>(ua);
+  const int za = ctz128(ua);
+  const int zb = ctz128(ub);
+  const int shift = za < zb ? za : zb;
+  ua >>= za;
+  for (;;) {
+    ub >>= ctz128(ub);
+    if (ua > ub) {
+      const unsigned __int128 t = ua;
+      ua = ub;
+      ub = t;
+    }
+    ub -= ua;
+    if (ub == 0) return static_cast<__int128>(ua << shift);
   }
-  return a;
 }
 
 // Guard band: keep magnitudes well below the 128-bit limit so that a
@@ -69,9 +87,15 @@ void Rational::normalize() {
     den_ = 1;
     return;
   }
+  if (den_ == 1) { // integer fast path: no gcd needed
+    check_magnitude(num_);
+    return;
+  }
   const __int128 g = gcd128(num_, den_);
-  num_ /= g;
-  den_ /= g;
+  if (g != 1) {
+    num_ /= g;
+    den_ /= g;
+  }
   check_magnitude(num_);
   check_magnitude(den_);
 }
@@ -107,14 +131,61 @@ double Rational::to_double() const {
 Rational Rational::operator-() const { return from_int128(-num_, den_); }
 
 Rational Rational::operator+(const Rational& rhs) const {
+  if (den_ == 1 && rhs.den_ == 1) { // integer fast path
+    Rational r;
+    r.num_ = num_ + rhs.num_;
+    check_magnitude(r.num_);
+    return r;
+  }
   return from_int128(num_ * rhs.den_ + rhs.num_ * den_, den_ * rhs.den_);
 }
 
 Rational Rational::operator-(const Rational& rhs) const {
+  if (den_ == 1 && rhs.den_ == 1) { // integer fast path
+    Rational r;
+    r.num_ = num_ - rhs.num_;
+    check_magnitude(r.num_);
+    return r;
+  }
   return from_int128(num_ * rhs.den_ - rhs.num_ * den_, den_ * rhs.den_);
 }
 
+// Fused `*this -= a * b`: the simplex pivot's row update. Normalization
+// is deferred to a single pass at the end (the lazy-normalization fast
+// path), with an all-integer shortcut that needs no gcd at all.
+void Rational::sub_mul(const Rational& a, const Rational& b) {
+  if (a.num_ == 0 || b.num_ == 0) return;
+  if (den_ == 1 && a.den_ == 1 && b.den_ == 1) {
+    num_ -= a.num_ * b.num_;
+    check_magnitude(num_);
+    return;
+  }
+  // Cross-reduce the product before combining, as operator* does. The
+  // reduced product must re-enter the guard band before the combining
+  // multiplies below, or they could wrap __int128 silently.
+  const __int128 g1 = gcd128(a.num_, b.den_);
+  const __int128 g2 = gcd128(b.num_, a.den_);
+  const __int128 pn = (a.num_ / g1) * (b.num_ / g2);
+  const __int128 pd = (a.den_ / g2) * (b.den_ / g1);
+  check_magnitude(pn);
+  check_magnitude(pd);
+  if (den_ == pd) {
+    num_ -= pn;
+    normalize();
+    return;
+  }
+  num_ = num_ * pd - pn * den_;
+  den_ *= pd;
+  normalize();
+}
+
 Rational Rational::operator*(const Rational& rhs) const {
+  if (den_ == 1 && rhs.den_ == 1) { // integer fast path
+    Rational r;
+    r.num_ = num_ * rhs.num_;
+    check_magnitude(r.num_);
+    return r;
+  }
   // Cross-reduce before multiplying to keep magnitudes small.
   const __int128 g1 = gcd128(num_, rhs.den_);
   const __int128 g2 = gcd128(rhs.num_, den_);

@@ -36,6 +36,9 @@ public:
   Rational operator-(const Rational& rhs) const;
   Rational operator*(const Rational& rhs) const;
   Rational operator/(const Rational& rhs) const;
+  // Fused `*this -= a * b` with a single deferred normalization — the
+  // hot operation of the simplex pivot.
+  void sub_mul(const Rational& a, const Rational& b);
   Rational& operator+=(const Rational& rhs) { return *this = *this + rhs; }
   Rational& operator-=(const Rational& rhs) { return *this = *this - rhs; }
   Rational& operator*=(const Rational& rhs) { return *this = *this * rhs; }

@@ -69,6 +69,11 @@ WcetReport Analyzer::analyze_entry(std::uint32_t entry,
   analysis::ValueAnalysis::Options va_options;
   if (options.use_annotations) va_options.access_facts = annotations_.access_facts;
 
+  // Fixpoint scheduling priorities (reverse-postorder indices), derived
+  // once per decode round from the dominator computation's RPO and
+  // shared by every iterative phase.
+  std::vector<int> schedule;
+
   double decode_ms = 0;
   double value_ms = 0;
   for (int round = 0; round < std::max(1, options.max_decode_rounds); ++round) {
@@ -79,11 +84,12 @@ WcetReport Analyzer::analyze_entry(std::uint32_t entry,
         cfg::Supergraph::expand(*program, sg_options));
     forest = std::make_unique<cfg::LoopForest>(*supergraph);
     dominators = std::make_unique<cfg::Dominators>(*supergraph);
+    schedule = cfg::rpo_priorities(*supergraph, dominators->rpo());
     decode_ms += ms_since(t);
 
     t = std::chrono::steady_clock::now();
     values = std::make_unique<analysis::ValueAnalysis>(*supergraph, *forest, hw_.memory,
-                                                       va_options);
+                                                       va_options, schedule);
     values->run();
     value_ms += ms_since(t);
 
@@ -194,7 +200,8 @@ WcetReport Analyzer::analyze_entry(std::uint32_t entry,
   // ---------------------------------------------------- cache analysis
   t = std::chrono::steady_clock::now();
   analysis::CacheAnalysis caches(*supergraph, *forest, *values, hw_.memory, hw_.icache,
-                                 hw_.dcache);
+                                 hw_.dcache, analysis::CacheAnalysis::Schedule::priority,
+                                 schedule);
   caches.run();
   report.cache_stats = caches.stats();
   report.timings.cache_ms = ms_since(t);
