@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_analysis.json files (google-benchmark JSON output).
+
+Usage: diff_bench.py OLD NEW
+
+Prints per-benchmark speedup (old real_time / new real_time) and FAILS
+(exit 1) when any shared benchmark's wcet_cycles counter changed: the
+computed bounds are a regression oracle — perf work must keep every
+bound bit-identical.
+"""
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = b
+    return out
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.stderr.write(__doc__)
+        return 2
+    old, new = load(sys.argv[1]), load(sys.argv[2])
+    missing = [name for name in old if name not in new]
+    if missing:
+        # A tracked benchmark silently disappearing would bypass the
+        # oracle gate entirely — treat it as a failure.
+        print(f"diff_bench: FAIL — benchmarks missing from new run: {', '.join(missing)}")
+        return 1
+    shared = [name for name in old if name in new]
+    if not shared:
+        print("diff_bench: baseline has no benchmarks; nothing to compare")
+        return 0
+    mismatches = []
+    print(f"{'benchmark':<32} {'old ms':>12} {'new ms':>12} {'speedup':>8}  wcet_cycles")
+    for name in shared:
+        o, n = old[name], new[name]
+        scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+        o_ms = o["real_time"] * scale.get(o.get("time_unit", "ns"), 1e-6)
+        n_ms = n["real_time"] * scale.get(n.get("time_unit", "ns"), 1e-6)
+        speedup = o_ms / n_ms if n_ms > 0 else float("inf")
+        o_w, n_w = o.get("wcet_cycles"), n.get("wcet_cycles")
+        verdict = ""
+        if o_w is not None and n_w is not None:
+            verdict = f"{int(n_w)}" if o_w == n_w else f"{int(o_w)} -> {int(n_w)}  ORACLE CHANGED"
+            if o_w != n_w:
+                mismatches.append(name)
+        print(f"{name:<32} {o_ms:>12.3f} {n_ms:>12.3f} {speedup:>7.2f}x  {verdict}")
+    if mismatches:
+        print(f"\ndiff_bench: FAIL — wcet_cycles oracle changed for: {', '.join(mismatches)}")
+        return 1
+    print("\ndiff_bench: OK — all wcet_cycles oracle values identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,19 +3,51 @@
 # as BENCH_analysis.json at the repo root, so successive PRs have a perf
 # trajectory to compare against.
 #
+# When a previous BENCH_analysis.json exists, the fresh run is diffed
+# against it (bench/diff_bench.py): per-arg speedup is printed and the
+# script FAILS if any wcet_cycles oracle value changed — computed
+# bounds must stay bit-identical across perf work.
+#
 #   $ bench/run_bench.sh [extra benchmark args...]
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir="$repo_root/build-bench"
+bench_json="$repo_root/BENCH_analysis.json"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release -DWCET_BENCH=ON
 cmake --build "$build_dir" -j"$(nproc)" --target bench_analysis_perf
 
+prev_json=""
+if [ -f "$bench_json" ]; then
+  prev_json="$bench_json.prev"
+  cp "$bench_json" "$prev_json"
+fi
+
 "$build_dir/bench_analysis_perf" \
   --benchmark_format=json \
-  --benchmark_out="$repo_root/BENCH_analysis.json" \
+  --benchmark_out="$bench_json" \
   --benchmark_out_format=json \
   "$@"
 
-echo "wrote $repo_root/BENCH_analysis.json"
+echo "wrote $bench_json"
+
+if [ -n "$prev_json" ]; then
+  if command -v python3 > /dev/null 2>&1; then
+    status=0
+    python3 "$repo_root/bench/diff_bench.py" "$prev_json" "$bench_json" || status=$?
+  else
+    echo "warning: python3 not found, skipping oracle diff" >&2
+    status=0
+  fi
+  if [ "$status" -ne 0 ]; then
+    # Keep the committed oracle intact so the failure reproduces on
+    # re-runs; park the regressed results next to it for inspection.
+    mv "$bench_json" "$bench_json.rejected"
+    mv "$prev_json" "$bench_json"
+    echo "oracle diff failed: restored $bench_json, regressed run at $bench_json.rejected" >&2
+  else
+    rm -f "$prev_json"
+  fi
+  exit "$status"
+fi

@@ -4,8 +4,10 @@
 #include <map>
 #include <set>
 
+#include "analysis/transfer_cache.hpp"
 #include "support/diag.hpp"
 #include "support/fixpoint.hpp"
+#include "support/thread_pool.hpp"
 
 namespace wcet::analysis {
 
@@ -144,10 +146,12 @@ bool AbsCache::operator==(const AbsCache& other) const {
 CacheAnalysis::CacheAnalysis(const cfg::Supergraph& sg, const cfg::LoopForest& loops,
                              const ValueAnalysis& values, const mem::MemoryMap& memmap,
                              const mem::CacheConfig& icache, const mem::CacheConfig& dcache,
-                             Schedule schedule, std::vector<int> schedule_priorities)
+                             Schedule schedule, std::vector<int> schedule_priorities,
+                             TransferCache* transfers, ThreadPool* pool)
     : sg_(sg), loops_(loops), values_(values), memmap_(memmap), iconfig_(icache),
       dconfig_(dcache), schedule_(schedule),
-      schedule_priorities_(std::move(schedule_priorities)) {
+      schedule_priorities_(std::move(schedule_priorities)), transfers_(transfers),
+      pool_(pool) {
   if (schedule_ == Schedule::priority && schedule_priorities_.empty()) {
     schedule_priorities_ = cfg::rpo_priorities(sg);
   }
@@ -159,19 +163,21 @@ CacheAnalysis::CacheAnalysis(const cfg::Supergraph& sg, const cfg::LoopForest& l
   data_.resize(n);
 }
 
-std::vector<std::uint32_t> CacheAnalysis::candidate_lines(const Interval& addr, int size,
-                                                          const mem::CacheConfig& config) const {
-  std::vector<std::uint32_t> lines;
-  if (addr.is_bottom()) return lines;
-  // Clamp the end to the word range: a wrap here once made a TOP address
-  // interval look like a single-line access (unsound).
-  const std::int64_t end =
-      std::min<std::int64_t>(addr.umax() + size - 1, Interval::word_max);
-  const std::uint32_t first = config.line_of(static_cast<std::uint32_t>(addr.umin()));
-  const std::uint32_t last = config.line_of(static_cast<std::uint32_t>(end));
-  if (last - first + 1 > 8) return {}; // unknown: too many candidates
-  for (std::uint32_t l = first; l <= last; ++l) lines.push_back(l);
-  return lines;
+CacheAnalysis::~CacheAnalysis() = default;
+
+void CacheAnalysis::build_line_tables() {
+  if (transfers_ == nullptr) {
+    // No shared cache attached (standalone construction, e.g. tests):
+    // build a private one so there is exactly one table-building path.
+    own_transfers_ = std::make_unique<TransferCache>(sg_);
+    own_transfers_->attach(values_);
+    transfers_ = own_transfers_.get();
+  }
+  transfers_->build_data_lines(dconfig_, pool_);
+}
+
+const std::vector<std::uint32_t>& CacheAnalysis::lines_for(int node, std::size_t index) const {
+  return transfers_->data_lines(node)[index];
 }
 
 AccessClass CacheAnalysis::classify(const CachePair& state,
@@ -238,7 +244,9 @@ void CacheAnalysis::transfer(int node, CachePair& icache, CachePair& dcache, boo
     WCET_CHECK(access_index < accesses.size() || values_.state_in(node).bottom,
                "access list out of sync with instructions");
     if (access_index >= accesses.size()) continue;
-    const AccessInfo& access = accesses[access_index++];
+    const AccessInfo& access = accesses[access_index];
+    const std::vector<std::uint32_t>& lines = lines_for(node, access_index);
+    ++access_index;
     DataClass dc;
     dc.pc = access.pc;
     dc.is_store = access.is_store;
@@ -252,11 +260,9 @@ void CacheAnalysis::transfer(int node, CachePair& icache, CachePair& dcache, boo
       // If part of the range is cacheable, the access may still disturb
       // the cache.
       if (dconfig_.enabled) {
-        const auto lines = candidate_lines(access.addr, access.size, dconfig_);
         if (lines.empty()) apply_access(dcache, lines);
       }
     } else {
-      const auto lines = candidate_lines(access.addr, access.size, dconfig_);
       dc.cls = classify(dcache, lines);
       dc.candidate_count = std::max<unsigned>(1, static_cast<unsigned>(lines.size()));
       apply_access(dcache, lines);
@@ -325,11 +331,40 @@ void CacheAnalysis::fixpoint_round_robin() {
 }
 
 void CacheAnalysis::persistence() {
+  // Loops are processed per top-level loop tree: sibling trees have
+  // disjoint node sets (the forest is an SCC decomposition), so trees
+  // fan out across the pool while the depth-based "outermost qualifying
+  // loop wins" resolution — which is order-independent across sibling
+  // trees — stays exact.
+  std::vector<std::vector<int>> trees;
+  for (const cfg::Loop& loop : loops_.loops()) {
+    if (loop.parent >= 0) continue;
+    std::vector<int> ids;
+    std::vector<int> stack{loop.id};
+    while (!stack.empty()) {
+      const int id = stack.back();
+      stack.pop_back();
+      ids.push_back(id);
+      for (const int child : loops_.loop(id).children) stack.push_back(child);
+    }
+    std::sort(ids.begin(), ids.end());
+    trees.push_back(std::move(ids));
+  }
+  const auto run_tree = [&](std::size_t t) { persistence_tree(trees[t]); };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(trees.size(), run_tree);
+  } else {
+    for (std::size_t t = 0; t < trees.size(); ++t) run_tree(t);
+  }
+}
+
+void CacheAnalysis::persistence_tree(const std::vector<int>& loop_ids) {
   // For every reducible loop: if all cacheable accesses within the loop
   // are line-precise, count distinct lines per cache set; accesses whose
   // candidate lines fit the associativity alongside their conflicts are
   // persistent (at most one miss per loop entry).
-  for (const cfg::Loop& loop : loops_.loops()) {
+  for (const int loop_id : loop_ids) {
+    const cfg::Loop& loop = loops_.loop(loop_id);
     if (loop.irreducible) continue; // rule 14.4: no virtual unrolling
 
     bool i_precise = true;
@@ -346,11 +381,13 @@ void CacheAnalysis::persistence() {
           i_lines_per_set[iconfig_.set_index(pc)].insert(line);
         }
       }
-      for (const AccessInfo& access : values_.accesses(node_id)) {
+      const auto& node_accesses = values_.accesses(node_id);
+      for (std::size_t ai = 0; ai < node_accesses.size(); ++ai) {
+        const AccessInfo& access = node_accesses[ai];
         if (access.is_store || access.addr.is_bottom()) continue;
         if (!dconfig_.enabled) continue;
         if (!memmap_.all_cacheable(access.addr)) continue;
-        const auto lines = candidate_lines(access.addr, access.size, dconfig_);
+        const std::vector<std::uint32_t>& lines = lines_for(node_id, ai);
         if (lines.empty()) {
           d_precise = false;
           continue;
@@ -394,7 +431,7 @@ void CacheAnalysis::persistence() {
             dc.cls == AccessClass::uncached) {
           continue;
         }
-        const auto lines = candidate_lines(accesses[i].addr, accesses[i].size, dconfig_);
+        const std::vector<std::uint32_t>& lines = lines_for(node_id, i);
         if (lines.empty()) continue;
         const bool all_persist = std::all_of(lines.begin(), lines.end(), [&](std::uint32_t l) {
           return line_persists(d_lines_per_set, dconfig_, l);
@@ -411,22 +448,30 @@ void CacheAnalysis::persistence() {
 }
 
 void CacheAnalysis::run() {
+  build_line_tables();
   if (schedule_ == Schedule::priority) {
     fixpoint();
   } else {
     fixpoint_round_robin();
   }
-  // Record classifications with the final states.
-  for (const cfg::SgNode& node : sg_.nodes()) {
-    const auto id = static_cast<std::size_t>(node.id);
+  // Record classifications with the final states. Per-node work is
+  // independent (reads the converged in-states, writes only this
+  // node's classification rows), so it fans out across the pool.
+  const auto record_node = [&](std::size_t id) {
+    const cfg::SgNode& node = sg_.nodes()[id];
     if (!has_state_[id]) {
       fetch_[id].assign(node.block->insts.size(), FetchClass{});
       data_[id].clear();
-      continue;
+      return;
     }
     CachePair icache = in_i_[id];
     CachePair dcache = in_d_[id];
     transfer(node.id, icache, dcache, true);
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(sg_.nodes().size(), record_node);
+  } else {
+    for (std::size_t id = 0; id < sg_.nodes().size(); ++id) record_node(id);
   }
   persistence();
 }

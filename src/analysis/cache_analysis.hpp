@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -25,7 +26,13 @@
 #include "mem/memmap.hpp"
 #include "support/flat_map.hpp"
 
+namespace wcet {
+class ThreadPool;
+}
+
 namespace wcet::analysis {
+
+class TransferCache;
 
 enum class AccessClass {
   always_hit,
@@ -92,11 +99,19 @@ public:
   // reach the identical fixpoint).
   enum class Schedule { priority, round_robin };
 
+  // `transfers` (optional): the shared transfer cache; when given, the
+  // per-access candidate-line tables are read from it instead of being
+  // re-enumerated per fixpoint visit / per enclosing loop, and `pool`
+  // (optional) fans out the per-node classification recording sweep and
+  // the per-loop-tree persistence pass. Results are identical with or
+  // without either.
   CacheAnalysis(const cfg::Supergraph& sg, const cfg::LoopForest& loops,
                 const ValueAnalysis& values, const mem::MemoryMap& memmap,
                 const mem::CacheConfig& icache, const mem::CacheConfig& dcache,
                 Schedule schedule = Schedule::priority,
-                std::vector<int> schedule_priorities = {});
+                std::vector<int> schedule_priorities = {},
+                TransferCache* transfers = nullptr, ThreadPool* pool = nullptr);
+  ~CacheAnalysis(); // out-of-line: owns a forward-declared TransferCache
 
   void run();
 
@@ -132,9 +147,10 @@ private:
     }
   };
 
-  // Candidate cache lines of an access; empty means "unknown line".
-  std::vector<std::uint32_t> candidate_lines(const Interval& addr, int size,
-                                             const mem::CacheConfig& config) const;
+  // Memoized candidate cache lines of data access `index` in `node`
+  // (index-aligned with ValueAnalysis::accesses); empty = unknown line.
+  const std::vector<std::uint32_t>& lines_for(int node, std::size_t index) const;
+  void build_line_tables();
   AccessClass classify(const CachePair& state, std::span<const std::uint32_t> lines) const;
   static void apply_access(CachePair& state, std::span<const std::uint32_t> lines);
   void transfer(int node, CachePair& icache, CachePair& dcache, bool record);
@@ -146,6 +162,7 @@ private:
   void fixpoint();
   void fixpoint_round_robin();
   void persistence();
+  void persistence_tree(const std::vector<int>& loop_ids);
 
   const cfg::Supergraph& sg_;
   const cfg::LoopForest& loops_;
@@ -155,6 +172,10 @@ private:
   mem::CacheConfig dconfig_;
   Schedule schedule_ = Schedule::priority;
   std::vector<int> schedule_priorities_;
+  TransferCache* transfers_ = nullptr;
+  ThreadPool* pool_ = nullptr;
+  // Private cache when no shared one is attached (line tables only).
+  std::unique_ptr<TransferCache> own_transfers_;
   std::vector<CachePair> in_i_;
   std::vector<CachePair> in_d_;
   std::vector<bool> has_state_;

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "support/diag.hpp"
+#include "support/thread_pool.hpp"
 
 namespace wcet::analysis {
 
@@ -18,7 +19,553 @@ bool Ipet::node_excluded(int node, const std::set<std::uint32_t>& excluded) cons
   return it != excluded.end() && *it < block.end;
 }
 
+// ---------------------------------------------------------------------------
+// Decomposed solve.
+//
+// The supergraph is a tree of function instances; a subtree entered by a
+// single call edge whose call site lies outside every loop, leaving only
+// through ret edges onto one return site, with no task exit and no dead
+// end inside, forms an *independent block* of the IPET ILP: its entry
+// count is 0 or 1 in every feasible flow (DAG-condensation argument — a
+// node outside all SCCs carries at most the unit source flow), no loop
+// or persistence constraint crosses its boundary, and with annotations
+// absent nothing else couples it to the rest of the system. The global
+// optimum therefore decomposes exactly:
+//
+//   opt(whole) = opt(outer with subtree collapsed to one variable y,
+//                    objective coefficient = opt(subtree | entry = 1))
+//
+// Each collapsed subtree becomes a small sub-ILP (solved independently,
+// fanned out across the thread pool), and the outer problem shrinks by
+// the subtree's nodes — the rational simplex scales superlinearly, so
+// the split is a large net win on call-tree-shaped workloads. Any
+// condition that would break exactness (annotation-driven coupling
+// constraints, call site inside a loop, exit/dead-end nodes inside,
+// irregular boundary) disqualifies the subtree and it stays in the
+// outer region; if a sub-ILP ends non-optimal the solver falls back to
+// the monolithic path wholesale.
+// ---------------------------------------------------------------------------
+
 IpetResult Ipet::solve(const IpetOptions& options) const {
+  const bool plain = options.allow_decomposition && options.flow_caps.empty() &&
+                     options.flow_ratios.empty() && options.infeasible_pairs.empty() &&
+                     options.excluded_addrs.empty() && options.lp_dump == nullptr;
+  if (!plain) return solve_monolithic(options);
+
+  // Copy the memoized plan: each solve fills the subs' objectives.
+  std::vector<Sub> subs = decomposition_plan();
+  if (subs.empty()) return solve_monolithic(options);
+
+  // Missing-loop-bound pre-check, replicating the monolithic scan order
+  // (ascending loop id) and predicates so obstruction lists match.
+  if (options.maximize) {
+    IpetResult missing;
+    for (const cfg::Loop& loop : loops_.loops()) {
+      const auto any_feasible = [&](const std::vector<int>& edges) {
+        return std::any_of(edges.begin(), edges.end(),
+                           [&](int eid) { return values_.edge_feasible(eid); });
+      };
+      if (!any_feasible(loop.back_edges)) continue;
+      if (!any_feasible(loop.entry_edges)) continue;
+      if (options.loop_bounds.count(loop.id) != 0) continue;
+      missing.loops_missing_bounds.push_back(loop.id);
+    }
+    if (!missing.loops_missing_bounds.empty()) {
+      missing.status = IpetResult::Status::missing_loop_bounds;
+      return missing;
+    }
+  }
+
+  // Solve the independent subtree blocks (entry flow fixed to 1).
+  std::vector<IpetResult> sub_results(subs.size());
+  const auto solve_sub = [&](std::size_t i) {
+    RegionSpec spec;
+    spec.member = &subs[i].member;
+    spec.source_node = subs[i].entry_node;
+    spec.top_level = false;
+    spec.sink_ret_edges = &subs[i].ret_edges;
+    spec.objective_out = &subs[i].objective;
+    sub_results[i] = solve_region(spec, options);
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(subs.size(), solve_sub);
+  } else {
+    for (std::size_t i = 0; i < subs.size(); ++i) solve_sub(i);
+  }
+  for (const IpetResult& sub : sub_results) {
+    if (!sub.ok()) return solve_monolithic(options); // safety fallback
+  }
+
+  // Outer problem over the remaining nodes with one variable per
+  // collapsed subtree.
+  std::vector<char> outer_member(sg_.nodes().size(), 1);
+  for (const Sub& sub : subs) {
+    for (std::size_t n = 0; n < sub.member.size(); ++n) {
+      if (sub.member[n]) outer_member[n] = 0;
+    }
+  }
+  RegionSpec spec;
+  spec.member = &outer_member;
+  spec.source_node = sg_.entry_node();
+  spec.top_level = true;
+  spec.children = &subs;
+  std::map<int, std::uint64_t> edge_counts;
+  spec.edge_counts_out = &edge_counts;
+  IpetResult outer = solve_region(spec, options);
+  outer.decomposed_regions = static_cast<int>(subs.size());
+  if (!outer.ok()) return outer;
+
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    outer.variables += sub_results[i].variables;
+    outer.constraints += sub_results[i].constraints;
+    const auto y = edge_counts.find(subs[i].call_edge);
+    if (y != edge_counts.end() && y->second > 0) {
+      // Entry counts are 0/1, so the subtree witness merges unscaled.
+      for (const auto& [node, count] : sub_results[i].node_counts) {
+        outer.node_counts[node] = count;
+      }
+    }
+  }
+  return outer;
+}
+
+const std::vector<Ipet::Sub>& Ipet::decomposition_plan() const {
+  if (!plan_ready_) {
+    plan_ = plan_decomposition();
+    plan_ready_ = true;
+  }
+  return plan_;
+}
+
+std::vector<Ipet::Sub> Ipet::plan_decomposition() const {
+  const std::size_t num_nodes = sg_.nodes().size();
+  std::size_t total_reachable = 0;
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    if (values_.node_reachable(static_cast<int>(n))) ++total_reachable;
+  }
+  // Below this the monolithic simplex is already fast; skipping keeps
+  // small programs (and most unit tests) on the reference path.
+  if (total_reachable < 48) return {};
+
+  const auto& instances = sg_.instances();
+  // Callers-before-callees order (verified by the export): accumulating
+  // subtree sizes in reverse visits every callee before its caller.
+  const std::vector<int> topo = sg_.instance_topo_order();
+  std::vector<std::vector<int>> children(instances.size());
+  std::vector<std::size_t> subtree_nodes(instances.size(), 0);
+  for (const int i : topo) {
+    subtree_nodes[static_cast<std::size_t>(i)] = sg_.instance_nodes(i).size();
+    const int caller = instances[static_cast<std::size_t>(i)].caller_instance;
+    if (caller >= 0) children[static_cast<std::size_t>(caller)].push_back(i);
+  }
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const int caller = instances[static_cast<std::size_t>(*it)].caller_instance;
+    if (caller >= 0) {
+      subtree_nodes[static_cast<std::size_t>(caller)] +=
+          subtree_nodes[static_cast<std::size_t>(*it)];
+    }
+  }
+
+  const std::set<int> exit_set(sg_.exit_nodes().begin(), sg_.exit_nodes().end());
+  std::vector<Sub> subs;
+  // Top-down over the instance tree, ascending ids: collapse the
+  // largest eligible subtrees that still leave a meaningful outer
+  // problem; recurse past oversized or ineligible ones.
+  std::vector<int> stack;
+  const auto push_children = [&](int instance) {
+    const auto& cs = children[static_cast<std::size_t>(instance)];
+    for (auto it = cs.rbegin(); it != cs.rend(); ++it) stack.push_back(*it);
+  };
+  push_children(0);
+  while (!stack.empty()) {
+    const int instance = stack.back();
+    stack.pop_back();
+    const std::size_t size = subtree_nodes[static_cast<std::size_t>(instance)];
+    if (size < 8) continue; // sub-ILP overhead beats the saving
+    if (size * 5 > total_reachable * 3) {
+      push_children(instance);
+      continue;
+    }
+    Sub sub;
+    if (subtree_eligible(instance, children, exit_set, sub)) {
+      subs.push_back(std::move(sub));
+    } else {
+      push_children(instance);
+    }
+  }
+  return subs;
+}
+
+bool Ipet::subtree_eligible(int instance, const std::vector<std::vector<int>>& children,
+                            const std::set<int>& exit_set, Sub& sub) const {
+  const cfg::Instance& inst = sg_.instances()[static_cast<std::size_t>(instance)];
+  sub.instance = instance;
+  sub.call_site = inst.call_site_node;
+  if (sub.call_site < 0) return false;
+  // Inside a loop the call edge count may exceed 1 and the collapse
+  // stops being exact (the sub-ILP optimum is computed per single
+  // entry).
+  if (loops_.innermost_loop_of(sub.call_site) >= 0) return false;
+  if (!values_.node_reachable(sub.call_site)) return false;
+  sub.entry_node = sg_.instance_entry_node(instance);
+  if (sub.entry_node < 0) return false;
+  for (const int eid : sg_.node(sub.call_site).succ_edges) {
+    const cfg::SgEdge& e = sg_.edge(eid);
+    if (e.kind == cfg::EdgeKind::call && e.to == sub.entry_node) {
+      sub.call_edge = eid;
+      break;
+    }
+  }
+  if (sub.call_edge < 0 || !values_.edge_feasible(sub.call_edge)) return false;
+
+  sub.member.assign(sg_.nodes().size(), 0);
+  std::vector<int> inst_stack{instance};
+  while (!inst_stack.empty()) {
+    const int i = inst_stack.back();
+    inst_stack.pop_back();
+    for (const int n : sg_.instance_nodes(i)) sub.member[static_cast<std::size_t>(n)] = 1;
+    for (const int c : children[static_cast<std::size_t>(i)]) inst_stack.push_back(c);
+  }
+
+  // Boundary and interior scan: the only inbound edge is the call edge;
+  // every outbound edge is a ret edge of THIS instance onto one return
+  // site; no task exit and no reachable dead end inside (either would
+  // let flow end within the subtree, which the collapsed model cannot
+  // express).
+  for (std::size_t n = 0; n < sub.member.size(); ++n) {
+    if (!sub.member[n]) continue;
+    const int node_id = static_cast<int>(n);
+    if (exit_set.count(node_id) != 0) return false;
+    const cfg::SgNode& node = sg_.node(node_id);
+    bool any_feasible_out = false;
+    for (const int eid : node.succ_edges) {
+      const cfg::SgEdge& e = sg_.edge(eid);
+      if (sub.member[static_cast<std::size_t>(e.to)]) {
+        any_feasible_out = any_feasible_out || values_.edge_feasible(eid);
+        continue;
+      }
+      if (e.kind != cfg::EdgeKind::ret || node.instance != instance) return false;
+      if (sub.return_site < 0) {
+        sub.return_site = e.to;
+      } else if (sub.return_site != e.to) {
+        return false;
+      }
+      sub.ret_edges.push_back(eid);
+      any_feasible_out = any_feasible_out || values_.edge_feasible(eid);
+    }
+    for (const int eid : node.pred_edges) {
+      if (!sub.member[static_cast<std::size_t>(sg_.edge(eid).from)] && eid != sub.call_edge) {
+        return false;
+      }
+    }
+    if (values_.node_reachable(node_id) && !any_feasible_out) return false;
+  }
+  return sub.return_site >= 0 && !sub.ret_edges.empty();
+}
+
+IpetResult Ipet::solve_region(const RegionSpec& spec, const IpetOptions& options) const {
+  IpetResult result;
+  IlpProblem ilp;
+  const auto in_region = [&](int node) {
+    return spec.member == nullptr || (*spec.member)[static_cast<std::size_t>(node)] != 0;
+  };
+
+  // Collapsed-child lookups (outer region only).
+  std::vector<int> child_of_call_edge(sg_.edges().size(), -1);
+  std::vector<int> child_of_ret_edge(sg_.edges().size(), -1);
+  if (spec.children != nullptr) {
+    for (std::size_t c = 0; c < spec.children->size(); ++c) {
+      const Sub& sub = (*spec.children)[c];
+      child_of_call_edge[static_cast<std::size_t>(sub.call_edge)] = static_cast<int>(c);
+      for (const int eid : sub.ret_edges) {
+        child_of_ret_edge[static_cast<std::size_t>(eid)] = static_cast<int>(c);
+      }
+    }
+  }
+  std::vector<char> is_sink_edge(sg_.edges().size(), 0);
+  if (spec.sink_ret_edges != nullptr) {
+    for (const int eid : *spec.sink_ret_edges) is_sink_edge[static_cast<std::size_t>(eid)] = 1;
+  }
+
+  // Variables for reachable region nodes, feasible internal edges, and
+  // one super-edge variable per collapsed child (its call edge: the
+  // subtree's 0/1 entry count).
+  std::vector<int> node_var(sg_.nodes().size(), -1);
+  std::vector<int> edge_var(sg_.edges().size(), -1);
+  for (const cfg::SgNode& node : sg_.nodes()) {
+    if (!in_region(node.id) || !values_.node_reachable(node.id)) continue;
+    std::ostringstream name;
+    name << "n" << node.id;
+    node_var[static_cast<std::size_t>(node.id)] = ilp.add_variable(name.str());
+  }
+  for (const cfg::SgEdge& edge : sg_.edges()) {
+    if (child_of_call_edge[static_cast<std::size_t>(edge.id)] >= 0) {
+      std::ostringstream name;
+      name << "y" << (*spec.children)[static_cast<std::size_t>(
+                         child_of_call_edge[static_cast<std::size_t>(edge.id)])]
+                        .instance;
+      edge_var[static_cast<std::size_t>(edge.id)] = ilp.add_variable(name.str());
+      continue;
+    }
+    if (!values_.edge_feasible(edge.id)) continue;
+    if (node_var[static_cast<std::size_t>(edge.from)] < 0 ||
+        node_var[static_cast<std::size_t>(edge.to)] < 0) {
+      continue;
+    }
+    std::ostringstream name;
+    name << "e" << edge.id;
+    edge_var[static_cast<std::size_t>(edge.id)] = ilp.add_variable(name.str());
+  }
+
+  // Flow conservation with a virtual source (flow 1 into source_node)
+  // and sinks at the task exits (top level) or the subtree's ret edges.
+  std::vector<int> exit_vars;
+  {
+    std::set<int> exit_set;
+    if (spec.top_level) exit_set.insert(sg_.exit_nodes().begin(), sg_.exit_nodes().end());
+    for (const cfg::SgNode& node : sg_.nodes()) {
+      const int nv = node_var[static_cast<std::size_t>(node.id)];
+      if (nv < 0) continue;
+      // Sum of in-edges (+ virtual entry) == x_node.
+      std::vector<LinTerm> in_terms{{nv, Rational(-1)}};
+      for (const int eid : node.pred_edges) {
+        const int ev = edge_var[static_cast<std::size_t>(eid)];
+        if (ev >= 0) in_terms.push_back({ev, Rational(1)});
+      }
+      if (spec.children != nullptr) {
+        // A collapsed child's flow re-emerges at its return site.
+        for (const Sub& sub : *spec.children) {
+          if (sub.return_site != node.id) continue;
+          const int yv = edge_var[static_cast<std::size_t>(sub.call_edge)];
+          if (yv >= 0) in_terms.push_back({yv, Rational(1)});
+        }
+      }
+      ilp.add_constraint(std::move(in_terms), Cmp::eq,
+                         Rational(node.id == spec.source_node ? -1 : 0));
+      // Sum of out-edges (+ sink flow) == x_node.
+      std::vector<LinTerm> out_terms{{nv, Rational(-1)}};
+      bool made_sink = false;
+      for (const int eid : node.succ_edges) {
+        const int ev = edge_var[static_cast<std::size_t>(eid)];
+        if (ev >= 0) {
+          out_terms.push_back({ev, Rational(1)});
+          continue;
+        }
+        if (is_sink_edge[static_cast<std::size_t>(eid)] != 0 && values_.edge_feasible(eid)) {
+          // Subtree ret edge: flow leaves the region here; the sink
+          // variable carries the edge's extra cost (taken-branch
+          // penalty convention) in the objective.
+          std::ostringstream name;
+          name << "ret" << eid;
+          const int sv = ilp.add_variable(name.str());
+          exit_vars.push_back(sv);
+          out_terms.push_back({sv, Rational(1)});
+          const unsigned extra = pipeline_.edge_extra(eid);
+          if (extra != 0) {
+            ilp.set_objective(sv, Rational(options.maximize
+                                               ? static_cast<std::int64_t>(extra)
+                                               : -static_cast<std::int64_t>(extra)));
+          }
+          made_sink = true;
+        }
+      }
+      if (spec.top_level && exit_set.count(node.id) != 0) {
+        std::ostringstream name;
+        name << "sink" << node.id;
+        const int sv = ilp.add_variable(name.str());
+        exit_vars.push_back(sv);
+        out_terms.push_back({sv, Rational(1)});
+      } else if (!made_sink &&
+                 (node.succ_edges.empty() ||
+                  std::all_of(node.succ_edges.begin(), node.succ_edges.end(), [&](int eid) {
+                    return edge_var[static_cast<std::size_t>(eid)] < 0;
+                  }))) {
+        // Dead end that is not an exit (e.g. unresolved indirect): treat
+        // as a sink so the system stays feasible; the driver reports the
+        // obstruction separately.
+        std::ostringstream name;
+        name << "dead" << node.id;
+        const int sv = ilp.add_variable(name.str());
+        exit_vars.push_back(sv);
+        out_terms.push_back({sv, Rational(1)});
+      }
+      ilp.add_constraint(std::move(out_terms), Cmp::eq, Rational(0));
+    }
+    std::vector<LinTerm> sink_sum;
+    sink_sum.reserve(exit_vars.size());
+    for (const int sv : exit_vars) sink_sum.push_back({sv, Rational(1)});
+    if (sink_sum.empty()) {
+      // No reachable exit: no finite execution to bound.
+      result.status = IpetResult::Status::infeasible;
+      return result;
+    }
+    ilp.add_constraint(std::move(sink_sum), Cmp::eq, Rational(1));
+  }
+
+  // Loop entry terms of a region loop, substituting a collapsed child's
+  // super-edge variable for its ret edges (their counts sum to y: every
+  // ret edge targets the return site, so when that site lies in the
+  // loop they all enter it) and detecting entries through the virtual
+  // source of a sub-region.
+  const auto loop_entry_terms = [&](const cfg::Loop& loop, bool& has_virtual_entry) {
+    std::vector<LinTerm> terms;
+    std::set<int> seen_children;
+    has_virtual_entry = false;
+    for (const int eid : loop.entry_edges) {
+      const int ev = edge_var[static_cast<std::size_t>(eid)];
+      if (ev >= 0) {
+        terms.push_back({ev, Rational(1)});
+        continue;
+      }
+      const cfg::SgEdge& e = sg_.edge(eid);
+      if (in_region(e.from)) continue; // infeasible or unreachable: no flow
+      const int child = child_of_ret_edge[static_cast<std::size_t>(eid)];
+      if (child >= 0) {
+        if (seen_children.insert(child).second) {
+          const int yv = edge_var[static_cast<std::size_t>(
+              (*spec.children)[static_cast<std::size_t>(child)].call_edge)];
+          if (yv >= 0) terms.push_back({yv, Rational(1)});
+        }
+        continue;
+      }
+      if (!spec.top_level && e.to == spec.source_node) has_virtual_entry = true;
+    }
+    return terms;
+  };
+
+  // Loop bounds for loops that live in this region (loops never span a
+  // collapsed boundary: a cycle through the subtree would have to pass
+  // the call site, which eligibility requires to be loop-free).
+  for (const cfg::Loop& loop : loops_.loops()) {
+    if (!in_region(loop.header)) continue;
+    std::vector<LinTerm> back_terms;
+    for (const int eid : loop.back_edges) {
+      const int ev = edge_var[static_cast<std::size_t>(eid)];
+      if (ev >= 0) back_terms.push_back({ev, Rational(1)});
+    }
+    if (back_terms.empty()) continue; // cycle already broken by infeasibility
+    bool has_virtual_entry = false;
+    std::vector<LinTerm> entry_terms = loop_entry_terms(loop, has_virtual_entry);
+    if (entry_terms.empty() && !has_virtual_entry) {
+      // Unreachable loop: force its back edges to zero.
+      ilp.add_constraint(std::move(back_terms), Cmp::le, Rational(0));
+      continue;
+    }
+    const auto bound_it = options.loop_bounds.find(loop.id);
+    if (bound_it == options.loop_bounds.end()) {
+      result.loops_missing_bounds.push_back(loop.id);
+      continue;
+    }
+    // sum(back) - B * sum(entry) <= B * virtual_entries
+    const auto bound = static_cast<std::int64_t>(bound_it->second);
+    std::vector<LinTerm> terms = std::move(back_terms);
+    for (const LinTerm& t : entry_terms) terms.push_back({t.var, Rational(-bound)});
+    ilp.add_constraint(std::move(terms), Cmp::le,
+                       Rational(has_virtual_entry ? bound : 0));
+  }
+  if (!result.loops_missing_bounds.empty() && options.maximize) {
+    result.status = IpetResult::Status::missing_loop_bounds;
+    return result;
+  }
+
+  // Objective: cycle-weighted counts (+ persistence miss terms when
+  // maximizing).
+  for (const cfg::SgNode& node : sg_.nodes()) {
+    const int nv = node_var[static_cast<std::size_t>(node.id)];
+    if (nv < 0) continue;
+    const NodeTiming& timing = pipeline_.timing(node.id);
+    const std::uint64_t weight = options.maximize ? timing.ub : timing.lb;
+    ilp.set_objective(nv, Rational(options.maximize
+                                       ? static_cast<std::int64_t>(weight)
+                                       : -static_cast<std::int64_t>(weight)));
+    if (options.maximize) {
+      int term_index = 0;
+      for (const PsTerm& ps : timing.ps_terms) {
+        const cfg::Loop& loop = loops_.loop(ps.loop_id);
+        std::ostringstream name;
+        name << "ps_n" << node.id << '_' << term_index++;
+        const int mv = ilp.add_variable(name.str());
+        // misses <= executions of the node
+        ilp.add_constraint({{mv, Rational(1)}, {nv, Rational(-1)}}, Cmp::le, Rational(0));
+        // misses <= line_count * loop entries
+        bool has_virtual_entry = false;
+        const std::vector<LinTerm> entries = loop_entry_terms(loop, has_virtual_entry);
+        const auto lc = static_cast<std::int64_t>(ps.line_count);
+        std::vector<LinTerm> entry_terms{{mv, Rational(1)}};
+        for (const LinTerm& t : entries) entry_terms.push_back({t.var, Rational(-lc)});
+        ilp.add_constraint(std::move(entry_terms), Cmp::le,
+                           Rational(has_virtual_entry ? lc : 0));
+        ilp.set_objective(mv, Rational(static_cast<std::int64_t>(ps.penalty)));
+      }
+    }
+  }
+  for (const cfg::SgEdge& edge : sg_.edges()) {
+    const int ev = edge_var[static_cast<std::size_t>(edge.id)];
+    if (ev < 0) continue;
+    const unsigned extra = pipeline_.edge_extra(edge.id);
+    Rational coeff(options.maximize ? static_cast<std::int64_t>(extra)
+                                    : -static_cast<std::int64_t>(extra));
+    const int child = child_of_call_edge[static_cast<std::size_t>(edge.id)];
+    if (child >= 0) {
+      // Super edge: one unit of flow buys the subtree's optimal cost.
+      coeff += (*spec.children)[static_cast<std::size_t>(child)].objective;
+    }
+    if (!coeff.is_zero()) ilp.set_objective(ev, coeff);
+  }
+
+  result.variables = ilp.num_variables();
+  result.constraints = ilp.num_constraints();
+
+  const LpSolution solution = ilp.solve_ilp();
+  switch (solution.status) {
+  case LpSolution::Status::optimal:
+    break;
+  case LpSolution::Status::infeasible:
+    result.status = IpetResult::Status::infeasible;
+    return result;
+  case LpSolution::Status::unbounded:
+    result.status = IpetResult::Status::unbounded;
+    return result;
+  case LpSolution::Status::node_limit:
+    result.status = IpetResult::Status::node_limit;
+    return result;
+  }
+
+  result.status = IpetResult::Status::ok;
+  if (spec.objective_out != nullptr) *spec.objective_out = solution.objective;
+  const Rational objective =
+      options.maximize ? solution.objective : -solution.objective;
+  result.bound = static_cast<std::uint64_t>(options.maximize ? objective.ceil64()
+                                                             : objective.floor64());
+  for (const cfg::SgNode& node : sg_.nodes()) {
+    const int nv = node_var[static_cast<std::size_t>(node.id)];
+    if (nv < 0) continue;
+    const Rational& count = solution.values[static_cast<std::size_t>(nv)];
+    if (!count.is_zero()) {
+      result.node_counts[node.id] = static_cast<std::uint64_t>(count.floor64());
+    }
+  }
+  if (spec.edge_counts_out != nullptr) {
+    for (const cfg::SgEdge& edge : sg_.edges()) {
+      const int ev = edge_var[static_cast<std::size_t>(edge.id)];
+      if (ev < 0) continue;
+      const Rational& count = solution.values[static_cast<std::size_t>(ev)];
+      if (!count.is_zero()) {
+        (*spec.edge_counts_out)[edge.id] =
+            static_cast<std::uint64_t>(count.floor64());
+      }
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Monolithic solve: the whole supergraph as one ILP, including the
+// annotation-driven coupling constraints (flow caps / ratios /
+// infeasible pairs / exclusions) that the decomposition cannot split.
+// ---------------------------------------------------------------------------
+
+IpetResult Ipet::solve_monolithic(const IpetOptions& options) const {
   IpetResult result;
   IlpProblem ilp;
 

@@ -20,6 +20,10 @@
 #include "cfg/domloop.hpp"
 #include "support/ilp.hpp"
 
+namespace wcet {
+class ThreadPool;
+}
+
 namespace wcet::analysis {
 
 struct IpetOptions {
@@ -32,6 +36,10 @@ struct IpetOptions {
   bool maximize = true;                   // false: BCET lower bound
   std::uint64_t infeasible_pair_big_m = 1u << 20;
   std::string* lp_dump = nullptr;         // debug: receives the LP text
+  // Per-instance block decomposition of the ILP (see Ipet::solve). The
+  // optimum is provably identical either way; `false` forces the
+  // monolithic whole-supergraph solve (reference path, used by tests).
+  bool allow_decomposition = true;
 };
 
 struct IpetResult {
@@ -40,6 +48,7 @@ struct IpetResult {
   std::uint64_t bound = 0;
   int variables = 0;
   int constraints = 0;
+  int decomposed_regions = 0; // collapsed instance subtrees (0: monolithic)
   std::map<int, std::uint64_t> node_counts; // extremal path witness
   std::vector<int> loops_missing_bounds;
 
@@ -51,15 +60,55 @@ public:
   Ipet(const cfg::Supergraph& sg, const cfg::LoopForest& loops,
        const ValueAnalysis& values, const PipelineAnalysis& pipeline);
 
+  // Optional pool: independent per-instance subproblems of a
+  // decomposed solve fan out across it. The decomposition plan and the
+  // merge order are pure functions of the graph, so results are
+  // bit-identical for any worker count.
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+
   IpetResult solve(const IpetOptions& options) const;
 
 private:
+  // One collapsed function-instance subtree: a single-entry
+  // (call edge), single-return-site region whose ILP block is
+  // independent of the rest of the system (see plan_decomposition).
+  struct Sub {
+    int instance = -1;
+    int call_site = -1;   // node holding the call, outside the subtree
+    int call_edge = -1;   // only edge entering the subtree
+    int entry_node = -1;  // callee entry (virtual source of the sub-ILP)
+    int return_site = -1; // every boundary exit targets this node
+    std::vector<int> ret_edges;
+    std::vector<char> member; // per-node membership bitmap
+    Rational objective;       // sub-ILP optimum, internal maximize sense
+  };
+  struct RegionSpec {
+    const std::vector<char>* member = nullptr; // null: whole supergraph
+    int source_node = -1;                      // virtual source, flow 1
+    bool top_level = true; // sinks at task exits (else at sink_ret_edges)
+    const std::vector<int>* sink_ret_edges = nullptr;
+    const std::vector<Sub>* children = nullptr; // collapsed subtrees (outer region)
+    Rational* objective_out = nullptr;          // internal maximize sense
+    std::map<int, std::uint64_t>* edge_counts_out = nullptr;
+  };
+
+  IpetResult solve_monolithic(const IpetOptions& options) const;
+  IpetResult solve_region(const RegionSpec& spec, const IpetOptions& options) const;
+  // Memoized: the plan is a pure function of the (immutable) graph and
+  // value-analysis results, and the WCET + BCET solves share it.
+  const std::vector<Sub>& decomposition_plan() const;
+  std::vector<Sub> plan_decomposition() const;
+  bool subtree_eligible(int instance, const std::vector<std::vector<int>>& children,
+                        const std::set<int>& exit_set, Sub& sub) const;
   bool node_excluded(int node, const std::set<std::uint32_t>& excluded) const;
 
   const cfg::Supergraph& sg_;
   const cfg::LoopForest& loops_;
   const ValueAnalysis& values_;
   const PipelineAnalysis& pipeline_;
+  ThreadPool* pool_ = nullptr;
+  mutable bool plan_ready_ = false;
+  mutable std::vector<Sub> plan_;
 };
 
 } // namespace wcet::analysis

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "analysis/transfer_cache.hpp"
 #include "support/diag.hpp"
 
 namespace wcet::analysis {
@@ -11,8 +12,9 @@ using isa::Inst;
 using isa::Opcode;
 
 LoopBoundAnalysis::LoopBoundAnalysis(const cfg::Supergraph& sg, const cfg::LoopForest& loops,
-                                     const cfg::Dominators& doms, const ValueAnalysis& values)
-    : sg_(sg), loops_(loops), doms_(doms), values_(values) {}
+                                     const cfg::Dominators& doms, const ValueAnalysis& values,
+                                     const TransferCache* transfers)
+    : sg_(sg), loops_(loops), doms_(doms), values_(values), transfers_(transfers) {}
 
 namespace {
 // Bounds beyond this are treated as "not found": they arise from
@@ -269,12 +271,18 @@ std::optional<std::uint64_t> LoopBoundAnalysis::analyze_loop(const cfg::Loop& lo
     return reg != counter;
   };
 
-  // Initial counter value: join over the loop entry edges.
+  // Initial counter value: join over the loop entry edges (memoized
+  // edge states when the shared transfer cache is attached).
   const auto init_of = [&](std::uint8_t reg) {
     Interval init = Interval::bottom();
     for (const int eid : loop.entry_edges) {
       const cfg::SgEdge& e = sg_.edge(eid);
       if (!values_.edge_feasible(e.id)) continue;
+      if (transfers_ != nullptr) {
+        const AbsState& out = transfers_->edge_state(e.id);
+        if (!out.bottom) init = init.join(out.regs[reg]);
+        continue;
+      }
       AbsState out = values_.transfer_node(e.from, values_.state_in(e.from));
       out = values_.refine_along_edge(e.id, std::move(out));
       if (!out.bottom) init = init.join(out.regs[reg]);
@@ -356,7 +364,8 @@ std::optional<std::uint64_t> LoopBoundAnalysis::analyze_loop(const cfg::Loop& lo
     Interval init = Interval::bottom();
     for (const int eid : loop.entry_edges) {
       if (!values_.edge_feasible(eid)) continue;
-      init = init.join(values_.mem_word_along_edge(eid, addr));
+      init = init.join(transfers_ != nullptr ? transfers_->mem_word_along_edge(eid, addr)
+                                             : values_.mem_word_along_edge(eid, addr));
     }
     return init;
   };

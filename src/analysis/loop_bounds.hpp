@@ -27,6 +27,8 @@
 
 namespace wcet::analysis {
 
+class TransferCache;
+
 struct LoopBoundResult {
   int loop_id = -1;
   std::optional<std::uint64_t> bound; // max back-edge executions per entry
@@ -36,8 +38,12 @@ struct LoopBoundResult {
 
 class LoopBoundAnalysis {
 public:
+  // `transfers` (optional): memoized value-analysis transfers; counter
+  // initial values are then read from cached edge states instead of
+  // re-running one full node transfer per probed loop-entry edge.
   LoopBoundAnalysis(const cfg::Supergraph& sg, const cfg::LoopForest& loops,
-                    const cfg::Dominators& doms, const ValueAnalysis& values);
+                    const cfg::Dominators& doms, const ValueAnalysis& values,
+                    const TransferCache* transfers = nullptr);
 
   // Analyze every loop; results indexed by loop id.
   std::vector<LoopBoundResult> run() const;
@@ -56,6 +62,7 @@ private:
   const cfg::LoopForest& loops_;
   const cfg::Dominators& doms_;
   const ValueAnalysis& values_;
+  const TransferCache* transfers_ = nullptr;
 };
 
 } // namespace wcet::analysis

@@ -1,0 +1,81 @@
+#include "analysis/transfer_cache.hpp"
+
+#include <algorithm>
+
+#include "support/diag.hpp"
+#include "support/thread_pool.hpp"
+
+namespace wcet::analysis {
+
+TransferCache::TransferCache(const cfg::Supergraph& sg) : sg_(sg) {
+  out_.resize(sg.nodes().size());
+  edge_out_.resize(sg.edges().size());
+}
+
+const AbsState& TransferCache::edge_state(int edge) const {
+  WCET_CHECK(values_ != nullptr, "TransferCache queried before attach()");
+  auto& slot = edge_out_[static_cast<std::size_t>(edge)];
+  if (!slot) {
+    const cfg::SgEdge& e = sg_.edge(edge);
+    AbsState along = values_->edge_feasible(edge)
+                         ? values_->refine_along_edge(edge, out_state(e.from))
+                         : AbsState{};
+    slot = std::make_unique<AbsState>(std::move(along));
+  }
+  return *slot;
+}
+
+Interval TransferCache::mem_word_along_edge(int edge, std::uint32_t addr) const {
+  const AbsState& out = edge_state(edge);
+  if (out.bottom) return Interval::bottom();
+  const auto it = out.mem.find(addr);
+  if (it != out.mem.end()) return it->second;
+  return values_->implicit_mem_word(out, addr);
+}
+
+std::vector<std::uint32_t> TransferCache::candidate_lines(const Interval& addr, int size,
+                                                          const mem::CacheConfig& config) {
+  std::vector<std::uint32_t> lines;
+  if (addr.is_bottom()) return lines;
+  // Clamp the end to the word range: a wrap here once made a TOP address
+  // interval look like a single-line access (unsound).
+  const std::int64_t end =
+      std::min<std::int64_t>(addr.umax() + size - 1, Interval::word_max);
+  const std::uint32_t first = config.line_of(static_cast<std::uint32_t>(addr.umin()));
+  const std::uint32_t last = config.line_of(static_cast<std::uint32_t>(end));
+  if (last - first + 1 > 8) return {}; // unknown: too many candidates
+  for (std::uint32_t l = first; l <= last; ++l) lines.push_back(l);
+  return lines;
+}
+
+void TransferCache::build_data_lines(const mem::CacheConfig& config, ThreadPool* pool) {
+  WCET_CHECK(values_ != nullptr, "TransferCache::build_data_lines before attach()");
+  if (lines_ready_) {
+    // The memo is only valid for one geometry: silently serving lines
+    // computed under a different line size would misclassify accesses.
+    WCET_CHECK(lines_config_.enabled == config.enabled &&
+                   lines_config_.sets == config.sets && lines_config_.ways == config.ways &&
+                   lines_config_.line_bytes == config.line_bytes,
+               "TransferCache line tables rebuilt under a different cache geometry");
+    return;
+  }
+  lines_config_ = config;
+  lines_.resize(sg_.nodes().size());
+  const auto build_node = [&](std::size_t n) {
+    const auto& accesses = values_->accesses(static_cast<int>(n));
+    auto& row = lines_[n];
+    row.clear();
+    row.reserve(accesses.size());
+    for (const AccessInfo& access : accesses) {
+      row.push_back(candidate_lines(access.addr, access.size, config));
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(lines_.size(), build_node);
+  } else {
+    for (std::size_t n = 0; n < lines_.size(); ++n) build_node(n);
+  }
+  lines_ready_ = true;
+}
+
+} // namespace wcet::analysis

@@ -1,0 +1,91 @@
+// Shared memoized transfer results of the value analysis.
+//
+// Contract: `ValueAnalysis::run(pool, &cache)` populates the per-node
+// *out*-states as part of its final access-recording sweep — the sweep
+// computes them anyway, so memoizing is free. Downstream passes then
+// read transfers instead of re-walking blocks:
+//
+//   - loop-bound analysis queries `edge_state` / `mem_word_along_edge`
+//     for counter initial values (previously one full node transfer per
+//     loop-entry edge per probed counter),
+//   - cache analysis' classification and persistence passes consume the
+//     per-access candidate cache-line tables (previously re-enumerated
+//     from the address interval once per fixpoint visit and once per
+//     enclosing loop).
+//
+// Thread story: `set_out_state` / `build_data_lines` fill dense
+// node-indexed slots and are safe from a ThreadPool::parallel_for over
+// disjoint node indices. The lazy `edge_state` memo is NOT thread-safe
+// and must be used from one thread (loop-bound analysis is
+// sequential).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "analysis/value_analysis.hpp"
+#include "cfg/supergraph.hpp"
+#include "mem/cache.hpp"
+#include "support/interval.hpp"
+
+namespace wcet {
+class ThreadPool;
+}
+
+namespace wcet::analysis {
+
+class TransferCache {
+public:
+  explicit TransferCache(const cfg::Supergraph& sg);
+
+  // Binds the producing analysis (required before any edge query).
+  void attach(const ValueAnalysis& values) { values_ = &values; }
+  const ValueAnalysis* values() const { return values_; }
+
+  // ---- value-analysis node transfers --------------------------------
+  // Producer side: value analysis stores the state after `node`'s full
+  // block transfer. Safe per disjoint node index.
+  void set_out_state(int node, AbsState state) {
+    out_[static_cast<std::size_t>(node)] = std::move(state);
+  }
+  // State after the node's block; bottom for unreachable nodes.
+  const AbsState& out_state(int node) const { return out_[static_cast<std::size_t>(node)]; }
+
+  // Refined out-state along `edge` (bottom when the edge is
+  // infeasible). Lazily memoized; single-threaded consumers only.
+  const AbsState& edge_state(int edge) const;
+
+  // Value of the tracked/implicit word at `addr` after traversing
+  // `edge` — the memoized equivalent of
+  // ValueAnalysis::mem_word_along_edge.
+  Interval mem_word_along_edge(int edge, std::uint32_t addr) const;
+
+  // ---- candidate cache-line tables ----------------------------------
+  // Candidate lines of an access; empty means "unknown line". (Shared
+  // helper so cache analysis and the table builder agree bit-for-bit.)
+  static std::vector<std::uint32_t> candidate_lines(const Interval& addr, int size,
+                                                    const mem::CacheConfig& config);
+
+  // Builds lines for every data access of every node under the data
+  // cache geometry (parallel over nodes when a pool is given).
+  // Idempotent for one config; rebuilding under a *different* geometry
+  // is a contract violation and is checked.
+  void build_data_lines(const mem::CacheConfig& config, ThreadPool* pool);
+  // Candidate lines per data access of `node`, index-aligned with
+  // ValueAnalysis::accesses(node).
+  const std::vector<std::vector<std::uint32_t>>& data_lines(int node) const {
+    return lines_[static_cast<std::size_t>(node)];
+  }
+
+private:
+  const cfg::Supergraph& sg_;
+  const ValueAnalysis* values_ = nullptr;
+  std::vector<AbsState> out_;
+  mutable std::vector<std::unique_ptr<AbsState>> edge_out_;
+  std::vector<std::vector<std::vector<std::uint32_t>>> lines_;
+  bool lines_ready_ = false;
+  mem::CacheConfig lines_config_;
+};
+
+} // namespace wcet::analysis

@@ -1,9 +1,12 @@
 #include "analysis/value_analysis.hpp"
 
 #include <algorithm>
+#include <map>
 
+#include "analysis/transfer_cache.hpp"
 #include "support/diag.hpp"
 #include "support/fixpoint.hpp"
+#include "support/thread_pool.hpp"
 
 namespace wcet::analysis {
 
@@ -501,70 +504,154 @@ AbsState ValueAnalysis::refine_along_edge(int edge, AbsState state) const {
   return state;
 }
 
-void ValueAnalysis::run() {
+void ValueAnalysis::run(ThreadPool* pool, TransferCache* transfers) {
   const isa::Image& image = sg_.program().image();
-  // Priority worklist in reverse-postorder: predecessors stabilise
-  // before successors, so loop bodies converge with far fewer re-visits
-  // than FIFO scheduling.
-  PriorityWorklist worklist(schedule_priorities_);
-  std::vector<unsigned> visits(sg_.nodes().size(), 0);
+  const std::size_t num_nodes = sg_.nodes().size();
+  const std::size_t num_instances = sg_.instances().size();
+  std::vector<unsigned> visits(num_nodes, 0);
+
+  // ---- per-instance scheduling structures ---------------------------
+  // Within an instance, nodes iterate in reverse-postorder (the same
+  // weak-topological order the PR 1 global worklist used); local
+  // priorities are the instance-relative RPO ranks.
+  std::vector<std::vector<int>> inst_nodes(num_instances);
+  std::vector<int> local_index(num_nodes, -1);
+  for (std::size_t i = 0; i < num_instances; ++i) {
+    inst_nodes[i] = sg_.instance_nodes(static_cast<int>(i));
+    std::sort(inst_nodes[i].begin(), inst_nodes[i].end(), [&](int a, int b) {
+      const int pa = schedule_priorities_[static_cast<std::size_t>(a)];
+      const int pb = schedule_priorities_[static_cast<std::size_t>(b)];
+      return pa != pb ? pa < pb : a < b;
+    });
+    for (std::size_t k = 0; k < inst_nodes[i].size(); ++k) {
+      local_index[static_cast<std::size_t>(inst_nodes[i][k])] = static_cast<int>(k);
+    }
+  }
+  std::vector<PriorityWorklist> worklists;
+  worklists.reserve(num_instances);
+  for (std::size_t i = 0; i < num_instances; ++i) {
+    std::vector<int> identity(inst_nodes[i].size());
+    for (std::size_t k = 0; k < identity.size(); ++k) identity[k] = static_cast<int>(k);
+    worklists.emplace_back(std::move(identity));
+  }
+
+  // Join `along` into `target`'s in-state with the same widen/coarsen
+  // policy as the PR 1 engine; returns true when the state grew.
+  const auto join_into = [&](const int target, const AbsState& along) -> bool {
+    AbsState& tin = in_[static_cast<std::size_t>(target)];
+    const bool widen_now = is_widen_point_[static_cast<std::size_t>(target)] &&
+                           visits[static_cast<std::size_t>(target)] >= options_.widen_delay;
+    const bool coarse_now =
+        visits[static_cast<std::size_t>(target)] >= options_.max_node_visits;
+    if (!widen_now && !coarse_now) {
+      // Hot path: join in place; join_with reports changes exactly, so
+      // no state copy or deep equality check is needed.
+      return tin.join_with(along, image, memmap_);
+    }
+    AbsState updated = tin;
+    if (!updated.join_with(along, image, memmap_)) return false;
+    if (widen_now) updated.widen_from(tin);
+    if (coarse_now) {
+      // Safeguard: force convergence by jumping to a coarse state.
+      AbsState coarse = AbsState::entry_state();
+      coarse.add_written(Interval::top());
+      coarse.regs[isa::reg_zero] = Interval::constant(0);
+      updated = coarse;
+    }
+    if (updated == tin) return false;
+    tin = std::move(updated);
+    return true;
+  };
 
   in_[static_cast<std::size_t>(sg_.entry_node())] = AbsState::entry_state();
-  worklist.push(sg_.entry_node());
+  const int entry_instance = sg_.node(sg_.entry_node()).instance;
+  worklists[static_cast<std::size_t>(entry_instance)].push(
+      local_index[static_cast<std::size_t>(sg_.entry_node())]);
 
-  run_fixpoint(worklist, [&](const int node) {
-    ++visits[static_cast<std::size_t>(node)];
-
-    const AbsState out = transfer_node(node, in_[static_cast<std::size_t>(node)]);
-    for (const int eid : sg_.node(node).succ_edges) {
-      AbsState along = refine_along_edge(eid, out);
-      const int target = sg_.edge(eid).to;
-      if (along.bottom) {
-        // Note: feasibility is monotone — once feasible, stays feasible.
-        continue;
-      }
-      edge_feasible_[static_cast<std::size_t>(eid)] = true;
-
-      AbsState& tin = in_[static_cast<std::size_t>(target)];
-      const bool widen_now = is_widen_point_[static_cast<std::size_t>(target)] &&
-                             visits[static_cast<std::size_t>(target)] >= options_.widen_delay;
-      const bool coarse_now =
-          visits[static_cast<std::size_t>(target)] >= options_.max_node_visits;
-      if (!widen_now && !coarse_now) {
-        // Hot path: join in place; join_with reports changes exactly, so
-        // no state copy or deep equality check is needed.
-        if (tin.join_with(along, image, memmap_)) worklist.push(target);
-        continue;
-      }
-      AbsState updated = tin;
-      const bool changed = updated.join_with(along, image, memmap_);
-      if (!changed) continue;
-      if (widen_now) updated.widen_from(tin);
-      if (coarse_now) {
-        // Safeguard: force convergence by jumping to a coarse state.
-        AbsState coarse = AbsState::entry_state();
-        coarse.add_written(Interval::top());
-        coarse.regs[isa::reg_zero] = Interval::constant(0);
-        updated = coarse;
-      }
-      if (!(updated == tin)) {
-        tin = std::move(updated);
-        worklist.push(target);
-      }
+  // ---- instance rounds ---------------------------------------------
+  // Dirty instances converge their local fixpoints (in parallel when a
+  // pool is given — they touch disjoint nodes/edges/visit slots);
+  // cross-instance call/ret joins are buffered per instance and applied
+  // afterwards in ascending (instance, edge) order. The round/merge
+  // order is a pure function of the graph, never of thread timing.
+  std::vector<std::map<int, AbsState>> cross_out(num_instances);
+  std::vector<int> dirty{entry_instance};
+  while (!dirty.empty()) {
+    const auto run_instance = [&](std::size_t di) {
+      const auto instance = static_cast<std::size_t>(dirty[di]);
+      auto& buffered = cross_out[instance];
+      run_fixpoint(worklists[instance], [&](const int lid) {
+        const int node = inst_nodes[instance][static_cast<std::size_t>(lid)];
+        ++visits[static_cast<std::size_t>(node)];
+        const AbsState out = transfer_node(node, in_[static_cast<std::size_t>(node)]);
+        for (const int eid : sg_.node(node).succ_edges) {
+          AbsState along = refine_along_edge(eid, out);
+          if (along.bottom) {
+            // Note: feasibility is monotone — once feasible, stays
+            // feasible.
+            continue;
+          }
+          const int target = sg_.edge(eid).to;
+          if (sg_.node(target).instance != static_cast<int>(instance)) {
+            // Call/ret edge: defer to the sequential merge step.
+            const auto [it, fresh] = buffered.try_emplace(eid, std::move(along));
+            if (!fresh) it->second.join_with(along, image, memmap_);
+            continue;
+          }
+          edge_feasible_[static_cast<std::size_t>(eid)] = 1;
+          if (join_into(target, along)) {
+            worklists[instance].push(local_index[static_cast<std::size_t>(target)]);
+          }
+        }
+      });
+    };
+    if (pool != nullptr) {
+      pool->parallel_for(dirty.size(), run_instance);
+    } else {
+      for (std::size_t di = 0; di < dirty.size(); ++di) run_instance(di);
     }
-  });
 
-  // Final pass: record access address intervals per node.
-  for (const cfg::SgNode& n : sg_.nodes()) {
-    auto& recorded = accesses_[static_cast<std::size_t>(n.id)];
+    // Sequential deterministic merge: ascending instance id, then
+    // ascending edge id (std::map order).
+    for (const int instance : dirty) {
+      auto& buffered = cross_out[static_cast<std::size_t>(instance)];
+      for (auto& [eid, state] : buffered) {
+        edge_feasible_[static_cast<std::size_t>(eid)] = 1;
+        const int target = sg_.edge(eid).to;
+        if (join_into(target, state)) {
+          const auto ti = static_cast<std::size_t>(sg_.node(target).instance);
+          worklists[ti].push(local_index[static_cast<std::size_t>(target)]);
+        }
+      }
+      buffered.clear();
+    }
+    dirty.clear();
+    for (std::size_t i = 0; i < num_instances; ++i) {
+      if (!worklists[i].empty()) dirty.push_back(static_cast<int>(i));
+    }
+  }
+
+  // Final pass: record access address intervals per node (and publish
+  // node out-states to the shared transfer cache — computed here
+  // anyway). Nodes are independent: fan out when a pool is given.
+  if (transfers != nullptr) transfers->attach(*this);
+  const auto record_node = [&](std::size_t idx) {
+    const cfg::SgNode& n = sg_.nodes()[idx];
+    auto& recorded = accesses_[idx];
     recorded.clear();
-    AbsState state = in_[static_cast<std::size_t>(n.id)];
-    if (state.bottom) continue;
+    AbsState state = in_[idx];
+    if (state.bottom) return;
     std::uint32_t pc = n.block->begin;
     for (const Inst& inst : n.block->insts) {
       state = transfer_inst(inst, pc, std::move(state), n.fn_entry, &recorded);
       pc += 4;
     }
+    if (transfers != nullptr) transfers->set_out_state(n.id, std::move(state));
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(num_nodes, record_node);
+  } else {
+    for (std::size_t idx = 0; idx < num_nodes; ++idx) record_node(idx);
   }
 }
 

@@ -24,7 +24,13 @@
 #include "support/flat_map.hpp"
 #include "support/interval.hpp"
 
+namespace wcet {
+class ThreadPool;
+}
+
 namespace wcet::analysis {
+
+class TransferCache;
 
 // Abstract machine state: register file + tracked memory words. The
 // tracked-word table is a sorted flat vector (support/flat_map.hpp):
@@ -82,12 +88,24 @@ public:
                 const mem::MemoryMap& memmap, const Options& options = {},
                 std::vector<int> schedule_priorities = {});
 
-  void run();
+  // Runs the fixpoint with the per-instance round engine: each round,
+  // every dirty function instance converges its *local* priority
+  // worklist (cross-instance call/ret joins are buffered), then the
+  // buffered joins are applied in a fixed sequential order. Instances
+  // dirty in the same round are independent, so a ThreadPool may fan
+  // them out — the round/merge order is fixed, which makes the result
+  // bit-identical for ANY worker count (including pool == nullptr).
+  // When `transfers` is given, the final access-recording sweep also
+  // publishes per-node out-states into it.
+  void run(ThreadPool* pool, TransferCache* transfers);
+  void run() { run(nullptr, nullptr); }
 
   // State at node entry (join over incoming edges). Bottom: unreachable.
   const AbsState& state_in(int node) const { return in_[static_cast<std::size_t>(node)]; }
   // Edge infeasibility discovered by branch refinement.
-  bool edge_feasible(int edge) const { return edge_feasible_[static_cast<std::size_t>(edge)]; }
+  bool edge_feasible(int edge) const {
+    return edge_feasible_[static_cast<std::size_t>(edge)] != 0;
+  }
   bool node_reachable(int node) const { return !in_[static_cast<std::size_t>(node)].bottom; }
 
   // Address intervals of every memory access in a node, in instruction
@@ -113,6 +131,11 @@ public:
   // Value of the word at `addr` after traversing `edge` (loop-bound
   // analysis uses this for memory-homed counters).
   Interval mem_word_along_edge(int edge, std::uint32_t addr) const;
+  // Value of an untracked word under `state` (image contents while
+  // provably unwritten; exposed for TransferCache::mem_word_along_edge).
+  Interval implicit_mem_word(const AbsState& state, std::uint32_t addr) const {
+    return implicit_word(state, addr);
+  }
 
 private:
   AbsState transfer_inst(const isa::Inst& inst, std::uint32_t pc, AbsState state,
@@ -130,7 +153,10 @@ private:
   Options options_;
   std::vector<int> schedule_priorities_;
   std::vector<AbsState> in_;
-  std::vector<bool> edge_feasible_;
+  // unsigned char, not vector<bool>: parallel instance rounds set
+  // feasibility of disjoint intra-instance edges concurrently, and
+  // vector<bool> packs bits into shared words.
+  std::vector<unsigned char> edge_feasible_;
   std::vector<std::vector<AccessInfo>> accesses_;
   std::vector<bool> is_widen_point_;
 };

@@ -153,6 +153,15 @@ Supergraph Supergraph::expand(const Program& program, const Options& options) {
   const auto [root_instance, entry_node] =
       expander.expand_function(program.entry(), -1, -1);
   sg.entry_node_ = entry_node;
+  sg.instance_nodes_.resize(sg.instances_.size());
+  sg.instance_entry_.assign(sg.instances_.size(), -1);
+  for (const SgNode& node : sg.nodes_) {
+    sg.instance_nodes_[static_cast<std::size_t>(node.instance)].push_back(node.id);
+    const Instance& inst = sg.instances_[static_cast<std::size_t>(node.instance)];
+    if (node.block->begin == inst.fn_entry) {
+      sg.instance_entry_[static_cast<std::size_t>(node.instance)] = node.id;
+    }
+  }
   for (const SgNode& node : sg.nodes_) {
     const bool root_ret =
         node.instance == root_instance && node.block->term == Term::ret;
@@ -162,6 +171,18 @@ Supergraph Supergraph::expand(const Program& program, const Options& options) {
     if (root_ret || halts || may_exit) sg.exit_nodes_.push_back(node.id);
   }
   return sg;
+}
+
+std::vector<int> Supergraph::instance_topo_order() const {
+  // DFS expansion assigns ids caller-first, so id order is topological;
+  // verified here so the invariant cannot silently rot.
+  std::vector<int> order(instances_.size());
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    WCET_CHECK(instances_[i].caller_instance < static_cast<int>(i),
+               "instance ids must be caller-before-callee");
+    order[i] = static_cast<int>(i);
+  }
+  return order;
 }
 
 std::string Supergraph::context_of(int node_id) const {

@@ -79,6 +79,34 @@ public:
   const std::vector<int>& exit_nodes() const { return exit_nodes_; }
   const std::vector<SupergraphIssue>& issues() const { return issues_; }
 
+  // ------------------------------------------------------------------
+  // Instance-DAG exports. The expansion builds a *tree* of function
+  // instances (each instance has exactly one caller); together with the
+  // call/ret edges this is the acyclic between-back-edges instance DAG
+  // that per-instance schedulers (parallel value analysis, IPET
+  // decomposition) iterate over.
+
+  // Node ids of one instance, ascending (contiguous by construction).
+  const std::vector<int>& instance_nodes(int instance) const {
+    return instance_nodes_[static_cast<std::size_t>(instance)];
+  }
+  // Topological order of the instance tree: callers strictly before
+  // callees. Instance ids are assigned in call-DFS order, so id order
+  // is already topological; exported so schedulers depend on the
+  // contract, not the construction detail.
+  std::vector<int> instance_topo_order() const;
+  // Entry node of an instance (the node of the function's entry block).
+  int instance_entry_node(int instance) const {
+    return instance_entry_[static_cast<std::size_t>(instance)];
+  }
+  // True when the edge connects two different function instances
+  // (call / ret edges; cut edges stay within the caller).
+  bool is_cross_instance(int edge_id) const {
+    const SgEdge& e = edges_[static_cast<std::size_t>(edge_id)];
+    return nodes_[static_cast<std::size_t>(e.from)].instance !=
+           nodes_[static_cast<std::size_t>(e.to)].instance;
+  }
+
   // Human-readable call-path context of a node:
   // "main -> handler -> memcpy [0x1040)".
   std::string context_of(int node_id) const;
@@ -90,6 +118,8 @@ private:
   std::vector<SgNode> nodes_;
   std::vector<SgEdge> edges_;
   std::vector<Instance> instances_;
+  std::vector<std::vector<int>> instance_nodes_;
+  std::vector<int> instance_entry_;
   std::vector<int> exit_nodes_;
   std::vector<SupergraphIssue> issues_;
   int entry_node_ = -1;

@@ -1,0 +1,93 @@
+// Generic pass-manager scaffolding for the analysis pipeline.
+//
+// A `Pass<Context>` is one named stage of a pipeline over a shared,
+// typed context (the WCET pipeline instantiates Context =
+// wcet::AnalysisContext, see wcet/pipeline.hpp). Each pass declares
+// the artifact keys it consumes and produces; `PassManager::add`
+// validates at registration time that every input is produced by an
+// earlier pass (or seeded), so a mis-ordered pipeline fails loudly at
+// construction instead of dereferencing a null artifact mid-analysis.
+//
+// The manager owns per-pass wall-clock timing: every `run_pass`
+// accumulates into the pass's named bucket, so phases that execute
+// several times (the decode/value feedback loop of Figure 1) report
+// their total across rounds — the same convention the PR 1 hand-rolled
+// driver used.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/diag.hpp"
+
+namespace wcet {
+
+template <typename Context>
+class Pass {
+public:
+  virtual ~Pass() = default;
+  virtual const char* name() const = 0;
+  // Artifact keys this pass consumes / produces. Keys are free-form
+  // strings; they only need to be consistent within one pipeline.
+  virtual std::vector<const char*> inputs() const { return {}; }
+  virtual std::vector<const char*> outputs() const { return {}; }
+  virtual void run(Context& ctx) = 0;
+};
+
+template <typename Context>
+class PassManager {
+public:
+  // Artifacts available before the first pass runs (the pipeline's
+  // external inputs).
+  void seed(std::initializer_list<const char*> artifacts) {
+    for (const char* a : artifacts) available_.insert(a);
+  }
+
+  Pass<Context>& add(std::unique_ptr<Pass<Context>> pass) {
+    for (const char* need : pass->inputs()) {
+      if (available_.count(need) == 0) {
+        throw AnalysisError(std::string("pass '") + pass->name() + "' requires artifact '" +
+                            need + "' that no earlier pass produces");
+      }
+    }
+    for (const char* out : pass->outputs()) available_.insert(out);
+    timings_ms_.emplace(pass->name(), 0.0);
+    passes_.push_back(std::move(pass));
+    return *passes_.back();
+  }
+
+  std::size_t size() const { return passes_.size(); }
+  Pass<Context>& pass(std::size_t index) { return *passes_[index]; }
+
+  void run_pass(Context& ctx, std::size_t index) {
+    Pass<Context>& p = *passes_[index];
+    const auto start = std::chrono::steady_clock::now();
+    p.run(ctx);
+    const auto end = std::chrono::steady_clock::now();
+    timings_ms_[p.name()] += std::chrono::duration<double, std::milli>(end - start).count();
+  }
+
+  void run_all(Context& ctx) {
+    for (std::size_t i = 0; i < passes_.size(); ++i) run_pass(ctx, i);
+  }
+
+  // Accumulated wall-clock time of the named pass across all runs.
+  double timing_ms(const std::string& name) const {
+    const auto it = timings_ms_.find(name);
+    return it == timings_ms_.end() ? 0.0 : it->second;
+  }
+
+  const std::map<std::string, double>& timings_ms() const { return timings_ms_; }
+
+private:
+  std::vector<std::unique_ptr<Pass<Context>>> passes_;
+  std::set<std::string> available_;
+  std::map<std::string, double> timings_ms_;
+};
+
+} // namespace wcet

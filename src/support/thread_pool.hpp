@@ -1,0 +1,133 @@
+// A small, work-stealing-free thread pool for the analysis phases.
+//
+// Design goals, in order:
+//   1. *Determinism*: the item -> worker assignment of `parallel_for`
+//      depends only on (item count, worker count) — contiguous static
+//      chunks, no stealing, no atomic claiming. Together with tasks
+//      that write disjoint state and a sequential merge step on the
+//      caller, results are bit-identical for ANY worker count
+//      (including 1, which runs inline on the caller thread).
+//   2. Simplicity: persistent workers parked on one condition
+//      variable; a generation counter publishes jobs. No queues.
+//
+// The pool is NOT reentrant: a task must not call parallel_for on the
+// pool that is running it.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wcet {
+
+class ThreadPool {
+public:
+  // `workers` counts the caller thread: a pool of N spawns N-1 threads.
+  // workers <= 1 spawns nothing and parallel_for degrades to a loop.
+  explicit ThreadPool(unsigned workers) {
+    const unsigned extra = workers > 1 ? workers - 1 : 0;
+    threads_.reserve(extra);
+    for (unsigned w = 1; w <= extra; ++w) {
+      threads_.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  unsigned workers() const { return static_cast<unsigned>(threads_.size()) + 1; }
+
+  // Runs fn(i) for every i in [0, n), blocking until all items are
+  // done. Worker w handles exactly the indices in
+  // [n*w/W, n*(w+1)/W) — a pure function of (n, W). The first
+  // exception thrown by any item is rethrown on the caller after the
+  // barrier (remaining items of that worker's chunk are skipped;
+  // other workers finish their chunks).
+  template <typename Fn>
+  void parallel_for(std::size_t n, Fn&& fn) {
+    if (n == 0) return;
+    if (threads_.empty() || n == 1) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    std::function<void(std::size_t)> body = [&fn](std::size_t i) { fn(i); };
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_ = &body;
+      job_n_ = n;
+      pending_ = static_cast<unsigned>(threads_.size());
+      ++generation_;
+    }
+    wake_cv_.notify_all();
+    run_chunk(0);
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    job_ = nullptr;
+    if (error_) {
+      std::exception_ptr e = error_;
+      error_ = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+
+private:
+  void run_chunk(unsigned worker) {
+    // job_/job_n_ are stable while a generation is in flight: they are
+    // written under the mutex before the generation bump and cleared
+    // only after every worker reported done.
+    const unsigned w = workers();
+    const std::size_t begin = job_n_ * worker / w;
+    const std::size_t end = job_n_ * (worker + 1) / w;
+    try {
+      for (std::size_t i = begin; i < end; ++i) (*job_)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+
+  void worker_loop(unsigned worker) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+      }
+      run_chunk(worker);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --pending_;
+      }
+      done_cv_.notify_one();
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_n_ = 0;
+  unsigned pending_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+} // namespace wcet

@@ -2,16 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
-#include <memory>
 #include <sstream>
 
-#include "analysis/loop_bounds.hpp"
-#include "analysis/pipeline_analysis.hpp"
-#include "analysis/value_analysis.hpp"
-#include "cfg/domloop.hpp"
-#include "cfg/program.hpp"
-#include "cfg/supergraph.hpp"
 #include "support/diag.hpp"
+#include "support/thread_pool.hpp"
+#include "wcet/pipeline.hpp"
 
 namespace wcet {
 
@@ -48,227 +43,40 @@ WcetReport Analyzer::analyze_function(const std::string& name,
 
 WcetReport Analyzer::analyze_entry(std::uint32_t entry,
                                    const AnalysisOptions& options) const {
-  WcetReport report;
   const auto t_total = std::chrono::steady_clock::now();
 
-  // ---------------------------------------------------------- decoding
-  cfg::ResolutionHints hints;
-  if (options.use_annotations) hints.indirect_targets = annotations_.indirect_targets;
-
-  cfg::Supergraph::Options sg_options;
+  AnalysisContext ctx(image_, hw_, annotations_, options, entry);
   if (options.use_annotations) {
-    sg_options.recursion_depths = annotations_.recursion_depths;
+    ctx.hints.indirect_targets = annotations_.indirect_targets;
+    ctx.sg_options.recursion_depths = annotations_.recursion_depths;
   }
 
-  std::unique_ptr<cfg::Program> program;
-  std::unique_ptr<cfg::Supergraph> supergraph;
-  std::unique_ptr<cfg::LoopForest> forest;
-  std::unique_ptr<cfg::Dominators> dominators;
-  std::unique_ptr<analysis::ValueAnalysis> values;
+  // One pool per analysis; every parallel schedule in the passes is
+  // deterministic, so the worker count never changes computed bounds.
+  ThreadPool pool(options.threads > 1 ? static_cast<unsigned>(options.threads) : 1);
+  ctx.pool = pool.workers() > 1 ? &pool : nullptr;
 
-  analysis::ValueAnalysis::Options va_options;
-  if (options.use_annotations) va_options.access_facts = annotations_.access_facts;
+  AnalysisPassManager manager;
+  const std::size_t back_half = register_figure1_passes(manager);
 
-  // Fixpoint scheduling priorities (reverse-postorder indices), derived
-  // once per decode round from the dominator computation's RPO and
-  // shared by every iterative phase.
-  std::vector<int> schedule;
-
-  double decode_ms = 0;
-  double value_ms = 0;
+  // Front half (decode + value) with the Figure-1 feedback edge: value
+  // analysis resolves indirect branches and triggers a re-decode,
+  // bounded by max_decode_rounds.
   for (int round = 0; round < std::max(1, options.max_decode_rounds); ++round) {
-    auto t = std::chrono::steady_clock::now();
-    program = std::make_unique<cfg::Program>(
-        cfg::Program::reconstruct(image_, entry, hints));
-    supergraph = std::make_unique<cfg::Supergraph>(
-        cfg::Supergraph::expand(*program, sg_options));
-    forest = std::make_unique<cfg::LoopForest>(*supergraph);
-    dominators = std::make_unique<cfg::Dominators>(*supergraph);
-    schedule = cfg::rpo_priorities(*supergraph, dominators->rpo());
-    decode_ms += ms_since(t);
-
-    t = std::chrono::steady_clock::now();
-    values = std::make_unique<analysis::ValueAnalysis>(*supergraph, *forest, hw_.memory,
-                                                       va_options, schedule);
-    values->run();
-    value_ms += ms_since(t);
-
-    if (program->fully_resolved()) break;
-    // Feedback edge of Figure 1: value analysis results feed the
-    // decoder.
-    const auto resolved = values->resolved_indirect_targets();
-    bool grew = false;
-    for (const auto& [pc, targets] : resolved) {
-      auto& known = hints.indirect_targets[pc];
-      for (const std::uint32_t target : targets) {
-        if (std::find(known.begin(), known.end(), target) == known.end()) {
-          known.push_back(target);
-          grew = true;
-        }
-      }
-    }
-    if (!grew) break;
+    for (std::size_t i = 0; i < back_half; ++i) manager.run_pass(ctx, i);
+    if (ctx.program->fully_resolved()) break;
+    if (!ctx.absorb_resolved_indirect_targets()) break;
   }
-  report.timings.decode_ms = decode_ms;
-  report.timings.value_ms = value_ms;
+  for (std::size_t i = back_half; i < manager.size(); ++i) manager.run_pass(ctx, i);
 
-  report.functions = static_cast<int>(program->functions().size());
-  for (const auto& [addr, fn] : program->functions()) {
-    report.blocks += static_cast<int>(fn.blocks.size());
-  }
-  report.sg_nodes = static_cast<int>(supergraph->nodes().size());
-  report.sg_edges = static_cast<int>(supergraph->edges().size());
-
-  for (const cfg::DecodeIssue& issue : program->issues()) {
-    std::ostringstream os;
-    os << "decode: " << issue.message << " at " << image_.describe(issue.pc);
-    report.obstructions.push_back(os.str());
-  }
-  for (const cfg::SupergraphIssue& issue : supergraph->issues()) {
-    std::ostringstream os;
-    os << "expansion: " << issue.message << " at " << image_.describe(issue.pc);
-    report.obstructions.push_back(os.str());
-  }
-
-  // ------------------------------------------------------- loop bounds
-  auto t = std::chrono::steady_clock::now();
-  analysis::LoopBoundAnalysis loop_analysis(*supergraph, *forest, *dominators, *values);
-  const std::vector<analysis::LoopBoundResult> loop_results = loop_analysis.run();
-
-  std::map<int, std::uint64_t> merged_bounds;
-  report.loop_count = static_cast<int>(forest->loops().size());
-  for (const cfg::Loop& loop : forest->loops()) {
-    const analysis::LoopBoundResult& lr = loop_results[static_cast<std::size_t>(loop.id)];
-    LoopInfo info;
-    const cfg::SgNode& header = supergraph->node(loop.header);
-    info.header_addr = header.block->begin;
-    info.context = supergraph->context_of(loop.header);
-    info.irreducible = loop.irreducible;
-    info.analyzed_bound = lr.bound;
-    info.detail = lr.detail;
-    if (lr.irreducible) ++report.irreducible_loops;
-
-    if (options.use_annotations) {
-      // An annotation "loop at X" applies to the innermost loop whose
-      // body covers X.
-      std::optional<std::uint64_t> annotated;
-      for (const annot::LoopBoundFact& fact : annotations_.loop_bounds) {
-        if (!fact.mode.empty() && fact.mode != options.mode) continue;
-        bool covers = false;
-        for (const int node_id : loop.nodes) {
-          const cfg::CfgBlock& block = *supergraph->node(node_id).block;
-          if (fact.addr >= block.begin && fact.addr < block.end) {
-            covers = true;
-            break;
-          }
-        }
-        if (!covers) continue;
-        // Innermost: no child loop also covers the address.
-        bool child_covers = false;
-        for (const int child : loop.children) {
-          for (const int node_id : forest->loop(child).nodes) {
-            const cfg::CfgBlock& block = *supergraph->node(node_id).block;
-            if (fact.addr >= block.begin && fact.addr < block.end) {
-              child_covers = true;
-              break;
-            }
-          }
-          if (child_covers) break;
-        }
-        if (child_covers) continue;
-        annotated = annotated ? std::min(*annotated, fact.max_iterations)
-                              : fact.max_iterations;
-      }
-      info.annotated_bound = annotated;
-    }
-
-    if (info.analyzed_bound && info.annotated_bound) {
-      info.used_bound = std::min(*info.analyzed_bound, *info.annotated_bound);
-    } else if (info.analyzed_bound) {
-      info.used_bound = info.analyzed_bound;
-    } else {
-      info.used_bound = info.annotated_bound;
-    }
-    if (info.used_bound) {
-      merged_bounds[loop.id] = *info.used_bound;
-      ++report.bounded_loops;
-    }
-    report.loops.push_back(std::move(info));
-  }
-  report.timings.loop_ms = ms_since(t);
-
-  // ---------------------------------------------------- cache analysis
-  t = std::chrono::steady_clock::now();
-  analysis::CacheAnalysis caches(*supergraph, *forest, *values, hw_.memory, hw_.icache,
-                                 hw_.dcache, analysis::CacheAnalysis::Schedule::priority,
-                                 schedule);
-  caches.run();
-  report.cache_stats = caches.stats();
-  report.timings.cache_ms = ms_since(t);
-
-  // ------------------------------------------------- pipeline analysis
-  t = std::chrono::steady_clock::now();
-  analysis::PipelineAnalysis pipeline(*supergraph, *values, caches, hw_);
-  pipeline.run();
-  report.timings.pipeline_ms = ms_since(t);
-
-  // ----------------------------------------------------- path analysis
-  t = std::chrono::steady_clock::now();
-  analysis::Ipet ipet(*supergraph, *forest, *values, pipeline);
-  analysis::IpetOptions ipet_options;
-  ipet_options.loop_bounds = merged_bounds;
-  if (options.use_annotations) {
-    for (const annot::FlowCapFact& cap : annotations_.flow_caps) {
-      if (cap.mode.empty() || cap.mode == options.mode) ipet_options.flow_caps.push_back(cap);
-    }
-    ipet_options.flow_ratios = annotations_.flow_ratios;
-    ipet_options.infeasible_pairs = annotations_.infeasible_pairs;
-    ipet_options.excluded_addrs = annotations_.excluded_addrs(options.mode);
-  }
-
-  ipet_options.maximize = true;
-  const analysis::IpetResult wcet_result = ipet.solve(ipet_options);
-  report.ilp_variables = wcet_result.variables;
-  report.ilp_constraints = wcet_result.constraints;
-
-  switch (wcet_result.status) {
-  case analysis::IpetResult::Status::ok:
-    report.wcet_cycles = wcet_result.bound;
-    for (const auto& [node, count] : wcet_result.node_counts) {
-      report.wcet_block_counts[supergraph->node(node).block->begin] += count;
-    }
-    break;
-  case analysis::IpetResult::Status::missing_loop_bounds:
-    for (const int loop_id : wcet_result.loops_missing_bounds) {
-      const cfg::Loop& loop = forest->loop(loop_id);
-      std::ostringstream os;
-      os << "loop bound missing for loop at "
-         << image_.describe(supergraph->node(loop.header).block->begin) << " ("
-         << supergraph->context_of(loop.header) << "): "
-         << report.loops[static_cast<std::size_t>(loop_id)].detail;
-      report.obstructions.push_back(os.str());
-    }
-    break;
-  case analysis::IpetResult::Status::infeasible:
-    report.obstructions.push_back("path analysis: ILP infeasible (contradictory flow facts?)");
-    break;
-  case analysis::IpetResult::Status::unbounded:
-    report.obstructions.push_back("path analysis: ILP unbounded (missing loop bound?)");
-    break;
-  case analysis::IpetResult::Status::node_limit:
-    report.obstructions.push_back("path analysis: branch & bound node limit reached");
-    break;
-  }
-
-  if (wcet_result.ok()) {
-    ipet_options.maximize = false;
-    const analysis::IpetResult bcet_result = ipet.solve(ipet_options);
-    if (bcet_result.ok()) report.bcet_cycles = bcet_result.bound;
-  }
-  report.timings.path_ms = ms_since(t);
+  WcetReport report = std::move(ctx.report);
+  report.timings.decode_ms = manager.timing_ms("decode");
+  report.timings.value_ms = manager.timing_ms("value");
+  report.timings.loop_ms = manager.timing_ms("loop");
+  report.timings.cache_ms = manager.timing_ms("cache");
+  report.timings.pipeline_ms = manager.timing_ms("pipeline");
+  report.timings.path_ms = manager.timing_ms("path");
   report.timings.total_ms = ms_since(t_total);
-
-  report.ok = wcet_result.ok() && report.obstructions.empty();
   return report;
 }
 

@@ -34,6 +34,12 @@ struct AnalysisOptions {
   std::string mode;            // operating mode; empty = all behaviours
   bool use_annotations = true; // off: measure the un-annotated baseline
   int max_decode_rounds = 3;   // value-analysis -> decode feedback trips
+  // Worker threads for the per-instance parallel schedules (value
+  // analysis rounds, IPET sub-ILPs, classification sweeps). Every
+  // parallel schedule is deterministic by construction, so computed
+  // bounds, obstructions and states are bit-identical for any value;
+  // <= 1 runs fully sequential on the calling thread.
+  int threads = 1;
 };
 
 struct LoopInfo {

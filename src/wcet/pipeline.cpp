@@ -1,0 +1,291 @@
+#include "wcet/pipeline.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/thread_pool.hpp"
+
+namespace wcet {
+
+bool AnalysisContext::absorb_resolved_indirect_targets() {
+  const auto resolved = values->resolved_indirect_targets();
+  bool grew = false;
+  for (const auto& [pc, targets] : resolved) {
+    auto& known = hints.indirect_targets[pc];
+    for (const std::uint32_t target : targets) {
+      if (std::find(known.begin(), known.end(), target) == known.end()) {
+        known.push_back(target);
+        grew = true;
+      }
+    }
+  }
+  return grew;
+}
+
+namespace {
+
+// ---------------------------------------------------------------- decode
+class DecodePass : public AnalysisPass {
+public:
+  const char* name() const override { return "decode"; }
+  std::vector<const char*> inputs() const override { return {artifact::image}; }
+  std::vector<const char*> outputs() const override {
+    return {artifact::program, artifact::supergraph};
+  }
+
+  void run(AnalysisContext& ctx) override {
+    ctx.program = std::make_unique<cfg::Program>(
+        cfg::Program::reconstruct(ctx.image, ctx.entry, ctx.hints));
+    ctx.supergraph = std::make_unique<cfg::Supergraph>(
+        cfg::Supergraph::expand(*ctx.program, ctx.sg_options));
+    ctx.forest = std::make_unique<cfg::LoopForest>(*ctx.supergraph);
+    ctx.dominators = std::make_unique<cfg::Dominators>(*ctx.supergraph);
+    ctx.schedule = cfg::rpo_priorities(*ctx.supergraph, ctx.dominators->rpo());
+
+    // Report stats and decode obstructions are rebuilt from scratch each
+    // round so the feedback loop stays idempotent (only the final round
+    // survives into the report).
+    WcetReport& report = ctx.report;
+    report.functions = static_cast<int>(ctx.program->functions().size());
+    report.blocks = 0;
+    for (const auto& [addr, fn] : ctx.program->functions()) {
+      report.blocks += static_cast<int>(fn.blocks.size());
+    }
+    report.sg_nodes = static_cast<int>(ctx.supergraph->nodes().size());
+    report.sg_edges = static_cast<int>(ctx.supergraph->edges().size());
+    report.obstructions.clear();
+    for (const cfg::DecodeIssue& issue : ctx.program->issues()) {
+      std::ostringstream os;
+      os << "decode: " << issue.message << " at " << ctx.image.describe(issue.pc);
+      report.obstructions.push_back(os.str());
+    }
+    for (const cfg::SupergraphIssue& issue : ctx.supergraph->issues()) {
+      std::ostringstream os;
+      os << "expansion: " << issue.message << " at " << ctx.image.describe(issue.pc);
+      report.obstructions.push_back(os.str());
+    }
+  }
+};
+
+// ----------------------------------------------------------------- value
+class ValuePass : public AnalysisPass {
+public:
+  const char* name() const override { return "value"; }
+  std::vector<const char*> inputs() const override { return {artifact::supergraph}; }
+  std::vector<const char*> outputs() const override {
+    return {artifact::value_states, artifact::transfer_cache};
+  }
+
+  void run(AnalysisContext& ctx) override {
+    analysis::ValueAnalysis::Options va_options;
+    if (ctx.options.use_annotations) va_options.access_facts = ctx.annotations.access_facts;
+    ctx.transfers = std::make_unique<analysis::TransferCache>(*ctx.supergraph);
+    ctx.values = std::make_unique<analysis::ValueAnalysis>(
+        *ctx.supergraph, *ctx.forest, ctx.hw.memory, va_options, ctx.schedule);
+    ctx.values->run(ctx.pool, ctx.transfers.get());
+  }
+};
+
+// ------------------------------------------------------------ loop bounds
+class LoopBoundsPass : public AnalysisPass {
+public:
+  const char* name() const override { return "loop"; }
+  std::vector<const char*> inputs() const override {
+    return {artifact::supergraph, artifact::value_states, artifact::transfer_cache};
+  }
+  std::vector<const char*> outputs() const override { return {artifact::loop_bounds}; }
+
+  void run(AnalysisContext& ctx) override {
+    const cfg::Supergraph& supergraph = *ctx.supergraph;
+    const cfg::LoopForest& forest = *ctx.forest;
+    analysis::LoopBoundAnalysis loop_analysis(supergraph, forest, *ctx.dominators,
+                                              *ctx.values, ctx.transfers.get());
+    ctx.loop_results = loop_analysis.run();
+
+    WcetReport& report = ctx.report;
+    report.loop_count = static_cast<int>(forest.loops().size());
+    for (const cfg::Loop& loop : forest.loops()) {
+      const analysis::LoopBoundResult& lr =
+          ctx.loop_results[static_cast<std::size_t>(loop.id)];
+      LoopInfo info;
+      const cfg::SgNode& header = supergraph.node(loop.header);
+      info.header_addr = header.block->begin;
+      info.context = supergraph.context_of(loop.header);
+      info.irreducible = loop.irreducible;
+      info.analyzed_bound = lr.bound;
+      info.detail = lr.detail;
+      if (lr.irreducible) ++report.irreducible_loops;
+
+      if (ctx.options.use_annotations) {
+        // An annotation "loop at X" applies to the innermost loop whose
+        // body covers X.
+        std::optional<std::uint64_t> annotated;
+        for (const annot::LoopBoundFact& fact : ctx.annotations.loop_bounds) {
+          if (!fact.mode.empty() && fact.mode != ctx.options.mode) continue;
+          bool covers = false;
+          for (const int node_id : loop.nodes) {
+            const cfg::CfgBlock& block = *supergraph.node(node_id).block;
+            if (fact.addr >= block.begin && fact.addr < block.end) {
+              covers = true;
+              break;
+            }
+          }
+          if (!covers) continue;
+          // Innermost: no child loop also covers the address.
+          bool child_covers = false;
+          for (const int child : loop.children) {
+            for (const int node_id : forest.loop(child).nodes) {
+              const cfg::CfgBlock& block = *supergraph.node(node_id).block;
+              if (fact.addr >= block.begin && fact.addr < block.end) {
+                child_covers = true;
+                break;
+              }
+            }
+            if (child_covers) break;
+          }
+          if (child_covers) continue;
+          annotated = annotated ? std::min(*annotated, fact.max_iterations)
+                                : fact.max_iterations;
+        }
+        info.annotated_bound = annotated;
+      }
+
+      if (info.analyzed_bound && info.annotated_bound) {
+        info.used_bound = std::min(*info.analyzed_bound, *info.annotated_bound);
+      } else if (info.analyzed_bound) {
+        info.used_bound = info.analyzed_bound;
+      } else {
+        info.used_bound = info.annotated_bound;
+      }
+      if (info.used_bound) {
+        ctx.merged_bounds[loop.id] = *info.used_bound;
+        ++report.bounded_loops;
+      }
+      report.loops.push_back(std::move(info));
+    }
+  }
+};
+
+// ----------------------------------------------------------------- cache
+class CachePass : public AnalysisPass {
+public:
+  const char* name() const override { return "cache"; }
+  std::vector<const char*> inputs() const override {
+    return {artifact::supergraph, artifact::value_states, artifact::transfer_cache};
+  }
+  std::vector<const char*> outputs() const override { return {artifact::cache_classes}; }
+
+  void run(AnalysisContext& ctx) override {
+    ctx.caches = std::make_unique<analysis::CacheAnalysis>(
+        *ctx.supergraph, *ctx.forest, *ctx.values, ctx.hw.memory, ctx.hw.icache,
+        ctx.hw.dcache, analysis::CacheAnalysis::Schedule::priority, ctx.schedule,
+        ctx.transfers.get(), ctx.pool);
+    ctx.caches->run();
+    ctx.report.cache_stats = ctx.caches->stats();
+  }
+};
+
+// -------------------------------------------------------------- pipeline
+class PipelinePass : public AnalysisPass {
+public:
+  const char* name() const override { return "pipeline"; }
+  std::vector<const char*> inputs() const override {
+    return {artifact::value_states, artifact::cache_classes};
+  }
+  std::vector<const char*> outputs() const override { return {artifact::block_timings}; }
+
+  void run(AnalysisContext& ctx) override {
+    ctx.pipeline = std::make_unique<analysis::PipelineAnalysis>(*ctx.supergraph, *ctx.values,
+                                                                *ctx.caches, ctx.hw);
+    ctx.pipeline->run();
+  }
+};
+
+// ------------------------------------------------------------------ path
+class PathPass : public AnalysisPass {
+public:
+  const char* name() const override { return "path"; }
+  std::vector<const char*> inputs() const override {
+    return {artifact::loop_bounds, artifact::block_timings};
+  }
+  std::vector<const char*> outputs() const override { return {artifact::path_bounds}; }
+
+  void run(AnalysisContext& ctx) override {
+    const cfg::Supergraph& supergraph = *ctx.supergraph;
+    WcetReport& report = ctx.report;
+    analysis::Ipet ipet(supergraph, *ctx.forest, *ctx.values, *ctx.pipeline);
+    ipet.set_pool(ctx.pool);
+    analysis::IpetOptions ipet_options;
+    ipet_options.loop_bounds = ctx.merged_bounds;
+    if (ctx.options.use_annotations) {
+      for (const annot::FlowCapFact& cap : ctx.annotations.flow_caps) {
+        if (cap.mode.empty() || cap.mode == ctx.options.mode) {
+          ipet_options.flow_caps.push_back(cap);
+        }
+      }
+      ipet_options.flow_ratios = ctx.annotations.flow_ratios;
+      ipet_options.infeasible_pairs = ctx.annotations.infeasible_pairs;
+      ipet_options.excluded_addrs = ctx.annotations.excluded_addrs(ctx.options.mode);
+    }
+
+    ipet_options.maximize = true;
+    ctx.wcet_result = ipet.solve(ipet_options);
+    const analysis::IpetResult& wcet_result = ctx.wcet_result;
+    report.ilp_variables = wcet_result.variables;
+    report.ilp_constraints = wcet_result.constraints;
+
+    switch (wcet_result.status) {
+    case analysis::IpetResult::Status::ok:
+      report.wcet_cycles = wcet_result.bound;
+      for (const auto& [node, count] : wcet_result.node_counts) {
+        report.wcet_block_counts[supergraph.node(node).block->begin] += count;
+      }
+      break;
+    case analysis::IpetResult::Status::missing_loop_bounds:
+      for (const int loop_id : wcet_result.loops_missing_bounds) {
+        const cfg::Loop& loop = ctx.forest->loop(loop_id);
+        std::ostringstream os;
+        os << "loop bound missing for loop at "
+           << ctx.image.describe(supergraph.node(loop.header).block->begin) << " ("
+           << supergraph.context_of(loop.header) << "): "
+           << report.loops[static_cast<std::size_t>(loop_id)].detail;
+        report.obstructions.push_back(os.str());
+      }
+      break;
+    case analysis::IpetResult::Status::infeasible:
+      report.obstructions.push_back(
+          "path analysis: ILP infeasible (contradictory flow facts?)");
+      break;
+    case analysis::IpetResult::Status::unbounded:
+      report.obstructions.push_back("path analysis: ILP unbounded (missing loop bound?)");
+      break;
+    case analysis::IpetResult::Status::node_limit:
+      report.obstructions.push_back("path analysis: branch & bound node limit reached");
+      break;
+    }
+
+    if (wcet_result.ok()) {
+      ipet_options.maximize = false;
+      const analysis::IpetResult bcet_result = ipet.solve(ipet_options);
+      if (bcet_result.ok()) report.bcet_cycles = bcet_result.bound;
+    }
+
+    report.ok = wcet_result.ok() && report.obstructions.empty();
+  }
+};
+
+} // namespace
+
+std::size_t register_figure1_passes(AnalysisPassManager& manager) {
+  manager.seed({artifact::image});
+  manager.add(std::make_unique<DecodePass>());
+  manager.add(std::make_unique<ValuePass>());
+  const std::size_t back_half = manager.size();
+  manager.add(std::make_unique<LoopBoundsPass>());
+  manager.add(std::make_unique<CachePass>());
+  manager.add(std::make_unique<PipelinePass>());
+  manager.add(std::make_unique<PathPass>());
+  return back_half;
+}
+
+} // namespace wcet

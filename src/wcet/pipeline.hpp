@@ -1,0 +1,102 @@
+// The Figure-1 pipeline as explicit passes over a shared context.
+//
+// `AnalysisContext` owns every per-decode-round artifact (Program,
+// Supergraph, LoopForest, Dominators, RPO schedule, value states,
+// transfer cache) plus the later-phase results, and collects
+// obstructions into the report under construction. The six passes —
+// decode, value, loop-bounds, cache, pipeline, path — declare their
+// inputs/outputs for registration-time validation and are driven by the
+// generic PassManager (support/pass_manager.hpp), which also owns the
+// per-phase timing that `WcetReport::timings` reports.
+//
+// `Analyzer::analyze_entry` (wcet/analyzer.cpp) is now just pass
+// registration plus the decode-feedback loop of Figure 1: the decode
+// and value passes re-run while value analysis keeps resolving new
+// indirect-branch targets.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "analysis/cache_analysis.hpp"
+#include "analysis/ipet.hpp"
+#include "analysis/loop_bounds.hpp"
+#include "analysis/pipeline_analysis.hpp"
+#include "analysis/transfer_cache.hpp"
+#include "analysis/value_analysis.hpp"
+#include "cfg/domloop.hpp"
+#include "cfg/program.hpp"
+#include "cfg/supergraph.hpp"
+#include "support/pass_manager.hpp"
+#include "wcet/analyzer.hpp"
+
+namespace wcet {
+
+class ThreadPool;
+
+struct AnalysisContext {
+  AnalysisContext(const isa::Image& image, const mem::HwConfig& hw,
+                  const annot::AnnotationDb& annotations, const AnalysisOptions& options,
+                  std::uint32_t entry)
+      : image(image), hw(hw), annotations(annotations), options(options), entry(entry) {}
+
+  // Immutable inputs.
+  const isa::Image& image;
+  const mem::HwConfig& hw;
+  const annot::AnnotationDb& annotations;
+  const AnalysisOptions& options;
+  std::uint32_t entry = 0;
+  // Optional worker pool shared by every pass (null: sequential). All
+  // parallel schedules are deterministic, so results do not depend on
+  // it.
+  ThreadPool* pool = nullptr;
+
+  // Decode-round artifacts (rebuilt each round of the feedback loop).
+  cfg::ResolutionHints hints;
+  cfg::Supergraph::Options sg_options;
+  std::unique_ptr<cfg::Program> program;
+  std::unique_ptr<cfg::Supergraph> supergraph;
+  std::unique_ptr<cfg::LoopForest> forest;
+  std::unique_ptr<cfg::Dominators> dominators;
+  std::vector<int> schedule; // shared RPO fixpoint priorities
+  std::unique_ptr<analysis::ValueAnalysis> values;
+  std::unique_ptr<analysis::TransferCache> transfers;
+
+  // Later-phase artifacts.
+  std::vector<analysis::LoopBoundResult> loop_results;
+  std::map<int, std::uint64_t> merged_bounds;
+  std::unique_ptr<analysis::CacheAnalysis> caches;
+  std::unique_ptr<analysis::PipelineAnalysis> pipeline;
+  analysis::IpetResult wcet_result;
+
+  // Report under construction; passes append obstructions here.
+  WcetReport report;
+
+  // Feedback edge of Figure 1: merge value-analysis-resolved indirect
+  // targets into the decode hints; true when a new target appeared.
+  bool absorb_resolved_indirect_targets();
+};
+
+// Artifact keys used by the pass declarations.
+namespace artifact {
+inline constexpr const char* image = "image";
+inline constexpr const char* program = "program";
+inline constexpr const char* supergraph = "supergraph";
+inline constexpr const char* value_states = "value-states";
+inline constexpr const char* transfer_cache = "transfer-cache";
+inline constexpr const char* loop_bounds = "loop-bounds";
+inline constexpr const char* cache_classes = "cache-classes";
+inline constexpr const char* block_timings = "block-timings";
+inline constexpr const char* path_bounds = "path-bounds";
+} // namespace artifact
+
+using AnalysisPass = Pass<AnalysisContext>;
+using AnalysisPassManager = PassManager<AnalysisContext>;
+
+// Registers the six Figure-1 passes in order. Returns the index of the
+// first pass that runs *after* the decode-feedback loop (loop-bounds).
+std::size_t register_figure1_passes(AnalysisPassManager& manager);
+
+} // namespace wcet
