@@ -41,15 +41,28 @@ void BM_analyze_scaling(benchmark::State& state) {
   AnalysisOptions options;
   options.threads = 4;
   std::uint64_t bound = 0;
+  PhaseTimings timings;
   for (auto _ : state) {
     const Analyzer analyzer(built.image, mem::typical_hw());
     const WcetReport report = analyzer.analyze(options);
     bound = report.wcet_cycles;
+    timings = report.timings;
     benchmark::DoNotOptimize(bound);
   }
   state.counters["wcet_cycles"] = static_cast<double>(bound);
   state.counters["image_bytes"] =
       static_cast<double>(built.image.sections()[0].bytes.size());
+  // Per-phase wall-clock of the last iteration: recorded into
+  // BENCH_analysis.json so bench/diff_bench.py can surface phase-level
+  // regressions (a hot path getting slower inside an unchanged total),
+  // not just end-to-end time.
+  state.counters["decode_ms"] = timings.decode_ms;
+  state.counters["value_ms"] = timings.value_ms;
+  state.counters["loop_ms"] = timings.loop_ms;
+  state.counters["cache_ms"] = timings.cache_ms;
+  state.counters["pipeline_ms"] = timings.pipeline_ms;
+  state.counters["path_ms"] = timings.path_ms;
+  state.counters["total_ms"] = timings.total_ms;
 }
 BENCHMARK(BM_analyze_scaling)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 

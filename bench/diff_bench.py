@@ -7,9 +7,17 @@ Prints per-benchmark speedup (old real_time / new real_time) and FAILS
 (exit 1) when any shared benchmark's wcet_cycles counter changed: the
 computed bounds are a regression oracle — perf work must keep every
 bound bit-identical.
+
+Benchmarks that record per-phase timing counters (decode_ms, value_ms,
+loop_ms, cache_ms, pipeline_ms, path_ms — see bench_analysis_perf.cpp)
+additionally get a phase-level comparison so a regression hiding inside
+an unchanged total stays visible. Phase times are wall-clock and noisy,
+so they inform but never fail the diff.
 """
 import json
 import sys
+
+PHASES = ["decode_ms", "value_ms", "loop_ms", "cache_ms", "pipeline_ms", "path_ms"]
 
 
 def load(path):
@@ -53,6 +61,13 @@ def main():
             if o_w != n_w:
                 mismatches.append(name)
         print(f"{name:<32} {o_ms:>12.3f} {n_ms:>12.3f} {speedup:>7.2f}x  {verdict}")
+        for phase in PHASES:
+            o_p, n_p = o.get(phase), n.get(phase)
+            if o_p is None or n_p is None:
+                continue
+            ratio = o_p / n_p if n_p > 0 else float("inf")
+            flag = "  << slower" if n_p > o_p * 1.25 and n_p - o_p > 1.0 else ""
+            print(f"    {phase:<28} {o_p:>12.3f} {n_p:>12.3f} {ratio:>7.2f}x{flag}")
     if mismatches:
         print(f"\ndiff_bench: FAIL — wcet_cycles oracle changed for: {', '.join(mismatches)}")
         return 1

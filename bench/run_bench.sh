@@ -37,8 +37,10 @@ if [ -n "$prev_json" ]; then
     status=0
     python3 "$repo_root/bench/diff_bench.py" "$prev_json" "$bench_json" || status=$?
   else
-    echo "warning: python3 not found, skipping oracle diff" >&2
-    status=0
+    # A silently skipped diff would let an oracle regression through —
+    # fail loudly instead.
+    echo "error: python3 not found; the wcet_cycles oracle diff cannot run" >&2
+    status=3
   fi
   if [ "$status" -ne 0 ]; then
     # Keep the committed oracle intact so the failure reproduces on

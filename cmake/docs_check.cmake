@@ -1,0 +1,64 @@
+# Docs freshness gate, run as the `docs_check` ctest target.
+#
+# Verifies that the onboarding docs exist and still document the
+# canonical commands this repo is driven with — so a build-system or
+# bench-workflow change that forgets the docs fails CI instead of
+# silently rotting README.md. Invoked as:
+#   cmake -DREPO_ROOT=<repo> -P cmake/docs_check.cmake
+
+if(NOT DEFINED REPO_ROOT)
+  message(FATAL_ERROR "docs_check: pass -DREPO_ROOT=<repo root>")
+endif()
+
+set(failures 0)
+
+function(require_file path)
+  if(NOT EXISTS "${REPO_ROOT}/${path}")
+    message(SEND_ERROR "docs_check: missing ${path}")
+    math(EXPR failures "${failures}+1")
+    set(failures ${failures} PARENT_SCOPE)
+  endif()
+endfunction()
+
+function(require_content path)
+  file(READ "${REPO_ROOT}/${path}" contents)
+  foreach(needle ${ARGN})
+    string(FIND "${contents}" "${needle}" found)
+    if(found EQUAL -1)
+      message(SEND_ERROR "docs_check: ${path} no longer mentions '${needle}'")
+      math(EXPR failures "${failures}+1")
+      set(failures ${failures} PARENT_SCOPE)
+    endif()
+  endforeach()
+endfunction()
+
+require_file(README.md)
+require_file(docs/ARCHITECTURE.md)
+require_file(ROADMAP.md)
+
+if(failures EQUAL 0)
+  # The build/test/bench commands users copy-paste must stay real.
+  require_content(README.md
+      "cmake -B build -S ."
+      "cmake --build build -j"
+      "ctest --output-on-failure"
+      "bench/run_bench.sh"
+      "BENCH_analysis.json"
+      "diff_bench.py"
+      "wcet_cycles")
+  require_content(docs/ARCHITECTURE.md
+      "pass_manager.hpp"
+      "AnalysisContext"
+      "TransferCache"
+      "instance_rounds.hpp"
+      "thread_pool.hpp"
+      "build_cache_recipes")
+  # The bench entry points docs refer to must exist.
+  require_file(bench/run_bench.sh)
+  require_file(bench/diff_bench.py)
+endif()
+
+if(failures GREATER 0)
+  message(FATAL_ERROR "docs_check: ${failures} problem(s)")
+endif()
+message(STATUS "docs_check: OK")

@@ -6,7 +6,7 @@
 
 #include "analysis/transfer_cache.hpp"
 #include "support/diag.hpp"
-#include "support/fixpoint.hpp"
+#include "support/instance_rounds.hpp"
 #include "support/thread_pool.hpp"
 
 namespace wcet::analysis {
@@ -37,16 +37,16 @@ void AbsCache::age_set(unsigned set_index, unsigned below_age) {
   });
 }
 
-void AbsCache::access(std::uint32_t line) {
-  if (!config_.enabled) return;
-  const unsigned s = config_.set_index(line * config_.line_bytes);
-  auto& set = sets_[s];
+void AbsCache::access_set(SetImage& set, std::uint32_t line) const {
   const auto it = set.find(line);
   const unsigned old_age = it != set.end() ? it->second : config_.ways;
   if (must_) {
     // Lines younger than the accessed line's (upper-bound) age grow
     // older; on a potential miss everything ages.
-    age_set(s, old_age);
+    set.retain([&](std::uint32_t, unsigned& age) {
+      if (age < old_age) ++age;
+      return age < config_.ways;
+    });
   } else {
     // May analysis: lines whose lower-bound age is <= the accessed
     // line's lower-bound age grow older; absent line == certain miss.
@@ -55,7 +55,12 @@ void AbsCache::access(std::uint32_t line) {
       return age < config_.ways;
     });
   }
-  sets_[s][line] = 0;
+  set[line] = 0;
+}
+
+void AbsCache::access(std::uint32_t line) {
+  if (!config_.enabled) return;
+  access_set(sets_[config_.set_index(line * config_.line_bytes)], line);
 }
 
 void AbsCache::access_one_of(std::span<const std::uint32_t> lines) {
@@ -64,15 +69,45 @@ void AbsCache::access_one_of(std::span<const std::uint32_t> lines) {
     access(lines[0]);
     return;
   }
-  // Join over the alternatives.
-  AbsCache result = *this;
-  result.access(lines[0]);
-  for (std::size_t i = 1; i < lines.size(); ++i) {
-    AbsCache alt = *this;
-    alt.access(lines[i]);
-    result.join_with(alt);
+  // Join over the alternatives, computed per affected set: an
+  // alternative only rewrites the set image of its own line, so for
+  // every other set it contributes the unmodified original image, and
+  // the join is pointwise per set. The join is a semilattice operation
+  // (must: intersection/max age; may: union/min age), so the
+  // accumulation order is irrelevant and the result is the same
+  // canonical sorted image the whole-cache formulation produced —
+  // without copying the untouched sets at all.
+  std::vector<unsigned> affected;
+  affected.reserve(lines.size());
+  for (const std::uint32_t line : lines) {
+    const unsigned s = config_.set_index(line * config_.line_bytes);
+    if (std::find(affected.begin(), affected.end(), s) == affected.end()) {
+      affected.push_back(s);
+    }
   }
-  *this = std::move(result);
+  SetImage scratch;
+  for (const unsigned s : affected) {
+    const SetImage original = sets_[s];
+    SetImage result;
+    bool first = true;
+    bool untouched_alternative = false;
+    for (const std::uint32_t line : lines) {
+      if (config_.set_index(line * config_.line_bytes) != s) {
+        untouched_alternative = true;
+        continue;
+      }
+      scratch = original;
+      access_set(scratch, line);
+      if (first) {
+        result = std::move(scratch);
+        first = false;
+      } else {
+        join_set(result, scratch);
+      }
+    }
+    if (untouched_alternative) join_set(result, original);
+    sets_[s] = std::move(result);
+  }
 }
 
 void AbsCache::access_unknown() {
@@ -86,55 +121,57 @@ void AbsCache::access_unknown() {
   // elsewhere); ages are lower bounds and stay valid.
 }
 
+bool AbsCache::join_set(SetImage& mine, const SetImage& theirs) const {
+  if (must_) {
+    // Intersection, maximal age: linear merge-join over the two
+    // sorted sets.
+    auto ot = theirs.begin();
+    bool aged = false;
+    const bool dropped = mine.retain([&](std::uint32_t line, unsigned& age) {
+      while (ot != theirs.end() && ot->first < line) ++ot;
+      if (ot == theirs.end() || ot->first != line) return false;
+      if (ot->second > age) {
+        age = ot->second;
+        aged = true;
+      }
+      return true;
+    });
+    return aged || dropped;
+  }
+  // Union, minimal age: merge the sorted sets into a fresh vector
+  // only when something actually changes.
+  if (theirs.empty()) return false;
+  std::vector<std::pair<std::uint32_t, unsigned>> merged;
+  merged.reserve(mine.size() + theirs.size());
+  auto a = mine.begin();
+  auto b = theirs.begin();
+  bool set_changed = false;
+  while (a != mine.end() || b != theirs.end()) {
+    if (b == theirs.end() || (a != mine.end() && a->first < b->first)) {
+      merged.push_back(*a++);
+    } else if (a == mine.end() || b->first < a->first) {
+      merged.push_back(*b++);
+      set_changed = true;
+    } else {
+      const unsigned age = std::min(a->second, b->second);
+      if (age < a->second) set_changed = true;
+      merged.push_back({a->first, age});
+      ++a;
+      ++b;
+    }
+  }
+  if (set_changed) {
+    mine.assign_sorted(std::move(merged));
+    return true;
+  }
+  return false;
+}
+
 bool AbsCache::join_with(const AbsCache& other) {
   WCET_CHECK(must_ == other.must_, "joining must with may cache");
   bool changed = false;
   for (unsigned s = 0; s < config_.sets; ++s) {
-    auto& mine = sets_[s];
-    const auto& theirs = other.sets_[s];
-    if (must_) {
-      // Intersection, maximal age: linear merge-join over the two
-      // sorted sets.
-      auto ot = theirs.begin();
-      bool aged = false;
-      const bool dropped = mine.retain([&](std::uint32_t line, unsigned& age) {
-        while (ot != theirs.end() && ot->first < line) ++ot;
-        if (ot == theirs.end() || ot->first != line) return false;
-        if (ot->second > age) {
-          age = ot->second;
-          aged = true;
-        }
-        return true;
-      });
-      changed = changed || aged || dropped;
-    } else {
-      // Union, minimal age: merge the sorted sets into a fresh vector
-      // only when something actually changes.
-      if (theirs.empty()) continue;
-      std::vector<std::pair<std::uint32_t, unsigned>> merged;
-      merged.reserve(mine.size() + theirs.size());
-      auto a = mine.begin();
-      auto b = theirs.begin();
-      bool set_changed = false;
-      while (a != mine.end() || b != theirs.end()) {
-        if (b == theirs.end() || (a != mine.end() && a->first < b->first)) {
-          merged.push_back(*a++);
-        } else if (a == mine.end() || b->first < a->first) {
-          merged.push_back(*b++);
-          set_changed = true;
-        } else {
-          const unsigned age = std::min(a->second, b->second);
-          if (age < a->second) set_changed = true;
-          merged.push_back({a->first, age});
-          ++a;
-          ++b;
-        }
-      }
-      if (set_changed) {
-        mine.assign_sorted(std::move(merged));
-        changed = true;
-      }
-    }
+    changed |= join_set(sets_[s], other.sets_[s]);
   }
   return changed;
 }
@@ -158,7 +195,7 @@ CacheAnalysis::CacheAnalysis(const cfg::Supergraph& sg, const cfg::LoopForest& l
   const std::size_t n = sg.nodes().size();
   in_i_.assign(n, CachePair{AbsCache::cold(iconfig_, true), AbsCache::cold(iconfig_, false)});
   in_d_.assign(n, CachePair{AbsCache::cold(dconfig_, true), AbsCache::cold(dconfig_, false)});
-  has_state_.assign(n, false);
+  has_state_.assign(n, 0);
   fetch_.resize(n);
   data_.resize(n);
 }
@@ -173,7 +210,10 @@ void CacheAnalysis::build_line_tables() {
     own_transfers_->attach(values_);
     transfers_ = own_transfers_.get();
   }
-  transfers_->build_data_lines(dconfig_, pool_);
+  // Builds both the candidate-line tables and the per-node transfer
+  // recipes the fixpoint replays (once per decode round, fanned out
+  // over the pool into dense per-node slots).
+  transfers_->build_cache_recipes(memmap_, iconfig_, dconfig_, pool_);
 }
 
 const std::vector<std::uint32_t>& CacheAnalysis::lines_for(int node, std::size_t index) const {
@@ -205,70 +245,97 @@ void CacheAnalysis::apply_access(CachePair& state, std::span<const std::uint32_t
 }
 
 void CacheAnalysis::transfer(int node, CachePair& icache, CachePair& dcache, bool record) {
-  const cfg::SgNode& n = sg_.node(node);
-  auto& fetch_out = fetch_[static_cast<std::size_t>(node)];
-  auto& data_out = data_[static_cast<std::size_t>(node)];
-  if (record) {
-    fetch_out.assign(n.block->insts.size(), FetchClass{});
-    data_out.clear();
+  // The node's accesses were decoded into a recipe once (memory
+  // regions, line numbers, cacheability, candidate-line tables); every
+  // visit replays that recipe against the abstract states. Fetches
+  // touch only the i-cache and data accesses only the d-cache, so the
+  // two replay loops need not interleave per instruction: the resulting
+  // states and classifications are identical to the interleaved walk.
+  using Recipe = TransferCache::CacheRecipe;
+  const Recipe& recipe = transfers_->cache_recipe(node);
+
+  if (!record) {
+    // Fixpoint mode: state evolution only, no classification rows.
+    for (const std::uint32_t line : recipe.fetch_apply) {
+      icache.must.access(line);
+      icache.may.access(line);
+    }
+    for (const Recipe::Data& d : recipe.data) {
+      switch (d.kind) {
+      case Recipe::DataKind::bypass: break;
+      case Recipe::DataKind::disturb:
+        dcache.must.access_unknown();
+        dcache.may.access_unknown();
+        break;
+      case Recipe::DataKind::cached:
+        apply_access(dcache, lines_for(node, d.access_index));
+        break;
+      }
+    }
+    return;
   }
 
-  const auto& accesses = values_.accesses(node);
-  std::size_t access_index = 0;
-
-  std::uint32_t pc = n.block->begin;
-  std::uint32_t prev_line = ~0u;
-  bool have_prev = false;
-  for (std::size_t i = 0; i < n.block->insts.size(); ++i, pc += 4) {
-    const isa::Inst& inst = n.block->insts[i];
-    // --- Instruction fetch.
-    const mem::Region& fregion = memmap_.region_for(pc);
-    if (!fregion.cacheable || !iconfig_.enabled) {
-      if (record) fetch_out[i].cls = AccessClass::uncached;
-    } else {
-      const std::uint32_t line = iconfig_.line_of(pc);
-      if (have_prev && line == prev_line) {
-        // Same line as the immediately preceding fetch: guaranteed hit.
-        if (record) fetch_out[i].cls = AccessClass::always_hit;
-      } else {
-        const std::uint32_t lines[1] = {line};
-        if (record) fetch_out[i].cls = classify(icache, lines);
-        apply_access(icache, lines);
-      }
-      prev_line = line;
-      have_prev = true;
+  auto& fetch_out = fetch_[static_cast<std::size_t>(node)];
+  auto& data_out = data_[static_cast<std::size_t>(node)];
+  fetch_out.assign(recipe.fetch.size(), FetchClass{});
+  data_out.clear();
+  for (std::size_t i = 0; i < recipe.fetch.size(); ++i) {
+    switch (recipe.fetch[i].kind) {
+    case Recipe::FetchKind::uncached:
+      fetch_out[i].cls = AccessClass::uncached;
+      break;
+    case Recipe::FetchKind::same_line:
+      // Same line as the immediately preceding fetch: guaranteed hit.
+      fetch_out[i].cls = AccessClass::always_hit;
+      break;
+    case Recipe::FetchKind::line: {
+      const std::uint32_t lines[1] = {recipe.fetch[i].line};
+      fetch_out[i].cls = classify(icache, lines);
+      apply_access(icache, lines);
+      break;
     }
-
-    // --- Data access.
-    if (!inst.is_mem_access()) continue;
-    WCET_CHECK(access_index < accesses.size() || values_.state_in(node).bottom,
-               "access list out of sync with instructions");
-    if (access_index >= accesses.size()) continue;
-    const AccessInfo& access = accesses[access_index];
-    const std::vector<std::uint32_t>& lines = lines_for(node, access_index);
-    ++access_index;
+    }
+  }
+  for (const Recipe::Data& d : recipe.data) {
     DataClass dc;
-    dc.pc = access.pc;
-    dc.is_store = access.is_store;
-    if (access.is_store) {
-      // Write-through, no-write-allocate: bypasses the cache entirely.
+    dc.pc = d.pc;
+    dc.is_store = d.is_store;
+    switch (d.kind) {
+    case Recipe::DataKind::bypass:
+      // Write-through store, unreachable access, or uncacheable range.
       dc.cls = AccessClass::uncached;
-    } else if (access.addr.is_bottom()) {
-      dc.cls = AccessClass::uncached; // unreachable
-    } else if (!memmap_.all_cacheable(access.addr) || !dconfig_.enabled) {
+      break;
+    case Recipe::DataKind::disturb:
+      // Partially cacheable imprecise range: uncached for timing, but
+      // may still disturb the cache.
       dc.cls = AccessClass::uncached;
-      // If part of the range is cacheable, the access may still disturb
-      // the cache.
-      if (dconfig_.enabled) {
-        if (lines.empty()) apply_access(dcache, lines);
-      }
-    } else {
+      dcache.must.access_unknown();
+      dcache.may.access_unknown();
+      break;
+    case Recipe::DataKind::cached: {
+      const std::vector<std::uint32_t>& lines = lines_for(node, d.access_index);
       dc.cls = classify(dcache, lines);
       dc.candidate_count = std::max<unsigned>(1, static_cast<unsigned>(lines.size()));
       apply_access(dcache, lines);
+      break;
     }
-    if (record) data_out.push_back(dc);
+    }
+    data_out.push_back(dc);
   }
+}
+
+bool CacheAnalysis::join_target(int target, const CachePair& icache,
+                                const CachePair& dcache) {
+  const auto t = static_cast<std::size_t>(target);
+  if (!has_state_[t]) {
+    in_i_[t] = icache;
+    in_d_[t] = dcache;
+    has_state_[t] = 1;
+    return true;
+  }
+  bool changed = in_i_[t].join_with(icache);
+  changed |= in_d_[t].join_with(dcache);
+  return changed;
 }
 
 template <typename PushFn>
@@ -277,46 +344,81 @@ void CacheAnalysis::join_successors(int node, const CachePair& icache,
   for (const int eid : sg_.node(node).succ_edges) {
     if (!values_.edge_feasible(eid)) continue;
     const int target = sg_.edge(eid).to;
-    const auto t = static_cast<std::size_t>(target);
-    bool changed = false;
-    if (!has_state_[t]) {
-      in_i_[t] = icache;
-      in_d_[t] = dcache;
-      has_state_[t] = true;
-      changed = true;
-    } else {
-      changed |= in_i_[t].join_with(icache);
-      changed |= in_d_[t].join_with(dcache);
-    }
-    if (changed) push_changed(target);
+    if (join_target(target, icache, dcache)) push_changed(target);
   }
 }
 
-void CacheAnalysis::fixpoint() {
-  // Priority worklist in reverse-postorder (see support/fixpoint.hpp).
-  // Re-queueing is gated on join_with's exact change reporting: an
-  // unchanged successor is never pushed, and a successor that already
-  // absorbed this out-state joins as a no-op merge pass.
-  PriorityWorklist worklist(schedule_priorities_);
+void CacheAnalysis::fixpoint_instance_rounds() {
+  // Deterministic per-instance rounds (support/instance_rounds.hpp),
+  // mirroring the value-analysis engine: each dirty function instance
+  // converges a local RPO priority worklist over its own nodes — in
+  // parallel when a pool is given, touching disjoint in-state slots —
+  // and cross-instance call/ret out-states are buffered and merged
+  // sequentially in ascending (instance, edge) order. Re-queueing is
+  // gated on join_with's exact change reporting. The must/may domain
+  // has no widening, so this reaches the same least fixpoint as any
+  // other schedule; the fixed round/merge order additionally makes
+  // every intermediate state a pure function of the graph.
+  InstanceRoundEngine engine(sg_, schedule_priorities_);
+  const std::size_t num_instances = sg_.instances().size();
+
+  struct OutState {
+    CachePair i;
+    CachePair d;
+  };
+  std::vector<std::map<int, OutState>> cross(num_instances);
+  // Per-instance scratch out-states: assignment reuses each set
+  // image's heap buffer across visits instead of reallocating the
+  // whole pair per node. Instances only touch their own slot, so the
+  // parallel rounds stay race-free.
+  std::vector<OutState> scratch(
+      num_instances,
+      OutState{CachePair{AbsCache::cold(iconfig_, true), AbsCache::cold(iconfig_, false)},
+               CachePair{AbsCache::cold(dconfig_, true), AbsCache::cold(dconfig_, false)}});
 
   const int entry = sg_.entry_node();
-  has_state_[static_cast<std::size_t>(entry)] = true;
-  worklist.push(entry);
+  has_state_[static_cast<std::size_t>(entry)] = 1;
+  engine.push(entry);
 
-  run_fixpoint(worklist, [&](const int node) {
-    CachePair icache = in_i_[static_cast<std::size_t>(node)];
-    CachePair dcache = in_d_[static_cast<std::size_t>(node)];
-    transfer(node, icache, dcache, false);
-    join_successors(node, icache, dcache, [&](const int target) { worklist.push(target); });
-  });
+  engine.run(
+      pool_,
+      [&](const int instance, const int node) {
+        OutState& out = scratch[static_cast<std::size_t>(instance)];
+        out.i = in_i_[static_cast<std::size_t>(node)];
+        out.d = in_d_[static_cast<std::size_t>(node)];
+        transfer(node, out.i, out.d, false);
+        for (const int eid : sg_.node(node).succ_edges) {
+          if (!values_.edge_feasible(eid)) continue;
+          const int target = sg_.edge(eid).to;
+          if (sg_.node(target).instance != instance) {
+            // Call/ret edge: defer to the sequential merge step.
+            auto& buffered = cross[static_cast<std::size_t>(instance)];
+            const auto [it, fresh] = buffered.try_emplace(eid, out);
+            if (!fresh) {
+              it->second.i.join_with(out.i);
+              it->second.d.join_with(out.d);
+            }
+            continue;
+          }
+          if (join_target(target, out.i, out.d)) engine.push(target);
+        }
+      },
+      [&](const int instance) {
+        auto& buffered = cross[static_cast<std::size_t>(instance)];
+        for (auto& [eid, state] : buffered) {
+          const int target = sg_.edge(eid).to;
+          if (join_target(target, state.i, state.d)) engine.push(target);
+        }
+        buffered.clear();
+      });
 }
 
 void CacheAnalysis::fixpoint_round_robin() {
   // Reference iteration: sweep every node in id order, joining
   // out-states into successors, until one full sweep changes nothing.
   // No worklist, no change summaries — the simplest sound schedule the
-  // priority engine is validated against.
-  has_state_[static_cast<std::size_t>(sg_.entry_node())] = true;
+  // instance-rounds engine is validated against.
+  has_state_[static_cast<std::size_t>(sg_.entry_node())] = 1;
   bool changed = true;
   while (changed) {
     changed = false;
@@ -372,22 +474,22 @@ void CacheAnalysis::persistence_tree(const std::vector<int>& loop_ids) {
     std::map<unsigned, std::set<std::uint32_t>> i_lines_per_set;
     std::map<unsigned, std::set<std::uint32_t>> d_lines_per_set;
 
+    // Conflict sets come straight from the memoized recipes: a recipe
+    // fetch entry is cacheable exactly when its kind isn't `uncached`,
+    // and a data entry participates exactly when its kind is `cached`
+    // (stores, unreachable and uncacheable accesses were already
+    // filtered at recipe-build time).
+    using Recipe = TransferCache::CacheRecipe;
     for (const int node_id : loop.nodes) {
-      const cfg::SgNode& node = sg_.node(node_id);
-      std::uint32_t pc = node.block->begin;
-      for (std::size_t i = 0; i < node.block->insts.size(); ++i, pc += 4) {
-        if (iconfig_.enabled && memmap_.region_for(pc).cacheable) {
-          const std::uint32_t line = iconfig_.line_of(pc);
-          i_lines_per_set[iconfig_.set_index(pc)].insert(line);
-        }
+      const Recipe& recipe = transfers_->cache_recipe(node_id);
+      for (const Recipe::Fetch& fetch : recipe.fetch) {
+        if (fetch.kind == Recipe::FetchKind::uncached) continue;
+        i_lines_per_set[iconfig_.set_index(fetch.line * iconfig_.line_bytes)].insert(
+            fetch.line);
       }
-      const auto& node_accesses = values_.accesses(node_id);
-      for (std::size_t ai = 0; ai < node_accesses.size(); ++ai) {
-        const AccessInfo& access = node_accesses[ai];
-        if (access.is_store || access.addr.is_bottom()) continue;
-        if (!dconfig_.enabled) continue;
-        if (!memmap_.all_cacheable(access.addr)) continue;
-        const std::vector<std::uint32_t>& lines = lines_for(node_id, ai);
+      for (const Recipe::Data& d : recipe.data) {
+        if (d.kind != Recipe::DataKind::cached) continue;
+        const std::vector<std::uint32_t>& lines = lines_for(node_id, d.access_index);
         if (lines.empty()) {
           d_precise = false;
           continue;
@@ -406,16 +508,15 @@ void CacheAnalysis::persistence_tree(const std::vector<int>& loop_ids) {
 
     // Assign: outermost qualifying loop wins (fewer entries = tighter).
     for (const int node_id : loop.nodes) {
-      const cfg::SgNode& node = sg_.node(node_id);
+      const Recipe& recipe = transfers_->cache_recipe(node_id);
       auto& fetch_out = fetch_[static_cast<std::size_t>(node_id)];
-      std::uint32_t pc = node.block->begin;
-      for (std::size_t i = 0; i < fetch_out.size(); ++i, pc += 4) {
+      for (std::size_t i = 0; i < fetch_out.size(); ++i) {
         if (!i_precise) break;
         if (fetch_out[i].cls != AccessClass::not_classified &&
             fetch_out[i].cls != AccessClass::always_miss) {
           continue;
         }
-        if (line_persists(i_lines_per_set, iconfig_, iconfig_.line_of(pc))) {
+        if (line_persists(i_lines_per_set, iconfig_, recipe.fetch[i].line)) {
           const int current = fetch_out[i].persistent_loop;
           if (current < 0 || loops_.loop(current).depth > loop.depth) {
             fetch_out[i].persistent_loop = loop.id;
@@ -450,7 +551,7 @@ void CacheAnalysis::persistence_tree(const std::vector<int>& loop_ids) {
 void CacheAnalysis::run() {
   build_line_tables();
   if (schedule_ == Schedule::priority) {
-    fixpoint();
+    fixpoint_instance_rounds();
   } else {
     fixpoint_round_robin();
   }

@@ -13,6 +13,15 @@
 // Imprecise accesses (unknown address) age the entire must-cache — the
 // paper's "an imprecise memory access invalidates large parts of the
 // abstract cache (or even the whole cache)" made executable.
+//
+// Engine: the fixpoint runs on the deterministic per-instance round
+// scheduler (support/instance_rounds.hpp) shared with the value
+// analysis, and each node's transfer replays a memoized recipe from
+// the shared TransferCache (resolved fetch-line sequence + per-access
+// cacheability/candidate-line verdicts) instead of re-decoding the
+// block per visit. Classifications are bit-identical for any
+// ThreadPool worker count and any schedule — the must/may domain has
+// no widening, so the least fixpoint is schedule-independent.
 #pragma once
 
 #include <cstdint>
@@ -46,6 +55,8 @@ const char* to_string(AccessClass cls);
 // One abstract set-associative LRU cache (must or may variant).
 class AbsCache {
 public:
+  using SetImage = FlatMap<std::uint32_t, unsigned>;
+
   AbsCache(const mem::CacheConfig& config, bool must);
 
   static AbsCache cold(const mem::CacheConfig& config, bool must) {
@@ -55,7 +66,10 @@ public:
   bool contains(std::uint32_t line) const;
   // Precise access to one line.
   void access(std::uint32_t line);
-  // Access to exactly one of several candidate lines.
+  // Access to exactly one of several candidate lines: the join over the
+  // alternatives. Only the sets holding a candidate line are touched —
+  // every other set image is invariant under each alternative, so the
+  // whole-cache join degenerates to per-affected-set joins.
   void access_one_of(std::span<const std::uint32_t> lines);
   // Access to a completely unknown line.
   void access_unknown();
@@ -67,12 +81,17 @@ public:
 
 private:
   void age_set(unsigned set, unsigned below_age);
+  // The transfer of `access(line)` restricted to line's set image.
+  void access_set(SetImage& set, std::uint32_t line) const;
+  // Join `theirs` into `mine` (must: intersection with maximal age;
+  // may: union with minimal age). Returns true when `mine` changed.
+  bool join_set(SetImage& mine, const SetImage& theirs) const;
 
   mem::CacheConfig config_;
   bool must_;
   // Per set: line -> abstract age in [0, ways), as a sorted flat vector
   // (sets hold at most a handful of lines; merge-joins beat tree maps).
-  std::vector<FlatMap<std::uint32_t, unsigned>> sets_;
+  std::vector<SetImage> sets_;
 };
 
 struct FetchClass {
@@ -92,17 +111,23 @@ struct DataClass {
 
 class CacheAnalysis {
 public:
-  // Fixpoint scheduling strategy. `priority` is the production engine
-  // (bucketed RPO worklist); `round_robin` sweeps all nodes in id order
-  // until stable — the reference iteration the engine is validated
-  // against in tests (the cache domain has no widening, so both must
-  // reach the identical fixpoint).
+  // Fixpoint scheduling strategy. `priority` is the production engine:
+  // deterministic per-instance rounds (support/instance_rounds.hpp) —
+  // each dirty function instance converges a local RPO worklist,
+  // cross-instance call/ret joins merge in fixed (instance, edge)
+  // order, and dirty instances fan out across the pool.
+  // `round_robin` sweeps all nodes in id order until stable — the
+  // reference iteration the engine is validated against in tests. The
+  // must/may domain is a finite join-semilattice with no widening, so
+  // the least fixpoint is provably schedule-independent: both
+  // schedules, at any worker count, reach the identical classification.
   enum class Schedule { priority, round_robin };
 
   // `transfers` (optional): the shared transfer cache; when given, the
-  // per-access candidate-line tables are read from it instead of being
-  // re-enumerated per fixpoint visit / per enclosing loop, and `pool`
-  // (optional) fans out the per-node classification recording sweep and
+  // per-access candidate-line tables and per-node transfer recipes are
+  // read from it instead of being re-derived per fixpoint visit / per
+  // enclosing loop, and `pool` (optional) fans out the per-instance
+  // fixpoint rounds, the per-node classification recording sweep and
   // the per-loop-tree persistence pass. Results are identical with or
   // without either.
   CacheAnalysis(const cfg::Supergraph& sg, const cfg::LoopForest& loops,
@@ -153,13 +178,21 @@ private:
   void build_line_tables();
   AccessClass classify(const CachePair& state, std::span<const std::uint32_t> lines) const;
   static void apply_access(CachePair& state, std::span<const std::uint32_t> lines);
+  // Replays `node`'s memoized transfer recipe against the abstract
+  // states. `record` additionally writes the classification rows
+  // (fetch_/data_) from the pre-access states.
   void transfer(int node, CachePair& icache, CachePair& dcache, bool record);
+  // Join an out-state pair into `target`'s in-state; returns true when
+  // the in-state grew. The single join policy both schedules share —
+  // the rounds engine and the round-robin reference must never diverge
+  // here.
+  bool join_target(int target, const CachePair& icache, const CachePair& dcache);
   // Join a node's out-state into every feasible successor, calling
   // `push_changed(target)` for each successor whose in-state grew.
   template <typename PushFn>
   void join_successors(int node, const CachePair& icache, const CachePair& dcache,
                        PushFn&& push_changed);
-  void fixpoint();
+  void fixpoint_instance_rounds();
   void fixpoint_round_robin();
   void persistence();
   void persistence_tree(const std::vector<int>& loop_ids);
@@ -178,7 +211,10 @@ private:
   std::unique_ptr<TransferCache> own_transfers_;
   std::vector<CachePair> in_i_;
   std::vector<CachePair> in_d_;
-  std::vector<bool> has_state_;
+  // unsigned char, not vector<bool>: parallel instance rounds mark
+  // disjoint intra-instance targets concurrently, and vector<bool>
+  // packs bits into shared words.
+  std::vector<unsigned char> has_state_;
   std::vector<std::vector<FetchClass>> fetch_;
   std::vector<std::vector<DataClass>> data_;
 };

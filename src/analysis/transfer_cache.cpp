@@ -12,6 +12,18 @@ TransferCache::TransferCache(const cfg::Supergraph& sg) : sg_(sg) {
   edge_out_.resize(sg.edges().size());
 }
 
+void TransferCache::attach(const ValueAnalysis& values) {
+  if (values_ == &values) return;
+  // New producer: every memo derived from the previous analysis'
+  // results is stale. (The out_ slots are overwritten by the new run's
+  // recording sweep; the lazy and once-built memos must be dropped
+  // explicitly.)
+  values_ = &values;
+  for (auto& slot : edge_out_) slot.reset();
+  lines_ready_ = false;
+  recipes_ready_ = false;
+}
+
 const AbsState& TransferCache::edge_state(int edge) const {
   WCET_CHECK(values_ != nullptr, "TransferCache queried before attach()");
   auto& slot = edge_out_[static_cast<std::size_t>(edge)];
@@ -76,6 +88,91 @@ void TransferCache::build_data_lines(const mem::CacheConfig& config, ThreadPool*
     for (std::size_t n = 0; n < lines_.size(); ++n) build_node(n);
   }
   lines_ready_ = true;
+}
+
+void TransferCache::build_cache_recipes(const mem::MemoryMap& memmap,
+                                        const mem::CacheConfig& icache,
+                                        const mem::CacheConfig& dcache, ThreadPool* pool) {
+  WCET_CHECK(values_ != nullptr, "TransferCache::build_cache_recipes before attach()");
+  build_data_lines(dcache, pool);
+  if (recipes_ready_) {
+    // Recipes bake in region cacheability verdicts too, so the memory
+    // map is part of the geometry the memo is keyed on.
+    WCET_CHECK(recipes_iconfig_.enabled == icache.enabled &&
+                   recipes_iconfig_.line_bytes == icache.line_bytes &&
+                   recipes_memmap_ == &memmap,
+               "TransferCache recipes rebuilt under a different i-cache geometry "
+               "or memory map");
+    return;
+  }
+  recipes_iconfig_ = icache;
+  recipes_memmap_ = &memmap;
+  recipes_.resize(sg_.nodes().size());
+  const auto build_node = [&](std::size_t ni) {
+    const int node = static_cast<int>(ni);
+    const cfg::SgNode& n = sg_.node(node);
+    const auto& accesses = values_->accesses(node);
+    CacheRecipe& recipe = recipes_[ni];
+    recipe.fetch.assign(n.block->insts.size(), CacheRecipe::Fetch{});
+    recipe.data.clear();
+    recipe.fetch_apply.clear();
+
+    std::size_t access_index = 0;
+    std::uint32_t pc = n.block->begin;
+    std::uint32_t prev_line = ~0u;
+    bool have_prev = false;
+    for (std::size_t i = 0; i < n.block->insts.size(); ++i, pc += 4) {
+      const isa::Inst& inst = n.block->insts[i];
+      // --- Instruction fetch.
+      CacheRecipe::Fetch& fetch = recipe.fetch[i];
+      fetch.line = icache.line_of(pc); // stored for every kind: the
+                                       // persistence pass probes lines
+                                       // of uncached entries too
+      if (!memmap.region_for(pc).cacheable || !icache.enabled) {
+        fetch.kind = CacheRecipe::FetchKind::uncached;
+      } else {
+        if (have_prev && fetch.line == prev_line) {
+          fetch.kind = CacheRecipe::FetchKind::same_line;
+        } else {
+          fetch.kind = CacheRecipe::FetchKind::line;
+          recipe.fetch_apply.push_back(fetch.line);
+        }
+        prev_line = fetch.line;
+        have_prev = true;
+      }
+
+      // --- Data access.
+      if (!inst.is_mem_access()) continue;
+      WCET_CHECK(access_index < accesses.size() || values_->state_in(node).bottom,
+                 "access list out of sync with instructions");
+      if (access_index >= accesses.size()) continue;
+      const AccessInfo& access = accesses[access_index];
+      const std::vector<std::uint32_t>& lines = lines_[ni][access_index];
+      CacheRecipe::Data data;
+      data.is_store = access.is_store;
+      data.pc = access.pc;
+      data.access_index = static_cast<std::uint32_t>(access_index);
+      ++access_index;
+      if (access.is_store || access.addr.is_bottom()) {
+        // Write-through no-write-allocate store, or unreachable.
+        data.kind = CacheRecipe::DataKind::bypass;
+      } else if (!memmap.all_cacheable(access.addr) || !dcache.enabled) {
+        // If part of an imprecise range is cacheable, the access may
+        // still disturb the cache.
+        data.kind = dcache.enabled && lines.empty() ? CacheRecipe::DataKind::disturb
+                                                    : CacheRecipe::DataKind::bypass;
+      } else {
+        data.kind = CacheRecipe::DataKind::cached;
+      }
+      recipe.data.push_back(data);
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(recipes_.size(), build_node);
+  } else {
+    for (std::size_t n = 0; n < recipes_.size(); ++n) build_node(n);
+  }
+  recipes_ready_ = true;
 }
 
 } // namespace wcet::analysis

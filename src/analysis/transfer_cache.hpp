@@ -11,12 +11,24 @@
 //   - cache analysis' classification and persistence passes consume the
 //     per-access candidate cache-line tables (previously re-enumerated
 //     from the address interval once per fixpoint visit and once per
-//     enclosing loop).
+//     enclosing loop),
+//   - the cache fixpoint replays per-node *transfer recipes*
+//     (`build_cache_recipes` / `cache_recipe`): the resolved
+//     instruction-fetch line sequence plus the per-data-access
+//     region/candidate-line verdicts, decoded once per decode round
+//     instead of once per fixpoint visit of every node.
 //
-// Thread story: `set_out_state` / `build_data_lines` fill dense
-// node-indexed slots and are safe from a ThreadPool::parallel_for over
-// disjoint node indices. The lazy `edge_state` memo is NOT thread-safe
-// and must be used from one thread (loop-bound analysis is
+// ## Thread-safety and determinism invariants
+//
+// All dense node-indexed slots (`set_out_state`, `build_data_lines`,
+// `build_cache_recipes`) are built exactly once and may be filled from
+// a ThreadPool::parallel_for over disjoint node indices; after the
+// build they are immutable and safe for concurrent reads from any
+// number of workers. Slot contents are a pure function of the attached
+// ValueAnalysis results and the cache geometry — never of thread
+// timing — so every consumer sees bit-identical tables for any worker
+// count. The lazy `edge_state` memo is the one exception: it is NOT
+// thread-safe and must be used from one thread (loop-bound analysis is
 // sequential).
 #pragma once
 
@@ -27,6 +39,7 @@
 #include "analysis/value_analysis.hpp"
 #include "cfg/supergraph.hpp"
 #include "mem/cache.hpp"
+#include "mem/memmap.hpp"
 #include "support/interval.hpp"
 
 namespace wcet {
@@ -40,7 +53,10 @@ public:
   explicit TransferCache(const cfg::Supergraph& sg);
 
   // Binds the producing analysis (required before any edge query).
-  void attach(const ValueAnalysis& values) { values_ = &values; }
+  // Re-attaching a *different* analysis invalidates every memo derived
+  // from the old one (edge states, candidate-line tables, recipes) —
+  // serving them against new value results would be silently unsound.
+  void attach(const ValueAnalysis& values);
   const ValueAnalysis* values() const { return values_; }
 
   // ---- value-analysis node transfers --------------------------------
@@ -78,6 +94,57 @@ public:
     return lines_[static_cast<std::size_t>(node)];
   }
 
+  // ---- cache transfer recipes ---------------------------------------
+  // A recipe is the decode-invariant part of one node's cache transfer:
+  // which abstract i-cache lines its instruction fetches touch (in
+  // order, same-line repeats collapsed) and what each data access does
+  // to the abstract d-cache. The cache fixpoint replays recipes against
+  // the abstract must/may states instead of re-deriving memory regions,
+  // line numbers and cacheability per visit.
+  struct CacheRecipe {
+    // Per instruction, aligned with the block's instruction list.
+    enum class FetchKind : std::uint8_t {
+      uncached,  // uncacheable region or i-cache disabled: no state change
+      same_line, // same line as the previous fetch: guaranteed hit
+      line,      // classify + access `line`
+    };
+    struct Fetch {
+      FetchKind kind = FetchKind::uncached;
+      std::uint32_t line = 0; // line_of(pc), stored for every kind
+    };
+    enum class DataKind : std::uint8_t {
+      bypass,  // store / unreachable / uncacheable with known lines:
+               // recorded as uncached, no state change
+      disturb, // uncacheable range with unknown lines: recorded as
+               // uncached but may touch any set (access_unknown)
+      cached,  // classify + access the candidate-line table entry
+    };
+    struct Data {
+      DataKind kind = DataKind::bypass;
+      bool is_store = false;
+      std::uint32_t pc = 0;
+      // Index into ValueAnalysis::accesses(node) / data_lines(node).
+      std::uint32_t access_index = 0;
+    };
+    std::vector<Fetch> fetch;
+    std::vector<Data> data;
+    // Fixpoint replay list: the `line` fields of the FetchKind::line
+    // entries, in order (the only fetches that mutate the i-cache).
+    std::vector<std::uint32_t> fetch_apply;
+  };
+
+  // Builds the recipe of every node for the given memory map and cache
+  // geometries (parallel over nodes when a pool is given; implies
+  // build_data_lines for `dcache`). Built once per decode round;
+  // rebuilding under different geometry is a contract violation and is
+  // checked.
+  void build_cache_recipes(const mem::MemoryMap& memmap, const mem::CacheConfig& icache,
+                           const mem::CacheConfig& dcache, ThreadPool* pool);
+  bool cache_recipes_ready() const { return recipes_ready_; }
+  const CacheRecipe& cache_recipe(int node) const {
+    return recipes_[static_cast<std::size_t>(node)];
+  }
+
 private:
   const cfg::Supergraph& sg_;
   const ValueAnalysis* values_ = nullptr;
@@ -86,6 +153,10 @@ private:
   std::vector<std::vector<std::vector<std::uint32_t>>> lines_;
   bool lines_ready_ = false;
   mem::CacheConfig lines_config_;
+  std::vector<CacheRecipe> recipes_;
+  bool recipes_ready_ = false;
+  mem::CacheConfig recipes_iconfig_;
+  const mem::MemoryMap* recipes_memmap_ = nullptr; // identity of the map baked in
 };
 
 } // namespace wcet::analysis

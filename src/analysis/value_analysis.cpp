@@ -6,6 +6,7 @@
 #include "analysis/transfer_cache.hpp"
 #include "support/diag.hpp"
 #include "support/fixpoint.hpp"
+#include "support/instance_rounds.hpp"
 #include "support/thread_pool.hpp"
 
 namespace wcet::analysis {
@@ -510,30 +511,11 @@ void ValueAnalysis::run(ThreadPool* pool, TransferCache* transfers) {
   const std::size_t num_instances = sg_.instances().size();
   std::vector<unsigned> visits(num_nodes, 0);
 
-  // ---- per-instance scheduling structures ---------------------------
-  // Within an instance, nodes iterate in reverse-postorder (the same
-  // weak-topological order the PR 1 global worklist used); local
-  // priorities are the instance-relative RPO ranks.
-  std::vector<std::vector<int>> inst_nodes(num_instances);
-  std::vector<int> local_index(num_nodes, -1);
-  for (std::size_t i = 0; i < num_instances; ++i) {
-    inst_nodes[i] = sg_.instance_nodes(static_cast<int>(i));
-    std::sort(inst_nodes[i].begin(), inst_nodes[i].end(), [&](int a, int b) {
-      const int pa = schedule_priorities_[static_cast<std::size_t>(a)];
-      const int pb = schedule_priorities_[static_cast<std::size_t>(b)];
-      return pa != pb ? pa < pb : a < b;
-    });
-    for (std::size_t k = 0; k < inst_nodes[i].size(); ++k) {
-      local_index[static_cast<std::size_t>(inst_nodes[i][k])] = static_cast<int>(k);
-    }
-  }
-  std::vector<PriorityWorklist> worklists;
-  worklists.reserve(num_instances);
-  for (std::size_t i = 0; i < num_instances; ++i) {
-    std::vector<int> identity(inst_nodes[i].size());
-    for (std::size_t k = 0; k < identity.size(); ++k) identity[k] = static_cast<int>(k);
-    worklists.emplace_back(std::move(identity));
-  }
+  // Per-instance round scheduling (support/instance_rounds.hpp): within
+  // an instance, nodes iterate in reverse-postorder — the same
+  // weak-topological order the PR 1 global worklist used — restricted
+  // to the instance.
+  InstanceRoundEngine engine(sg_, schedule_priorities_);
 
   // Join `along` into `target`'s in-state with the same widen/coarsen
   // policy as the PR 1 engine; returns true when the state grew.
@@ -564,24 +546,19 @@ void ValueAnalysis::run(ThreadPool* pool, TransferCache* transfers) {
   };
 
   in_[static_cast<std::size_t>(sg_.entry_node())] = AbsState::entry_state();
-  const int entry_instance = sg_.node(sg_.entry_node()).instance;
-  worklists[static_cast<std::size_t>(entry_instance)].push(
-      local_index[static_cast<std::size_t>(sg_.entry_node())]);
+  engine.push(sg_.entry_node());
 
-  // ---- instance rounds ---------------------------------------------
-  // Dirty instances converge their local fixpoints (in parallel when a
-  // pool is given — they touch disjoint nodes/edges/visit slots);
-  // cross-instance call/ret joins are buffered per instance and applied
-  // afterwards in ascending (instance, edge) order. The round/merge
-  // order is a pure function of the graph, never of thread timing.
+  // Instance rounds: dirty instances converge their local fixpoints (in
+  // parallel when a pool is given — they touch disjoint
+  // nodes/edges/visit slots); cross-instance call/ret joins are
+  // buffered per instance and applied afterwards in ascending
+  // (instance, edge) order (std::map order). The round/merge order is a
+  // pure function of the graph, never of thread timing.
   std::vector<std::map<int, AbsState>> cross_out(num_instances);
-  std::vector<int> dirty{entry_instance};
-  while (!dirty.empty()) {
-    const auto run_instance = [&](std::size_t di) {
-      const auto instance = static_cast<std::size_t>(dirty[di]);
-      auto& buffered = cross_out[instance];
-      run_fixpoint(worklists[instance], [&](const int lid) {
-        const int node = inst_nodes[instance][static_cast<std::size_t>(lid)];
+  engine.run(
+      pool,
+      [&](const int instance, const int node) {
+        auto& buffered = cross_out[static_cast<std::size_t>(instance)];
         ++visits[static_cast<std::size_t>(node)];
         const AbsState out = transfer_node(node, in_[static_cast<std::size_t>(node)]);
         for (const int eid : sg_.node(node).succ_edges) {
@@ -592,44 +569,25 @@ void ValueAnalysis::run(ThreadPool* pool, TransferCache* transfers) {
             continue;
           }
           const int target = sg_.edge(eid).to;
-          if (sg_.node(target).instance != static_cast<int>(instance)) {
+          if (sg_.node(target).instance != instance) {
             // Call/ret edge: defer to the sequential merge step.
             const auto [it, fresh] = buffered.try_emplace(eid, std::move(along));
             if (!fresh) it->second.join_with(along, image, memmap_);
             continue;
           }
           edge_feasible_[static_cast<std::size_t>(eid)] = 1;
-          if (join_into(target, along)) {
-            worklists[instance].push(local_index[static_cast<std::size_t>(target)]);
-          }
+          if (join_into(target, along)) engine.push(target);
         }
+      },
+      [&](const int instance) {
+        auto& buffered = cross_out[static_cast<std::size_t>(instance)];
+        for (auto& [eid, state] : buffered) {
+          edge_feasible_[static_cast<std::size_t>(eid)] = 1;
+          const int target = sg_.edge(eid).to;
+          if (join_into(target, state)) engine.push(target);
+        }
+        buffered.clear();
       });
-    };
-    if (pool != nullptr) {
-      pool->parallel_for(dirty.size(), run_instance);
-    } else {
-      for (std::size_t di = 0; di < dirty.size(); ++di) run_instance(di);
-    }
-
-    // Sequential deterministic merge: ascending instance id, then
-    // ascending edge id (std::map order).
-    for (const int instance : dirty) {
-      auto& buffered = cross_out[static_cast<std::size_t>(instance)];
-      for (auto& [eid, state] : buffered) {
-        edge_feasible_[static_cast<std::size_t>(eid)] = 1;
-        const int target = sg_.edge(eid).to;
-        if (join_into(target, state)) {
-          const auto ti = static_cast<std::size_t>(sg_.node(target).instance);
-          worklists[ti].push(local_index[static_cast<std::size_t>(target)]);
-        }
-      }
-      buffered.clear();
-    }
-    dirty.clear();
-    for (std::size_t i = 0; i < num_instances; ++i) {
-      if (!worklists[i].empty()) dirty.push_back(static_cast<int>(i));
-    }
-  }
 
   // Final pass: record access address intervals per node (and publish
   // node out-states to the shared transfer cache — computed here

@@ -83,8 +83,12 @@ public:
   // Instance-DAG exports. The expansion builds a *tree* of function
   // instances (each instance has exactly one caller); together with the
   // call/ret edges this is the acyclic between-back-edges instance DAG
-  // that per-instance schedulers (parallel value analysis, IPET
-  // decomposition) iterate over.
+  // that per-instance schedulers iterate over: the shared round engine
+  // (support/instance_rounds.hpp) driving the value and cache
+  // fixpoints, and the IPET subtree decomposition. Every analysis edge
+  // either stays inside one instance or is a call/ret edge between two
+  // — the disjointness that makes the parallel schedules race-free and
+  // deterministic.
 
   // Node ids of one instance, ascending (contiguous by construction).
   const std::vector<int>& instance_nodes(int instance) const {

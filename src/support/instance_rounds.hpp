@@ -1,0 +1,152 @@
+// Deterministic per-instance round scheduling for supergraph fixpoints.
+//
+// ## What this engine is
+//
+// The supergraph's function instances form a tree (each instance has
+// exactly one caller), and every analysis edge either stays inside one
+// instance or is a call/ret edge between two instances. That structure
+// admits a two-level fixpoint schedule shared by the value and cache
+// analyses:
+//
+//   round:  every *dirty* instance converges a local priority worklist
+//           over its own nodes (reverse-postorder priorities restricted
+//           to the instance);
+//   merge:  out-states buffered on cross-instance edges during the
+//           round are joined into their targets in a fixed sequential
+//           order — ascending instance id, then ascending edge id;
+//   repeat: instances whose worklists received work become the next
+//           round's dirty set, until no worklist holds a node.
+//
+// The engine owns the scheduling half of that loop: instance-local node
+// orders, the per-instance worklists, the dirty set and the round/merge
+// alternation. The *domain* half — transfer functions, join operators
+// and the cross-edge buffers themselves — stays with the client, which
+// keeps the engine agnostic of the abstract state (the value analysis
+// buffers `AbsState`s, the cache analysis buffers must/may cache
+// pairs).
+//
+// ## Determinism contract
+//
+// Results are bit-identical for ANY worker count (including no pool at
+// all) provided the client honours two rules:
+//
+//   1. `process(instance, node)` only reads/writes state owned by
+//      `instance` (its nodes' in-states, its intra-instance edges, its
+//      own cross-edge buffer) and only calls `push()` for nodes of that
+//      same instance. Instances dirty in the same round then touch
+//      disjoint state, so the ThreadPool's static chunking cannot
+//      affect the outcome — only the wall-clock time.
+//   2. `flush(instance)` applies the instance's buffered cross-edge
+//      joins in ascending edge id order. The engine already calls
+//      `flush` sequentially in ascending instance id order, so the
+//      total merge order is a pure function of the graph.
+//
+// Under the usual abstract-interpretation conditions (monotone
+// transfer, exact change reporting from the join) the reached fixpoint
+// is schedule-independent; the fixed round/merge order above
+// additionally pins every intermediate state, which is what makes
+// visit-counted policies such as widening delays reproducible too (see
+// support/fixpoint.hpp for the single-worklist contract this builds
+// on).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "cfg/supergraph.hpp"
+#include "support/fixpoint.hpp"
+#include "support/thread_pool.hpp"
+
+namespace wcet {
+
+class InstanceRoundEngine {
+public:
+  // `priorities[node]` is the global fixpoint priority of each
+  // supergraph node (cfg::rpo_priorities). Each instance iterates its
+  // nodes by ascending global priority (ties by node id), i.e. the
+  // same weak-topological order the global worklist engine would use,
+  // restricted to the instance.
+  InstanceRoundEngine(const cfg::Supergraph& sg, const std::vector<int>& priorities)
+      : sg_(sg) {
+    const std::size_t num_nodes = sg.nodes().size();
+    const std::size_t num_instances = sg.instances().size();
+    inst_nodes_.resize(num_instances);
+    local_index_.assign(num_nodes, -1);
+    worklists_.reserve(num_instances);
+    for (std::size_t i = 0; i < num_instances; ++i) {
+      inst_nodes_[i] = sg.instance_nodes(static_cast<int>(i));
+      std::sort(inst_nodes_[i].begin(), inst_nodes_[i].end(), [&](int a, int b) {
+        const int pa = priorities[static_cast<std::size_t>(a)];
+        const int pb = priorities[static_cast<std::size_t>(b)];
+        return pa != pb ? pa < pb : a < b;
+      });
+      for (std::size_t k = 0; k < inst_nodes_[i].size(); ++k) {
+        local_index_[static_cast<std::size_t>(inst_nodes_[i][k])] = static_cast<int>(k);
+      }
+      std::vector<int> identity(inst_nodes_[i].size());
+      for (std::size_t k = 0; k < identity.size(); ++k) identity[k] = static_cast<int>(k);
+      worklists_.emplace_back(std::move(identity));
+    }
+  }
+
+  std::size_t num_instances() const { return inst_nodes_.size(); }
+  // An instance's nodes in local iteration order.
+  const std::vector<int>& nodes_of(int instance) const {
+    return inst_nodes_[static_cast<std::size_t>(instance)];
+  }
+
+  // Schedule `node` for (re-)evaluation. Callable from `process` only
+  // for nodes of the instance being processed (rule 1 above); callable
+  // from `flush` and from seeding code for any node.
+  void push(int node) {
+    const int instance = sg_.node(node).instance;
+    worklists_[static_cast<std::size_t>(instance)].push(
+        local_index_[static_cast<std::size_t>(node)]);
+  }
+
+  // Runs rounds until every worklist drains. `process(instance, node)`
+  // applies the client's transfer + intra-instance joins (pushing
+  // changed same-instance successors) and buffers cross-instance
+  // out-states; `flush(instance)` applies that instance's buffered
+  // cross joins in ascending edge order, pushing grown targets.
+  template <typename ProcessFn, typename FlushFn>
+  void run(ThreadPool* pool, ProcessFn&& process, FlushFn&& flush) {
+    std::vector<int> dirty;
+    collect_dirty(dirty);
+    while (!dirty.empty()) {
+      const auto run_instance = [&](std::size_t di) {
+        const int instance = dirty[di];
+        auto& worklist = worklists_[static_cast<std::size_t>(instance)];
+        const auto& nodes = inst_nodes_[static_cast<std::size_t>(instance)];
+        run_fixpoint(worklist, [&](const int lid) {
+          process(instance, nodes[static_cast<std::size_t>(lid)]);
+        });
+      };
+      if (pool != nullptr) {
+        pool->parallel_for(dirty.size(), run_instance);
+      } else {
+        for (std::size_t di = 0; di < dirty.size(); ++di) run_instance(di);
+      }
+      // Sequential deterministic merge: ascending instance id (the
+      // dirty list is built in ascending order below; the seed round
+      // may be unsorted only when seeding pushed a single instance).
+      for (const int instance : dirty) flush(instance);
+      collect_dirty(dirty);
+    }
+  }
+
+private:
+  void collect_dirty(std::vector<int>& dirty) const {
+    dirty.clear();
+    for (std::size_t i = 0; i < worklists_.size(); ++i) {
+      if (!worklists_[i].empty()) dirty.push_back(static_cast<int>(i));
+    }
+  }
+
+  const cfg::Supergraph& sg_;
+  std::vector<std::vector<int>> inst_nodes_;
+  std::vector<int> local_index_;
+  std::vector<PriorityWorklist> worklists_;
+};
+
+} // namespace wcet

@@ -13,6 +13,17 @@
 // several times (the decode/value feedback loop of Figure 1) report
 // their total across rounds — the same convention the PR 1 hand-rolled
 // driver used.
+//
+// ## Thread-safety and determinism invariants
+//
+// The manager itself is single-threaded: passes run one at a time, in
+// registration order, on the caller's thread. Parallelism lives
+// *inside* passes — they may fan work out over the context's
+// ThreadPool, but every such schedule is deterministic by construction
+// (see support/thread_pool.hpp and support/instance_rounds.hpp), so a
+// pipeline's computed artifacts are bit-identical for any worker
+// count. Only the timing buckets are timing-dependent; nothing
+// downstream may feed them back into analysis results.
 #pragma once
 
 #include <chrono>

@@ -10,8 +10,25 @@
 //   2. Simplicity: persistent workers parked on one condition
 //      variable; a generation counter publishes jobs. No queues.
 //
-// The pool is NOT reentrant: a task must not call parallel_for on the
-// pool that is running it.
+// ## Thread-safety and determinism invariants
+//
+//   - `parallel_for` may only be called from one thread at a time (the
+//     analyses share one pool and call it phase by phase); the pool is
+//     NOT reentrant — a task must not call parallel_for on the pool
+//     that is running it.
+//   - Worker w executes exactly the index range [n*w/W, n*(w+1)/W), in
+//     ascending order — a pure function of (n, W). There is no work
+//     stealing and no atomic claiming, so which thread computes which
+//     item never depends on timing.
+//   - Determinism of *results* additionally requires the caller's
+//     discipline: items must write disjoint state (beware
+//     vector<bool>'s shared words — use byte-sized flags), and any
+//     cross-item reduction must happen after the barrier in a fixed
+//     order on the caller. Under those rules results are bit-identical
+//     for ANY worker count, including 1 (which runs inline on the
+//     caller thread and spawns nothing).
+//   - Exceptions: the first exception thrown by any item is rethrown
+//     on the caller after the barrier; the pool remains usable.
 #pragma once
 
 #include <condition_variable>

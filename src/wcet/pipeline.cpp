@@ -167,6 +167,10 @@ public:
 };
 
 // ----------------------------------------------------------------- cache
+// Runs the must/may fixpoint on the per-instance round engine with the
+// shared transfer cache: recipe slots are built once per decode round
+// (fanned out over the pool) and replayed by every fixpoint visit; the
+// pass manager's "cache" timing bucket covers both.
 class CachePass : public AnalysisPass {
 public:
   const char* name() const override { return "cache"; }
