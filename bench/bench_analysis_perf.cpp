@@ -42,11 +42,13 @@ void BM_analyze_scaling(benchmark::State& state) {
   options.threads = 4;
   std::uint64_t bound = 0;
   PhaseTimings timings;
+  int sub_ilps = 0;
   for (auto _ : state) {
     const Analyzer analyzer(built.image, mem::typical_hw());
     const WcetReport report = analyzer.analyze(options);
     bound = report.wcet_cycles;
     timings = report.timings;
+    sub_ilps = report.ipet_sub_ilps;
     benchmark::DoNotOptimize(bound);
   }
   state.counters["wcet_cycles"] = static_cast<double>(bound);
@@ -62,6 +64,8 @@ void BM_analyze_scaling(benchmark::State& state) {
   state.counters["cache_ms"] = timings.cache_ms;
   state.counters["pipeline_ms"] = timings.pipeline_ms;
   state.counters["path_ms"] = timings.path_ms;
+  state.counters["ilp_ms"] = timings.ilp_ms;
+  state.counters["sub_ilps"] = static_cast<double>(sub_ilps);
   state.counters["total_ms"] = timings.total_ms;
 }
 BENCHMARK(BM_analyze_scaling)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
@@ -79,6 +83,38 @@ void BM_analyze_scaling_seq(benchmark::State& state) {
   state.counters["wcet_cycles"] = static_cast<double>(bound);
 }
 BENCHMARK(BM_analyze_scaling_seq)->Arg(16)->Arg(64);
+
+// Path analysis per IPET decomposition mode on the 64-function call
+// tree: monolithic (Arg 0), flat (Arg 1), recursive (Arg 2). Records
+// ilp_ms and the sub-ILP count per mode; the wcet_cycles counter
+// doubles as a cross-mode oracle — the diff fails if any mode ever
+// computes a different bound.
+void BM_path_decomposition(benchmark::State& state) {
+  const auto built = mcc::compile_program(synthetic_program(64, 3));
+  AnalysisOptions options;
+  options.threads = 4;
+  switch (state.range(0)) {
+  case 0: options.decomposition = analysis::IpetDecomposition::monolithic; break;
+  case 1: options.decomposition = analysis::IpetDecomposition::flat; break;
+  default: options.decomposition = analysis::IpetDecomposition::recursive; break;
+  }
+  std::uint64_t bound = 0;
+  PhaseTimings timings;
+  int sub_ilps = 0;
+  for (auto _ : state) {
+    const Analyzer analyzer(built.image, mem::typical_hw());
+    const WcetReport report = analyzer.analyze(options);
+    bound = report.wcet_cycles;
+    timings = report.timings;
+    sub_ilps = report.ipet_sub_ilps;
+    benchmark::DoNotOptimize(bound);
+  }
+  state.counters["wcet_cycles"] = static_cast<double>(bound);
+  state.counters["path_ms"] = timings.path_ms;
+  state.counters["ilp_ms"] = timings.ilp_ms;
+  state.counters["sub_ilps"] = static_cast<double>(sub_ilps);
+}
+BENCHMARK(BM_path_decomposition)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_compile_scaling(benchmark::State& state) {
   const std::string source = synthetic_program(static_cast<int>(state.range(0)), 3);

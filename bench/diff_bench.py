@@ -9,15 +9,18 @@ computed bounds are a regression oracle — perf work must keep every
 bound bit-identical.
 
 Benchmarks that record per-phase timing counters (decode_ms, value_ms,
-loop_ms, cache_ms, pipeline_ms, path_ms — see bench_analysis_perf.cpp)
-additionally get a phase-level comparison so a regression hiding inside
-an unchanged total stays visible. Phase times are wall-clock and noisy,
-so they inform but never fail the diff.
+loop_ms, cache_ms, pipeline_ms, path_ms, ilp_ms — see
+bench_analysis_perf.cpp) additionally get a phase-level comparison so a
+regression hiding inside an unchanged total stays visible. Phase times
+are wall-clock and noisy, so they inform but never fail the diff.
+Structural counters (sub_ilps: IPET sub-ILPs solved per decomposition
+mode) are printed old -> new when present.
 """
 import json
 import sys
 
-PHASES = ["decode_ms", "value_ms", "loop_ms", "cache_ms", "pipeline_ms", "path_ms"]
+PHASES = ["decode_ms", "value_ms", "loop_ms", "cache_ms", "pipeline_ms", "path_ms", "ilp_ms"]
+COUNTERS = ["sub_ilps"]
 
 
 def load(path):
@@ -68,6 +71,11 @@ def main():
             ratio = o_p / n_p if n_p > 0 else float("inf")
             flag = "  << slower" if n_p > o_p * 1.25 and n_p - o_p > 1.0 else ""
             print(f"    {phase:<28} {o_p:>12.3f} {n_p:>12.3f} {ratio:>7.2f}x{flag}")
+        for counter in COUNTERS:
+            o_c, n_c = o.get(counter), n.get(counter)
+            if o_c is None or n_c is None:
+                continue
+            print(f"    {counter:<28} {int(o_c):>12} {int(n_c):>12}")
     if mismatches:
         print(f"\ndiff_bench: FAIL — wcet_cycles oracle changed for: {', '.join(mismatches)}")
         return 1

@@ -45,14 +45,19 @@ if(failures EQUAL 0)
       "bench/run_bench.sh"
       "BENCH_analysis.json"
       "diff_bench.py"
-      "wcet_cycles")
+      "wcet_cycles"
+      "-L tier1"
+      "WCET_SANITIZE")
   require_content(docs/ARCHITECTURE.md
       "pass_manager.hpp"
       "AnalysisContext"
       "TransferCache"
       "instance_rounds.hpp"
       "thread_pool.hpp"
-      "build_cache_recipes")
+      "build_cache_recipes"
+      "Recursive IPET decomposition"
+      "Sparse-row simplex"
+      "solve_ilp_pair")
   # The bench entry points docs refer to must exist.
   require_file(bench/run_bench.sh)
   require_file(bench/diff_bench.py)

@@ -1,7 +1,7 @@
 #include "analysis/ipet.hpp"
 
 #include <algorithm>
-#include <sstream>
+#include <string>
 
 #include "support/diag.hpp"
 #include "support/thread_pool.hpp"
@@ -12,13 +12,6 @@ Ipet::Ipet(const cfg::Supergraph& sg, const cfg::LoopForest& loops,
            const ValueAnalysis& values, const PipelineAnalysis& pipeline)
     : sg_(sg), loops_(loops), values_(values), pipeline_(pipeline) {}
 
-bool Ipet::node_excluded(int node, const std::set<std::uint32_t>& excluded) const {
-  if (excluded.empty()) return false;
-  const cfg::CfgBlock& block = *sg_.node(node).block;
-  auto it = excluded.lower_bound(block.begin);
-  return it != excluded.end() && *it < block.end;
-}
-
 // ---------------------------------------------------------------------------
 // Decomposed solve.
 //
@@ -28,76 +21,145 @@ bool Ipet::node_excluded(int node, const std::set<std::uint32_t>& excluded) cons
 // end inside, forms an *independent block* of the IPET ILP: its entry
 // count is 0 or 1 in every feasible flow (DAG-condensation argument — a
 // node outside all SCCs carries at most the unit source flow), no loop
-// or persistence constraint crosses its boundary, and with annotations
-// absent nothing else couples it to the rest of the system. The global
-// optimum therefore decomposes exactly:
+// or persistence constraint crosses its boundary, and when no flow fact
+// touches its nodes nothing else couples it to the rest of the system.
+// The global optimum therefore decomposes exactly:
 //
 //   opt(whole) = opt(outer with subtree collapsed to one variable y,
 //                    objective coefficient = opt(subtree | entry = 1))
 //
-// Each collapsed subtree becomes a small sub-ILP (solved independently,
-// fanned out across the thread pool), and the outer problem shrinks by
-// the subtree's nodes — the rational simplex scales superlinearly, so
-// the split is a large net win on call-tree-shaped workloads. Any
-// condition that would break exactness (annotation-driven coupling
-// constraints, call site inside a loop, exit/dead-end nodes inside,
-// irregular boundary) disqualifies the subtree and it stays in the
-// outer region; if a sub-ILP ends non-optimal the solver falls back to
-// the monolithic path wholesale.
+// Planning re-enters each collapsed subtree (recursive mode), so a deep
+// call tree becomes a tree of small sub-ILPs instead of one monolithic
+// sub-solve. The sub-ILPs fan out across the thread pool one nesting
+// level at a time — deepest level first, ascending instance order
+// within a level — so every child objective is ready before its parent
+// region solves and the schedule is deterministic for any worker count.
+//
+// Annotation-driven flow facts (caps / ratios / infeasible pairs /
+// exclusions) no longer disable decomposition wholesale: each fact pins
+// exactly the subtrees whose member nodes it constrains (the coupling a
+// collapsed block cannot express), those subtrees stay in the outer
+// region, and the facts are emitted as outer-region constraints. Any
+// other condition that would break exactness (call site inside a loop,
+// exit/dead-end nodes inside, irregular boundary) disqualifies the
+// subtree during planning; if a sub-ILP ends non-optimal the solver
+// falls back to the monolithic path wholesale.
 // ---------------------------------------------------------------------------
 
-IpetResult Ipet::solve(const IpetOptions& options) const {
-  const bool plain = options.allow_decomposition && options.flow_caps.empty() &&
-                     options.flow_ratios.empty() && options.infeasible_pairs.empty() &&
-                     options.excluded_addrs.empty() && options.lp_dump == nullptr;
-  if (!plain) return solve_monolithic(options);
+std::vector<std::vector<Ipet::Sub*>> Ipet::schedule_levels(std::vector<Sub>& subs) {
+  std::vector<std::vector<Sub*>> levels;
+  const auto collect = [&](auto&& self, std::vector<Sub>& list, std::size_t depth) -> void {
+    if (list.empty()) return;
+    if (levels.size() <= depth) levels.resize(depth + 1);
+    for (Sub& sub : list) {
+      levels[depth].push_back(&sub);
+      self(self, sub.children, depth + 1);
+    }
+  };
+  collect(collect, subs, 0);
+  for (std::vector<Sub*>& level : levels) {
+    std::sort(level.begin(), level.end(),
+              [](const Sub* a, const Sub* b) { return a->instance < b->instance; });
+  }
+  return levels;
+}
 
+std::vector<Ipet::Sub> Ipet::planned_subs(const IpetOptions& options) const {
   // Copy the memoized plan: each solve fills the subs' objectives.
   std::vector<Sub> subs = decomposition_plan();
+  if (options.decomposition == IpetDecomposition::flat) {
+    for (Sub& sub : subs) sub.children.clear();
+  }
+  const std::vector<char> pinned = constrained_nodes(options);
+  if (!pinned.empty()) subs = prune_pinned(std::move(subs), pinned);
+  return subs;
+}
+
+std::vector<int> Ipet::missing_loop_bounds_in(const IpetOptions& options) const {
+  // Replicates the monolithic scan order (ascending loop id) and
+  // predicates so obstruction lists match the reference path.
+  std::vector<int> missing;
+  for (const cfg::Loop& loop : loops_.loops()) {
+    const auto any_feasible = [&](const std::vector<int>& edges) {
+      return std::any_of(edges.begin(), edges.end(),
+                         [&](int eid) { return values_.edge_feasible(eid); });
+    };
+    if (!any_feasible(loop.back_edges)) continue;
+    if (!any_feasible(loop.entry_edges)) continue;
+    if (options.loop_bounds.count(loop.id) != 0) continue;
+    missing.push_back(loop.id);
+  }
+  return missing;
+}
+
+bool Ipet::solve_levels(const std::vector<std::vector<Sub*>>& levels,
+                        const IpetOptions& options, bool both) const {
+  for (auto level = levels.rbegin(); level != levels.rend(); ++level) {
+    const auto solve_one = [&](std::size_t i) {
+      if (both) {
+        solve_sub_both(*(*level)[i], options);
+      } else {
+        solve_sub(*(*level)[i], options);
+      }
+    };
+    if (pool_ != nullptr) {
+      pool_->parallel_for(level->size(), solve_one);
+    } else {
+      for (std::size_t i = 0; i < level->size(); ++i) solve_one(i);
+    }
+    for (const Sub* sub : *level) {
+      if (!sub->result.ok()) return false;
+      if (both && !sub->result_bcet.ok()) return false;
+    }
+  }
+  return true;
+}
+
+void Ipet::merge_sub_results(IpetResult& outer, const std::vector<Sub>& subs,
+                             const std::map<int, std::uint64_t>& edge_counts,
+                             bool bcet_sense) {
+  if (!outer.ok()) return;
+  for (const Sub& sub : subs) {
+    const IpetResult& sub_result = bcet_sense ? sub.result_bcet : sub.result;
+    outer.variables += sub_result.variables;
+    outer.constraints += sub_result.constraints;
+    const auto y = edge_counts.find(sub.call_edge);
+    if (y != edge_counts.end() && y->second > 0) {
+      // Entry counts are 0/1, so the subtree witness merges unscaled.
+      for (const auto& [node, count] : sub_result.node_counts) {
+        outer.node_counts[node] = count;
+      }
+    }
+  }
+}
+
+IpetResult Ipet::solve(const IpetOptions& options) const {
+  // lp_dump wants the one whole-system ILP; monolithic is the reference
+  // path every decomposition mode must reproduce bit-identically.
+  if (options.decomposition == IpetDecomposition::monolithic || options.lp_dump != nullptr) {
+    return solve_monolithic(options);
+  }
+  std::vector<Sub> subs = planned_subs(options);
   if (subs.empty()) return solve_monolithic(options);
 
-  // Missing-loop-bound pre-check, replicating the monolithic scan order
-  // (ascending loop id) and predicates so obstruction lists match.
   if (options.maximize) {
     IpetResult missing;
-    for (const cfg::Loop& loop : loops_.loops()) {
-      const auto any_feasible = [&](const std::vector<int>& edges) {
-        return std::any_of(edges.begin(), edges.end(),
-                           [&](int eid) { return values_.edge_feasible(eid); });
-      };
-      if (!any_feasible(loop.back_edges)) continue;
-      if (!any_feasible(loop.entry_edges)) continue;
-      if (options.loop_bounds.count(loop.id) != 0) continue;
-      missing.loops_missing_bounds.push_back(loop.id);
-    }
+    missing.loops_missing_bounds = missing_loop_bounds_in(options);
     if (!missing.loops_missing_bounds.empty()) {
       missing.status = IpetResult::Status::missing_loop_bounds;
       return missing;
     }
   }
 
-  // Solve the independent subtree blocks (entry flow fixed to 1).
-  std::vector<IpetResult> sub_results(subs.size());
-  const auto solve_sub = [&](std::size_t i) {
-    RegionSpec spec;
-    spec.member = &subs[i].member;
-    spec.source_node = subs[i].entry_node;
-    spec.top_level = false;
-    spec.sink_ret_edges = &subs[i].ret_edges;
-    spec.objective_out = &subs[i].objective;
-    sub_results[i] = solve_region(spec, options);
-  };
-  if (pool_ != nullptr) {
-    pool_->parallel_for(subs.size(), solve_sub);
-  } else {
-    for (std::size_t i = 0; i < subs.size(); ++i) solve_sub(i);
-  }
-  for (const IpetResult& sub : sub_results) {
-    if (!sub.ok()) return solve_monolithic(options); // safety fallback
+  std::vector<std::vector<Sub*>> levels = schedule_levels(subs);
+  int total_subs = 0;
+  for (const std::vector<Sub*>& level : levels) total_subs += static_cast<int>(level.size());
+  if (!solve_levels(levels, options, /*both=*/false)) {
+    return solve_monolithic(options); // safety fallback
   }
 
   // Outer problem over the remaining nodes with one variable per
-  // collapsed subtree.
+  // collapsed top-level subtree.
   std::vector<char> outer_member(sg_.nodes().size(), 1);
   for (const Sub& sub : subs) {
     for (std::size_t n = 0; n < sub.member.size(); ++n) {
@@ -110,23 +172,116 @@ IpetResult Ipet::solve(const IpetOptions& options) const {
   spec.top_level = true;
   spec.children = &subs;
   std::map<int, std::uint64_t> edge_counts;
-  spec.edge_counts_out = &edge_counts;
-  IpetResult outer = solve_region(spec, options);
+  IpetResult outer = solve_region(spec, options, nullptr, &edge_counts);
   outer.decomposed_regions = static_cast<int>(subs.size());
-  if (!outer.ok()) return outer;
+  outer.sub_ilps = total_subs;
+  outer.decomposition_depth = static_cast<int>(levels.size());
+  // Single-sense sub solves always store into sub.result (the sense
+  // lives in the objective they filled), so merge from that slot.
+  merge_sub_results(outer, subs, edge_counts, /*bcet_sense=*/false);
+  return outer;
+}
 
-  for (std::size_t i = 0; i < subs.size(); ++i) {
-    outer.variables += sub_results[i].variables;
-    outer.constraints += sub_results[i].constraints;
-    const auto y = edge_counts.find(subs[i].call_edge);
-    if (y != edge_counts.end() && y->second > 0) {
-      // Entry counts are 0/1, so the subtree witness merges unscaled.
-      for (const auto& [node, count] : sub_results[i].node_counts) {
-        outer.node_counts[node] = count;
-      }
+std::pair<IpetResult, IpetResult> Ipet::solve_both(const IpetOptions& options) const {
+  if (options.lp_dump != nullptr) {
+    // Dump semantics belong to the single-sense reference path.
+    IpetOptions single = options;
+    single.maximize = true;
+    IpetResult wcet = solve(single);
+    single.maximize = false;
+    return {std::move(wcet), solve(single)};
+  }
+  if (options.decomposition == IpetDecomposition::monolithic) {
+    return solve_monolithic_both(options);
+  }
+  std::vector<Sub> subs = planned_subs(options);
+  if (subs.empty()) return solve_monolithic_both(options);
+
+  // Missing-loop-bound pre-check for the WCET half; the BCET half is
+  // skipped then, matching the driver's convention.
+  {
+    IpetResult missing;
+    missing.loops_missing_bounds = missing_loop_bounds_in(options);
+    if (!missing.loops_missing_bounds.empty()) {
+      missing.status = IpetResult::Status::missing_loop_bounds;
+      return {std::move(missing), IpetResult{}};
     }
   }
-  return outer;
+
+  std::vector<std::vector<Sub*>> levels = schedule_levels(subs);
+  int total_subs = 0;
+  for (const std::vector<Sub*>& level : levels) total_subs += static_cast<int>(level.size());
+  if (!solve_levels(levels, options, /*both=*/true)) {
+    return solve_monolithic_both(options); // safety fallback
+  }
+
+  std::vector<char> outer_member(sg_.nodes().size(), 1);
+  for (const Sub& sub : subs) {
+    for (std::size_t n = 0; n < sub.member.size(); ++n) {
+      if (sub.member[n]) outer_member[n] = 0;
+    }
+  }
+  RegionSpec spec;
+  spec.member = &outer_member;
+  spec.source_node = sg_.entry_node();
+  spec.top_level = true;
+  spec.children = &subs;
+  std::map<int, std::uint64_t> edge_counts_max;
+  std::map<int, std::uint64_t> edge_counts_min;
+  auto [wcet, bcet] =
+      solve_region_both(spec, options, nullptr, nullptr, &edge_counts_max, &edge_counts_min);
+  for (IpetResult* outer : {&wcet, &bcet}) {
+    outer->decomposed_regions = static_cast<int>(subs.size());
+    outer->sub_ilps = total_subs;
+    outer->decomposition_depth = static_cast<int>(levels.size());
+  }
+  merge_sub_results(wcet, subs, edge_counts_max, /*bcet_sense=*/false);
+  merge_sub_results(bcet, subs, edge_counts_min, /*bcet_sense=*/true);
+  return {std::move(wcet), std::move(bcet)};
+}
+
+// The region of a collapsed subtree is the subtree minus its own
+// collapsed children; fills `member` and returns the region spec.
+Ipet::RegionSpec Ipet::sub_region_spec(Sub& sub, std::vector<char>& member) {
+  member = sub.member;
+  for (const Sub& child : sub.children) {
+    for (std::size_t n = 0; n < child.member.size(); ++n) {
+      if (child.member[n]) member[n] = 0;
+    }
+  }
+  RegionSpec spec;
+  spec.member = &member;
+  spec.source_node = sub.entry_node;
+  spec.top_level = false;
+  spec.sink_ret_edges = &sub.ret_edges;
+  if (!sub.children.empty()) spec.children = &sub.children;
+  return spec;
+}
+
+void Ipet::solve_sub(Sub& sub, const IpetOptions& options) const {
+  std::vector<char> member;
+  const RegionSpec spec = sub_region_spec(sub, member);
+  std::map<int, std::uint64_t> edge_counts;
+  Rational* objective_out = options.maximize ? &sub.objective : &sub.objective_bcet;
+  sub.result = solve_region(spec, options, objective_out,
+                            sub.children.empty() ? nullptr : &edge_counts);
+  merge_sub_results(sub.result, sub.children, edge_counts, /*bcet_sense=*/false);
+}
+
+void Ipet::solve_sub_both(Sub& sub, const IpetOptions& options) const {
+  std::vector<char> member;
+  const RegionSpec spec = sub_region_spec(sub, member);
+  const bool has_children = !sub.children.empty();
+  std::map<int, std::uint64_t> edge_counts_max;
+  std::map<int, std::uint64_t> edge_counts_min;
+  auto [wcet, bcet] = solve_region_both(spec, options, &sub.objective, &sub.objective_bcet,
+                                        has_children ? &edge_counts_max : nullptr,
+                                        has_children ? &edge_counts_min : nullptr);
+  sub.result = std::move(wcet);
+  sub.result_bcet = std::move(bcet);
+  if (!sub.result.ok() || !sub.result_bcet.ok()) return;
+  merge_sub_results(sub.result, sub.children, edge_counts_max, /*bcet_sense=*/false);
+  merge_sub_results(sub.result_bcet, sub.children, edge_counts_min, /*bcet_sense=*/true);
 }
 
 const std::vector<Ipet::Sub>& Ipet::decomposition_plan() const {
@@ -135,6 +290,14 @@ const std::vector<Ipet::Sub>& Ipet::decomposition_plan() const {
     plan_ready_ = true;
   }
   return plan_;
+}
+
+std::size_t Ipet::reachable_in(const std::vector<char>& member) const {
+  std::size_t count = 0;
+  for (std::size_t n = 0; n < member.size(); ++n) {
+    if (member[n] && values_.node_reachable(static_cast<int>(n))) ++count;
+  }
+  return count;
 }
 
 std::vector<Ipet::Sub> Ipet::plan_decomposition() const {
@@ -167,27 +330,38 @@ std::vector<Ipet::Sub> Ipet::plan_decomposition() const {
   }
 
   const std::set<int> exit_set(sg_.exit_nodes().begin(), sg_.exit_nodes().end());
+  return plan_region(0, total_reachable, children, subtree_nodes, exit_set);
+}
+
+std::vector<Ipet::Sub> Ipet::plan_region(int root_instance, std::size_t region_size,
+                                         const std::vector<std::vector<int>>& children,
+                                         const std::vector<std::size_t>& subtree_nodes,
+                                         const std::set<int>& exit_set) const {
   std::vector<Sub> subs;
   // Top-down over the instance tree, ascending ids: collapse the
-  // largest eligible subtrees that still leave a meaningful outer
-  // problem; recurse past oversized or ineligible ones.
+  // largest eligible subtrees that still leave a meaningful region
+  // around them; recurse past oversized or ineligible ones — and
+  // re-enter planning *inside* every collapsed subtree, so nesting
+  // continues until regions bottom out.
   std::vector<int> stack;
   const auto push_children = [&](int instance) {
     const auto& cs = children[static_cast<std::size_t>(instance)];
     for (auto it = cs.rbegin(); it != cs.rend(); ++it) stack.push_back(*it);
   };
-  push_children(0);
+  push_children(root_instance);
   while (!stack.empty()) {
     const int instance = stack.back();
     stack.pop_back();
     const std::size_t size = subtree_nodes[static_cast<std::size_t>(instance)];
     if (size < 8) continue; // sub-ILP overhead beats the saving
-    if (size * 5 > total_reachable * 3) {
+    if (size * 5 > region_size * 3) {
       push_children(instance);
       continue;
     }
     Sub sub;
     if (subtree_eligible(instance, children, exit_set, sub)) {
+      sub.children =
+          plan_region(instance, reachable_in(sub.member), children, subtree_nodes, exit_set);
       subs.push_back(std::move(sub));
     } else {
       push_children(instance);
@@ -263,14 +437,119 @@ bool Ipet::subtree_eligible(int instance, const std::vector<std::vector<int>>& c
   return sub.return_site >= 0 && !sub.ret_edges.empty();
 }
 
-IpetResult Ipet::solve_region(const RegionSpec& spec, const IpetOptions& options) const {
-  IpetResult result;
+std::vector<char> Ipet::constrained_nodes(const IpetOptions& options) const {
+  if (options.flow_caps.empty() && options.flow_ratios.empty() &&
+      options.infeasible_pairs.empty() && options.excluded_addrs.empty()) {
+    return {};
+  }
+  std::vector<char> pinned(sg_.nodes().size(), 0);
+  const auto pin_addr = [&](std::uint32_t addr) {
+    for (const int node_id : sg_.nodes_covering(addr)) {
+      if (values_.node_reachable(node_id)) pinned[static_cast<std::size_t>(node_id)] = 1;
+    }
+  };
+  for (const annot::FlowCapFact& cap : options.flow_caps) pin_addr(cap.addr);
+  for (const annot::FlowRatioFact& ratio : options.flow_ratios) {
+    pin_addr(ratio.addr);
+    pin_addr(ratio.relative_to);
+  }
+  for (const annot::InfeasiblePairFact& pair : options.infeasible_pairs) {
+    pin_addr(pair.a);
+    pin_addr(pair.b);
+  }
+  for (const std::uint32_t addr : options.excluded_addrs) pin_addr(addr);
+  return pinned;
+}
+
+std::vector<Ipet::Sub> Ipet::prune_pinned(std::vector<Sub> subs,
+                                          const std::vector<char>& pinned) {
+  std::vector<Sub> kept;
+  for (Sub& sub : subs) {
+    bool touched = false;
+    for (std::size_t n = 0; n < sub.member.size() && !touched; ++n) {
+      touched = sub.member[n] != 0 && pinned[n] != 0;
+    }
+    // A fact inside a nested child pins the whole ancestor chain (the
+    // child's member nodes are the ancestors' member nodes too), so the
+    // recursion drops exactly the chain while unpinned siblings — and
+    // unpinned children of a pinned parent — stay collapsed, promoted
+    // into the surrounding region.
+    std::vector<Sub> children = prune_pinned(std::move(sub.children), pinned);
+    if (touched) {
+      for (Sub& child : children) kept.push_back(std::move(child));
+    } else {
+      sub.children = std::move(children);
+      kept.push_back(std::move(sub));
+    }
+  }
+  return kept;
+}
+
+// ---------------------------------------------------------------------------
+// Region ILP emission. One routine builds every problem: the monolithic
+// whole-supergraph system (member == nullptr, top level), the outer
+// problem of a decomposed solve (children collapsed to super-edge
+// variables), and the sub-ILP of a collapsed subtree (virtual source at
+// the callee entry, sinks at the ret edges).
+//
+// Node execution counts are NOT variables: flow conservation makes
+//   x_n == sum of inbound flow (+1 at the virtual source),
+// so each node contributes a single balance row
+//   sum(in) [+ 1 if source] == sum(out) + sum(sinks)
+// and every use of x_n (objective weights, persistence-miss caps, flow
+// facts) substitutes the inbound sum. Compared to the classic
+// two-rows-and-a-variable-per-node form this halves both the row count
+// and the artificial-variable count — phase 1 of the exact simplex
+// performs one pivot per artificial, so the substitution roughly halves
+// path-analysis solve time while describing the *same* polytope
+// projected onto the edge variables: every bound is bit-identical.
+//
+// The constraint system is sense-independent (persistence-miss rows are
+// emitted for both senses: a miss variable is only bounded above, so
+// the BCET/minimize optimum pins it to zero and the bound is unchanged)
+// and both objective vectors are accumulated in one pass — that is what
+// lets solve_ilp_pair share construction and phase-1 work between the
+// WCET and BCET solves of a region.
+// ---------------------------------------------------------------------------
+
+struct Ipet::RegionBuild {
   IlpProblem ilp;
+  std::vector<int> edge_var;     // supergraph edge -> ilp variable (or -1)
+  std::vector<char> region_node; // reachable nodes of this region
+  std::vector<Rational> obj_max; // internal maximize sense (WCET)
+  std::vector<Rational> obj_min; // internal maximize sense (BCET: negated costs)
+  Rational offset_max;           // virtual-source objective constants
+  Rational offset_min;
+  IpetResult early; // early-exit verdict carrier + missing-bound list
+};
+
+int Ipet::append_in_flow(const RegionSpec& spec, const std::vector<int>& edge_var,
+                         int node_id, const Rational& scale,
+                         std::vector<LinTerm>& terms) const {
+  const cfg::SgNode& node = sg_.node(node_id);
+  for (const int eid : node.pred_edges) {
+    const int ev = edge_var[static_cast<std::size_t>(eid)];
+    if (ev >= 0) terms.push_back({ev, scale});
+  }
+  if (spec.children != nullptr) {
+    // A collapsed child's flow re-emerges at its return site.
+    for (const Sub& sub : *spec.children) {
+      if (sub.return_site != node_id) continue;
+      const int yv = edge_var[static_cast<std::size_t>(sub.call_edge)];
+      if (yv >= 0) terms.push_back({yv, scale});
+    }
+  }
+  return node_id == spec.source_node ? 1 : 0;
+}
+
+bool Ipet::build_region(const RegionSpec& spec, const IpetOptions& options,
+                        RegionBuild& build) const {
   const auto in_region = [&](int node) {
     return spec.member == nullptr || (*spec.member)[static_cast<std::size_t>(node)] != 0;
   };
+  IlpProblem& ilp = build.ilp;
 
-  // Collapsed-child lookups (outer region only).
+  // Collapsed-child lookups.
   std::vector<int> child_of_call_edge(sg_.edges().size(), -1);
   std::vector<int> child_of_ret_edge(sg_.edges().size(), -1);
   if (spec.children != nullptr) {
@@ -287,94 +566,91 @@ IpetResult Ipet::solve_region(const RegionSpec& spec, const IpetOptions& options
     for (const int eid : *spec.sink_ret_edges) is_sink_edge[static_cast<std::size_t>(eid)] = 1;
   }
 
-  // Variables for reachable region nodes, feasible internal edges, and
-  // one super-edge variable per collapsed child (its call edge: the
-  // subtree's 0/1 entry count).
-  std::vector<int> node_var(sg_.nodes().size(), -1);
-  std::vector<int> edge_var(sg_.edges().size(), -1);
+  // Variables: one per feasible internal edge and one super-edge
+  // variable per collapsed child (its call edge: the subtree's 0/1
+  // entry count). Sink and persistence-miss variables follow.
+  build.region_node.assign(sg_.nodes().size(), 0);
   for (const cfg::SgNode& node : sg_.nodes()) {
-    if (!in_region(node.id) || !values_.node_reachable(node.id)) continue;
-    std::ostringstream name;
-    name << "n" << node.id;
-    node_var[static_cast<std::size_t>(node.id)] = ilp.add_variable(name.str());
+    if (in_region(node.id) && values_.node_reachable(node.id)) {
+      build.region_node[static_cast<std::size_t>(node.id)] = 1;
+    }
   }
+  build.edge_var.assign(sg_.edges().size(), -1);
+  std::vector<int>& edge_var = build.edge_var;
   for (const cfg::SgEdge& edge : sg_.edges()) {
-    if (child_of_call_edge[static_cast<std::size_t>(edge.id)] >= 0) {
-      std::ostringstream name;
-      name << "y" << (*spec.children)[static_cast<std::size_t>(
-                         child_of_call_edge[static_cast<std::size_t>(edge.id)])]
-                        .instance;
-      edge_var[static_cast<std::size_t>(edge.id)] = ilp.add_variable(name.str());
+    const int child = child_of_call_edge[static_cast<std::size_t>(edge.id)];
+    if (child >= 0) {
+      edge_var[static_cast<std::size_t>(edge.id)] = ilp.add_variable(
+          "y" + std::to_string((*spec.children)[static_cast<std::size_t>(child)].instance));
       continue;
     }
     if (!values_.edge_feasible(edge.id)) continue;
-    if (node_var[static_cast<std::size_t>(edge.from)] < 0 ||
-        node_var[static_cast<std::size_t>(edge.to)] < 0) {
+    if (!build.region_node[static_cast<std::size_t>(edge.from)] ||
+        !build.region_node[static_cast<std::size_t>(edge.to)]) {
       continue;
     }
-    std::ostringstream name;
-    name << "e" << edge.id;
-    edge_var[static_cast<std::size_t>(edge.id)] = ilp.add_variable(name.str());
+    edge_var[static_cast<std::size_t>(edge.id)] =
+        ilp.add_variable("e" + std::to_string(edge.id));
   }
 
-  // Flow conservation with a virtual source (flow 1 into source_node)
-  // and sinks at the task exits (top level) or the subtree's ret edges.
+  const auto add_obj = [](std::vector<Rational>& obj, int var, const Rational& coeff) {
+    if (obj.size() <= static_cast<std::size_t>(var)) {
+      obj.resize(static_cast<std::size_t>(var) + 1);
+    }
+    obj[static_cast<std::size_t>(var)] += coeff;
+  };
+
+  // Balance rows with sinks at the task exits (top level) or the
+  // subtree's ret edges, and the node weights folded onto the inbound
+  // flow.
   std::vector<int> exit_vars;
   {
     std::set<int> exit_set;
     if (spec.top_level) exit_set.insert(sg_.exit_nodes().begin(), sg_.exit_nodes().end());
     for (const cfg::SgNode& node : sg_.nodes()) {
-      const int nv = node_var[static_cast<std::size_t>(node.id)];
-      if (nv < 0) continue;
-      // Sum of in-edges (+ virtual entry) == x_node.
-      std::vector<LinTerm> in_terms{{nv, Rational(-1)}};
-      for (const int eid : node.pred_edges) {
-        const int ev = edge_var[static_cast<std::size_t>(eid)];
-        if (ev >= 0) in_terms.push_back({ev, Rational(1)});
+      if (!build.region_node[static_cast<std::size_t>(node.id)]) continue;
+      std::vector<LinTerm> terms;
+      const int src = append_in_flow(spec, edge_var, node.id, Rational(1), terms);
+      const std::size_t in_count = terms.size();
+
+      const NodeTiming& timing = pipeline_.timing(node.id);
+      if (timing.ub != 0) {
+        const Rational w(static_cast<std::int64_t>(timing.ub));
+        for (std::size_t i = 0; i < in_count; ++i) add_obj(build.obj_max, terms[i].var, w);
+        if (src != 0) build.offset_max += w;
       }
-      if (spec.children != nullptr) {
-        // A collapsed child's flow re-emerges at its return site.
-        for (const Sub& sub : *spec.children) {
-          if (sub.return_site != node.id) continue;
-          const int yv = edge_var[static_cast<std::size_t>(sub.call_edge)];
-          if (yv >= 0) in_terms.push_back({yv, Rational(1)});
-        }
+      if (timing.lb != 0) {
+        const Rational w(-static_cast<std::int64_t>(timing.lb));
+        for (std::size_t i = 0; i < in_count; ++i) add_obj(build.obj_min, terms[i].var, w);
+        if (src != 0) build.offset_min += w;
       }
-      ilp.add_constraint(std::move(in_terms), Cmp::eq,
-                         Rational(node.id == spec.source_node ? -1 : 0));
-      // Sum of out-edges (+ sink flow) == x_node.
-      std::vector<LinTerm> out_terms{{nv, Rational(-1)}};
+
       bool made_sink = false;
       for (const int eid : node.succ_edges) {
         const int ev = edge_var[static_cast<std::size_t>(eid)];
         if (ev >= 0) {
-          out_terms.push_back({ev, Rational(1)});
+          terms.push_back({ev, Rational(-1)});
           continue;
         }
         if (is_sink_edge[static_cast<std::size_t>(eid)] != 0 && values_.edge_feasible(eid)) {
           // Subtree ret edge: flow leaves the region here; the sink
           // variable carries the edge's extra cost (taken-branch
           // penalty convention) in the objective.
-          std::ostringstream name;
-          name << "ret" << eid;
-          const int sv = ilp.add_variable(name.str());
+          const int sv = ilp.add_variable("ret" + std::to_string(eid));
           exit_vars.push_back(sv);
-          out_terms.push_back({sv, Rational(1)});
+          terms.push_back({sv, Rational(-1)});
           const unsigned extra = pipeline_.edge_extra(eid);
           if (extra != 0) {
-            ilp.set_objective(sv, Rational(options.maximize
-                                               ? static_cast<std::int64_t>(extra)
-                                               : -static_cast<std::int64_t>(extra)));
+            add_obj(build.obj_max, sv, Rational(static_cast<std::int64_t>(extra)));
+            add_obj(build.obj_min, sv, Rational(-static_cast<std::int64_t>(extra)));
           }
           made_sink = true;
         }
       }
       if (spec.top_level && exit_set.count(node.id) != 0) {
-        std::ostringstream name;
-        name << "sink" << node.id;
-        const int sv = ilp.add_variable(name.str());
+        const int sv = ilp.add_variable("sink" + std::to_string(node.id));
         exit_vars.push_back(sv);
-        out_terms.push_back({sv, Rational(1)});
+        terms.push_back({sv, Rational(-1)});
       } else if (!made_sink &&
                  (node.succ_edges.empty() ||
                   std::all_of(node.succ_edges.begin(), node.succ_edges.end(), [&](int eid) {
@@ -383,21 +659,19 @@ IpetResult Ipet::solve_region(const RegionSpec& spec, const IpetOptions& options
         // Dead end that is not an exit (e.g. unresolved indirect): treat
         // as a sink so the system stays feasible; the driver reports the
         // obstruction separately.
-        std::ostringstream name;
-        name << "dead" << node.id;
-        const int sv = ilp.add_variable(name.str());
+        const int sv = ilp.add_variable("dead" + std::to_string(node.id));
         exit_vars.push_back(sv);
-        out_terms.push_back({sv, Rational(1)});
+        terms.push_back({sv, Rational(-1)});
       }
-      ilp.add_constraint(std::move(out_terms), Cmp::eq, Rational(0));
+      ilp.add_constraint(std::move(terms), Cmp::eq, Rational(-src));
     }
     std::vector<LinTerm> sink_sum;
     sink_sum.reserve(exit_vars.size());
     for (const int sv : exit_vars) sink_sum.push_back({sv, Rational(1)});
     if (sink_sum.empty()) {
       // No reachable exit: no finite execution to bound.
-      result.status = IpetResult::Status::infeasible;
-      return result;
+      build.early.status = IpetResult::Status::infeasible;
+      return false;
     }
     ilp.add_constraint(std::move(sink_sum), Cmp::eq, Rational(1));
   }
@@ -453,7 +727,7 @@ IpetResult Ipet::solve_region(const RegionSpec& spec, const IpetOptions& options
     }
     const auto bound_it = options.loop_bounds.find(loop.id);
     if (bound_it == options.loop_bounds.end()) {
-      result.loops_missing_bounds.push_back(loop.id);
+      build.early.loops_missing_bounds.push_back(loop.id);
       continue;
     }
     // sum(back) - B * sum(entry) <= B * virtual_entries
@@ -463,60 +737,135 @@ IpetResult Ipet::solve_region(const RegionSpec& spec, const IpetOptions& options
     ilp.add_constraint(std::move(terms), Cmp::le,
                        Rational(has_virtual_entry ? bound : 0));
   }
-  if (!result.loops_missing_bounds.empty() && options.maximize) {
-    result.status = IpetResult::Status::missing_loop_bounds;
-    return result;
-  }
 
-  // Objective: cycle-weighted counts (+ persistence miss terms when
-  // maximizing).
-  for (const cfg::SgNode& node : sg_.nodes()) {
-    const int nv = node_var[static_cast<std::size_t>(node.id)];
-    if (nv < 0) continue;
-    const NodeTiming& timing = pipeline_.timing(node.id);
-    const std::uint64_t weight = options.maximize ? timing.ub : timing.lb;
-    ilp.set_objective(nv, Rational(options.maximize
-                                       ? static_cast<std::int64_t>(weight)
-                                       : -static_cast<std::int64_t>(weight)));
-    if (options.maximize) {
-      int term_index = 0;
-      for (const PsTerm& ps : timing.ps_terms) {
-        const cfg::Loop& loop = loops_.loop(ps.loop_id);
-        std::ostringstream name;
-        name << "ps_n" << node.id << '_' << term_index++;
-        const int mv = ilp.add_variable(name.str());
-        // misses <= executions of the node
-        ilp.add_constraint({{mv, Rational(1)}, {nv, Rational(-1)}}, Cmp::le, Rational(0));
-        // misses <= line_count * loop entries
-        bool has_virtual_entry = false;
-        const std::vector<LinTerm> entries = loop_entry_terms(loop, has_virtual_entry);
-        const auto lc = static_cast<std::int64_t>(ps.line_count);
-        std::vector<LinTerm> entry_terms{{mv, Rational(1)}};
-        for (const LinTerm& t : entries) entry_terms.push_back({t.var, Rational(-lc)});
-        ilp.add_constraint(std::move(entry_terms), Cmp::le,
-                           Rational(has_virtual_entry ? lc : 0));
-        ilp.set_objective(mv, Rational(static_cast<std::int64_t>(ps.penalty)));
+  // Design-level flow facts (Section 4.3), top level only: the
+  // decomposition pins every subtree a fact touches into the outer
+  // region, so the constrained counts are all expressible here.
+  if (spec.top_level) {
+    // Execution-count expression of every region node whose block
+    // covers `addr`, scaled; flags whether any node was covered and
+    // accumulates the virtual-source constant.
+    const auto append_counts_at = [&](std::uint32_t addr, const Rational& scale,
+                                      std::vector<LinTerm>& terms, Rational& constant) {
+      bool covered = false;
+      for (const int node_id : sg_.nodes_covering(addr)) {
+        if (!build.region_node[static_cast<std::size_t>(node_id)]) continue;
+        covered = true;
+        if (append_in_flow(spec, edge_var, node_id, scale, terms) != 0) constant += scale;
+      }
+      return covered;
+    };
+
+    // Operating-mode / never-executed exclusions.
+    for (const std::uint32_t addr : options.excluded_addrs) {
+      std::vector<LinTerm> terms;
+      Rational constant;
+      if (append_counts_at(addr, Rational(1), terms, constant)) {
+        ilp.add_constraint(std::move(terms), Cmp::le, -constant);
       }
     }
+
+    // Absolute flow caps.
+    for (const annot::FlowCapFact& cap : options.flow_caps) {
+      std::vector<LinTerm> terms;
+      Rational constant;
+      if (append_counts_at(cap.addr, Rational(1), terms, constant)) {
+        ilp.add_constraint(std::move(terms), Cmp::le,
+                           Rational(static_cast<std::int64_t>(cap.max_count)) - constant);
+      }
+    }
+
+    // Relative flow facts: count(a) <= f * count(b).
+    for (const annot::FlowRatioFact& ratio : options.flow_ratios) {
+      std::vector<LinTerm> terms;
+      Rational constant;
+      bool covered = append_counts_at(ratio.addr, Rational(1), terms, constant);
+      covered |= append_counts_at(ratio.relative_to,
+                                  Rational(-static_cast<std::int64_t>(ratio.factor)), terms,
+                                  constant);
+      if (covered) ilp.add_constraint(std::move(terms), Cmp::le, -constant);
+    }
+
+    // Infeasible pairs: big-M disjunction with a binary selector.
+    const auto big_m = Rational(static_cast<std::int64_t>(options.infeasible_pair_big_m));
+    int pair_index = 0;
+    for (const annot::InfeasiblePairFact& pair : options.infeasible_pairs) {
+      const int sel = ilp.add_variable("excl" + std::to_string(pair_index++));
+      ilp.add_constraint({{sel, Rational(1)}}, Cmp::le, Rational(1));
+      std::vector<LinTerm> a_terms;
+      Rational a_const;
+      std::vector<LinTerm> b_terms;
+      Rational b_const;
+      const bool a_covered = append_counts_at(pair.a, Rational(1), a_terms, a_const);
+      const bool b_covered = append_counts_at(pair.b, Rational(1), b_terms, b_const);
+      if (!a_covered || !b_covered) continue;
+      // sum(a) <= M * sel
+      a_terms.push_back({sel, -big_m});
+      ilp.add_constraint(std::move(a_terms), Cmp::le, -a_const);
+      // sum(b) <= M * (1 - sel)
+      b_terms.push_back({sel, big_m});
+      ilp.add_constraint(std::move(b_terms), Cmp::le, big_m - b_const);
+    }
   }
+
+  // Persistence-miss terms: misses are bounded by the node's executions
+  // and by line_count per loop entry. Emitted for both senses (see the
+  // header comment: the minimize optimum pins every miss to zero).
+  for (const cfg::SgNode& node : sg_.nodes()) {
+    if (!build.region_node[static_cast<std::size_t>(node.id)]) continue;
+    const NodeTiming& timing = pipeline_.timing(node.id);
+    int term_index = 0;
+    for (const PsTerm& ps : timing.ps_terms) {
+      const cfg::Loop& loop = loops_.loop(ps.loop_id);
+      const int mv = ilp.add_variable("ps_n" + std::to_string(node.id) + '_' +
+                                      std::to_string(term_index++));
+      // misses <= executions of the node
+      std::vector<LinTerm> exec_terms{{mv, Rational(1)}};
+      const int src = append_in_flow(spec, edge_var, node.id, Rational(-1), exec_terms);
+      ilp.add_constraint(std::move(exec_terms), Cmp::le, Rational(src));
+      // misses <= line_count * loop entries
+      bool has_virtual_entry = false;
+      const std::vector<LinTerm> entries = loop_entry_terms(loop, has_virtual_entry);
+      const auto lc = static_cast<std::int64_t>(ps.line_count);
+      std::vector<LinTerm> entry_terms{{mv, Rational(1)}};
+      for (const LinTerm& t : entries) entry_terms.push_back({t.var, Rational(-lc)});
+      ilp.add_constraint(std::move(entry_terms), Cmp::le,
+                         Rational(has_virtual_entry ? lc : 0));
+      add_obj(build.obj_max, mv, Rational(static_cast<std::int64_t>(ps.penalty)));
+      add_obj(build.obj_min, mv, Rational(-static_cast<std::int64_t>(ps.penalty)));
+    }
+  }
+
+  // Edge extra costs and collapsed-child objectives.
   for (const cfg::SgEdge& edge : sg_.edges()) {
     const int ev = edge_var[static_cast<std::size_t>(edge.id)];
     if (ev < 0) continue;
     const unsigned extra = pipeline_.edge_extra(edge.id);
-    Rational coeff(options.maximize ? static_cast<std::int64_t>(extra)
-                                    : -static_cast<std::int64_t>(extra));
+    if (extra != 0) {
+      add_obj(build.obj_max, ev, Rational(static_cast<std::int64_t>(extra)));
+      add_obj(build.obj_min, ev, Rational(-static_cast<std::int64_t>(extra)));
+    }
     const int child = child_of_call_edge[static_cast<std::size_t>(edge.id)];
     if (child >= 0) {
       // Super edge: one unit of flow buys the subtree's optimal cost.
-      coeff += (*spec.children)[static_cast<std::size_t>(child)].objective;
+      const Sub& sub = (*spec.children)[static_cast<std::size_t>(child)];
+      add_obj(build.obj_max, ev, sub.objective);
+      add_obj(build.obj_min, ev, sub.objective_bcet);
     }
-    if (!coeff.is_zero()) ilp.set_objective(ev, coeff);
   }
+  build.obj_max.resize(static_cast<std::size_t>(ilp.num_variables()));
+  build.obj_min.resize(static_cast<std::size_t>(ilp.num_variables()));
+  return true;
+}
 
-  result.variables = ilp.num_variables();
-  result.constraints = ilp.num_constraints();
-
-  const LpSolution solution = ilp.solve_ilp();
+IpetResult Ipet::extract_region(const RegionBuild& build, const RegionSpec& spec,
+                                bool maximize, const LpSolution& solution,
+                                Rational* objective_out,
+                                std::map<int, std::uint64_t>* edge_counts_out) const {
+  IpetResult result;
+  result.loops_missing_bounds = build.early.loops_missing_bounds;
+  result.variables = build.ilp.num_variables();
+  result.constraints = build.ilp.num_constraints();
   switch (solution.status) {
   case LpSolution::Status::optimal:
     break;
@@ -532,288 +881,97 @@ IpetResult Ipet::solve_region(const RegionSpec& spec, const IpetOptions& options
   }
 
   result.status = IpetResult::Status::ok;
-  if (spec.objective_out != nullptr) *spec.objective_out = solution.objective;
-  const Rational objective =
-      options.maximize ? solution.objective : -solution.objective;
-  result.bound = static_cast<std::uint64_t>(options.maximize ? objective.ceil64()
-                                                             : objective.floor64());
+  const Rational total = solution.objective + (maximize ? build.offset_max : build.offset_min);
+  if (objective_out != nullptr) *objective_out = total;
+  const Rational objective = maximize ? total : -total;
+  result.bound = static_cast<std::uint64_t>(maximize ? objective.ceil64()
+                                                     : objective.floor64());
+  // Witness: recover the node counts from the inbound flow.
   for (const cfg::SgNode& node : sg_.nodes()) {
-    const int nv = node_var[static_cast<std::size_t>(node.id)];
-    if (nv < 0) continue;
-    const Rational& count = solution.values[static_cast<std::size_t>(nv)];
+    if (!build.region_node[static_cast<std::size_t>(node.id)]) continue;
+    std::vector<LinTerm> terms;
+    Rational count(append_in_flow(spec, build.edge_var, node.id, Rational(1), terms));
+    for (const LinTerm& t : terms) count += solution.values[static_cast<std::size_t>(t.var)];
     if (!count.is_zero()) {
       result.node_counts[node.id] = static_cast<std::uint64_t>(count.floor64());
     }
   }
-  if (spec.edge_counts_out != nullptr) {
+  if (edge_counts_out != nullptr) {
     for (const cfg::SgEdge& edge : sg_.edges()) {
-      const int ev = edge_var[static_cast<std::size_t>(edge.id)];
+      const int ev = build.edge_var[static_cast<std::size_t>(edge.id)];
       if (ev < 0) continue;
       const Rational& count = solution.values[static_cast<std::size_t>(ev)];
       if (!count.is_zero()) {
-        (*spec.edge_counts_out)[edge.id] =
-            static_cast<std::uint64_t>(count.floor64());
+        (*edge_counts_out)[edge.id] = static_cast<std::uint64_t>(count.floor64());
       }
     }
   }
   return result;
 }
 
-// ---------------------------------------------------------------------------
-// Monolithic solve: the whole supergraph as one ILP, including the
-// annotation-driven coupling constraints (flow caps / ratios /
-// infeasible pairs / exclusions) that the decomposition cannot split.
-// ---------------------------------------------------------------------------
-
-IpetResult Ipet::solve_monolithic(const IpetOptions& options) const {
-  IpetResult result;
-  IlpProblem ilp;
-
-  // Variables for reachable nodes and feasible edges.
-  std::vector<int> node_var(sg_.nodes().size(), -1);
-  std::vector<int> edge_var(sg_.edges().size(), -1);
-  for (const cfg::SgNode& node : sg_.nodes()) {
-    if (!values_.node_reachable(node.id)) continue;
-    std::ostringstream name;
-    name << "n" << node.id;
-    node_var[static_cast<std::size_t>(node.id)] = ilp.add_variable(name.str());
-  }
-  for (const cfg::SgEdge& edge : sg_.edges()) {
-    if (!values_.edge_feasible(edge.id)) continue;
-    if (node_var[static_cast<std::size_t>(edge.from)] < 0 ||
-        node_var[static_cast<std::size_t>(edge.to)] < 0) {
-      continue;
-    }
-    std::ostringstream name;
-    name << "e" << edge.id;
-    edge_var[static_cast<std::size_t>(edge.id)] = ilp.add_variable(name.str());
-  }
-
-  // Flow conservation with a virtual source (entry, flow 1) and sink.
-  std::vector<int> exit_vars;
-  {
-    std::set<int> exit_set(sg_.exit_nodes().begin(), sg_.exit_nodes().end());
-    for (const cfg::SgNode& node : sg_.nodes()) {
-      const int nv = node_var[static_cast<std::size_t>(node.id)];
-      if (nv < 0) continue;
-      // Sum of in-edges (+ virtual entry) == x_node.
-      std::vector<LinTerm> in_terms{{nv, Rational(-1)}};
-      for (const int eid : node.pred_edges) {
-        const int ev = edge_var[static_cast<std::size_t>(eid)];
-        if (ev >= 0) in_terms.push_back({ev, Rational(1)});
-      }
-      ilp.add_constraint(std::move(in_terms), Cmp::eq,
-                         Rational(node.id == sg_.entry_node() ? -1 : 0));
-      // Sum of out-edges (+ sink flow for exits) == x_node.
-      std::vector<LinTerm> out_terms{{nv, Rational(-1)}};
-      for (const int eid : node.succ_edges) {
-        const int ev = edge_var[static_cast<std::size_t>(eid)];
-        if (ev >= 0) out_terms.push_back({ev, Rational(1)});
-      }
-      if (exit_set.count(node.id) != 0) {
-        std::ostringstream name;
-        name << "sink" << node.id;
-        const int sv = ilp.add_variable(name.str());
-        exit_vars.push_back(sv);
-        out_terms.push_back({sv, Rational(1)});
-      } else if (node.succ_edges.empty() ||
-                 std::all_of(node.succ_edges.begin(), node.succ_edges.end(),
-                             [&](int eid) {
-                               return edge_var[static_cast<std::size_t>(eid)] < 0;
-                             })) {
-        // Dead end that is not an exit (e.g. unresolved indirect): treat
-        // as a sink so the system stays feasible; the driver reports the
-        // obstruction separately.
-        std::ostringstream name;
-        name << "dead" << node.id;
-        const int sv = ilp.add_variable(name.str());
-        exit_vars.push_back(sv);
-        out_terms.push_back({sv, Rational(1)});
-      }
-      ilp.add_constraint(std::move(out_terms), Cmp::eq, Rational(0));
-    }
-    std::vector<LinTerm> sink_sum;
-    sink_sum.reserve(exit_vars.size());
-    for (const int sv : exit_vars) sink_sum.push_back({sv, Rational(1)});
-    if (sink_sum.empty()) {
-      // No reachable task exit (e.g. a non-terminating loop that only
-      // leaves via longjmp): no finite execution to bound.
-      result.status = IpetResult::Status::infeasible;
-      return result;
-    }
-    ilp.add_constraint(std::move(sink_sum), Cmp::eq, Rational(1));
-  }
-
-  // Loop bounds.
-  for (const cfg::Loop& loop : loops_.loops()) {
-    // Relevance: the loop participates if any entry edge is feasible.
-    std::vector<LinTerm> entry_terms;
-    for (const int eid : loop.entry_edges) {
-      const int ev = edge_var[static_cast<std::size_t>(eid)];
-      if (ev >= 0) entry_terms.push_back({ev, Rational(1)});
-    }
-    std::vector<LinTerm> back_terms;
-    for (const int eid : loop.back_edges) {
-      const int ev = edge_var[static_cast<std::size_t>(eid)];
-      if (ev >= 0) back_terms.push_back({ev, Rational(1)});
-    }
-    if (back_terms.empty()) continue; // cycle already broken by infeasibility
-    if (entry_terms.empty()) {
-      // Unreachable loop: force its back edges to zero.
-      ilp.add_constraint(std::move(back_terms), Cmp::le, Rational(0));
-      continue;
-    }
-    const auto bound_it = options.loop_bounds.find(loop.id);
-    if (bound_it == options.loop_bounds.end()) {
-      result.loops_missing_bounds.push_back(loop.id);
-      continue;
-    }
-    // sum(back) - B * sum(entry) <= 0
-    std::vector<LinTerm> terms = std::move(back_terms);
-    for (LinTerm& t : entry_terms) {
-      terms.push_back({t.var, Rational(-static_cast<std::int64_t>(bound_it->second))});
-    }
-    ilp.add_constraint(std::move(terms), Cmp::le, Rational(0));
-  }
-  if (!result.loops_missing_bounds.empty() && options.maximize) {
+IpetResult Ipet::solve_region(const RegionSpec& spec, const IpetOptions& options,
+                              Rational* objective_out,
+                              std::map<int, std::uint64_t>* edge_counts_out) const {
+  RegionBuild build;
+  if (!build_region(spec, options, build)) return build.early;
+  if (options.maximize && !build.early.loops_missing_bounds.empty()) {
+    IpetResult result = std::move(build.early);
     result.status = IpetResult::Status::missing_loop_bounds;
     return result;
   }
-
-  // Helper: all node variables whose block covers `addr`.
-  const auto nodes_at = [&](std::uint32_t addr) {
-    std::vector<int> vars;
-    for (const cfg::SgNode& node : sg_.nodes()) {
-      const int nv = node_var[static_cast<std::size_t>(node.id)];
-      if (nv < 0) continue;
-      if (addr >= node.block->begin && addr < node.block->end) vars.push_back(nv);
-    }
-    return vars;
-  };
-
-  // Operating-mode / never-executed exclusions.
-  for (const std::uint32_t addr : options.excluded_addrs) {
-    std::vector<LinTerm> terms;
-    for (const int nv : nodes_at(addr)) terms.push_back({nv, Rational(1)});
-    if (!terms.empty()) ilp.add_constraint(std::move(terms), Cmp::le, Rational(0));
-  }
-
-  // Absolute flow caps.
-  for (const auto& cap : options.flow_caps) {
-    std::vector<LinTerm> terms;
-    for (const int nv : nodes_at(cap.addr)) terms.push_back({nv, Rational(1)});
-    if (!terms.empty()) {
-      ilp.add_constraint(std::move(terms), Cmp::le,
-                         Rational(static_cast<std::int64_t>(cap.max_count)));
+  const std::vector<Rational>& objective = options.maximize ? build.obj_max : build.obj_min;
+  for (int var = 0; var < build.ilp.num_variables(); ++var) {
+    if (!objective[static_cast<std::size_t>(var)].is_zero()) {
+      build.ilp.set_objective(var, objective[static_cast<std::size_t>(var)]);
     }
   }
+  if (options.lp_dump != nullptr && spec.top_level) *options.lp_dump = build.ilp.to_string();
+  const LpSolution solution = build.ilp.solve_ilp();
+  return extract_region(build, spec, options.maximize, solution, objective_out,
+                        edge_counts_out);
+}
 
-  // Relative flow facts: count(a) <= f * count(b).
-  for (const auto& ratio : options.flow_ratios) {
-    std::vector<LinTerm> terms;
-    for (const int nv : nodes_at(ratio.addr)) terms.push_back({nv, Rational(1)});
-    for (const int nv : nodes_at(ratio.relative_to)) {
-      terms.push_back({nv, Rational(-static_cast<std::int64_t>(ratio.factor))});
-    }
-    if (!terms.empty()) ilp.add_constraint(std::move(terms), Cmp::le, Rational(0));
+std::pair<IpetResult, IpetResult> Ipet::solve_region_both(
+    const RegionSpec& spec, const IpetOptions& options, Rational* objective_max_out,
+    Rational* objective_min_out, std::map<int, std::uint64_t>* edge_counts_max_out,
+    std::map<int, std::uint64_t>* edge_counts_min_out) const {
+  RegionBuild build;
+  if (!build_region(spec, options, build)) return {build.early, build.early};
+  if (!build.early.loops_missing_bounds.empty()) {
+    IpetResult result = std::move(build.early);
+    result.status = IpetResult::Status::missing_loop_bounds;
+    return {std::move(result), IpetResult{}};
   }
-
-  // Infeasible pairs: big-M disjunction with a binary selector.
-  const auto big_m = Rational(static_cast<std::int64_t>(options.infeasible_pair_big_m));
-  int pair_index = 0;
-  for (const auto& pair : options.infeasible_pairs) {
-    std::ostringstream name;
-    name << "excl" << pair_index++;
-    const int sel = ilp.add_variable(name.str());
-    ilp.add_constraint({{sel, Rational(1)}}, Cmp::le, Rational(1));
-    std::vector<LinTerm> a_terms;
-    for (const int nv : nodes_at(pair.a)) a_terms.push_back({nv, Rational(1)});
-    std::vector<LinTerm> b_terms;
-    for (const int nv : nodes_at(pair.b)) b_terms.push_back({nv, Rational(1)});
-    if (a_terms.empty() || b_terms.empty()) continue;
-    // sum(a) <= M * sel
-    a_terms.push_back({sel, -big_m});
-    ilp.add_constraint(std::move(a_terms), Cmp::le, Rational(0));
-    // sum(b) <= M * (1 - sel)
-    b_terms.push_back({sel, big_m});
-    ilp.add_constraint(std::move(b_terms), Cmp::le, big_m);
-  }
-
-  // Objective: cycle-weighted counts (+ persistence miss terms when
-  // maximizing).
-  for (const cfg::SgNode& node : sg_.nodes()) {
-    const int nv = node_var[static_cast<std::size_t>(node.id)];
-    if (nv < 0) continue;
-    const NodeTiming& timing = pipeline_.timing(node.id);
-    const std::uint64_t weight = options.maximize ? timing.ub : timing.lb;
-    ilp.set_objective(nv, Rational(options.maximize
-                                       ? static_cast<std::int64_t>(weight)
-                                       : -static_cast<std::int64_t>(weight)));
-    if (options.maximize) {
-      int term_index = 0;
-      for (const PsTerm& ps : timing.ps_terms) {
-        const cfg::Loop& loop = loops_.loop(ps.loop_id);
-        std::ostringstream name;
-        name << "ps_n" << node.id << '_' << term_index++;
-        const int mv = ilp.add_variable(name.str());
-        // misses <= executions of the node
-        ilp.add_constraint({{mv, Rational(1)}, {nv, Rational(-1)}}, Cmp::le, Rational(0));
-        // misses <= line_count * loop entries
-        std::vector<LinTerm> entry_terms{{mv, Rational(1)}};
-        for (const int eid : loop.entry_edges) {
-          const int ev = edge_var[static_cast<std::size_t>(eid)];
-          if (ev >= 0) {
-            entry_terms.push_back(
-                {ev, Rational(-static_cast<std::int64_t>(ps.line_count))});
-          }
-        }
-        ilp.add_constraint(std::move(entry_terms), Cmp::le, Rational(0));
-        ilp.set_objective(mv, Rational(static_cast<std::int64_t>(ps.penalty)));
-      }
+  for (int var = 0; var < build.ilp.num_variables(); ++var) {
+    if (!build.obj_max[static_cast<std::size_t>(var)].is_zero()) {
+      build.ilp.set_objective(var, build.obj_max[static_cast<std::size_t>(var)]);
     }
   }
-  for (const cfg::SgEdge& edge : sg_.edges()) {
-    const int ev = edge_var[static_cast<std::size_t>(edge.id)];
-    if (ev < 0) continue;
-    const unsigned extra = pipeline_.edge_extra(edge.id);
-    if (extra == 0) continue;
-    ilp.set_objective(ev, Rational(options.maximize ? static_cast<std::int64_t>(extra)
-                                                    : -static_cast<std::int64_t>(extra)));
-  }
+  const auto [max_solution, min_solution] = build.ilp.solve_ilp_pair(build.obj_min);
+  return {extract_region(build, spec, true, max_solution, objective_max_out,
+                         edge_counts_max_out),
+          extract_region(build, spec, false, min_solution, objective_min_out,
+                         edge_counts_min_out)};
+}
 
-  result.variables = ilp.num_variables();
-  result.constraints = ilp.num_constraints();
-  if (options.lp_dump != nullptr) *options.lp_dump = ilp.to_string();
+// ---------------------------------------------------------------------------
+// Monolithic solve: the whole supergraph as one region, including every
+// annotation-driven coupling constraint. Reference path for the
+// decomposed modes and the fallback when no subtree is eligible.
+// ---------------------------------------------------------------------------
 
-  const LpSolution solution = ilp.solve_ilp();
-  switch (solution.status) {
-  case LpSolution::Status::optimal:
-    break;
-  case LpSolution::Status::infeasible:
-    result.status = IpetResult::Status::infeasible;
-    return result;
-  case LpSolution::Status::unbounded:
-    result.status = IpetResult::Status::unbounded;
-    return result;
-  case LpSolution::Status::node_limit:
-    result.status = IpetResult::Status::node_limit;
-    return result;
-  }
+IpetResult Ipet::solve_monolithic(const IpetOptions& options) const {
+  RegionSpec spec;
+  spec.source_node = sg_.entry_node();
+  spec.top_level = true;
+  return solve_region(spec, options);
+}
 
-  result.status = IpetResult::Status::ok;
-  const Rational objective =
-      options.maximize ? solution.objective : -solution.objective;
-  result.bound = static_cast<std::uint64_t>(options.maximize ? objective.ceil64()
-                                                             : objective.floor64());
-  for (const cfg::SgNode& node : sg_.nodes()) {
-    const int nv = node_var[static_cast<std::size_t>(node.id)];
-    if (nv < 0) continue;
-    const Rational& count = solution.values[static_cast<std::size_t>(nv)];
-    if (!count.is_zero()) {
-      result.node_counts[node.id] = static_cast<std::uint64_t>(count.floor64());
-    }
-  }
-  return result;
+std::pair<IpetResult, IpetResult> Ipet::solve_monolithic_both(const IpetOptions& options) const {
+  RegionSpec spec;
+  spec.source_node = sg_.entry_node();
+  spec.top_level = true;
+  return solve_region_both(spec, options, nullptr, nullptr, nullptr, nullptr);
 }
 
 } // namespace wcet::analysis

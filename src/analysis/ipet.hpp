@@ -13,6 +13,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/pipeline_analysis.hpp"
@@ -26,6 +27,15 @@ class ThreadPool;
 
 namespace wcet::analysis {
 
+// How the IPET ILP is split (see Ipet::solve). The optimum is provably
+// identical in every mode; the modes differ only in how many
+// independent sub-ILPs the solve fans out.
+enum class IpetDecomposition {
+  monolithic, // whole supergraph as one ILP (reference path)
+  flat,       // top-level instance subtrees collapse, solved monolithically
+  recursive,  // collapsed subtrees re-enter planning: nested sub-ILPs
+};
+
 struct IpetOptions {
   IpetOptions() {}
   std::map<int, std::uint64_t> loop_bounds; // loop id -> max back edges per entry
@@ -35,11 +45,8 @@ struct IpetOptions {
   std::set<std::uint32_t> excluded_addrs; // mode excludes + nevers
   bool maximize = true;                   // false: BCET lower bound
   std::uint64_t infeasible_pair_big_m = 1u << 20;
-  std::string* lp_dump = nullptr;         // debug: receives the LP text
-  // Per-instance block decomposition of the ILP (see Ipet::solve). The
-  // optimum is provably identical either way; `false` forces the
-  // monolithic whole-supergraph solve (reference path, used by tests).
-  bool allow_decomposition = true;
+  std::string* lp_dump = nullptr;         // debug: receives the LP text (forces monolithic)
+  IpetDecomposition decomposition = IpetDecomposition::recursive;
 };
 
 struct IpetResult {
@@ -48,7 +55,9 @@ struct IpetResult {
   std::uint64_t bound = 0;
   int variables = 0;
   int constraints = 0;
-  int decomposed_regions = 0; // collapsed instance subtrees (0: monolithic)
+  int decomposed_regions = 0;  // top-level collapsed subtrees (0: monolithic)
+  int sub_ilps = 0;            // sub-ILPs solved across all nesting levels
+  int decomposition_depth = 0; // nesting depth of the deepest sub-ILP
   std::map<int, std::uint64_t> node_counts; // extremal path witness
   std::vector<int> loops_missing_bounds;
 
@@ -61,17 +70,32 @@ public:
        const ValueAnalysis& values, const PipelineAnalysis& pipeline);
 
   // Optional pool: independent per-instance subproblems of a
-  // decomposed solve fan out across it. The decomposition plan and the
-  // merge order are pure functions of the graph, so results are
-  // bit-identical for any worker count.
+  // decomposed solve fan out across it, one nesting level at a time in
+  // ascending instance order. The decomposition plan and the merge
+  // order are pure functions of the graph, so results are bit-identical
+  // for any worker count.
   void set_pool(ThreadPool* pool) { pool_ = pool; }
 
   IpetResult solve(const IpetOptions& options) const;
+
+  // Solve the WCET (maximize) and BCET (minimize) bounds of one
+  // configuration together — {wcet, bcet} — sharing the decomposition
+  // plan, every region's constraint system, and the phase-1 simplex
+  // work between the two senses (the constraint systems are identical;
+  // only the objective differs). `options.maximize` is ignored. The
+  // WCET result is bit-identical to solve(maximize); the BCET bound is
+  // the same exact optimum solve(minimize) computes. When the WCET
+  // solve fails, the BCET half is returned as-is and should be ignored
+  // (matching the driver's "no BCET without a WCET" convention).
+  std::pair<IpetResult, IpetResult> solve_both(const IpetOptions& options) const;
 
 private:
   // One collapsed function-instance subtree: a single-entry
   // (call edge), single-return-site region whose ILP block is
   // independent of the rest of the system (see plan_decomposition).
+  // `children` are eligible subtrees nested inside this one — planning
+  // re-enters each collapsed subtree, so deep call trees become a tree
+  // of sub-ILPs instead of one monolithic sub-solve.
   struct Sub {
     int instance = -1;
     int call_site = -1;   // node holding the call, outside the subtree
@@ -79,28 +103,96 @@ private:
     int entry_node = -1;  // callee entry (virtual source of the sub-ILP)
     int return_site = -1; // every boundary exit targets this node
     std::vector<int> ret_edges;
-    std::vector<char> member; // per-node membership bitmap
-    Rational objective;       // sub-ILP optimum, internal maximize sense
+    std::vector<char> member; // per-node membership bitmap (incl. children)
+    std::vector<Sub> children;
+    // Per-solve state: subtree optima in internal maximize sense (the
+    // WCET/maximize optimum, and the BCET/minimize one filled by
+    // single-sense minimize solves and by solve_both), plus the region
+    // solve results.
+    Rational objective;
+    Rational objective_bcet;
+    IpetResult result;
+    IpetResult result_bcet;
   };
   struct RegionSpec {
     const std::vector<char>* member = nullptr; // null: whole supergraph
     int source_node = -1;                      // virtual source, flow 1
     bool top_level = true; // sinks at task exits (else at sink_ret_edges)
     const std::vector<int>* sink_ret_edges = nullptr;
-    const std::vector<Sub>* children = nullptr; // collapsed subtrees (outer region)
-    Rational* objective_out = nullptr;          // internal maximize sense
-    std::map<int, std::uint64_t>* edge_counts_out = nullptr;
+    const std::vector<Sub>* children = nullptr; // collapsed subtrees of this region
   };
+  // One emitted region problem: the sense-independent constraint system
+  // plus both objective vectors (internal maximize sense) and the
+  // virtual-source objective constants.
+  struct RegionBuild;
 
   IpetResult solve_monolithic(const IpetOptions& options) const;
-  IpetResult solve_region(const RegionSpec& spec, const IpetOptions& options) const;
+  std::pair<IpetResult, IpetResult> solve_monolithic_both(const IpetOptions& options) const;
+  IpetResult solve_region(const RegionSpec& spec, const IpetOptions& options,
+                          Rational* objective_out = nullptr,
+                          std::map<int, std::uint64_t>* edge_counts_out = nullptr) const;
+  std::pair<IpetResult, IpetResult> solve_region_both(
+      const RegionSpec& spec, const IpetOptions& options, Rational* objective_max_out,
+      Rational* objective_min_out, std::map<int, std::uint64_t>* edge_counts_max_out,
+      std::map<int, std::uint64_t>* edge_counts_min_out) const;
+  // Emit the region's constraint system and both objectives. Returns
+  // false when the solve is already decided (no reachable exit, or a
+  // maximize-fatal missing loop bound) with the verdict in build.early.
+  bool build_region(const RegionSpec& spec, const IpetOptions& options,
+                    RegionBuild& build) const;
+  IpetResult extract_region(const RegionBuild& build, const RegionSpec& spec, bool maximize,
+                            const LpSolution& solution, Rational* objective_out,
+                            std::map<int, std::uint64_t>* edge_counts_out) const;
+  // Append the inbound-flow terms of a node (in-edges plus the
+  // super-edges of children returning here), scaled; returns the
+  // virtual-source constant (1 at the region source).
+  int append_in_flow(const RegionSpec& spec, const std::vector<int>& edge_var, int node_id,
+                     const Rational& scale, std::vector<LinTerm>& terms) const;
+  // Solve one collapsed subtree's region (children already solved);
+  // fills the sense-matching objective and result, merging child
+  // witnesses. solve_sub_both fills both senses off one shared build.
+  void solve_sub(Sub& sub, const IpetOptions& options) const;
+  void solve_sub_both(Sub& sub, const IpetOptions& options) const;
+  // Region spec of a collapsed subtree (its nodes minus its collapsed
+  // children, virtual source at the callee entry, sinks at the ret
+  // edges); `member` receives the membership bitmap the spec points at.
+  static RegionSpec sub_region_spec(Sub& sub, std::vector<char>& member);
+  // Group the sub tree by nesting level, each level sorted by instance
+  // id: the deterministic fan-out schedule (deepest level first).
+  static std::vector<std::vector<Sub*>> schedule_levels(std::vector<Sub>& subs);
+  // Shared plumbing of solve()/solve_both(): the per-solve plan copy
+  // (flat stripping + fact pruning), the missing-loop-bound pre-check
+  // replicating the monolithic scan, the deterministic level fan-out
+  // over the pool (false: some sub failed -> monolithic fallback), and
+  // the merge of sub results into the outer result for one sense.
+  std::vector<Sub> planned_subs(const IpetOptions& options) const;
+  std::vector<int> missing_loop_bounds_in(const IpetOptions& options) const;
+  bool solve_levels(const std::vector<std::vector<Sub*>>& levels, const IpetOptions& options,
+                    bool both) const;
+  static void merge_sub_results(IpetResult& outer, const std::vector<Sub>& subs,
+                                const std::map<int, std::uint64_t>& edge_counts,
+                                bool bcet_sense);
   // Memoized: the plan is a pure function of the (immutable) graph and
-  // value-analysis results, and the WCET + BCET solves share it.
+  // value-analysis results; the WCET + BCET solves and every
+  // decomposition mode share it (flat drops the nested children).
   const std::vector<Sub>& decomposition_plan() const;
   std::vector<Sub> plan_decomposition() const;
+  // Plan the eligible subtrees of one region (the whole graph, or the
+  // inside of a collapsed subtree), recursing into each collapsed sub.
+  std::vector<Sub> plan_region(int root_instance, std::size_t region_size,
+                               const std::vector<std::vector<int>>& children,
+                               const std::vector<std::size_t>& subtree_nodes,
+                               const std::set<int>& exit_set) const;
   bool subtree_eligible(int instance, const std::vector<std::vector<int>>& children,
                         const std::set<int>& exit_set, Sub& sub) const;
-  bool node_excluded(int node, const std::set<std::uint32_t>& excluded) const;
+  std::size_t reachable_in(const std::vector<char>& member) const;
+  // Per-subtree flow-fact eligibility: the reachable nodes constrained
+  // by any flow cap / ratio / infeasible pair / exclusion in `options`
+  // (empty when no facts are present).
+  std::vector<char> constrained_nodes(const IpetOptions& options) const;
+  // Drop every subtree a constrained node pins, promoting unpinned
+  // nested children into the parent region.
+  static std::vector<Sub> prune_pinned(std::vector<Sub> subs, const std::vector<char>& pinned);
 
   const cfg::Supergraph& sg_;
   const cfg::LoopForest& loops_;

@@ -185,6 +185,14 @@ std::vector<int> Supergraph::instance_topo_order() const {
   return order;
 }
 
+std::vector<int> Supergraph::nodes_covering(std::uint32_t addr) const {
+  std::vector<int> covering;
+  for (const SgNode& node : nodes_) {
+    if (addr >= node.block->begin && addr < node.block->end) covering.push_back(node.id);
+  }
+  return covering;
+}
+
 std::string Supergraph::context_of(int node_id) const {
   const SgNode& node = nodes_[static_cast<std::size_t>(node_id)];
   std::vector<std::string> names;

@@ -111,6 +111,13 @@ public:
            nodes_[static_cast<std::size_t>(e.to)].instance;
   }
 
+  // Node ids (ascending) whose block covers `addr` — one per instance
+  // the owning function was cloned into. This is the address->instance
+  // mapping flow-fact eligibility is built on: an annotation at `addr`
+  // constrains exactly these nodes, so IPET decomposition pins exactly
+  // the subtrees containing one of them.
+  std::vector<int> nodes_covering(std::uint32_t addr) const;
+
   // Human-readable call-path context of a node:
   // "main -> handler -> memcpy [0x1040)".
   std::string context_of(int node_id) const;

@@ -33,64 +33,94 @@ namespace {
 constexpr int k_bland_switch = 128;
 
 // Row-wise simplex tableau with explicit basis bookkeeping. Rows are
-// individual vectors (with the rhs held separately) so that the warm
-// start can append branch rows and their slack columns in place.
+// sparse (sorted column/value entries, no stored zeros; the rhs held
+// separately), so tableau memory scales with the nonzero count and the
+// warm start can append branch rows and their slack columns in place —
+// existing rows never materialize the new columns.
 class Simplex {
 public:
   enum class Status { optimal, infeasible, unbounded, stalled };
 
+  struct Ent {
+    std::size_t col = 0;
+    Rational val;
+  };
+  using SparseRow = std::vector<Ent>;
+
   Simplex(std::size_t num_vars, const std::vector<IlpProblem::Row>& base,
           const std::vector<IlpProblem::Row>& extra, const std::vector<Rational>& objective)
       : n_(num_vars), objective_(objective) {
-    std::vector<IlpProblem::Row> rows = base;
-    rows.insert(rows.end(), extra.begin(), extra.end());
-    // Normalize: rhs >= 0.
-    for (auto& row : rows) {
-      if (row.rhs.is_negative()) {
-        row.rhs = -row.rhs;
-        for (auto& t : row.terms) t.coeff = -t.coeff;
-        if (row.cmp == Cmp::le) row.cmp = Cmp::ge;
-        else if (row.cmp == Cmp::ge) row.cmp = Cmp::le;
-      }
-    }
-    m_ = rows.size();
+    m_ = base.size() + extra.size();
+    const auto row_at = [&](std::size_t r) -> const IlpProblem::Row& {
+      return r < base.size() ? base[r] : extra[r - base.size()];
+    };
+    // Normalization to rhs >= 0 happens on the fly (a negative-rhs row
+    // is built with negated coefficients and a flipped comparison), so
+    // the caller's rows are never copied.
+    const auto flipped_cmp = [](const IlpProblem::Row& row) {
+      if (!row.rhs.is_negative()) return row.cmp;
+      if (row.cmp == Cmp::le) return Cmp::ge;
+      if (row.cmp == Cmp::ge) return Cmp::le;
+      return Cmp::eq;
+    };
 
     // Column layout: [structural n][slack/surplus per row][artificial
     // per row as needed]; the rhs lives in its own vector.
     std::size_t num_slack = 0;
     num_art_ = 0;
-    for (const auto& row : rows) {
-      if (row.cmp != Cmp::eq) ++num_slack;
-      if (row.cmp != Cmp::le) ++num_art_;
+    for (std::size_t r = 0; r < m_; ++r) {
+      const Cmp cmp = flipped_cmp(row_at(r));
+      if (cmp != Cmp::eq) ++num_slack;
+      if (cmp != Cmp::le) ++num_art_;
     }
     cols_ = n_ + num_slack + num_art_;
     is_artificial_.assign(cols_, false);
-    mat_.assign(m_, std::vector<Rational>(cols_));
+    mat_.resize(m_);
     rhs_.resize(m_);
     basis_.resize(m_);
     obj_.assign(cols_, Rational(0));
 
+    std::vector<LinTerm> terms; // sort scratch, reused across rows
     std::size_t next_slack = n_;
     std::size_t next_art = n_ + num_slack;
     for (std::size_t r = 0; r < m_; ++r) {
-      for (const auto& t : rows[r].terms) {
-        mat_[r][static_cast<std::size_t>(t.var)] += t.coeff;
+      const IlpProblem::Row& row = row_at(r);
+      const bool flip = row.rhs.is_negative();
+      const Cmp cmp = flipped_cmp(row);
+      // Sort and combine the structural terms (duplicate variables add up,
+      // exactly as the former dense accumulation did; exact addition is
+      // order-independent). Slack/artificial columns follow the
+      // structural block, so appending them keeps the row sorted.
+      terms.assign(row.terms.begin(), row.terms.end());
+      std::sort(terms.begin(), terms.end(),
+                [](const LinTerm& a, const LinTerm& b) { return a.var < b.var; });
+      SparseRow& sr = mat_[r];
+      for (const LinTerm& t : terms) {
+        const Rational coeff = flip ? -t.coeff : t.coeff;
+        if (!sr.empty() && sr.back().col == static_cast<std::size_t>(t.var)) {
+          sr.back().val += coeff;
+        } else {
+          sr.push_back({static_cast<std::size_t>(t.var), coeff});
+        }
       }
-      rhs_[r] = rows[r].rhs;
-      switch (rows[r].cmp) {
+      sr.erase(std::remove_if(sr.begin(), sr.end(),
+                              [](const Ent& e) { return e.val.is_zero(); }),
+               sr.end());
+      rhs_[r] = flip ? -row.rhs : row.rhs;
+      switch (cmp) {
       case Cmp::le:
-        mat_[r][next_slack] = Rational(1);
+        sr.push_back({next_slack, Rational(1)});
         basis_[r] = next_slack++;
         break;
       case Cmp::ge:
-        mat_[r][next_slack] = Rational(-1);
+        sr.push_back({next_slack, Rational(-1)});
         ++next_slack;
-        mat_[r][next_art] = Rational(1);
+        sr.push_back({next_art, Rational(1)});
         is_artificial_[next_art] = true;
         basis_[r] = next_art++;
         break;
       case Cmp::eq:
-        mat_[r][next_art] = Rational(1);
+        sr.push_back({next_art, Rational(1)});
         is_artificial_[next_art] = true;
         basis_[r] = next_art++;
         break;
@@ -100,6 +130,19 @@ public:
 
   // Two-phase primal solve from scratch.
   Status solve() {
+    const Status feasible = phase1();
+    if (feasible != Status::optimal) return feasible;
+    return phase2();
+  }
+
+  // Swap in a different objective before phase2(). Valid on a tableau
+  // that finished phase 1: phase 1 never reads the objective, so the
+  // same feasible basis serves any number of senses.
+  void install_objective(std::vector<Rational> objective) { objective_ = std::move(objective); }
+
+  // Phase 1: find a feasible basis (drive the artificials to zero).
+  // Returns optimal when a feasible basis is ready for phase 2.
+  Status phase1() {
     if (num_art_ > 0) {
       // Phase 1: maximize -(sum of artificials) == drive them to zero.
       for (std::size_t c = 0; c < cols_; ++c) {
@@ -109,21 +152,19 @@ public:
       // Price out the artificial basic columns.
       for (std::size_t r = 0; r < m_; ++r) {
         if (!is_artificial_[basis_[r]]) continue;
-        for (std::size_t c = 0; c < cols_; ++c) {
-          if (!mat_[r][c].is_zero()) obj_[c] += mat_[r][c];
-        }
+        for (const Ent& e : mat_[r]) obj_[e.col] += e.val;
         obj_rhs_ += rhs_[r];
       }
-      const Status phase1 = primal(true);
-      WCET_CHECK(phase1 != Status::unbounded, "phase-1 LP cannot be unbounded");
+      const Status feasibility = primal(true);
+      WCET_CHECK(feasibility != Status::unbounded, "phase-1 LP cannot be unbounded");
       if (!obj_rhs_.is_zero()) return Status::infeasible;
       // Pivot any artificial still in the basis (at value zero) out.
       for (std::size_t r = 0; r < m_; ++r) {
         if (!is_artificial_[basis_[r]]) continue;
         std::size_t enter = cols_;
-        for (std::size_t c = 0; c < cols_; ++c) {
-          if (!is_artificial_[c] && !mat_[r][c].is_zero()) {
-            enter = c;
+        for (const Ent& e : mat_[r]) { // entries ascend: first real column
+          if (!is_artificial_[e.col] && !e.val.is_zero()) {
+            enter = e.col;
             break;
           }
         }
@@ -131,8 +172,21 @@ public:
         // Otherwise the row is all-zero over real columns: redundant
         // row; the artificial stays basic at value zero, harmless.
       }
+      // Artificial columns are barred from re-entering the basis, and
+      // from here on no pivot rule ever reads an artificial cell: they
+      // only inflate every subsequent row update. Dropping their stored
+      // entries frees that memory and work without touching a single
+      // decision the solver makes.
+      for (SparseRow& row : mat_) {
+        row.erase(std::remove_if(row.begin(), row.end(),
+                                 [&](const Ent& e) { return is_artificial_[e.col]; }),
+                  row.end());
+      }
     }
+    return Status::optimal;
+  }
 
+  Status phase2() {
     // Phase 2: maximize the real objective. The objective row holds
     // c_j - z_j; start from c and price out basic columns. Artificial
     // columns are barred from entering the basis: blocking at the pivot
@@ -145,9 +199,7 @@ public:
     for (std::size_t r = 0; r < m_; ++r) {
       const Rational cb = basis_[r] < n_ ? objective_[basis_[r]] : Rational(0);
       if (cb.is_zero()) continue;
-      for (std::size_t c = 0; c < cols_; ++c) {
-        if (!mat_[r][c].is_zero()) obj_[c].sub_mul(cb, mat_[r][c]);
-      }
+      for (const Ent& e : mat_[r]) obj_[e.col].sub_mul(cb, e.val);
       obj_rhs_.sub_mul(cb, rhs_[r]);
     }
     return primal(false);
@@ -162,13 +214,13 @@ public:
     // primal infeasibility the dual simplex repairs).
     WCET_CHECK(row.cmp != Cmp::eq, "warm start supports inequality rows only");
     const bool flip = row.cmp == Cmp::ge;
-    // New slack column for the appended row.
-    for (std::size_t r = 0; r < m_; ++r) mat_[r].emplace_back(0);
+    // New slack column for the appended row; existing sparse rows hold a
+    // structural zero there, so only the bookkeeping vectors grow.
     obj_.emplace_back(0);
     is_artificial_.push_back(false);
     const std::size_t slack_col = cols_++;
 
-    std::vector<Rational> new_row(cols_);
+    std::vector<Rational> new_row(cols_); // dense scratch for the one new row
     for (const auto& t : row.terms) {
       const auto c = static_cast<std::size_t>(t.var);
       if (flip) new_row[c] -= t.coeff;
@@ -182,13 +234,14 @@ public:
     for (std::size_t r = 0; r < m_; ++r) {
       const Rational factor = new_row[basis_[r]];
       if (factor.is_zero()) continue;
-      const std::vector<Rational>& brow = mat_[r];
-      for (std::size_t c = 0; c < cols_; ++c) {
-        if (!brow[c].is_zero()) new_row[c].sub_mul(factor, brow[c]);
-      }
+      for (const Ent& e : mat_[r]) new_row[e.col].sub_mul(factor, e.val);
       new_rhs.sub_mul(factor, rhs_[r]);
     }
-    mat_.push_back(std::move(new_row));
+    SparseRow compressed;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (!new_row[c].is_zero()) compressed.push_back({c, std::move(new_row[c])});
+    }
+    mat_.push_back(std::move(compressed));
     rhs_.push_back(std::move(new_rhs));
     basis_.push_back(slack_col);
     ++m_;
@@ -206,6 +259,9 @@ public:
     for (std::size_t j = 0; j < n_; ++j) {
       if (!objective_[j].is_zero()) s.objective += objective_[j] * s.values[j];
     }
+    s.tableau_rows = m_;
+    s.tableau_cols = cols_;
+    for (std::size_t r = 0; r < m_; ++r) s.tableau_nnz += mat_[r].size();
     return s;
   }
 
@@ -234,14 +290,23 @@ private:
       }
       if (enter == cols_) return Status::optimal;
 
-      // Ratio test: row with the smallest rhs/coefficient ratio leaves;
-      // ties break towards the smallest basic variable (Bland).
+      // One sweep serves both the ratio test (row with the smallest
+      // rhs/coefficient ratio leaves; ties break towards the smallest
+      // basic variable, Bland) and the pivot's candidate-row collection
+      // — every row with a nonzero entering-column entry is remembered
+      // with its coefficient so the pivot does not search them again.
       std::size_t leave = m_;
       Rational best_ratio;
+      cand_.clear();
       for (std::size_t r = 0; r < m_; ++r) {
-        const Rational& a = mat_[r][enter];
-        if (!a.is_positive()) continue;
-        const Rational ratio = rhs_[r] / a;
+        const Rational* ap = find_coeff(mat_[r], enter);
+        if (ap == nullptr || ap->is_zero()) continue;
+        cand_.push_back({r, *ap});
+        if (!ap->is_positive()) continue;
+        const Rational& a = *ap;
+        // 0/a == 0 exactly; degenerate rows dominate flow systems, so
+        // skipping the rational division there is a real saving.
+        const Rational ratio = rhs_[r].is_zero() ? Rational(0) : rhs_[r] / a;
         if (leave == m_ || ratio < best_ratio ||
             (ratio == best_ratio && basis_[r] < basis_[leave])) {
           leave = r;
@@ -250,7 +315,7 @@ private:
       }
       if (leave == m_) return Status::unbounded;
       degenerate_streak = best_ratio.is_zero() ? degenerate_streak + 1 : 0;
-      pivot(leave, enter);
+      pivot_collected(leave, enter);
     }
   }
 
@@ -270,24 +335,25 @@ private:
 
       // Entering column: minimize obj_c / a_c over negative pivot-row
       // entries (both numerator and denominator are <= 0, so the ratio
-      // is >= 0); ties break towards the smallest column index.
+      // is >= 0); ties break towards the smallest column index — the
+      // sparse row's entries ascend, matching the former dense scan.
       std::size_t enter = cols_;
       Rational best_num, best_den; // compare obj_e/a_e < obj_c/a_c cross-multiplied
-      for (std::size_t c = 0; c < cols_; ++c) {
-        if (is_artificial_[c]) continue;
-        const Rational& a = mat_[leave][c];
+      for (const Ent& e : mat_[leave]) {
+        if (is_artificial_[e.col]) continue;
+        const Rational& a = e.val;
         if (!a.is_negative()) continue;
         if (enter == cols_) {
-          enter = c;
-          best_num = obj_[c];
+          enter = e.col;
+          best_num = obj_[e.col];
           best_den = a;
           continue;
         }
         // obj_c / a_c < obj_e / a_e  <=>  obj_c * a_e < obj_e * a_c
         // (multiplying by the negative denominators flips twice).
-        if (obj_[c] * best_den < best_num * a) {
-          enter = c;
-          best_num = obj_[c];
+        if (obj_[e.col] * best_den < best_num * a) {
+          enter = e.col;
+          best_num = obj_[e.col];
           best_den = a;
         }
       }
@@ -297,35 +363,114 @@ private:
     return Status::stalled;
   }
 
-  void pivot(std::size_t pr, std::size_t pc) {
-    std::vector<Rational>& prow = mat_[pr];
-    const Rational inv = Rational(1) / prow[pc];
-    // Collect the nonzero columns of the pivot row once; every other
-    // row is then updated only at those columns (the tableau stays
-    // sparse for flow-conservation systems, so this skips the vast
-    // majority of cells).
-    nz_.clear();
-    for (std::size_t c = 0; c < cols_; ++c) {
-      if (prow[c].is_zero()) continue;
-      prow[c] *= inv;
-      nz_.push_back(c);
+  // Binary search for a row's entry at `col`; null when the cell is a
+  // structural zero.
+  static const Rational* find_coeff(const SparseRow& row, std::size_t col) {
+    const auto it = std::lower_bound(
+        row.begin(), row.end(), col,
+        [](const Ent& e, std::size_t c) { return e.col < c; });
+    return (it != row.end() && it->col == col) ? &it->val : nullptr;
+  }
+
+  // row -= factor * prow. When every pivot-row column is already stored
+  // in the row (the common case once fill-in stabilizes), the update is
+  // in place: nnz(prow) galloping lookups and sub_muls, no copying —
+  // the same work the dense update did. Cells that cancel to exact zero
+  // then simply stay stored, like a dense cell holding zero. Only when
+  // the pivot row introduces new columns is the row rebuilt by one
+  // sorted merge, which also scrubs the stored zeros again — simplex on
+  // flow-conservation systems cancels constantly, and that scrub is
+  // what keeps the tableau sparse across pivots. A stored zero and an
+  // absent entry are indistinguishable to every pivot rule (each tests
+  // values, never presence), so the arithmetic and the pivot sequence
+  // stay bit-identical with the former dense tableau.
+  void row_sub_scaled(std::size_t r, const Rational& factor, const SparseRow& prow) {
+    SparseRow& row = mat_[r];
+    std::size_t missing = 0;
+    {
+      auto it = row.begin();
+      for (const Ent& pe : prow) {
+        it = std::lower_bound(it, row.end(), pe.col,
+                              [](const Ent& e, std::size_t c) { return e.col < c; });
+        if (it != row.end() && it->col == pe.col) {
+          it->val.sub_mul(factor, pe.val);
+          ++it;
+        } else {
+          ++missing;
+        }
+      }
     }
+    if (missing == 0) return;
+
+    // Splice the new columns in; shared columns were updated above.
+    scratch_.clear();
+    scratch_.reserve(row.size() + missing);
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < row.size() || j < prow.size()) {
+      if (j == prow.size() || (i < row.size() && row[i].col < prow[j].col)) {
+        if (!row[i].val.is_zero()) scratch_.push_back(std::move(row[i]));
+        ++i;
+      } else if (i == row.size() || prow[j].col < row[i].col) {
+        Rational v(0);
+        v.sub_mul(factor, prow[j].val);
+        if (!v.is_zero()) scratch_.push_back({prow[j].col, std::move(v)});
+        ++j;
+      } else {
+        if (!row[i].val.is_zero()) scratch_.push_back(std::move(row[i]));
+        ++i;
+        ++j;
+      }
+    }
+    row.swap(scratch_); // scratch_ keeps the old storage for reuse
+  }
+
+  void pivot(std::size_t pr, std::size_t pc) {
+    SparseRow& prow = mat_[pr];
+    const Rational inv = Rational(1) / *find_coeff(prow, pc);
+    for (Ent& e : prow) e.val *= inv;
     rhs_[pr] *= inv;
 
     for (std::size_t r = 0; r < m_; ++r) {
       if (r == pr) continue;
-      std::vector<Rational>& row = mat_[r];
-      const Rational factor = row[pc];
-      if (factor.is_zero()) continue;
-      for (const std::size_t c : nz_) row[c].sub_mul(factor, prow[c]);
+      const Rational* fp = find_coeff(mat_[r], pc);
+      if (fp == nullptr || fp->is_zero()) continue;
+      const Rational factor = *fp; // copy: the row update invalidates fp
+      row_sub_scaled(r, factor, prow);
       rhs_[r].sub_mul(factor, rhs_[pr]);
     }
-    {
-      const Rational factor = obj_[pc];
-      if (!factor.is_zero()) {
-        for (const std::size_t c : nz_) obj_[c].sub_mul(factor, prow[c]);
-        obj_rhs_.sub_mul(factor, rhs_[pr]);
+    finish_pivot(pr, pc);
+  }
+
+  // Pivot with the candidate rows (and their entering-column
+  // coefficients) already collected by the ratio-test sweep: identical
+  // arithmetic to pivot(), minus the second search over every row.
+  void pivot_collected(std::size_t pr, std::size_t pc) {
+    SparseRow& prow = mat_[pr];
+    const Rational inv = [&] {
+      for (const auto& [r, a] : cand_) {
+        if (r == pr) return Rational(1) / a;
       }
+      WCET_CHECK(false, "pivot row missing from candidate sweep");
+      return Rational(1);
+    }();
+    for (Ent& e : prow) e.val *= inv;
+    rhs_[pr] *= inv;
+
+    for (const auto& [r, factor] : cand_) {
+      if (r == pr) continue;
+      row_sub_scaled(r, factor, prow);
+      rhs_[r].sub_mul(factor, rhs_[pr]);
+    }
+    finish_pivot(pr, pc);
+  }
+
+  void finish_pivot(std::size_t pr, std::size_t pc) {
+    const SparseRow& prow = mat_[pr];
+    const Rational factor = obj_[pc];
+    if (!factor.is_zero()) {
+      for (const Ent& e : prow) obj_[e.col].sub_mul(factor, e.val);
+      obj_rhs_.sub_mul(factor, rhs_[pr]);
     }
     basis_[pr] = pc;
   }
@@ -335,13 +480,14 @@ private:
   std::size_t cols_ = 0;
   std::size_t num_art_ = 0;
   std::vector<Rational> objective_; // structural objective coefficients
-  std::vector<std::vector<Rational>> mat_;
+  std::vector<SparseRow> mat_;
   std::vector<Rational> rhs_;
-  std::vector<Rational> obj_; // reduced-cost row
+  std::vector<Rational> obj_; // reduced-cost row (dense: one row)
   Rational obj_rhs_;
   std::vector<std::size_t> basis_;
   std::vector<bool> is_artificial_;
-  std::vector<std::size_t> nz_; // scratch: pivot-row nonzeros
+  SparseRow scratch_; // merge target recycled across pivots
+  std::vector<std::pair<std::size_t, Rational>> cand_; // ratio-sweep candidates
 };
 
 LpSolution status_only(LpSolution::Status status) {
@@ -350,41 +496,19 @@ LpSolution status_only(LpSolution::Status status) {
   return s;
 }
 
-} // namespace
-
-LpSolution IlpProblem::solve_lp() const { return solve_lp_with({}); }
-
-LpSolution IlpProblem::solve_lp_with(const std::vector<Row>& extra) const {
-  Simplex simplex(static_cast<std::size_t>(num_variables()), rows_, extra, objective_);
-  switch (simplex.solve()) {
-  case Simplex::Status::optimal: return simplex.extract();
-  case Simplex::Status::infeasible: return status_only(LpSolution::Status::infeasible);
-  case Simplex::Status::unbounded: return status_only(LpSolution::Status::unbounded);
-  case Simplex::Status::stalled: break; // unreachable: primal never stalls
-  }
-  WCET_CHECK(false, "simplex returned an impossible status");
-  return status_only(LpSolution::Status::infeasible);
-}
-
-LpSolution IlpProblem::solve_ilp(int node_limit) const {
-  // Branch & bound, best-bound order with ceil-first diving. The root
-  // relaxation is solved cold (two-phase). After branching, the ceil
-  // child is *dived* immediately: its single branch row is appended to
-  // the live parent tableau and re-optimized with the dual simplex —
-  // one row, one warm re-solve per dive step. Floor siblings go onto
-  // the best-bound queue; when popped they rebuild warm from a copy of
-  // the root-optimal tableau by replaying their branch-row path (still
-  // dual re-solves, never two-phase-from-scratch).
-  const auto n = static_cast<std::size_t>(num_variables());
-  Simplex root(n, rows_, {}, objective_);
-  switch (root.solve()) {
-  case Simplex::Status::optimal: break;
-  case Simplex::Status::infeasible: return status_only(LpSolution::Status::infeasible);
-  case Simplex::Status::unbounded: return status_only(LpSolution::Status::unbounded);
-  case Simplex::Status::stalled: WCET_CHECK(false, "primal simplex cannot stall");
-  }
-  const LpSolution root_solution = root.extract();
-
+// Branch & bound from a primal-optimal root tableau, best-bound order
+// with ceil-first diving. After branching, the ceil child is *dived*
+// immediately: its single branch row is appended to the live parent
+// tableau and re-optimized with the dual simplex — one row, one warm
+// re-solve per dive step. Floor siblings go onto the best-bound queue;
+// when popped they rebuild warm from a copy of the root-optimal tableau
+// by replaying their branch-row path (still dual re-solves, never
+// two-phase-from-scratch). `cold` re-solves a node's relaxation from
+// scratch under the same objective as `root` (stall fallback).
+template <typename ColdSolve>
+LpSolution branch_and_bound(Simplex& root, const LpSolution& root_solution, int num_variables,
+                            int node_limit, const ColdSolve& cold) {
+  using Row = IlpProblem::Row;
   struct Node {
     std::vector<Row> extra; // branch rows on the path from the root
     Rational bound;         // parent relaxation objective (upper bound)
@@ -403,7 +527,7 @@ LpSolution IlpProblem::solve_ilp(int node_limit) const {
   bool hit_limit = false;
 
   const auto first_fractional = [&](const LpSolution& s) {
-    for (int j = 0; j < num_variables(); ++j) {
+    for (int j = 0; j < num_variables; ++j) {
       if (!s.values[static_cast<std::size_t>(j)].is_integer()) return j;
     }
     return -1;
@@ -442,7 +566,7 @@ LpSolution IlpProblem::solve_ilp(int node_limit) const {
       case Simplex::Status::stalled:
         // Dual iteration hit its safety limit: fall back to an exact
         // cold solve; the live tableau is no longer usable for diving.
-        relax = solve_lp_with(node.extra);
+        relax = cold(node.extra);
         warm_live = false;
         break;
       }
@@ -481,7 +605,7 @@ LpSolution IlpProblem::solve_ilp(int node_limit) const {
       if (status == Simplex::Status::infeasible) break;
       if (status == Simplex::Status::unbounded) return status_only(LpSolution::Status::unbounded);
       if (status == Simplex::Status::stalled) {
-        relax = solve_lp_with(node.extra);
+        relax = cold(node.extra);
         warm_live = false;
         continue;
       }
@@ -491,6 +615,73 @@ LpSolution IlpProblem::solve_ilp(int node_limit) const {
 
   if (!best.ok() && hit_limit) best.status = LpSolution::Status::node_limit;
   return best;
+}
+
+} // namespace
+
+LpSolution IlpProblem::solve_lp() const { return solve_lp_with({}, objective_); }
+
+LpSolution IlpProblem::solve_lp_with(const std::vector<Row>& extra,
+                                     const std::vector<Rational>& objective) const {
+  Simplex simplex(static_cast<std::size_t>(num_variables()), rows_, extra, objective);
+  switch (simplex.solve()) {
+  case Simplex::Status::optimal: return simplex.extract();
+  case Simplex::Status::infeasible: return status_only(LpSolution::Status::infeasible);
+  case Simplex::Status::unbounded: return status_only(LpSolution::Status::unbounded);
+  case Simplex::Status::stalled: break; // unreachable: primal never stalls
+  }
+  WCET_CHECK(false, "simplex returned an impossible status");
+  return status_only(LpSolution::Status::infeasible);
+}
+
+LpSolution IlpProblem::solve_ilp(int node_limit) const {
+  // Root relaxation solved cold (two-phase), then branch & bound.
+  const auto n = static_cast<std::size_t>(num_variables());
+  Simplex root(n, rows_, {}, objective_);
+  switch (root.solve()) {
+  case Simplex::Status::optimal: break;
+  case Simplex::Status::infeasible: return status_only(LpSolution::Status::infeasible);
+  case Simplex::Status::unbounded: return status_only(LpSolution::Status::unbounded);
+  case Simplex::Status::stalled: WCET_CHECK(false, "primal simplex cannot stall");
+  }
+  const LpSolution root_solution = root.extract();
+  return branch_and_bound(root, root_solution, num_variables(), node_limit,
+                          [&](const std::vector<Row>& extra) {
+                            return solve_lp_with(extra, objective_);
+                          });
+}
+
+std::pair<LpSolution, LpSolution>
+IlpProblem::solve_ilp_pair(const std::vector<Rational>& alt_objective, int node_limit) const {
+  WCET_CHECK(alt_objective.size() == objective_.size(),
+             "alternate objective must cover every variable");
+  const auto n = static_cast<std::size_t>(num_variables());
+  Simplex base(n, rows_, {}, objective_);
+  if (base.phase1() == Simplex::Status::infeasible) {
+    return {status_only(LpSolution::Status::infeasible),
+            status_only(LpSolution::Status::infeasible)};
+  }
+  // Snapshot the feasible basis before either phase 2 reshapes it; the
+  // alternate sense restarts from here instead of repeating phase 1.
+  Simplex alt = base;
+  alt.install_objective(alt_objective);
+
+  const auto run = [&](Simplex& root, const std::vector<Rational>& objective) -> LpSolution {
+    switch (root.phase2()) {
+    case Simplex::Status::optimal: break;
+    case Simplex::Status::infeasible: return status_only(LpSolution::Status::infeasible);
+    case Simplex::Status::unbounded: return status_only(LpSolution::Status::unbounded);
+    case Simplex::Status::stalled: WCET_CHECK(false, "primal simplex cannot stall");
+    }
+    const LpSolution root_solution = root.extract();
+    return branch_and_bound(root, root_solution, num_variables(), node_limit,
+                            [&](const std::vector<Row>& extra) {
+                              return solve_lp_with(extra, objective);
+                            });
+  };
+  LpSolution primary = run(base, objective_);
+  LpSolution alternate = run(alt, alt_objective);
+  return {primary, alternate};
 }
 
 std::string IlpProblem::to_string() const {

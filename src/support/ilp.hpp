@@ -5,6 +5,10 @@
 //
 // The solver is exact (all arithmetic on 128-bit rationals) but tuned
 // for the large sparse systems IPET produces:
+//   - tableau rows are stored sparsely (sorted column/value entries);
+//     a pivot merges each touched row with the pivot row in one sorted
+//     sweep, so memory and work scale with the nonzero count instead of
+//     rows * columns,
 //   - pivots touch only the nonzero columns of the pivot row,
 //   - column selection uses Dantzig's rule with an automatic fallback
 //     to Bland's rule after a degenerate-pivot streak (cycle-free),
@@ -36,6 +40,14 @@ struct LpSolution {
   Rational objective;
   std::vector<Rational> values; // per structural variable
 
+  // Tableau shape at the final basis: rows store only nonzero entries,
+  // so nnz << rows * cols on the sparse systems IPET emits. Exported so
+  // tests can pin the memory shape (a dense regression would silently
+  // multiply solver memory by the column count).
+  std::size_t tableau_rows = 0;
+  std::size_t tableau_cols = 0;
+  std::size_t tableau_nnz = 0;
+
   bool ok() const { return status == Status::optimal; }
 };
 
@@ -60,11 +72,22 @@ public:
   LpSolution solve_lp() const;
   // Solve with integrality on all variables (branch & bound on the LP).
   LpSolution solve_ilp(int node_limit = 20000) const;
+  // Solve the same constraint system twice — under the stored objective
+  // and under `alt_objective` — sharing construction and the phase-1
+  // feasibility pivots (phase 1 never reads the objective, so the
+  // feasible starting basis is identical for both senses). Each sense
+  // then runs its own phase 2 and branch & bound. Optima equal a
+  // from-scratch solve's exactly; only the optimal vertex reached may
+  // differ. This is how IPET solves the WCET/BCET pair of one region
+  // for roughly half the cost of two independent solves.
+  std::pair<LpSolution, LpSolution> solve_ilp_pair(const std::vector<Rational>& alt_objective,
+                                                   int node_limit = 20000) const;
 
   std::string to_string() const; // LP-format dump for debugging/reports
 
 private:
-  LpSolution solve_lp_with(const std::vector<Row>& extra) const;
+  LpSolution solve_lp_with(const std::vector<Row>& extra,
+                           const std::vector<Rational>& objective) const;
 
   std::vector<std::string> names_;
   std::vector<Rational> objective_;

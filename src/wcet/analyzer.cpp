@@ -114,11 +114,13 @@ std::string WcetReport::to_string() const {
      << cache_stats.fetch_uncached << "; data AH/AM/NC/UC = " << cache_stats.data_hit
      << '/' << cache_stats.data_miss << '/' << cache_stats.data_nc << '/'
      << cache_stats.data_uncached << "; persistent = " << cache_stats.persistent << '\n';
-  os << "ILP: " << ilp_variables << " variables, " << ilp_constraints << " constraints\n";
+  os << "ILP: " << ilp_variables << " variables, " << ilp_constraints << " constraints; "
+     << "decomposition: " << ipet_regions << " regions, " << ipet_sub_ilps
+     << " sub-ILPs, depth " << ipet_depth << '\n';
   os << "timings (ms): decode " << timings.decode_ms << ", value " << timings.value_ms
      << ", loop " << timings.loop_ms << ", cache " << timings.cache_ms << ", pipeline "
-     << timings.pipeline_ms << ", path " << timings.path_ms << ", total "
-     << timings.total_ms << '\n';
+     << timings.pipeline_ms << ", path " << timings.path_ms << " (ilp "
+     << timings.ilp_ms << "), total " << timings.total_ms << '\n';
   return os.str();
 }
 

@@ -40,6 +40,11 @@ struct AnalysisOptions {
   // bounds, obstructions and states are bit-identical for any value;
   // <= 1 runs fully sequential on the calling thread.
   int threads = 1;
+  // How path analysis splits the IPET ILP (see analysis::Ipet::solve).
+  // Every mode computes identical bounds; monolithic is the reference
+  // path, flat collapses top-level call subtrees, recursive nests
+  // sub-ILPs inside collapsed subtrees as well.
+  analysis::IpetDecomposition decomposition = analysis::IpetDecomposition::recursive;
 };
 
 struct LoopInfo {
@@ -59,6 +64,7 @@ struct PhaseTimings {
   double cache_ms = 0;
   double pipeline_ms = 0;
   double path_ms = 0;
+  double ilp_ms = 0; // inside path_ms: wall time of the WCET+BCET ILP solves
   double total_ms = 0;
 };
 
@@ -79,6 +85,9 @@ struct WcetReport {
   analysis::CacheAnalysis::Stats cache_stats;
   int ilp_variables = 0;
   int ilp_constraints = 0;
+  int ipet_regions = 0;  // top-level collapsed subtrees of the WCET solve
+  int ipet_sub_ilps = 0; // sub-ILPs solved across all nesting levels
+  int ipet_depth = 0;    // decomposition nesting depth
   std::vector<LoopInfo> loops;
   PhaseTimings timings;
 

@@ -1,6 +1,7 @@
 #include "wcet/pipeline.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 
 #include "support/thread_pool.hpp"
@@ -221,6 +222,7 @@ public:
     ipet.set_pool(ctx.pool);
     analysis::IpetOptions ipet_options;
     ipet_options.loop_bounds = ctx.merged_bounds;
+    ipet_options.decomposition = ctx.options.decomposition;
     if (ctx.options.use_annotations) {
       for (const annot::FlowCapFact& cap : ctx.annotations.flow_caps) {
         if (cap.mode.empty() || cap.mode == ctx.options.mode) {
@@ -232,11 +234,21 @@ public:
       ipet_options.excluded_addrs = ctx.annotations.excluded_addrs(ctx.options.mode);
     }
 
-    ipet_options.maximize = true;
-    ctx.wcet_result = ipet.solve(ipet_options);
+    // One combined WCET+BCET solve: the two senses share the
+    // decomposition plan, every region's constraint system, and the
+    // phase-1 simplex work (see Ipet::solve_both).
+    const auto t_ilp = std::chrono::steady_clock::now();
+    auto [wcet_solved, bcet_solved] = ipet.solve_both(ipet_options);
+    report.timings.ilp_ms +=
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t_ilp)
+            .count();
+    ctx.wcet_result = std::move(wcet_solved);
     const analysis::IpetResult& wcet_result = ctx.wcet_result;
     report.ilp_variables = wcet_result.variables;
     report.ilp_constraints = wcet_result.constraints;
+    report.ipet_regions = wcet_result.decomposed_regions;
+    report.ipet_sub_ilps = wcet_result.sub_ilps;
+    report.ipet_depth = wcet_result.decomposition_depth;
 
     switch (wcet_result.status) {
     case analysis::IpetResult::Status::ok:
@@ -268,11 +280,7 @@ public:
       break;
     }
 
-    if (wcet_result.ok()) {
-      ipet_options.maximize = false;
-      const analysis::IpetResult bcet_result = ipet.solve(ipet_options);
-      if (bcet_result.ok()) report.bcet_cycles = bcet_result.bound;
-    }
+    if (wcet_result.ok() && bcet_solved.ok()) report.bcet_cycles = bcet_solved.bound;
 
     report.ok = wcet_result.ok() && report.obstructions.empty();
   }

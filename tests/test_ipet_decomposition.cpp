@@ -1,0 +1,332 @@
+// Differential path-analysis suite for the recursive IPET
+// decomposition: for a battery of generated call-tree shapes (deep
+// chains, wide fans, loop-nested and annotation-coupled calls), the
+// recursive-decomposed, flat-decomposed, and monolithic ILP solves must
+// agree bit-identically on every computed bound, and each mode must be
+// bit-identical with itself across worker counts 1/2/4/8.
+//
+// The bounds are exact rational optima of the same polytope, so "agree"
+// here is equality, not tolerance — any eligibility bug (a subtree
+// collapsed while a flow fact couples it to the rest of the system, a
+// call-in-loop subtree collapsed, a nested sub-ILP merged at the wrong
+// entry count) shows up as a diverged WCET or BCET.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/toolkit.hpp"
+#include "mcc/runtime.hpp"
+
+namespace wcet {
+namespace {
+
+// Common preamble: an io-backed input array the analyzer cannot
+// constant-fold, so data-dependent branches stay two-way and flow facts
+// on conditionally-called functions bind without making the ILP
+// infeasible.
+const char* k_input_preamble = R"(
+int input[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+int data[16] = {1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16};
+)";
+
+std::string leaf_fn(const std::string& name, int loops, int iters) {
+  std::ostringstream os;
+  os << "int " << name << "(int x) {\n  int s = x;\n";
+  for (int l = 0; l < loops; ++l) {
+    os << "  { int i" << l << "; for (i" << l << " = 0; i" << l << " < " << iters
+       << "; i" << l << "++) { s += data[(s + i" << l << ") & 15]; } }\n";
+  }
+  os << "  return s;\n}\n";
+  return os.str();
+}
+
+// f0 -> f1 -> ... -> f{depth-1}, each level with its own loop work.
+std::string deep_chain(int depth, int loops) {
+  std::ostringstream os;
+  os << k_input_preamble;
+  os << leaf_fn("f" + std::to_string(depth - 1), loops, 5);
+  for (int d = depth - 2; d >= 0; --d) {
+    os << "int f" << d << "(int x) {\n  int s = x;\n";
+    os << "  { int j; for (j = 0; j < 3; j++) { s += data[(s + j) & 15]; } }\n";
+    os << "  s = f" << (d + 1) << "(s);\n  return s;\n}\n";
+  }
+  os << "int main(void) { return f0(input[0]); }\n";
+  return os.str();
+}
+
+// main calls `width` independent leaves in sequence.
+std::string wide_fan(int width, int loops) {
+  std::ostringstream os;
+  os << k_input_preamble;
+  for (int w = 0; w < width; ++w) os << leaf_fn("work" + std::to_string(w), loops, 4 + w % 5);
+  os << "int main(void) {\n  int total = input[0];\n";
+  for (int w = 0; w < width; ++w) os << "  total += work" << w << "(total);\n";
+  os << "  return total;\n}\n";
+  return os.str();
+}
+
+// main calls `width` chains, each of depth `depth`.
+std::string fan_of_chains(int width, int depth) {
+  std::ostringstream os;
+  os << k_input_preamble;
+  for (int w = 0; w < width; ++w) {
+    os << leaf_fn("c" + std::to_string(w) + "_" + std::to_string(depth - 1), 2, 5);
+    for (int d = depth - 2; d >= 0; --d) {
+      os << "int c" << w << "_" << d << "(int x) {\n";
+      os << "  int s = x + " << w << ";\n";
+      os << "  { int j; for (j = 0; j < 4; j++) { s += data[(s + j) & 15]; } }\n";
+      os << "  return c" << w << "_" << (d + 1) << "(s);\n}\n";
+    }
+  }
+  os << "int main(void) {\n  int total = input[0];\n";
+  for (int w = 0; w < width; ++w) os << "  total += c" << w << "_0(total);\n";
+  os << "  return total;\n}\n";
+  return os.str();
+}
+
+// Balanced binary call tree of depth 3 rooted at main.
+std::string balanced_tree() {
+  std::ostringstream os;
+  os << k_input_preamble;
+  const char* leaves[] = {"aa", "ab", "ba", "bb"};
+  for (const char* leaf : leaves) os << leaf_fn(leaf, 3, 6);
+  os << "int a(int x) {\n  int s = aa(x);\n";
+  os << "  { int j; for (j = 0; j < 4; j++) { s += data[(s + j) & 15]; } }\n";
+  os << "  s += ab(s);\n  return s;\n}\n";
+  os << "int b(int x) {\n  int s = ba(x);\n";
+  os << "  { int j; for (j = 0; j < 5; j++) { s += data[(s + j) & 15]; } }\n";
+  os << "  s += bb(s);\n  return s;\n}\n";
+  os << "int main(void) { int v = a(input[0]); v += b(v); return v; }\n";
+  return os.str();
+}
+
+// Calls inside loops: the called instances are ineligible for collapse
+// (entry count > 1), while the surrounding plain calls still decompose.
+std::string loop_nested_calls() {
+  std::ostringstream os;
+  os << k_input_preamble;
+  os << leaf_fn("step", 1, 5);
+  os << leaf_fn("plain0", 4, 5);
+  os << leaf_fn("plain1", 4, 6);
+  os << leaf_fn("plain2", 3, 4);
+  os << "int looper(int x) {\n  int i;\n  int s = x;\n";
+  os << "  for (i = 0; i < 6; i++) { s += step(s); }\n  return s;\n}\n";
+  os << "int main(void) {\n  int v = plain0(input[0]);\n  v += looper(v);\n";
+  os << "  v += plain1(v);\n  v += plain2(v);\n  return v;\n}\n";
+  return os.str();
+}
+
+// A chain whose middle level calls a helper from inside a loop.
+std::string chain_with_loop_call() {
+  std::ostringstream os;
+  os << k_input_preamble;
+  os << leaf_fn("bottom", 4, 5);
+  os << leaf_fn("side", 1, 3);
+  os << leaf_fn("prelude", 3, 5);
+  os << "int mid(int x) {\n  int i;\n  int s = x;\n";
+  os << "  for (i = 0; i < 4; i++) { s += side(s); }\n";
+  os << "  return bottom(s);\n}\n";
+  os << "int top(int x) {\n";
+  os << "  int s = prelude(x);\n";
+  os << "  { int j; for (j = 0; j < 5; j++) { s += data[(s + j) & 15]; } }\n";
+  os << "  return mid(s);\n}\n";
+  os << "int main(void) { return top(input[0]); }\n";
+  return os.str();
+}
+
+// The same callee reached from two different call sites: two instances,
+// each its own candidate subtree.
+std::string repeated_callee() {
+  std::ostringstream os;
+  os << k_input_preamble;
+  os << leaf_fn("shared", 5, 6);
+  os << leaf_fn("other", 4, 5);
+  os << "int main(void) {\n  int v = shared(input[0]);\n  v += other(v);\n";
+  os << "  v += shared(v);\n  return v;\n}\n";
+  return os.str();
+}
+
+// Data-dependent branching between calls: both branch bodies stay
+// feasible thanks to the io-backed input. The if/switch branches are
+// deliberately asymmetric (h0 and h3 heavy, h1 and h4 light) so the
+// WCET path runs through h0/h3 and facts constraining them bind.
+std::string conditional_fan() {
+  std::ostringstream os;
+  os << k_input_preamble;
+  os << leaf_fn("h0", 4, 8);
+  os << leaf_fn("h1", 1, 3);
+  os << leaf_fn("h2", 2, 5);
+  os << leaf_fn("h3", 4, 7);
+  os << leaf_fn("h4", 1, 3);
+  os << leaf_fn("h5", 2, 5);
+  os << "int main(void) {\n  int v = input[0];\n";
+  os << "  if (input[1] > 10) { v += h0(v); } else { v += h1(v); }\n";
+  os << "  v += h2(v);\n";
+  os << "  switch (input[2] & 1) {\n";
+  os << "  case 0: v += h3(v); break;\n";
+  os << "  default: v += h4(v); break;\n  }\n";
+  os << "  v += h5(v);\n  return v;\n}\n";
+  return os.str();
+}
+
+struct Shape {
+  const char* name;
+  std::string source;
+  std::string annotations; // appended after the io-region line
+  std::string mode;        // AnalysisOptions::mode
+  bool expect_decomposition;
+  // The flat plan can end up empty where the recursive one still finds
+  // work: pinning the one top-level subtree a fact touches leaves flat
+  // with nothing, while recursion promotes the untouched nested
+  // children (coupled_cap_on_chain below).
+  bool expect_flat_decomposition = true;
+};
+
+std::vector<Shape> shapes() {
+  std::vector<Shape> all;
+  all.push_back({"deep_chain_8", deep_chain(8, 2), "", "", true});
+  all.push_back({"deep_chain_12", deep_chain(12, 3), "", "", true});
+  all.push_back({"wide_fan_16", wide_fan(16, 3), "", "", true});
+  all.push_back({"fan_of_chains", fan_of_chains(4, 3), "", "", true});
+  all.push_back({"balanced_tree", balanced_tree(), "", "", true});
+  all.push_back({"loop_nested_calls", loop_nested_calls(), "", "", true});
+  all.push_back({"chain_with_loop_call", chain_with_loop_call(), "", "", true});
+  all.push_back({"repeated_callee", repeated_callee(), "", "", true});
+  all.push_back({"conditional_fan", conditional_fan(), "", "", true});
+  // Annotation-coupled shapes: the facts pin the subtrees they touch,
+  // everything else must still decompose.
+  all.push_back({"coupled_flow_cap", conditional_fan(),
+                 "flow at \"h0\" <= 0\nflow at \"h3\" <= 4\n", "", true});
+  all.push_back({"coupled_ratio", conditional_fan(),
+                 "flow at \"h3\" <= 1 * at \"h4\"\n", "", true});
+  all.push_back({"coupled_infeasible_pair", conditional_fan(),
+                 "infeasible at \"h0\" with \"h3\"\n", "", true});
+  // `never` on a conditionally-called helper: the exclusion pins only
+  // that helper's subtree; the unconditional helpers still decompose.
+  all.push_back({"coupled_never", conditional_fan(), "never at \"h3\"\n", "", true});
+  all.push_back({"coupled_cap_on_chain", deep_chain(8, 2),
+                 "flow at \"f6\" <= 1\n", "", true, /*expect_flat=*/false});
+  return all;
+}
+
+WcetReport analyze_shape(const Shape& shape, int threads,
+                         analysis::IpetDecomposition decomposition) {
+  const auto built = mcc::compile_program(shape.source);
+  const isa::Symbol* input = built.image.find_symbol("input");
+  EXPECT_NE(input, nullptr);
+  std::ostringstream annotations;
+  annotations << "region \"inputs\" at " << input->addr << " size 32 read 2 write 2 io\n";
+  annotations << shape.annotations;
+  const Analyzer analyzer(built.image, mem::typical_hw(), annotations.str());
+  AnalysisOptions options;
+  options.threads = threads;
+  options.decomposition = decomposition;
+  options.mode = shape.mode;
+  return analyzer.analyze(options);
+}
+
+void expect_identical_reports(const WcetReport& a, const WcetReport& b,
+                              const std::string& what) {
+  EXPECT_EQ(a.ok, b.ok) << what;
+  EXPECT_EQ(a.wcet_cycles, b.wcet_cycles) << what;
+  EXPECT_EQ(a.bcet_cycles, b.bcet_cycles) << what;
+  EXPECT_EQ(a.obstructions, b.obstructions) << what;
+  EXPECT_EQ(a.wcet_block_counts, b.wcet_block_counts) << what;
+  EXPECT_EQ(a.ilp_variables, b.ilp_variables) << what;
+  EXPECT_EQ(a.ilp_constraints, b.ilp_constraints) << what;
+  EXPECT_EQ(a.ipet_regions, b.ipet_regions) << what;
+  EXPECT_EQ(a.ipet_sub_ilps, b.ipet_sub_ilps) << what;
+  EXPECT_EQ(a.ipet_depth, b.ipet_depth) << what;
+}
+
+TEST(IpetDecompositionDifferential, AllModesAgreeOnEveryShape) {
+  for (const Shape& shape : shapes()) {
+    SCOPED_TRACE(shape.name);
+    const WcetReport monolithic =
+        analyze_shape(shape, 1, analysis::IpetDecomposition::monolithic);
+    const WcetReport flat = analyze_shape(shape, 1, analysis::IpetDecomposition::flat);
+    const WcetReport recursive =
+        analyze_shape(shape, 1, analysis::IpetDecomposition::recursive);
+    ASSERT_TRUE(monolithic.ok) << shape.name << "\n" << monolithic.to_string();
+    ASSERT_TRUE(flat.ok) << shape.name << "\n" << flat.to_string();
+    ASSERT_TRUE(recursive.ok) << shape.name << "\n" << recursive.to_string();
+
+    EXPECT_EQ(flat.wcet_cycles, monolithic.wcet_cycles) << shape.name;
+    EXPECT_EQ(recursive.wcet_cycles, monolithic.wcet_cycles) << shape.name;
+    EXPECT_EQ(flat.bcet_cycles, monolithic.bcet_cycles) << shape.name;
+    EXPECT_EQ(recursive.bcet_cycles, monolithic.bcet_cycles) << shape.name;
+    EXPECT_EQ(flat.obstructions, monolithic.obstructions) << shape.name;
+    EXPECT_EQ(recursive.obstructions, monolithic.obstructions) << shape.name;
+
+    EXPECT_EQ(monolithic.ipet_regions, 0) << shape.name;
+    EXPECT_EQ(monolithic.ipet_sub_ilps, 0) << shape.name;
+    if (shape.expect_decomposition) {
+      EXPECT_GT(recursive.ipet_regions, 0)
+          << shape.name << ": decomposition did not trigger";
+      EXPECT_LE(flat.ipet_depth, 1) << shape.name;
+      if (shape.expect_flat_decomposition) EXPECT_GT(flat.ipet_regions, 0) << shape.name;
+    }
+  }
+}
+
+TEST(IpetDecompositionDifferential, DeepChainsActuallyNest) {
+  // The whole point of recursive planning: a deep chain must produce
+  // nested sub-ILPs (depth > 1) and more sub-ILPs than the flat plan.
+  for (const int depth : {8, 12}) {
+    SCOPED_TRACE(depth);
+    Shape shape{"chain", deep_chain(depth, 3), "", "", true};
+    const WcetReport flat = analyze_shape(shape, 1, analysis::IpetDecomposition::flat);
+    const WcetReport recursive =
+        analyze_shape(shape, 1, analysis::IpetDecomposition::recursive);
+    ASSERT_TRUE(flat.ok);
+    ASSERT_TRUE(recursive.ok);
+    EXPECT_GT(recursive.ipet_depth, 1) << "recursive planning did not re-enter";
+    EXPECT_GT(recursive.ipet_sub_ilps, flat.ipet_sub_ilps);
+    EXPECT_EQ(recursive.wcet_cycles, flat.wcet_cycles);
+  }
+}
+
+TEST(IpetDecompositionDifferential, FlowFactsOnlyPinTouchedSubtrees) {
+  // A cap on one conditionally-called helper must not disable
+  // decomposition of untouched subtrees — and the capped bound must
+  // drop below the uncapped one (the cap actually binds) identically in
+  // every mode.
+  Shape uncapped{"fan", conditional_fan(), "", "", true};
+  Shape capped{"fan_capped", conditional_fan(), "flow at \"h0\" <= 0\n", "", true};
+  const WcetReport plain = analyze_shape(uncapped, 1, analysis::IpetDecomposition::recursive);
+  const WcetReport with_cap =
+      analyze_shape(capped, 1, analysis::IpetDecomposition::recursive);
+  const WcetReport with_cap_mono =
+      analyze_shape(capped, 1, analysis::IpetDecomposition::monolithic);
+  ASSERT_TRUE(plain.ok);
+  ASSERT_TRUE(with_cap.ok);
+  ASSERT_TRUE(with_cap_mono.ok);
+  EXPECT_EQ(with_cap.wcet_cycles, with_cap_mono.wcet_cycles);
+  EXPECT_LT(with_cap.wcet_cycles, plain.wcet_cycles)
+      << "cap did not bind: h0 must be off the WCET path";
+  EXPECT_GT(with_cap.ipet_regions, 0)
+      << "a single flow cap must not disable decomposition wholesale";
+  EXPECT_LT(with_cap.ipet_regions, plain.ipet_regions)
+      << "the capped subtree must be pinned out of the plan";
+}
+
+TEST(IpetDecompositionDifferential, BitIdenticalAcrossThreadCounts) {
+  for (const Shape& shape : shapes()) {
+    SCOPED_TRACE(shape.name);
+    for (const auto mode :
+         {analysis::IpetDecomposition::flat, analysis::IpetDecomposition::recursive}) {
+      const WcetReport sequential = analyze_shape(shape, 1, mode);
+      for (const int threads : {2, 4, 8}) {
+        std::ostringstream what;
+        what << shape.name << " mode " << static_cast<int>(mode) << " threads " << threads;
+        expect_identical_reports(sequential, analyze_shape(shape, threads, mode),
+                                 what.str());
+      }
+    }
+  }
+}
+
+} // namespace
+} // namespace wcet

@@ -278,16 +278,23 @@ TEST(IpetDecomposition, MatchesMonolithicSolve) {
   analysis::Ipet ipet(p.sg, p.loops, p.values, pipeline);
   for (const bool maximize : {true, false}) {
     options.maximize = maximize;
-    options.allow_decomposition = true;
-    const analysis::IpetResult decomposed = ipet.solve(options);
-    options.allow_decomposition = false;
+    options.decomposition = analysis::IpetDecomposition::recursive;
+    const analysis::IpetResult recursive = ipet.solve(options);
+    options.decomposition = analysis::IpetDecomposition::flat;
+    const analysis::IpetResult flat = ipet.solve(options);
+    options.decomposition = analysis::IpetDecomposition::monolithic;
     const analysis::IpetResult monolithic = ipet.solve(options);
-    ASSERT_TRUE(decomposed.ok());
+    ASSERT_TRUE(recursive.ok());
+    ASSERT_TRUE(flat.ok());
     ASSERT_TRUE(monolithic.ok());
-    EXPECT_GT(decomposed.decomposed_regions, 0) << "decomposition did not trigger";
-    EXPECT_EQ(decomposed.bound, monolithic.bound)
+    EXPECT_GT(recursive.decomposed_regions, 0) << "decomposition did not trigger";
+    EXPECT_GT(flat.decomposed_regions, 0) << "decomposition did not trigger";
+    EXPECT_EQ(recursive.bound, monolithic.bound)
+        << (maximize ? "WCET" : "BCET") << " bound diverged";
+    EXPECT_EQ(flat.bound, monolithic.bound)
         << (maximize ? "WCET" : "BCET") << " bound diverged";
     EXPECT_EQ(monolithic.decomposed_regions, 0);
+    EXPECT_EQ(monolithic.sub_ilps, 0);
   }
 }
 

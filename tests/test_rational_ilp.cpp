@@ -185,6 +185,191 @@ TEST(Ilp, MinimizeViaNegation) {
   EXPECT_EQ(-s.objective, Rational(3));
 }
 
+TEST(Ilp, DegeneratePivotsTerminate) {
+  // Beale's classic cycling example: Dantzig's rule alone can cycle on
+  // this LP; the degenerate-streak fallback to Bland must terminate it
+  // at the true optimum 1/20 (x3 = 1).
+  IlpProblem p;
+  const int x1 = p.add_variable("x1");
+  const int x2 = p.add_variable("x2");
+  const int x3 = p.add_variable("x3");
+  const int x4 = p.add_variable("x4");
+  p.set_objective(x1, Rational(3, 4));
+  p.set_objective(x2, Rational(-150));
+  p.set_objective(x3, Rational(1, 50));
+  p.set_objective(x4, Rational(-6));
+  p.add_constraint({{x1, Rational(1, 4)}, {x2, Rational(-60)}, {x3, Rational(-1, 25)},
+                    {x4, Rational(9)}},
+                   Cmp::le, Rational(0));
+  p.add_constraint({{x1, Rational(1, 2)}, {x2, Rational(-90)}, {x3, Rational(-1, 50)},
+                    {x4, Rational(3)}},
+                   Cmp::le, Rational(0));
+  p.add_constraint({{x3, Rational(1)}}, Cmp::le, Rational(1));
+  const LpSolution s = p.solve_lp();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.objective, Rational(1, 20));
+  EXPECT_EQ(s.values[static_cast<std::size_t>(x3)], Rational(1));
+}
+
+TEST(Ilp, EmptyRowsHandled) {
+  // Rows with no terms must not confuse the sparse tableau: a vacuously
+  // true row is carried by its slack/artificial alone, a vacuously
+  // false one makes the system infeasible.
+  {
+    IlpProblem p;
+    const int x = p.add_variable("x");
+    p.set_objective(x, 1);
+    p.add_constraint({}, Cmp::le, Rational(5));   // 0 <= 5: no-op
+    p.add_constraint({}, Cmp::ge, Rational(-3));  // 0 >= -3: no-op after flip
+    p.add_constraint({}, Cmp::eq, Rational(0));   // 0 == 0: redundant row
+    p.add_constraint({{x, Rational(1)}}, Cmp::le, Rational(7));
+    const LpSolution s = p.solve_lp();
+    ASSERT_TRUE(s.ok());
+    EXPECT_EQ(s.objective, Rational(7));
+  }
+  {
+    IlpProblem p;
+    const int x = p.add_variable("x");
+    p.set_objective(x, 1);
+    p.add_constraint({}, Cmp::eq, Rational(1)); // 0 == 1: impossible
+    p.add_constraint({{x, Rational(1)}}, Cmp::le, Rational(7));
+    EXPECT_EQ(p.solve_lp().status, LpSolution::Status::infeasible);
+  }
+  {
+    // A row whose terms cancel exactly is an empty row in disguise.
+    IlpProblem p;
+    const int x = p.add_variable("x");
+    p.set_objective(x, 1);
+    p.add_constraint({{x, Rational(1)}, {x, Rational(-1)}}, Cmp::ge, Rational(2));
+    EXPECT_EQ(p.solve_lp().status, LpSolution::Status::infeasible);
+  }
+}
+
+TEST(Ilp, DualSimplexWarmStartsMatchExhaustive) {
+  // Integer programs whose LP relaxations are fractional force branch &
+  // bound to extend the sparse tableau with branch rows and re-optimize
+  // via the dual simplex (warm starts). Every optimum must match brute
+  // force over the integer box.
+  Rng rng(1234);
+  for (int instance = 0; instance < 20; ++instance) {
+    const int n = 4;
+    IlpProblem p;
+    std::vector<std::int64_t> coeff(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      const int v = p.add_variable("x" + std::to_string(j));
+      coeff[static_cast<std::size_t>(j)] = 1 + rng.below(9);
+      p.set_objective(v, Rational(coeff[static_cast<std::size_t>(j)]));
+      p.add_constraint({{v, Rational(1)}}, Cmp::le, Rational(4)); // box
+    }
+    std::vector<std::vector<std::int64_t>> rows;
+    const int num_rows = 2 + static_cast<int>(rng.below(2));
+    for (int r = 0; r < num_rows; ++r) {
+      std::vector<LinTerm> terms;
+      std::vector<std::int64_t> row;
+      for (int j = 0; j < n; ++j) {
+        const std::int64_t a = 1 + rng.below(6);
+        row.push_back(a);
+        // Fractional denominators make the relaxation land off-integer.
+        terms.push_back({j, Rational(2 * a, 3)});
+      }
+      const std::int64_t rhs = 5 + rng.below(12);
+      rows.push_back(row);
+      rows.back().push_back(rhs);
+      p.add_constraint(std::move(terms), Cmp::le, Rational(rhs));
+    }
+    const LpSolution s = p.solve_ilp();
+    ASSERT_TRUE(s.ok()) << "instance " << instance;
+    for (const Rational& v : s.values) EXPECT_TRUE(v.is_integer());
+
+    std::int64_t best = -1;
+    std::vector<int> x(static_cast<std::size_t>(n), 0);
+    for (x[0] = 0; x[0] <= 4; ++x[0]) {
+      for (x[1] = 0; x[1] <= 4; ++x[1]) {
+        for (x[2] = 0; x[2] <= 4; ++x[2]) {
+          for (x[3] = 0; x[3] <= 4; ++x[3]) {
+            bool feasible = true;
+            for (const auto& row : rows) {
+              std::int64_t lhs3 = 0; // 3 * lhs to stay integral
+              for (int j = 0; j < n; ++j) {
+                lhs3 += 2 * row[static_cast<std::size_t>(j)] * x[static_cast<std::size_t>(j)];
+              }
+              if (lhs3 > 3 * row.back()) {
+                feasible = false;
+                break;
+              }
+            }
+            if (!feasible) continue;
+            std::int64_t value = 0;
+            for (int j = 0; j < n; ++j) {
+              value += coeff[static_cast<std::size_t>(j)] * x[static_cast<std::size_t>(j)];
+            }
+            best = std::max(best, value);
+          }
+        }
+      }
+    }
+    EXPECT_EQ(s.objective, Rational(best)) << "instance " << instance;
+  }
+}
+
+TEST(Ilp, SharedPhase1PairMatchesIndependentSolves) {
+  // solve_ilp_pair shares construction and phase 1 between two
+  // objective senses; both optima must equal their independent solves.
+  Rng rng(77);
+  for (int instance = 0; instance < 10; ++instance) {
+    IlpProblem p;
+    std::vector<Rational> alt;
+    const int n = 5;
+    for (int j = 0; j < n; ++j) {
+      const int v = p.add_variable("x" + std::to_string(j));
+      p.set_objective(v, Rational(1 + rng.below(10)));
+      alt.emplace_back(-static_cast<std::int64_t>(1 + rng.below(10)));
+      p.add_constraint({{v, Rational(1)}}, Cmp::le, Rational(3));
+    }
+    // Equality coupling rows force a phase-1 pass.
+    std::vector<LinTerm> sum;
+    for (int j = 0; j < n; ++j) sum.push_back({j, Rational(1)});
+    p.add_constraint(std::move(sum), Cmp::eq, Rational(7));
+    const auto [primary, alternate] = p.solve_ilp_pair(alt);
+    const LpSolution primary_cold = p.solve_ilp();
+    IlpProblem q = p;
+    for (int j = 0; j < n; ++j) q.set_objective(j, alt[static_cast<std::size_t>(j)]);
+    const LpSolution alternate_cold = q.solve_ilp();
+    ASSERT_TRUE(primary.ok());
+    ASSERT_TRUE(alternate.ok());
+    EXPECT_EQ(primary.objective, primary_cold.objective) << "instance " << instance;
+    EXPECT_EQ(alternate.objective, alternate_cold.objective) << "instance " << instance;
+  }
+}
+
+TEST(Ilp, SparseTableauMemoryShape) {
+  // A flow-conservation-style chain: each row touches a constant number
+  // of variables, so the sparse tableau's nonzero count must stay a
+  // small multiple of the row count while rows * cols grows
+  // quadratically. A dense-storage regression multiplies solver memory
+  // by the column count and fails this shape bound loudly.
+  const int n = 60;
+  IlpProblem p;
+  std::vector<int> node(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) node[static_cast<std::size_t>(i)] = p.add_variable("n" + std::to_string(i));
+  p.set_objective(node[static_cast<std::size_t>(n - 1)], 1);
+  p.add_constraint({{node[0], Rational(1)}}, Cmp::eq, Rational(1));
+  for (int i = 1; i < n; ++i) {
+    p.add_constraint({{node[static_cast<std::size_t>(i)], Rational(1)},
+                      {node[static_cast<std::size_t>(i - 1)], Rational(-1)}},
+                     Cmp::eq, Rational(0));
+  }
+  const LpSolution s = p.solve_lp();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.objective, Rational(1));
+  ASSERT_GT(s.tableau_rows, 0u);
+  ASSERT_GT(s.tableau_cols, s.tableau_rows); // structurals + artificials
+  // Shape bound: nnz stays linear in rows (each row holds a handful of
+  // entries), far below the dense rows * cols footprint.
+  EXPECT_LE(s.tableau_nnz, s.tableau_rows * 8);
+  EXPECT_LT(s.tableau_nnz * 4, s.tableau_rows * s.tableau_cols);
+}
+
 TEST(Ilp, DumpContainsProblem) {
   IlpProblem p;
   const int x = p.add_variable("count_a");

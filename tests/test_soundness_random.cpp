@@ -139,6 +139,116 @@ TEST_P(RandomProgramSoundness, ObservedWithinBounds) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramSoundness, ::testing::Range(0, 25));
 
+// Randomized flow caps drive the per-subtree eligibility path: each cap
+// pins only the call subtrees it touches, the rest still decompose, and
+// the decomposed solves must agree bit-identically with the monolithic
+// reference — WCET, BCET, status and obstructions. Seeded and
+// deterministic; programs are generated large enough for the
+// decomposition planner to engage, with helpers called behind
+// io-dependent branches so tight caps stay feasible.
+class CappedProgramGenerator {
+public:
+  explicit CappedProgramGenerator(std::uint64_t seed) : rng_(seed) {}
+
+  struct Generated {
+    std::string source;
+    std::vector<std::string> helper_names;
+  };
+
+  Generated generate() {
+    Generated out;
+    std::ostringstream os;
+    os << "int input[8] = {0, 0, 0, 0, 0, 0, 0, 0};\n";
+    os << "int data[16] = {1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16};\n";
+    const int helpers = 5 + static_cast<int>(rng_.below(4));
+    for (int h = 0; h < helpers; ++h) {
+      const std::string name = "helper" + std::to_string(h);
+      out.helper_names.push_back(name);
+      os << "int " << name << "(int x) {\n  int s = x;\n";
+      const int loops = 2 + static_cast<int>(rng_.below(3));
+      for (int l = 0; l < loops; ++l) {
+        os << "  { int i" << l << "; for (i" << l << " = 0; i" << l << " < "
+           << (3 + rng_.below(5)) << "; i" << l << "++) { s += data[(s + i" << l
+           << ") & 15]; } }\n";
+      }
+      os << "  return s;\n}\n";
+    }
+    os << "int main(void) {\n  int v = input[0];\n";
+    for (int h = 0; h < helpers; ++h) {
+      switch (rng_.below(3)) {
+      case 0: // unconditional call
+        os << "  v += helper" << h << "(v);\n";
+        break;
+      case 1: // io-dependent branch: a cap of zero stays feasible
+        os << "  if (input[" << rng_.below(8) << "] > " << rng_.below(40) << ") { v += helper"
+           << h << "(v); }\n";
+        break;
+      default: // branch between this helper and the previous one
+        os << "  if (input[" << rng_.below(8) << "] > " << rng_.below(40) << ") { v += helper"
+           << h << "(v); } else { v += helper" << (h > 0 ? h - 1 : h) << "(v); }\n";
+        break;
+      }
+    }
+    os << "  return v;\n}\n";
+    out.source = os.str();
+    return out;
+  }
+
+  Rng& rng() { return rng_; }
+
+private:
+  Rng rng_;
+};
+
+class RandomFlowCaps : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomFlowCaps, DecomposedMatchesMonolithic) {
+  CappedProgramGenerator generator(static_cast<std::uint64_t>(GetParam()) * 6277 + 31);
+  const auto generated = generator.generate();
+  SCOPED_TRACE(generated.source);
+  const auto built = mcc::compile_program(generated.source);
+
+  const isa::Symbol* input = built.image.find_symbol("input");
+  ASSERT_NE(input, nullptr);
+  std::ostringstream annotations;
+  annotations << "region \"inputs\" at " << input->addr << " size 32 read 2 write 2 io\n";
+  // Random caps over a random subset of helpers; counts 0..3 so some
+  // bind hard (forcing the helper off the worst-case path), some are
+  // slack, and every one pins exactly its own subtree.
+  Rng& rng = generator.rng();
+  const std::size_t caps = 1 + rng.below(3);
+  for (std::size_t c = 0; c < caps; ++c) {
+    const auto& name = generated.helper_names[rng.below(
+        static_cast<std::uint32_t>(generated.helper_names.size()))];
+    annotations << "flow at \"" << name << "\" <= " << rng.below(4) << "\n";
+  }
+  SCOPED_TRACE(annotations.str());
+
+  const Analyzer analyzer(built.image, mem::typical_hw(), annotations.str());
+  AnalysisOptions options;
+  options.decomposition = analysis::IpetDecomposition::monolithic;
+  const WcetReport monolithic = analyzer.analyze(options);
+  for (const auto mode :
+       {analysis::IpetDecomposition::flat, analysis::IpetDecomposition::recursive}) {
+    options.decomposition = mode;
+    const WcetReport decomposed = analyzer.analyze(options);
+    EXPECT_EQ(decomposed.ok, monolithic.ok) << "mode " << static_cast<int>(mode);
+    EXPECT_EQ(decomposed.wcet_cycles, monolithic.wcet_cycles)
+        << "mode " << static_cast<int>(mode);
+    EXPECT_EQ(decomposed.bcet_cycles, monolithic.bcet_cycles)
+        << "mode " << static_cast<int>(mode);
+    EXPECT_EQ(decomposed.obstructions, monolithic.obstructions)
+        << "mode " << static_cast<int>(mode);
+  }
+
+  // No simulation leg here on purpose: flow caps are *trusted* facts,
+  // and a random input assignment may violate one (making the computed
+  // bound legitimately inapplicable to that run). The property under
+  // test is that every decomposition mode trusts them identically.
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFlowCaps, ::testing::Range(0, 10));
+
 TEST(RandomAsmSoundness, HandWrittenKernels) {
   // A couple of fixed kernels with tricky shapes, validated the same way.
   const char* kernels[] = {
