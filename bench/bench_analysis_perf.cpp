@@ -43,12 +43,14 @@ void BM_analyze_scaling(benchmark::State& state) {
   std::uint64_t bound = 0;
   PhaseTimings timings;
   int sub_ilps = 0;
+  WcetReport last;
   for (auto _ : state) {
     const Analyzer analyzer(built.image, mem::typical_hw());
-    const WcetReport report = analyzer.analyze(options);
+    WcetReport report = analyzer.analyze(options);
     bound = report.wcet_cycles;
     timings = report.timings;
     sub_ilps = report.ipet_sub_ilps;
+    last = std::move(report);
     benchmark::DoNotOptimize(bound);
   }
   state.counters["wcet_cycles"] = static_cast<double>(bound);
@@ -67,6 +69,15 @@ void BM_analyze_scaling(benchmark::State& state) {
   state.counters["ilp_ms"] = timings.ilp_ms;
   state.counters["sub_ilps"] = static_cast<double>(sub_ilps);
   state.counters["total_ms"] = timings.total_ms;
+  // COW cache-state telemetry of the last iteration's cache pass
+  // (wcet/analyzer.hpp): set-level joins examined vs. skipped by
+  // pointer equality, plus set-image allocation/peak-live counts —
+  // the structural signals behind cache_ms (run_bench.sh fails when a
+  // fresh run stops recording them).
+  state.counters["cache_joins"] = static_cast<double>(last.cache_joins);
+  state.counters["cache_join_skips"] = static_cast<double>(last.cache_join_skips);
+  state.counters["set_image_allocs"] = static_cast<double>(last.set_image_allocs);
+  state.counters["live_set_images_peak"] = static_cast<double>(last.live_set_images_peak);
 }
 BENCHMARK(BM_analyze_scaling)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 

@@ -13,14 +13,23 @@ loop_ms, cache_ms, pipeline_ms, path_ms, ilp_ms — see
 bench_analysis_perf.cpp) additionally get a phase-level comparison so a
 regression hiding inside an unchanged total stays visible. Phase times
 are wall-clock and noisy, so they inform but never fail the diff.
-Structural counters (sub_ilps: IPET sub-ILPs solved per decomposition
-mode) are printed old -> new when present.
+Structural counters (sub_ilps: IPET sub-ILPs per decomposition mode;
+cache_joins / cache_join_skips: abstract-cache set joins examined vs.
+skipped by COW pointer equality; set_image_allocs /
+live_set_images_peak: set-image allocation traffic and high-water mark)
+are printed old -> new when present.
 """
 import json
 import sys
 
 PHASES = ["decode_ms", "value_ms", "loop_ms", "cache_ms", "pipeline_ms", "path_ms", "ilp_ms"]
-COUNTERS = ["sub_ilps"]
+COUNTERS = [
+    "sub_ilps",
+    "cache_joins",
+    "cache_join_skips",
+    "set_image_allocs",
+    "live_set_images_peak",
+]
 
 
 def load(path):

@@ -32,6 +32,21 @@ fi
 
 echo "wrote $bench_json"
 
+# The COW cache-state counters are part of the tracked perf surface: a
+# fresh run that silently stops recording them would hide state-sharing
+# regressions from every future diff — fail loudly instead.
+for counter in cache_joins cache_join_skips set_image_allocs live_set_images_peak; do
+  if ! grep -q "\"$counter\"" "$bench_json"; then
+    echo "error: counter '$counter' missing from fresh bench run" >&2
+    if [ -n "$prev_json" ]; then
+      mv "$bench_json" "$bench_json.rejected"
+      mv "$prev_json" "$bench_json"
+      echo "restored $bench_json, counter-less run at $bench_json.rejected" >&2
+    fi
+    exit 4
+  fi
+done
+
 if [ -n "$prev_json" ]; then
   if command -v python3 > /dev/null 2>&1; then
     status=0

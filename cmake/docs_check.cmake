@@ -47,7 +47,10 @@ if(failures EQUAL 0)
       "diff_bench.py"
       "wcet_cycles"
       "-L tier1"
-      "WCET_SANITIZE")
+      "WCET_SANITIZE"
+      "WCET_SANITIZE=thread"
+      "cache_join_skips"
+      "WCET_COW_CHECK")
   require_content(docs/ARCHITECTURE.md
       "pass_manager.hpp"
       "AnalysisContext"
@@ -57,7 +60,13 @@ if(failures EQUAL 0)
       "build_cache_recipes"
       "Recursive IPET decomposition"
       "Sparse-row simplex"
-      "solve_ilp_pair")
+      "solve_ilp_pair"
+      "Copy-on-write abstract states"
+      "cow.hpp"
+      "CowPtr"
+      "detach-on-mutate"
+      "fetch_groups"
+      "record_node_lazy")
   # The bench entry points docs refer to must exist.
   require_file(bench/run_bench.sh)
   require_file(bench/diff_bench.py)

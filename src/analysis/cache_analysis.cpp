@@ -1,7 +1,10 @@
 #include "analysis/cache_analysis.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
 #include <map>
+#include <optional>
 #include <set>
 
 #include "analysis/transfer_cache.hpp"
@@ -10,6 +13,25 @@
 #include "support/thread_pool.hpp"
 
 namespace wcet::analysis {
+
+namespace {
+
+// Telemetry only (see CacheJoinStats): batched per join_with call, so
+// the hot loop pays two relaxed atomic adds, not one per set.
+std::atomic<std::uint64_t> g_cache_joins{0};
+std::atomic<std::uint64_t> g_cache_join_skips{0};
+
+} // namespace
+
+CacheJoinStats cache_join_stats() {
+  return {g_cache_joins.load(std::memory_order_relaxed),
+          g_cache_join_skips.load(std::memory_order_relaxed)};
+}
+
+void reset_cache_join_stats() {
+  g_cache_joins.store(0, std::memory_order_relaxed);
+  g_cache_join_skips.store(0, std::memory_order_relaxed);
+}
 
 const char* to_string(AccessClass cls) {
   switch (cls) {
@@ -26,20 +48,36 @@ AbsCache::AbsCache(const mem::CacheConfig& config, bool must)
 
 bool AbsCache::contains(std::uint32_t line) const {
   if (!config_.enabled) return false;
-  const auto& set = sets_[config_.set_index(line * config_.line_bytes)];
-  return set.contains(line);
+  return sets_.at(config_.set_index(line * config_.line_bytes)).contains(line);
 }
 
 void AbsCache::age_set(unsigned set_index, unsigned below_age) {
-  sets_[set_index].retain([&](std::uint32_t, unsigned& age) {
+  if (sets_.at(set_index).empty()) return; // nothing to age, keep the leaf shared
+  SetImage& image = sets_.mutate(set_index);
+  image.retain([&](std::uint32_t, unsigned& age) {
     if (age < below_age) ++age;
     return age < config_.ways;
   });
+  if (image.empty()) sets_.clear_leaf(set_index);
 }
 
 void AbsCache::access_set(SetImage& set, std::uint32_t line) const {
   const auto it = set.find(line);
   const unsigned old_age = it != set.end() ? it->second : config_.ways;
+  if (it != set.end() && (must_ || old_age + 1 < config_.ways)) {
+    // In-place fast path for a present line: no entry can age out
+    // (must: aged entries stay at or below old_age <= ways-1; may:
+    // at or below old_age+1 < ways), and the accessed entry rewrites
+    // to age 0 where it sits — one pass, no shifting, no reinsertion.
+    for (auto& [l, age] : set) {
+      if (l == line) {
+        age = 0;
+      } else if (must_ ? age < old_age : age <= old_age) {
+        ++age;
+      }
+    }
+    return;
+  }
   if (must_) {
     // Lines younger than the accessed line's (upper-bound) age grow
     // older; on a potential miss everything ages.
@@ -58,9 +96,62 @@ void AbsCache::access_set(SetImage& set, std::uint32_t line) const {
   set[line] = 0;
 }
 
+bool AbsCache::access_into(const SetImage& base, std::uint32_t line, SetImage& out) const {
+  // Mirrors access_set exactly, emitting into `out` instead of
+  // rewriting in place, and reporting out != base on the fly.
+  const auto it = base.find(line);
+  const unsigned old_age = it != base.end() ? it->second : config_.ways;
+  out.clear();
+  bool changed = false;
+  bool inserted = false;
+  for (const auto& [l, age] : base) {
+    if (l == line) {
+      out.append_sorted(line, 0u);
+      inserted = true;
+      changed |= age != 0;
+      continue;
+    }
+    unsigned aged = age;
+    if (must_ ? age < old_age : age <= old_age) ++aged;
+    if (aged >= config_.ways) {
+      changed = true; // dropped
+      continue;
+    }
+    if (!inserted && l > line) {
+      out.append_sorted(line, 0u); // line absent in base: insert in order
+      inserted = true;
+      changed = true;
+    }
+    out.append_sorted(l, aged);
+    changed |= aged != age;
+  }
+  if (!inserted) {
+    out.append_sorted(line, 0u);
+    changed = true;
+  }
+  return changed;
+}
+
+bool AbsCache::access_changes(const SetImage& set, std::uint32_t line) const {
+  // Mirrors access_set exactly. The accessed line lands at age 0, so
+  // the image changes unless the line is already youngest — and, in the
+  // may variant, no *other* line shares age 0 (those would age).
+  const auto it = set.find(line);
+  if (it == set.end() || it->second != 0) return true;
+  if (must_) return false; // only ages strictly younger than 0: none
+  for (const auto& [other_line, age] : set) {
+    if (other_line != line && age == 0) return true;
+  }
+  return false;
+}
+
 void AbsCache::access(std::uint32_t line) {
   if (!config_.enabled) return;
-  access_set(sets_[config_.set_index(line * config_.line_bytes)], line);
+  const unsigned s = config_.set_index(line * config_.line_bytes);
+  // At convergence most accesses re-touch an already-youngest line;
+  // skipping the detach keeps the leaf shared for the join fast path.
+  if (!access_changes(sets_.at(s), line)) return;
+  access_set(sets_.mutate(s), line);
 }
 
 void AbsCache::access_one_of(std::span<const std::uint32_t> lines) {
@@ -79,23 +170,13 @@ void AbsCache::access_one_of(std::span<const std::uint32_t> lines) {
   // without copying the untouched sets at all.
   std::vector<unsigned> affected;
   affected.reserve(lines.size());
-  for (const std::uint32_t line : lines) {
-    const unsigned s = config_.set_index(line * config_.line_bytes);
-    if (std::find(affected.begin(), affected.end(), s) == affected.end()) {
-      affected.push_back(s);
-    }
-  }
   SetImage scratch;
-  for (const unsigned s : affected) {
-    const SetImage original = sets_[s];
+  for_each_candidate_set(config_, lines, affected, [&](unsigned s, bool outside) {
+    const SetImage& original = sets_.at(s);
     SetImage result;
     bool first = true;
-    bool untouched_alternative = false;
     for (const std::uint32_t line : lines) {
-      if (config_.set_index(line * config_.line_bytes) != s) {
-        untouched_alternative = true;
-        continue;
-      }
+      if (config_.set_index(line * config_.line_bytes) != s) continue;
       scratch = original;
       access_set(scratch, line);
       if (first) {
@@ -105,9 +186,16 @@ void AbsCache::access_one_of(std::span<const std::uint32_t> lines) {
         join_set(result, scratch);
       }
     }
-    if (untouched_alternative) join_set(result, original);
-    sets_[s] = std::move(result);
-  }
+    if (outside) join_set(result, original);
+    // Install only a real change: an identical result would trade the
+    // shared leaf for a fresh allocation and defeat join gating.
+    if (result == original) return;
+    if (result.empty()) {
+      sets_.clear_leaf(s);
+    } else {
+      sets_.set_leaf(s, std::move(result));
+    }
+  });
 }
 
 void AbsCache::access_unknown() {
@@ -138,11 +226,13 @@ bool AbsCache::join_set(SetImage& mine, const SetImage& theirs) const {
     });
     return aged || dropped;
   }
-  // Union, minimal age: merge the sorted sets into a fresh vector
-  // only when something actually changes.
+  // Union, minimal age: merge the sorted sets into a reused scratch
+  // buffer and copy back only when something actually changes (the
+  // thread_local keeps the hot join loops allocation-free; the merge is
+  // a pure value computation, so worker identity cannot affect results).
   if (theirs.empty()) return false;
-  std::vector<std::pair<std::uint32_t, unsigned>> merged;
-  merged.reserve(mine.size() + theirs.size());
+  static thread_local std::vector<std::pair<std::uint32_t, unsigned>> merged;
+  merged.clear();
   auto a = mine.begin();
   auto b = theirs.begin();
   bool set_changed = false;
@@ -161,19 +251,207 @@ bool AbsCache::join_set(SetImage& mine, const SetImage& theirs) const {
     }
   }
   if (set_changed) {
-    mine.assign_sorted(std::move(merged));
+    mine.assign_range(merged.begin(), merged.end());
     return true;
   }
   return false;
 }
 
+bool AbsCache::must_join_changes(const SetImage& mine, const SetImage& theirs) const {
+  // Mirrors the must branch of join_set: change iff any of my lines is
+  // absent from theirs (dropped) or carries a larger age there (aged).
+  auto ot = theirs.begin();
+  for (const auto& [line, age] : mine) {
+    while (ot != theirs.end() && ot->first < line) ++ot;
+    if (ot == theirs.end() || ot->first != line) return true;
+    if (ot->second > age) return true;
+  }
+  return false;
+}
+
+bool AbsCache::may_join_changes(const SetImage& mine, const SetImage& theirs) const {
+  // Mirrors the may branch of join_set: change iff theirs holds a line
+  // I lack, or a smaller age for a shared line.
+  auto it = mine.begin();
+  for (const auto& [line, age] : theirs) {
+    while (it != mine.end() && it->first < line) ++it;
+    if (it == mine.end() || it->first != line) return true;
+    if (age < it->second) return true;
+  }
+  return false;
+}
+
+bool AbsCache::join_core(unsigned s, const SetImage& theirs,
+                         const CowVec<SetImage>* alias_source) {
+  // One join-gating implementation for both flavors: `alias_source`
+  // non-null means `theirs` is that vector's leaf for `s`, so a result
+  // that lands exactly on their value can alias the leaf (keeping the
+  // pointer-equality skip alive for the next propagation) instead of
+  // allocating a copy.
+  const SetImage& mine = sets_.at(s);
+  if (must_) {
+    if (mine.empty()) return false; // intersection with empty stays empty
+    if (!must_join_changes(mine, theirs)) return false;
+  } else {
+    if (theirs.empty()) return false; // union adds nothing
+    if (mine.empty()) {
+      // Wholesale replacement.
+      if (alias_source != nullptr) {
+        sets_.share_leaf_from(s, *alias_source);
+      } else {
+        sets_.set_leaf(s, theirs);
+      }
+      return true;
+    }
+    if (!may_join_changes(mine, theirs)) return false;
+  }
+  // Uniquely owned leaf: merge straight into it — no clone, no fresh
+  // block (the common case once a target has stopped being shared).
+  if (sets_.mutates_in_place(s)) {
+    SetImage& image = sets_.mutate(s);
+    join_set(image, theirs);
+    if (image.empty()) sets_.clear_leaf(s);
+    return true;
+  }
+  SetImage merged = mine;
+  join_set(merged, theirs);
+  if (merged.empty()) {
+    sets_.clear_leaf(s); // canonical empty: null leaf
+  } else if (alias_source != nullptr && merged == theirs) {
+    sets_.share_leaf_from(s, *alias_source);
+  } else {
+    sets_.set_leaf(s, std::move(merged));
+  }
+  return true;
+}
+
+bool AbsCache::join_image(unsigned s, const SetImage& theirs) {
+  return join_core(s, theirs, nullptr);
+}
+
+bool AbsCache::join_leaf(unsigned s, const AbsCache& other) {
+  return join_core(s, other.sets_.at(s), &other.sets_);
+}
+
 bool AbsCache::join_with(const AbsCache& other) {
   WCET_CHECK(must_ == other.must_, "joining must with may cache");
-  bool changed = false;
-  for (unsigned s = 0; s < config_.sets; ++s) {
-    changed |= join_set(sets_[s], other.sets_[s]);
+  // Pointer-equality gating: a shared leaf is the same value on both
+  // sides, and join(x, x) = x, so it needs no merge and no change
+  // report. Dry-run predicates keep unchanged targets shared too, so a
+  // no-op join never detaches anything.
+  if (sets_.same_as(other.sets_)) {
+    g_cache_join_skips.fetch_add(config_.sets, std::memory_order_relaxed);
+    return false;
   }
+  bool changed = false;
+  std::uint64_t joins = 0;
+  std::uint64_t skips = 0;
+  for (unsigned s = 0; s < config_.sets; ++s) {
+    if (sets_.leaf_same_as(s, other.sets_)) {
+      ++skips;
+      continue;
+    }
+    ++joins;
+    changed |= join_leaf(s, other);
+  }
+  g_cache_joins.fetch_add(joins, std::memory_order_relaxed);
+  g_cache_join_skips.fetch_add(skips, std::memory_order_relaxed);
   return changed;
+}
+
+void AbsCache::apply_one_of_image(SetImage& image, std::span<const std::uint32_t> lines,
+                                  bool outside, SetImage& scratch_alt,
+                                  SetImage& scratch_result) const {
+  // The per-set block of access_one_of, on a detached value image. The
+  // two scratches are caller-owned and only ever swapped, so their heap
+  // buffers survive across calls.
+  scratch_result.clear();
+  bool first = true;
+  for (const std::uint32_t line : lines) {
+    scratch_alt = image;
+    access_set(scratch_alt, line);
+    if (first) {
+      std::swap(scratch_result, scratch_alt);
+      first = false;
+    } else {
+      join_set(scratch_result, scratch_alt);
+    }
+  }
+  if (outside) join_set(scratch_result, image);
+  std::swap(image, scratch_result);
+}
+
+void AbsCache::age_image(SetImage& image) const {
+  // The must half of access_unknown on one set (may is the identity).
+  image.retain([&](std::uint32_t, unsigned& age) {
+    ++age;
+    return age < config_.ways;
+  });
+}
+
+bool AbsCache::join_with_overlay(const AbsCache& source, std::span<const unsigned> sets,
+                                 std::span<const unsigned char> changed,
+                                 const SetImage* images) {
+  WCET_CHECK(must_ == source.must_, "joining must with may cache");
+  bool any_changed_image = false;
+  for (const unsigned char c : changed) any_changed_image |= c != 0;
+  if (!any_changed_image && sets_.same_as(source.sets_)) {
+    // Identity transfer into a pointer-identical state: join(x, x) = x.
+    g_cache_join_skips.fetch_add(config_.sets, std::memory_order_relaxed);
+    return false;
+  }
+  // A set needs work exactly when its overlay image changed or the two
+  // leaves differ. Build that selection as a bitmask per 64-set chunk:
+  // the identity diff over the contiguous leaf arrays is a tight
+  // vectorizable loop, so the (common) mostly-shared edge costs a few
+  // SIMD compares instead of a per-set scan with branches.
+  bool result = false;
+  std::uint64_t joins = 0;
+  std::size_t cursor = 0;
+  for (unsigned base = 0; base < config_.sets; base += 64) {
+    // Re-fetch the leaf arrays per chunk: a join in an earlier chunk
+    // may have detached this state's spine (releasing its reference to
+    // the old array, whose last co-owner could drop it concurrently),
+    // and a self-loop join detaches the source's. Within one chunk the
+    // mask is built before any mutation, so the pointers stay valid.
+    const auto* mine_leaves = sets_.leaf_data();
+    const auto* source_leaves = source.sets_.leaf_data();
+    const unsigned chunk = std::min(64u, config_.sets - base);
+    std::uint64_t pending = 0;
+    for (unsigned i = 0; i < chunk; ++i) {
+      pending |= static_cast<std::uint64_t>(mine_leaves[base + i].identity() !=
+                                            source_leaves[base + i].identity())
+                 << i;
+    }
+    for (; cursor < sets.size() && sets[cursor] < base + chunk; ++cursor) {
+      if (changed[cursor] != 0) pending |= std::uint64_t{1} << (sets[cursor] - base);
+    }
+    while (pending != 0) {
+      const unsigned s = base + static_cast<unsigned>(std::countr_zero(pending));
+      pending &= pending - 1;
+      ++joins;
+      // Re-locate the overlay entry for s (if any) — the cursor has
+      // already advanced past this chunk.
+      const auto it = std::lower_bound(sets.begin(), sets.end(), s);
+      if (it != sets.end() && *it == s &&
+          changed[static_cast<std::size_t>(it - sets.begin())] != 0) {
+        result |= join_image(s, images[it - sets.begin()]);
+      } else {
+        result |= join_leaf(s, source);
+      }
+    }
+  }
+  g_cache_joins.fetch_add(joins, std::memory_order_relaxed);
+  g_cache_join_skips.fetch_add(config_.sets - joins, std::memory_order_relaxed);
+  return result;
+}
+
+void AbsCache::install_image(unsigned s, const SetImage& image) {
+  if (image.empty()) {
+    sets_.clear_leaf(s);
+  } else {
+    sets_.set_leaf(s, image);
+  }
 }
 
 bool AbsCache::operator==(const AbsCache& other) const {
@@ -355,10 +633,25 @@ void CacheAnalysis::fixpoint_instance_rounds() {
   // parallel when a pool is given, touching disjoint in-state slots —
   // and cross-instance call/ret out-states are buffered and merged
   // sequentially in ascending (instance, edge) order. Re-queueing is
-  // gated on join_with's exact change reporting. The must/may domain
-  // has no widening, so this reaches the same least fixpoint as any
-  // other schedule; the fixed round/merge order additionally makes
-  // every intermediate state a pure function of the graph.
+  // gated on exact change reporting. The must/may domain has no
+  // widening, so this reaches the same least fixpoint as any other
+  // schedule; the fixed round/merge order additionally makes every
+  // intermediate state a pure function of the graph.
+  //
+  // A visit never materializes its out-state. The node's per-set access
+  // programs (CacheRecipe::fetch_groups / data_groups) are replayed
+  // into per-instance scratch images — the overlay — and successors
+  // join against (in-state, overlay): untouched sets keep their shared
+  // COW leaves and join by pointer identity, touched sets whose program
+  // turned out to be the identity do too, and only the genuinely
+  // transformed sets take a value join. In the converged steady state a
+  // visit therefore allocates nothing at all. The out-state is
+  // materialized only where a CachePair must outlive the visit: the
+  // cross-instance merge buffers and first-touch installs of fresh
+  // targets. The record sweep and the round-robin reference still run
+  // the classic whole-state transfer; the differential tests pin the
+  // two paths to identical classifications.
+  using Recipe = TransferCache::CacheRecipe;
   InstanceRoundEngine engine(sg_, schedule_priorities_);
   const std::size_t num_instances = sg_.instances().size();
 
@@ -367,14 +660,134 @@ void CacheAnalysis::fixpoint_instance_rounds() {
     CachePair d;
   };
   std::vector<std::map<int, OutState>> cross(num_instances);
-  // Per-instance scratch out-states: assignment reuses each set
-  // image's heap buffer across visits instead of reallocating the
-  // whole pair per node. Instances only touch their own slot, so the
-  // parallel rounds stay race-free.
-  std::vector<OutState> scratch(
-      num_instances,
-      OutState{CachePair{AbsCache::cold(iconfig_, true), AbsCache::cold(iconfig_, false)},
-               CachePair{AbsCache::cold(dconfig_, true), AbsCache::cold(dconfig_, false)}});
+
+  // Overlay scratch, per instance (never per worker: instances touch
+  // only their own slot, so parallel rounds stay race-free and the
+  // replay is deterministic). Image buffers are reused across visits.
+  struct Overlay {
+    std::vector<unsigned> sets; // touched set indices, ascending
+    std::vector<unsigned char> must_changed, may_changed;
+    std::vector<AbsCache::SetImage> must_img, may_img;
+    std::size_t count = 0;
+
+    void begin() { count = 0; }
+    std::size_t append(unsigned s) {
+      const std::size_t k = count++;
+      if (sets.size() < count) {
+        sets.push_back(s);
+        must_changed.push_back(0);
+        may_changed.push_back(0);
+        must_img.emplace_back();
+        may_img.emplace_back();
+      } else {
+        sets[k] = s;
+        must_changed[k] = 0;
+        may_changed[k] = 0;
+      }
+      return k;
+    }
+    std::span<const unsigned> set_span() const { return {sets.data(), count}; }
+  };
+  struct Scratch {
+    Overlay i, d;
+    AbsCache::SetImage alt, acc; // apply_one_of_image buffers
+  };
+  std::vector<Scratch> scratch(num_instances);
+
+  const auto build_fetch_overlay = [&](const Recipe& recipe, const CachePair& in,
+                                       Scratch& sc) {
+    Overlay& ov = sc.i;
+    ov.begin();
+    for (const Recipe::FetchGroup& group : recipe.fetch_groups) {
+      const std::size_t k = ov.append(group.set);
+      const AbsCache::SetImage& base_must = in.must.set_image(group.set);
+      const AbsCache::SetImage& base_may = in.may.set_image(group.set);
+      if (group.lines.size() == 1) {
+        // One access on this set (the norm — consecutive fetch lines
+        // map to consecutive sets): fused single-pass emit + diff.
+        ov.must_changed[k] = in.must.access_into(base_must, group.lines[0], ov.must_img[k]);
+        ov.may_changed[k] = in.may.access_into(base_may, group.lines[0], ov.may_img[k]);
+        continue;
+      }
+      ov.must_img[k] = base_must;
+      ov.may_img[k] = base_may;
+      for (const std::uint32_t line : group.lines) {
+        in.must.apply_access_image(ov.must_img[k], line);
+        in.may.apply_access_image(ov.may_img[k], line);
+      }
+      ov.must_changed[k] = ov.must_img[k] == base_must ? 0 : 1;
+      ov.may_changed[k] = ov.may_img[k] == base_may ? 0 : 1;
+    }
+  };
+
+  const auto build_data_overlay = [&](const Recipe& recipe, const CachePair& in,
+                                      Scratch& sc) {
+    Overlay& ov = sc.d;
+    ov.begin();
+    for (const Recipe::DataGroup& group : recipe.data_groups) {
+      const AbsCache::SetImage& base_must = in.must.set_image(group.set);
+      const AbsCache::SetImage& base_may = in.may.set_image(group.set);
+      // Pure-aging program on an empty must image: the identity on both
+      // sides — skip without copying anything (the common case for
+      // unknown-access nodes once repeated aging has drained the must
+      // cache).
+      if (!group.any_one_of && base_must.empty()) continue;
+      const std::size_t k = ov.append(group.set);
+      if (group.ops.size() == 1 && !group.ops[0].age_all &&
+          group.ops[0].lines.size() == 1 && !group.ops[0].outside) {
+        // Single precise access (e.g. a stack-slot load): fused
+        // single-pass emit + diff, same as the fetch fast path.
+        const std::uint32_t line = group.ops[0].lines[0];
+        ov.must_changed[k] = in.must.access_into(base_must, line, ov.must_img[k]);
+        ov.may_changed[k] = in.may.access_into(base_may, line, ov.may_img[k]);
+        continue;
+      }
+      ov.must_img[k] = base_must;
+      // age_all ops leave the may side untouched; load it only when a
+      // one_of op shows up.
+      bool may_loaded = false;
+      for (const Recipe::DataSetOp& op : group.ops) {
+        if (op.age_all) {
+          in.must.age_image(ov.must_img[k]);
+          continue;
+        }
+        if (!may_loaded) {
+          ov.may_img[k] = base_may;
+          may_loaded = true;
+        }
+        if (op.lines.size() == 1 && !op.outside) {
+          // Degenerate one_of: a plain access on the working images.
+          in.must.apply_access_image(ov.must_img[k], op.lines[0]);
+          in.may.apply_access_image(ov.may_img[k], op.lines[0]);
+          continue;
+        }
+        in.must.apply_one_of_image(ov.must_img[k], op.lines, op.outside, sc.alt, sc.acc);
+        in.may.apply_one_of_image(ov.may_img[k], op.lines, op.outside, sc.alt, sc.acc);
+      }
+      ov.must_changed[k] = ov.must_img[k] == base_must ? 0 : 1;
+      ov.may_changed[k] = may_loaded && !(ov.may_img[k] == base_may) ? 1 : 0;
+    }
+  };
+
+  // Install the overlay on a snapshot of the in-state: the out-state,
+  // materialized. Only needed for state that outlives the visit.
+  const auto materialize = [](const CachePair& in, const Overlay& ov) {
+    CachePair out = in; // O(1) COW snapshot
+    for (std::size_t k = 0; k < ov.count; ++k) {
+      if (ov.must_changed[k] != 0) out.must.install_image(ov.sets[k], ov.must_img[k]);
+      if (ov.may_changed[k] != 0) out.may.install_image(ov.sets[k], ov.may_img[k]);
+    }
+    return out;
+  };
+
+  const auto join_pair_overlay = [](CachePair& target, const CachePair& source,
+                                    const Overlay& ov) {
+    const bool a = target.must.join_with_overlay(
+        source.must, ov.set_span(), {ov.must_changed.data(), ov.count}, ov.must_img.data());
+    const bool b = target.may.join_with_overlay(
+        source.may, ov.set_span(), {ov.may_changed.data(), ov.count}, ov.may_img.data());
+    return a || b;
+  };
 
   const int entry = sg_.entry_node();
   has_state_[static_cast<std::size_t>(entry)] = 1;
@@ -383,24 +796,47 @@ void CacheAnalysis::fixpoint_instance_rounds() {
   engine.run(
       pool_,
       [&](const int instance, const int node) {
-        OutState& out = scratch[static_cast<std::size_t>(instance)];
-        out.i = in_i_[static_cast<std::size_t>(node)];
-        out.d = in_d_[static_cast<std::size_t>(node)];
-        transfer(node, out.i, out.d, false);
+        Scratch& sc = scratch[static_cast<std::size_t>(instance)];
+        const Recipe& recipe = transfers_->cache_recipe(node);
+        const CachePair& in_i = in_i_[static_cast<std::size_t>(node)];
+        const CachePair& in_d = in_d_[static_cast<std::size_t>(node)];
+        build_fetch_overlay(recipe, in_i, sc);
+        build_data_overlay(recipe, in_d, sc);
+        // Lazily materialized out-state for cross-edge buffers and
+        // first-touch installs. Safe to build after a self-loop join:
+        // such a join can only grow overlaid-changed sets (which the
+        // materialization overrides with the recorded images) — every
+        // other set joins with itself, which is a no-op.
+        std::optional<OutState> out;
+        const auto ensure_out = [&]() {
+          if (!out) out.emplace(OutState{materialize(in_i, sc.i), materialize(in_d, sc.d)});
+        };
         for (const int eid : sg_.node(node).succ_edges) {
           if (!values_.edge_feasible(eid)) continue;
           const int target = sg_.edge(eid).to;
           if (sg_.node(target).instance != instance) {
             // Call/ret edge: defer to the sequential merge step.
+            ensure_out();
             auto& buffered = cross[static_cast<std::size_t>(instance)];
-            const auto [it, fresh] = buffered.try_emplace(eid, out);
+            const auto [it, fresh] = buffered.try_emplace(eid, *out);
             if (!fresh) {
-              it->second.i.join_with(out.i);
-              it->second.d.join_with(out.d);
+              it->second.i.join_with(out->i);
+              it->second.d.join_with(out->d);
             }
             continue;
           }
-          if (join_target(target, out.i, out.d)) engine.push(target);
+          const auto t = static_cast<std::size_t>(target);
+          if (!has_state_[t]) {
+            ensure_out();
+            in_i_[t] = out->i;
+            in_d_[t] = out->d;
+            has_state_[t] = 1;
+            engine.push(target);
+            continue;
+          }
+          bool changed = join_pair_overlay(in_i_[t], in_i, sc.i);
+          changed |= join_pair_overlay(in_d_[t], in_d, sc.d);
+          if (changed) engine.push(target);
         }
       },
       [&](const int instance) {
@@ -429,6 +865,186 @@ void CacheAnalysis::fixpoint_round_robin() {
       transfer(node.id, icache, dcache, false);
       join_successors(node.id, icache, dcache, [&](int) { changed = true; });
     }
+  }
+}
+
+namespace {
+
+// Lazily materialized value view of one abstract cache during the
+// record replay: set images are copied out of the shared COW leaves
+// only when an access actually evolves them, and a must-side
+// access_unknown (which ages *every* set) is deferred as a pending age
+// delta applied on materialization — so recording a node costs the sets
+// it touches, not a whole-cache clone. Pure value computation on
+// reusable buffers; results are a function of (in-state, recipe) only.
+struct LazyCacheView {
+  const AbsCache* base = nullptr;
+  const mem::CacheConfig* config = nullptr;
+  std::vector<int> slot; // set -> image index, -1 = unmaterialized
+  std::vector<AbsCache::SetImage> images;
+  std::vector<unsigned> touched;
+  std::size_t used = 0;
+  unsigned pending_age = 0;
+
+  void attach(const AbsCache& cache) {
+    base = &cache;
+    config = &cache.config();
+    if (slot.size() != config->sets) {
+      slot.assign(config->sets, -1);
+    } else {
+      for (const unsigned s : touched) slot[s] = -1;
+    }
+    touched.clear();
+    used = 0;
+    pending_age = 0;
+  }
+
+  AbsCache::SetImage& image_for(unsigned s) {
+    int& k = slot[s];
+    if (k < 0) {
+      k = static_cast<int>(used++);
+      touched.push_back(s);
+      if (images.size() < used) images.emplace_back();
+      AbsCache::SetImage& image = images[static_cast<std::size_t>(k)];
+      image = base->set_image(s);
+      if (pending_age > 0) {
+        image.retain([&](std::uint32_t, unsigned& age) {
+          age += pending_age;
+          return age < config->ways;
+        });
+      }
+      return image;
+    }
+    return images[static_cast<std::size_t>(k)];
+  }
+
+  bool contains(std::uint32_t line) const {
+    if (!config->enabled) return false;
+    const unsigned s = config->set_index(line * config->line_bytes);
+    if (slot[s] >= 0) return images[static_cast<std::size_t>(slot[s])].contains(line);
+    if (pending_age == 0) return base->set_image(s).contains(line);
+    // Unmaterialized set under pending aging: a line survives k age_all
+    // rounds exactly when age + k stays below the associativity.
+    const AbsCache::SetImage& image = base->set_image(s);
+    const auto it = image.find(line);
+    return it != image.end() && it->second + pending_age < config->ways;
+  }
+
+  // The must half of access_unknown: everything ages one step.
+  void age_all() {
+    ++pending_age;
+    for (const unsigned s : touched) {
+      images[static_cast<std::size_t>(slot[s])].retain([&](std::uint32_t, unsigned& age) {
+        ++age;
+        return age < config->ways;
+      });
+    }
+  }
+};
+
+} // namespace
+
+void CacheAnalysis::record_node_lazy(int node) {
+  using Recipe = TransferCache::CacheRecipe;
+  const Recipe& recipe = transfers_->cache_recipe(node);
+  const auto id = static_cast<std::size_t>(node);
+  // Per-worker scratch: the replay is a pure value computation from the
+  // node's (immutable) in-state, so worker identity cannot affect it.
+  struct Scratch {
+    LazyCacheView i_must, i_may, d_must, d_may;
+    AbsCache::SetImage alt, acc;
+    std::vector<unsigned> affected;
+    std::vector<std::uint32_t> in_set;
+  };
+  static thread_local Scratch sc;
+  const CachePair& in_i = in_i_[id];
+  const CachePair& in_d = in_d_[id];
+  sc.i_must.attach(in_i.must);
+  sc.i_may.attach(in_i.may);
+  sc.d_must.attach(in_d.must);
+  sc.d_may.attach(in_d.may);
+
+  auto& fetch_out = fetch_[id];
+  auto& data_out = data_[id];
+  fetch_out.assign(recipe.fetch.size(), FetchClass{});
+  data_out.clear();
+
+  for (std::size_t i = 0; i < recipe.fetch.size(); ++i) {
+    switch (recipe.fetch[i].kind) {
+    case Recipe::FetchKind::uncached:
+      fetch_out[i].cls = AccessClass::uncached;
+      break;
+    case Recipe::FetchKind::same_line:
+      fetch_out[i].cls = AccessClass::always_hit;
+      break;
+    case Recipe::FetchKind::line: {
+      const std::uint32_t line = recipe.fetch[i].line;
+      const bool all_must = sc.i_must.contains(line);
+      const bool none_may = !sc.i_may.contains(line);
+      fetch_out[i].cls = all_must  ? AccessClass::always_hit
+                         : none_may ? AccessClass::always_miss
+                                    : AccessClass::not_classified;
+      const unsigned s = iconfig_.set_index(line * iconfig_.line_bytes);
+      in_i.must.apply_access_image(sc.i_must.image_for(s), line);
+      in_i.may.apply_access_image(sc.i_may.image_for(s), line);
+      break;
+    }
+    }
+  }
+
+  for (const Recipe::Data& d : recipe.data) {
+    DataClass dc;
+    dc.pc = d.pc;
+    dc.is_store = d.is_store;
+    switch (d.kind) {
+    case Recipe::DataKind::bypass:
+      dc.cls = AccessClass::uncached;
+      break;
+    case Recipe::DataKind::disturb:
+      dc.cls = AccessClass::uncached;
+      sc.d_must.age_all(); // may side: access_unknown is the identity
+      break;
+    case Recipe::DataKind::cached: {
+      const std::vector<std::uint32_t>& lines = lines_for(node, d.access_index);
+      if (lines.empty()) {
+        dc.cls = AccessClass::not_classified;
+        sc.d_must.age_all();
+        break;
+      }
+      bool all_must = true;
+      bool none_may = true;
+      for (const std::uint32_t line : lines) {
+        if (!sc.d_must.contains(line)) all_must = false;
+        if (sc.d_may.contains(line)) none_may = false;
+      }
+      dc.cls = all_must  ? AccessClass::always_hit
+               : none_may ? AccessClass::always_miss
+                          : AccessClass::not_classified;
+      dc.candidate_count = std::max<unsigned>(1, static_cast<unsigned>(lines.size()));
+      if (lines.size() == 1) {
+        const unsigned s = dconfig_.set_index(lines[0] * dconfig_.line_bytes);
+        in_d.must.apply_access_image(sc.d_must.image_for(s), lines[0]);
+        in_d.may.apply_access_image(sc.d_may.image_for(s), lines[0]);
+        break;
+      }
+      // access_one_of, applied per affected set (first-appearance
+      // order; the per-set joins are order-independent).
+      for_each_candidate_set(dconfig_, lines, sc.affected, [&](unsigned s, bool outside) {
+        sc.in_set.clear();
+        for (const std::uint32_t line : lines) {
+          if (dconfig_.set_index(line * dconfig_.line_bytes) == s) {
+            sc.in_set.push_back(line);
+          }
+        }
+        in_d.must.apply_one_of_image(sc.d_must.image_for(s), sc.in_set, outside, sc.alt,
+                                     sc.acc);
+        in_d.may.apply_one_of_image(sc.d_may.image_for(s), sc.in_set, outside, sc.alt,
+                                    sc.acc);
+      });
+      break;
+    }
+    }
+    data_out.push_back(dc);
   }
 }
 
@@ -465,14 +1081,35 @@ void CacheAnalysis::persistence_tree(const std::vector<int>& loop_ids) {
   // are line-precise, count distinct lines per cache set; accesses whose
   // candidate lines fit the associativity alongside their conflicts are
   // persistent (at most one miss per loop entry).
+  // Per-set distinct-line counts as sorted flat vectors: collect
+  // (set, line) pairs, sort + unique, then collapse runs — no node-pull
+  // tree maps on this (pool-fanned) path. Buffers are reused across the
+  // tree's loops.
+  std::vector<std::pair<unsigned, std::uint32_t>> i_pairs, d_pairs;
+  std::vector<std::pair<unsigned, unsigned>> i_counts, d_counts; // set -> distinct lines
+  const auto collapse = [](std::vector<std::pair<unsigned, std::uint32_t>>& pairs,
+                           std::vector<std::pair<unsigned, unsigned>>& counts) {
+    std::sort(pairs.begin(), pairs.end());
+    pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+    counts.clear();
+    for (const auto& [set, line] : pairs) {
+      (void)line;
+      if (counts.empty() || counts.back().first != set) {
+        counts.push_back({set, 1});
+      } else {
+        ++counts.back().second;
+      }
+    }
+  };
+
   for (const int loop_id : loop_ids) {
     const cfg::Loop& loop = loops_.loop(loop_id);
     if (loop.irreducible) continue; // rule 14.4: no virtual unrolling
 
     bool i_precise = true;
     bool d_precise = true;
-    std::map<unsigned, std::set<std::uint32_t>> i_lines_per_set;
-    std::map<unsigned, std::set<std::uint32_t>> d_lines_per_set;
+    i_pairs.clear();
+    d_pairs.clear();
 
     // Conflict sets come straight from the memoized recipes: a recipe
     // fetch entry is cacheable exactly when its kind isn't `uncached`,
@@ -484,8 +1121,8 @@ void CacheAnalysis::persistence_tree(const std::vector<int>& loop_ids) {
       const Recipe& recipe = transfers_->cache_recipe(node_id);
       for (const Recipe::Fetch& fetch : recipe.fetch) {
         if (fetch.kind == Recipe::FetchKind::uncached) continue;
-        i_lines_per_set[iconfig_.set_index(fetch.line * iconfig_.line_bytes)].insert(
-            fetch.line);
+        i_pairs.push_back(
+            {iconfig_.set_index(fetch.line * iconfig_.line_bytes), fetch.line});
       }
       for (const Recipe::Data& d : recipe.data) {
         if (d.kind != Recipe::DataKind::cached) continue;
@@ -495,15 +1132,20 @@ void CacheAnalysis::persistence_tree(const std::vector<int>& loop_ids) {
           continue;
         }
         for (const std::uint32_t line : lines) {
-          d_lines_per_set[dconfig_.set_index(line * dconfig_.line_bytes)].insert(line);
+          d_pairs.push_back({dconfig_.set_index(line * dconfig_.line_bytes), line});
         }
       }
     }
+    collapse(i_pairs, i_counts);
+    collapse(d_pairs, d_counts);
 
-    const auto line_persists = [](const std::map<unsigned, std::set<std::uint32_t>>& per_set,
+    const auto line_persists = [](const std::vector<std::pair<unsigned, unsigned>>& counts,
                                   const mem::CacheConfig& config, std::uint32_t line) {
-      const auto it = per_set.find(config.set_index(line * config.line_bytes));
-      return it != per_set.end() && it->second.size() <= config.ways;
+      const unsigned set = config.set_index(line * config.line_bytes);
+      const auto it = std::lower_bound(
+          counts.begin(), counts.end(), set,
+          [](const std::pair<unsigned, unsigned>& c, unsigned s) { return c.first < s; });
+      return it != counts.end() && it->first == set && it->second <= config.ways;
     };
 
     // Assign: outermost qualifying loop wins (fewer entries = tighter).
@@ -516,7 +1158,7 @@ void CacheAnalysis::persistence_tree(const std::vector<int>& loop_ids) {
             fetch_out[i].cls != AccessClass::always_miss) {
           continue;
         }
-        if (line_persists(i_lines_per_set, iconfig_, recipe.fetch[i].line)) {
+        if (line_persists(i_counts, iconfig_, recipe.fetch[i].line)) {
           const int current = fetch_out[i].persistent_loop;
           if (current < 0 || loops_.loop(current).depth > loop.depth) {
             fetch_out[i].persistent_loop = loop.id;
@@ -535,7 +1177,7 @@ void CacheAnalysis::persistence_tree(const std::vector<int>& loop_ids) {
         const std::vector<std::uint32_t>& lines = lines_for(node_id, i);
         if (lines.empty()) continue;
         const bool all_persist = std::all_of(lines.begin(), lines.end(), [&](std::uint32_t l) {
-          return line_persists(d_lines_per_set, dconfig_, l);
+          return line_persists(d_counts, dconfig_, l);
         });
         if (all_persist) {
           const int current = dc.persistent_loop;
@@ -557,12 +1199,20 @@ void CacheAnalysis::run() {
   }
   // Record classifications with the final states. Per-node work is
   // independent (reads the converged in-states, writes only this
-  // node's classification rows), so it fans out across the pool.
+  // node's classification rows), so it fans out across the pool. The
+  // production schedule records through the lazy per-set replay (no
+  // whole-cache clone per node); the round-robin reference keeps the
+  // classic transfer, so the rounds-vs-reference differential test
+  // cross-checks the two recording implementations too.
   const auto record_node = [&](std::size_t id) {
     const cfg::SgNode& node = sg_.nodes()[id];
     if (!has_state_[id]) {
       fetch_[id].assign(node.block->insts.size(), FetchClass{});
       data_[id].clear();
+      return;
+    }
+    if (schedule_ == Schedule::priority) {
+      record_node_lazy(node.id);
       return;
     }
     CachePair icache = in_i_[id];

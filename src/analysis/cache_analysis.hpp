@@ -24,6 +24,7 @@
 // no widening, so the least fixpoint is schedule-independent.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -33,6 +34,7 @@
 #include "cfg/domloop.hpp"
 #include "mem/cache.hpp"
 #include "mem/memmap.hpp"
+#include "support/cow.hpp"
 #include "support/flat_map.hpp"
 
 namespace wcet {
@@ -52,7 +54,50 @@ enum class AccessClass {
 
 const char* to_string(AccessClass cls);
 
+// Visit the distinct cache sets of a candidate-line list in
+// first-appearance order — the one splitting rule shared by
+// AbsCache::access_one_of, the lazy classification recorder and the
+// recipe builder (TransferCache::build_cache_recipes), which must agree
+// bit-for-bit. `fn(set, outside)`: `outside` is true when some
+// candidate maps to a different set (equivalently, when more than one
+// set is affected — every line maps to some affected set).
+// `affected_scratch` is a caller-owned buffer reused across calls.
+template <typename Fn>
+void for_each_candidate_set(const mem::CacheConfig& config,
+                            std::span<const std::uint32_t> lines,
+                            std::vector<unsigned>& affected_scratch, Fn&& fn) {
+  affected_scratch.clear();
+  for (const std::uint32_t line : lines) {
+    const unsigned s = config.set_index(line * config.line_bytes);
+    if (std::find(affected_scratch.begin(), affected_scratch.end(), s) ==
+        affected_scratch.end()) {
+      affected_scratch.push_back(s);
+    }
+  }
+  const bool outside = affected_scratch.size() > 1;
+  for (const unsigned s : affected_scratch) fn(s, outside);
+}
+
+// Join-gating telemetry for the abstract cache states: set-level joins
+// actually examined vs. skipped outright because both leaves were the
+// same shared COW object (join(x, x) = x). Process-global, reset per
+// cache pass; never consulted by any analysis decision.
+struct CacheJoinStats {
+  std::uint64_t joins = 0;      // per-set joins examined (leaves differed)
+  std::uint64_t join_skips = 0; // pointer-equality fast-path skips
+};
+CacheJoinStats cache_join_stats();
+void reset_cache_join_stats();
+
 // One abstract set-associative LRU cache (must or may variant).
+//
+// Set images live in a copy-on-write vector (support/cow.hpp):
+// copy-assigning an AbsCache is an O(1) snapshot, the transfer detaches
+// only the sets an access actually touches, and joins skip
+// pointer-identical leaves without merging (see join_with). A null leaf
+// canonically represents the empty set image, so a cold cache allocates
+// no images at all. All mutation goes through the COW detach, so shared
+// snapshots across ThreadPool workers are never written in place.
 class AbsCache {
 public:
   using SetImage = FlatMap<std::uint32_t, unsigned>;
@@ -77,21 +122,91 @@ public:
   bool join_with(const AbsCache& other); // true if changed
   bool operator==(const AbsCache& other) const;
 
+  // Pointer identity of the full set-image vector: true implies equal
+  // states (the reverse does not hold). Exposed for tests.
+  bool same_state_as(const AbsCache& other) const { return sets_.same_as(other.sets_); }
+
+  // ---- overlay interface ----------------------------------------------
+  // The fixpoint replays each node's per-set access programs
+  // (TransferCache::CacheRecipe::fetch_groups / data_groups) against
+  // value-level scratch images instead of materializing a full
+  // out-state cache: untouched sets never detach, and a touched set
+  // whose program turns out to be the identity keeps its shared leaf
+  // too. These helpers expose the exact per-set transfer/join semantics
+  // the whole-cache operations above are built from.
+
+  // The current image of set `s` (empty for a null leaf).
+  const SetImage& set_image(unsigned s) const { return sets_.at(s); }
+  // The transfer of access(line) on a detached value image.
+  void apply_access_image(SetImage& image, std::uint32_t line) const {
+    access_set(image, line);
+  }
+  // Single-pass fused variant: emits the transfer of access(line)
+  // applied to `base` into `out` (buffer reused, no allocation at
+  // steady capacity) and reports whether out differs from base —
+  // replacing the copy + transform + compare triple of the overlay
+  // build for the dominant one-line groups.
+  bool access_into(const SetImage& base, std::uint32_t line, SetImage& out) const;
+  // The restriction of access_one_of to one set: join over the in-set
+  // alternatives (`lines`, program order) plus the unmodified image
+  // when some alternative maps elsewhere (`outside`). The scratches are
+  // caller-owned buffers reused across calls.
+  void apply_one_of_image(SetImage& image, std::span<const std::uint32_t> lines,
+                          bool outside, SetImage& scratch_alt,
+                          SetImage& scratch_result) const;
+  // The must half of access_unknown restricted to one set (the may
+  // half is the identity).
+  void age_image(SetImage& image) const;
+  // Value-level join of `image` into set `s` (dry-run gated like
+  // join_with). Returns true when the leaf changed.
+  bool join_image(unsigned s, const SetImage& image);
+  // Whole-state join from `source` with the touched sets overridden by
+  // value images: `sets`/`changed`/`images` describe the overlay
+  // (ascending set index; only entries with changed != 0 differ from
+  // source's leaf). Exact same result as materializing the out-state
+  // and calling join_with, without the materialization. Sets are
+  // selected by a vectorized identity diff of the two leaf arrays, so
+  // an edge whose states mostly share leaves costs a few SIMD compares
+  // rather than a per-set walk.
+  bool join_with_overlay(const AbsCache& source, std::span<const unsigned> sets,
+                         std::span<const unsigned char> changed, const SetImage* images);
+  // Install a value image as set `s`'s leaf (used when an out-state
+  // must be materialized after all, e.g. for cross-instance buffers).
+  void install_image(unsigned s, const SetImage& image);
+
   const mem::CacheConfig& config() const { return config_; }
 
 private:
   void age_set(unsigned set, unsigned below_age);
   // The transfer of `access(line)` restricted to line's set image.
   void access_set(SetImage& set, std::uint32_t line) const;
+  // Exact no-op predicate for `access(line)` on `set`: true when the
+  // access would change the image (and the leaf must detach).
+  bool access_changes(const SetImage& set, std::uint32_t line) const;
   // Join `theirs` into `mine` (must: intersection with maximal age;
   // may: union with minimal age). Returns true when `mine` changed.
   bool join_set(SetImage& mine, const SetImage& theirs) const;
+  // Dry-run change predicates mirroring join_set's exact change report,
+  // so an unchanged target leaf is never detached.
+  bool must_join_changes(const SetImage& mine, const SetImage& theirs) const;
+  bool may_join_changes(const SetImage& mine, const SetImage& theirs) const;
+  // The one join-gating core behind join_image/join_leaf: dry-run
+  // gated, in-place on uniquely owned leaves, aliasing `alias_source`'s
+  // leaf (when given) whenever the result equals `theirs`. Returns true
+  // when the leaf changed.
+  bool join_core(unsigned s, const SetImage& theirs,
+                 const CowVec<SetImage>* alias_source);
+  // Leaf-level join of set `s` with COW sharing: skips detaching when
+  // nothing changes, aliases `other`'s leaf when the join lands on
+  // their value. Returns true when the leaf changed.
+  bool join_leaf(unsigned s, const AbsCache& other);
 
   mem::CacheConfig config_;
   bool must_;
   // Per set: line -> abstract age in [0, ways), as a sorted flat vector
-  // (sets hold at most a handful of lines; merge-joins beat tree maps).
-  std::vector<SetImage> sets_;
+  // (sets hold at most a handful of lines; merge-joins beat tree maps)
+  // behind a COW leaf — empty images are canonically null.
+  CowVec<SetImage> sets_;
 };
 
 struct FetchClass {
@@ -194,6 +309,13 @@ private:
                        PushFn&& push_changed);
   void fixpoint_instance_rounds();
   void fixpoint_round_robin();
+  // Classification recording against the converged in-states without
+  // cloning them: per-set value images are materialized lazily as the
+  // node's recipe replays (production path; the round-robin schedule
+  // keeps the classic whole-state transfer, which pins both
+  // implementations to identical classifications in the differential
+  // tests).
+  void record_node_lazy(int node);
   void persistence();
   void persistence_tree(const std::vector<int>& loop_ids);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/cache_analysis.hpp" // for_each_candidate_set
 #include "support/diag.hpp"
 #include "support/thread_pool.hpp"
 
@@ -40,8 +41,8 @@ const AbsState& TransferCache::edge_state(int edge) const {
 Interval TransferCache::mem_word_along_edge(int edge, std::uint32_t addr) const {
   const AbsState& out = edge_state(edge);
   if (out.bottom) return Interval::bottom();
-  const auto it = out.mem.find(addr);
-  if (it != out.mem.end()) return it->second;
+  const auto it = out.mem->find(addr);
+  if (it != out.mem->end()) return it->second;
   return values_->implicit_mem_word(out, addr);
 }
 
@@ -165,6 +166,68 @@ void TransferCache::build_cache_recipes(const mem::MemoryMap& memmap,
         data.kind = CacheRecipe::DataKind::cached;
       }
       recipe.data.push_back(data);
+    }
+
+    // --- Per-set access programs (overlay replay; see the header).
+    recipe.fetch_groups.clear();
+    recipe.data_groups.clear();
+    // Reused across nodes (one slot table per worker; the builder is a
+    // pure function of the node's recipe, so sharing buffers is safe).
+    static thread_local std::vector<int> slot;
+    {
+      slot.assign(icache.sets, -1); // set -> fetch_groups index
+      for (const std::uint32_t line : recipe.fetch_apply) {
+        const unsigned s = icache.set_index(line * icache.line_bytes);
+        if (slot[s] < 0) {
+          slot[s] = static_cast<int>(recipe.fetch_groups.size());
+          recipe.fetch_groups.push_back({s, {}});
+        }
+        recipe.fetch_groups[static_cast<std::size_t>(slot[s])].lines.push_back(line);
+      }
+      std::sort(recipe.fetch_groups.begin(), recipe.fetch_groups.end(),
+                [](const auto& a, const auto& b) { return a.set < b.set; });
+    }
+    {
+      slot.assign(dcache.sets, -1); // set -> data_groups index
+      const auto group_of = [&](unsigned s) -> CacheRecipe::DataGroup& {
+        if (slot[s] < 0) {
+          slot[s] = static_cast<int>(recipe.data_groups.size());
+          recipe.data_groups.push_back({s, false, {}});
+        }
+        return recipe.data_groups[static_cast<std::size_t>(slot[s])];
+      };
+      for (const CacheRecipe::Data& d : recipe.data) {
+        if (d.kind == CacheRecipe::DataKind::bypass) continue;
+        const std::vector<std::uint32_t>& lines =
+            lines_[ni][static_cast<std::size_t>(d.access_index)];
+        if (d.kind == CacheRecipe::DataKind::disturb || lines.empty()) {
+          // Unknown line: the must side ages every set, so every set's
+          // program gets an age_all op at this position.
+          for (unsigned s = 0; s < dcache.sets; ++s) {
+            CacheRecipe::DataSetOp op;
+            op.age_all = true;
+            group_of(s).ops.push_back(std::move(op));
+          }
+          continue;
+        }
+        // access_one_of, pre-split per affected set (the shared
+        // splitting rule — see for_each_candidate_set).
+        static thread_local std::vector<unsigned> affected;
+        for_each_candidate_set(dcache, lines, affected, [&](unsigned s, bool outside) {
+          CacheRecipe::DataSetOp op;
+          op.outside = outside;
+          for (const std::uint32_t line : lines) {
+            if (dcache.set_index(line * dcache.line_bytes) == s) {
+              op.lines.push_back(line);
+            }
+          }
+          CacheRecipe::DataGroup& group = group_of(s);
+          group.any_one_of = true;
+          group.ops.push_back(std::move(op));
+        });
+      }
+      std::sort(recipe.data_groups.begin(), recipe.data_groups.end(),
+                [](const auto& a, const auto& b) { return a.set < b.set; });
     }
   };
   if (pool != nullptr) {

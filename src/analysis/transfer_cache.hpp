@@ -131,6 +131,39 @@ public:
     // Fixpoint replay list: the `line` fields of the FetchKind::line
     // entries, in order (the only fetches that mutate the i-cache).
     std::vector<std::uint32_t> fetch_apply;
+
+    // ---- per-set access programs (the overlay replay) ----------------
+    // The node's whole transfer restricted to one cache set, in program
+    // order. Distinct sets evolve independently under the must/may
+    // transfer, so the fixpoint can apply each touched set's program to
+    // a scratch image and join per set — sets not listed are invariant
+    // and keep their shared COW leaves (see
+    // CacheAnalysis::fixpoint_instance_rounds). Derived mechanically
+    // from fetch_apply / data at recipe-build time; both orderings
+    // replay the identical access_set sequence per set.
+    struct FetchGroup {
+      unsigned set = 0;
+      std::vector<std::uint32_t> lines; // FetchKind::line fetches of `set`
+    };
+    std::vector<FetchGroup> fetch_groups; // ascending set index
+
+    struct DataSetOp {
+      // age_all: an unknown-line access (DataKind::disturb, or a cached
+      // access with an empty candidate table) — the must side ages the
+      // whole set, the may side is invariant. Otherwise the restriction
+      // of access_one_of to this set: `lines` holds the candidates
+      // mapping here, `outside` whether some candidate maps elsewhere
+      // (the untouched-alternative join).
+      bool age_all = false;
+      bool outside = false;
+      std::vector<std::uint32_t> lines;
+    };
+    struct DataGroup {
+      unsigned set = 0;
+      bool any_one_of = false;    // false: ops are pure must-side aging
+      std::vector<DataSetOp> ops; // program order
+    };
+    std::vector<DataGroup> data_groups; // ascending set index
   };
 
   // Builds the recipe of every node for the given memory map and cache

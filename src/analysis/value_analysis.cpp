@@ -114,19 +114,36 @@ bool AbsState::join_with(const AbsState& other, const isa::Image& image,
   // consistent with the written hull" there; since every tracked key is
   // inside the hull by construction, the sound join for a one-sided key
   // is TOP — represented by dropping the key. Both sides are sorted, so
-  // this is a single merge-join pass.
-  auto ot = other.mem.begin();
-  const bool dropped = mem.retain([&](std::uint32_t key, Interval& value) {
-    while (ot != other.mem.end() && ot->first < key) ++ot;
-    if (ot == other.mem.end() || ot->first != key) return false; // one-sided -> TOP
-    const Interval joined = value.join(ot->second);
-    if (joined != value) {
-      value = joined;
-      changed = true;
+  // this is a single merge-join pass. A pointer-identical table needs
+  // no pass at all (join(x, x) = x), and a dry run precedes the mutating
+  // merge so an unchanged table is never detached from its sharers.
+  if (mem.same_as(other.mem)) return changed;
+  bool mem_changes = false;
+  {
+    auto ot = other.mem->begin();
+    for (const auto& [key, value] : *mem) {
+      while (ot != other.mem->end() && ot->first < key) ++ot;
+      if (ot == other.mem->end() || ot->first != key) {
+        mem_changes = true; // one-sided -> TOP (dropped)
+        break;
+      }
+      const Interval joined = value.join(ot->second);
+      if (joined != value || joined.is_top()) {
+        mem_changes = true;
+        break;
+      }
     }
+  }
+  if (!mem_changes) return changed;
+  auto ot = other.mem->begin();
+  mem.mut().retain([&](std::uint32_t key, Interval& value) {
+    while (ot != other.mem->end() && ot->first < key) ++ot;
+    if (ot == other.mem->end() || ot->first != key) return false; // one-sided -> TOP
+    const Interval joined = value.join(ot->second);
+    if (joined != value) value = joined;
     return !value.is_top();
   });
-  return changed || dropped;
+  return true;
 }
 
 void AbsState::widen_from(const AbsState& older) {
@@ -136,10 +153,31 @@ void AbsState::widen_from(const AbsState& older) {
   }
   // Written regions only grow through add_written; the region-count cap
   // bounds the chain, so no dedicated widening is needed here.
-  auto old_it = older.mem.begin();
-  mem.retain([&](std::uint32_t key, Interval& value) {
-    while (old_it != older.mem.end() && old_it->first < key) ++old_it;
-    if (old_it != older.mem.end() && old_it->first == key) {
+  // A table shared with `older` widens to itself (widen(x, x) = x):
+  // skip without detaching. Otherwise dry-run first — an unchanged
+  // table must not be detached from its sharers (same discipline as
+  // join_with).
+  if (mem.same_as(older.mem)) return;
+  bool mem_changes = false;
+  {
+    auto probe = older.mem->begin();
+    for (const auto& [key, value] : *mem) {
+      while (probe != older.mem->end() && probe->first < key) ++probe;
+      Interval widened = value;
+      if (probe != older.mem->end() && probe->first == key) {
+        widened = probe->second.widen(value);
+      }
+      if (widened != value || widened.is_top()) {
+        mem_changes = true;
+        break;
+      }
+    }
+  }
+  if (!mem_changes) return;
+  auto old_it = older.mem->begin();
+  mem.mut().retain([&](std::uint32_t key, Interval& value) {
+    while (old_it != older.mem->end() && old_it->first < key) ++old_it;
+    if (old_it != older.mem->end() && old_it->first == key) {
       value = old_it->second.widen(value);
     }
     return !value.is_top();
@@ -151,8 +189,8 @@ std::uint64_t AbsState::summary_hash() const {
   if (bottom) return h.value();
   h.mix(1);
   for (int r = 0; r < isa::num_registers; ++r) mix_interval(h, regs[r]);
-  h.mix(mem.size());
-  for (const auto& [addr, value] : mem) {
+  h.mix(mem->size());
+  for (const auto& [addr, value] : *mem) {
     h.mix(addr);
     mix_interval(h, value);
   }
@@ -227,8 +265,8 @@ Interval ValueAnalysis::read_mem(const AbsState& state, const Interval& addr, in
   }
 
   const auto read_word_at = [&](std::uint32_t a) -> Interval {
-    const auto it = state.mem.find(a);
-    return it != state.mem.end() ? it->second : implicit_word(state, a);
+    const auto it = state.mem->find(a);
+    return it != state.mem->end() ? it->second : implicit_word(state, a);
   };
 
   if (size == 4) {
@@ -285,51 +323,66 @@ void ValueAnalysis::write_mem(AbsState& state, const Interval& addr, int size,
     const std::uint32_t a = *ca;
     if (size == 4 && (a & 3u) == 0) {
       if (value.is_top()) {
-        state.mem.erase(a);
+        if (state.mem->contains(a)) state.mem.mut().erase(a);
       } else {
-        state.mem[a] = value; // strong update
+        state.mem.mut()[a] = value; // strong update
       }
     } else {
       // Sub-word store: compose exactly when everything is constant.
       const std::uint32_t word_addr = a & ~3u;
-      const auto it = state.mem.find(word_addr);
-      const Interval word = it != state.mem.end() ? it->second : implicit_word(state, word_addr);
+      const auto it = state.mem->find(word_addr);
+      const Interval word = it != state.mem->end() ? it->second : implicit_word(state, word_addr);
       const auto wc = word.as_constant();
       const auto vc = value.as_constant();
       if (wc && vc && (size != 2 || (a & 1u) == 0)) {
         const unsigned shift = (a & 3u) * 8;
         const std::uint32_t mask = (size == 1 ? 0xFFu : 0xFFFFu) << shift;
         const std::uint32_t composed = (*wc & ~mask) | ((*vc << shift) & mask);
-        state.mem[word_addr] = Interval::constant(composed);
-      } else {
-        state.mem.erase(word_addr);
+        state.mem.mut()[word_addr] = Interval::constant(composed);
+      } else if (state.mem->contains(word_addr)) {
+        state.mem.mut().erase(word_addr);
       }
     }
   } else if (confined.size() <= options_.max_enum_words * 4) {
     // Weak update on every word the store may touch (width-capped, see
-    // read_mem; wider stores take the hull path below).
+    // read_mem; wider stores take the hull path below). Detach the COW
+    // table only when some tracked word is actually hit.
     const std::uint32_t first = static_cast<std::uint32_t>(confined.umin()) & ~3u;
     for (std::int64_t a = first; a <= confined.umax() + size - 1; a += 4) {
       const auto word_addr = static_cast<std::uint32_t>(a);
-      const auto it = state.mem.find(word_addr);
-      if (it == state.mem.end()) continue; // untracked: hull already poisons it
+      if (!state.mem->contains(word_addr)) continue; // untracked: hull already poisons it
+      auto& table = state.mem.mut();
+      const auto it = table.find(word_addr);
       if (size == 4 && !value.is_top()) {
         it->second = it->second.join(value);
-        if (it->second.is_top()) state.mem.erase(it);
+        if (it->second.is_top()) table.erase(it);
       } else {
-        state.mem.erase(it);
+        table.erase(it);
       }
     }
   } else {
     // Wide store: every tracked word inside the range is lost. One
-    // linear compaction pass instead of per-key erasure.
-    state.mem.retain([&](std::uint32_t key, Interval&) {
-      return !(static_cast<std::int64_t>(key) + 3 >= confined.umin() &&
-               static_cast<std::int64_t>(key) <= confined.umax() + size - 1);
-    });
+    // linear compaction pass instead of per-key erasure (dry-scanned so
+    // a miss never detaches the shared table).
+    const auto doomed = [&](std::uint32_t key) {
+      return static_cast<std::int64_t>(key) + 3 >= confined.umin() &&
+             static_cast<std::int64_t>(key) <= confined.umax() + size - 1;
+    };
+    bool any_doomed = false;
+    for (const auto& [key, tracked] : *state.mem) {
+      (void)tracked;
+      if (doomed(key)) {
+        any_doomed = true;
+        break;
+      }
+    }
+    if (any_doomed) {
+      state.mem.mut().retain(
+          [&](std::uint32_t key, Interval&) { return !doomed(key); });
+    }
   }
-  if (state.mem.size() > options_.max_tracked_words) {
-    state.mem.clear(); // sound: hull covers every tracked key
+  if (state.mem->size() > options_.max_tracked_words) {
+    state.mem.reset(); // sound: hull covers every tracked key
   }
 }
 
@@ -618,8 +671,8 @@ Interval ValueAnalysis::mem_word_along_edge(int edge, std::uint32_t addr) const 
   AbsState out = transfer_node(e.from, state_in(e.from));
   out = refine_along_edge(edge, std::move(out));
   if (out.bottom) return Interval::bottom();
-  const auto it = out.mem.find(addr);
-  if (it != out.mem.end()) return it->second;
+  const auto it = out.mem->find(addr);
+  if (it != out.mem->end()) return it->second;
   return implicit_word(out, addr);
 }
 

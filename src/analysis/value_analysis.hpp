@@ -21,6 +21,7 @@
 #include "cfg/domloop.hpp"
 #include "cfg/supergraph.hpp"
 #include "mem/memmap.hpp"
+#include "support/cow.hpp"
 #include "support/flat_map.hpp"
 #include "support/interval.hpp"
 
@@ -35,11 +36,16 @@ class TransferCache;
 // Abstract machine state: register file + tracked memory words. The
 // tracked-word table is a sorted flat vector (support/flat_map.hpp):
 // joins and widenings run as linear merge-joins and iteration order is
-// deterministic by address.
+// deterministic by address. The table sits behind a COW pointer
+// (support/cow.hpp): copying a state — per-edge refinement, call/ret
+// merge buffers, transfer-cache out-state snapshots — shares the table,
+// and only a real mutation (`mem.mut()`) detaches it. Reads go through
+// `mem->` / `*mem`; a null pointer canonically reads as the empty table.
 struct AbsState {
+  using MemTable = FlatMap<std::uint32_t, Interval>;
   bool bottom = true; // default: unreachable
   Interval regs[isa::num_registers];
-  FlatMap<std::uint32_t, Interval> mem; // word-aligned tracked addresses
+  CowPtr<MemTable> mem; // word-aligned tracked addresses
   // Address regions possibly stored to since task entry, kept as a small
   // list of disjoint intervals (a single hull would let one confined
   // store poison unrelated globals across the address space).

@@ -8,6 +8,17 @@
 // merge-joins instead of O(n log n) tree walks with pointer chasing.
 // Point insertion/erasure is O(n) by memmove, which wins for the small
 // working sets these states hold in practice.
+//
+// In the abstract states these maps are now COW leaves (support/
+// cow.hpp: `CowPtr<FlatMap>` value tables, `CowVec<SetImage>` cache
+// sets). That puts two extra duties on this type: a default-constructed
+// map is the canonical "empty" every null COW leaf reads as, and every
+// mutating member doubles as a detach trigger at the call site — so the
+// analyses pair each mutation with an exact change predicate (dry-run
+// merge scans) and only reach for the mutable reference when the
+// predicate fires. Keep mutations and their change reports exact; a
+// conservative "maybe changed" here would silently dissolve the
+// structural sharing the fixpoints now rely on for performance.
 #pragma once
 
 #include <algorithm>
@@ -92,9 +103,19 @@ public:
     return changed;
   }
 
-  // Adopt an already-sorted, duplicate-free entry vector (merge-join
-  // results).
-  void assign_sorted(std::vector<Entry> entries) { entries_ = std::move(entries); }
+  // Copy an already-sorted, duplicate-free range into the map, reusing
+  // the existing buffer (no allocation once capacity suffices) — how
+  // the hot join loops adopt scratch-buffer merge results.
+  template <typename It>
+  void assign_range(It first, It last) {
+    entries_.assign(first, last);
+  }
+
+  // Append an entry whose key is strictly greater than every existing
+  // key (single-pass emitters building a transformed copy in order).
+  void append_sorted(Key key, Value value) {
+    entries_.push_back(Entry{key, std::move(value)});
+  }
 
   const std::vector<Entry>& entries() const { return entries_; }
 

@@ -41,6 +41,18 @@
 //      `flush` sequentially in ascending instance id order, so the
 //      total merge order is a pure function of the graph.
 //
+// Rule 1's "owned state" is refined, not weakened, by the copy-on-write
+// states (support/cow.hpp): slots of *different* instances may share
+// immutable COW leaves — sharing is created by the sequential flush
+// joins and by snapshot propagation — because a client mutates leaves
+// only through the detach-on-mutate interface, which never writes a
+// block another slot can still reach. What stays per-instance is the
+// *slot* (the CowPtr/CowVec object itself): only the owning instance
+// may reassign or detach it. Propagation should copy-assign states
+// (O(1) snapshot-share) rather than rebuild them, so unchanged leaves
+// keep their identity and downstream joins skip them by pointer
+// equality.
+//
 // Under the usual abstract-interpretation conditions (monotone
 // transfer, exact change reporting from the join) the reached fixpoint
 // is schedule-independent; the fixed round/merge order above

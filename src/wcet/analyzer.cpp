@@ -114,6 +114,9 @@ std::string WcetReport::to_string() const {
      << cache_stats.fetch_uncached << "; data AH/AM/NC/UC = " << cache_stats.data_hit
      << '/' << cache_stats.data_miss << '/' << cache_stats.data_nc << '/'
      << cache_stats.data_uncached << "; persistent = " << cache_stats.persistent << '\n';
+  os << "cache state sharing: " << cache_joins << " set joins, " << cache_join_skips
+     << " pointer-equality skips; " << set_image_allocs << " set-image allocs, peak live "
+     << live_set_images_peak << '\n';
   os << "ILP: " << ilp_variables << " variables, " << ilp_constraints << " constraints; "
      << "decomposition: " << ipet_regions << " regions, " << ipet_sub_ilps
      << " sub-ILPs, depth " << ipet_depth << '\n';

@@ -83,6 +83,13 @@ struct WcetReport {
   int bounded_loops = 0;
   int irreducible_loops = 0;
   analysis::CacheAnalysis::Stats cache_stats;
+  // COW state telemetry of the cache pass (see CacheJoinStats /
+  // CowLeafStats): set-level joins examined vs. skipped by pointer
+  // equality, set-image allocations, and the peak live image count.
+  std::uint64_t cache_joins = 0;
+  std::uint64_t cache_join_skips = 0;
+  std::uint64_t set_image_allocs = 0;
+  std::uint64_t live_set_images_peak = 0;
   int ilp_variables = 0;
   int ilp_constraints = 0;
   int ipet_regions = 0;  // top-level collapsed subtrees of the WCET solve

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <sstream>
 
+#include "support/cow.hpp"
 #include "support/thread_pool.hpp"
 
 namespace wcet {
@@ -181,12 +182,23 @@ public:
   std::vector<const char*> outputs() const override { return {artifact::cache_classes}; }
 
   void run(AnalysisContext& ctx) override {
+    // Open a fresh COW telemetry window so the report counters describe
+    // this pass alone (telemetry only — results never read them).
+    analysis::reset_cache_join_stats();
+    cow_leaf_stats().reset_window();
     ctx.caches = std::make_unique<analysis::CacheAnalysis>(
         *ctx.supergraph, *ctx.forest, *ctx.values, ctx.hw.memory, ctx.hw.icache,
         ctx.hw.dcache, analysis::CacheAnalysis::Schedule::priority, ctx.schedule,
         ctx.transfers.get(), ctx.pool);
     ctx.caches->run();
     ctx.report.cache_stats = ctx.caches->stats();
+    const analysis::CacheJoinStats joins = analysis::cache_join_stats();
+    ctx.report.cache_joins = joins.joins;
+    ctx.report.cache_join_skips = joins.join_skips;
+    const CowLeafStats& leaves = cow_leaf_stats();
+    ctx.report.set_image_allocs = leaves.allocs.load(std::memory_order_relaxed);
+    ctx.report.live_set_images_peak = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(0, leaves.peak.load(std::memory_order_relaxed)));
   }
 };
 

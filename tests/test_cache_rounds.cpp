@@ -21,6 +21,7 @@
 #include "cfg/supergraph.hpp"
 #include "core/toolkit.hpp"
 #include "mcc/runtime.hpp"
+#include "support/fixpoint.hpp"
 #include "support/thread_pool.hpp"
 
 namespace wcet {
@@ -190,6 +191,53 @@ TEST(CacheRounds, RecipeMemoCoherenceAcrossDecodeFeedback) {
     EXPECT_EQ(recipe.fetch.size(), node.block->insts.size()) << "node " << node.id;
     EXPECT_LE(recipe.data.size(), round2.values.accesses(node.id).size())
         << "node " << node.id;
+  }
+}
+
+// FNV fingerprint over everything the cache phase feeds downstream —
+// the compact cross-run identity used by the Arg(32) sharing sweep.
+std::uint64_t classification_fingerprint(const cfg::Supergraph& sg,
+                                         const CacheAnalysis& analysis) {
+  StateHash h;
+  for (const cfg::SgNode& node : sg.nodes()) {
+    for (const auto& fc : analysis.fetch_classes(node.id)) {
+      h.mix_pair(static_cast<std::uint64_t>(fc.cls),
+                 static_cast<std::uint64_t>(fc.persistent_loop + 1));
+    }
+    for (const auto& dc : analysis.data_classes(node.id)) {
+      h.mix_pair(static_cast<std::uint64_t>(dc.cls),
+                 static_cast<std::uint64_t>(dc.persistent_loop + 1));
+      h.mix(dc.candidate_count);
+    }
+  }
+  return h.value();
+}
+
+TEST(CacheRounds, Arg32FingerprintsIdenticalAndLeavesShared) {
+  // The BM_analyze_scaling/32 workload: classification fingerprints
+  // must be bit-identical for every worker count, and the COW states
+  // must actually share — a fixpoint whose pointer-equality join gate
+  // never fires would mean every leaf is cloned and the structural
+  // sharing regressed to deep copies.
+  Pipeline p(call_tree_program(32, 3));
+  analysis::reset_cache_join_stats();
+  CacheAnalysis baseline(p.sg, p.loops, p.values, p.hw.memory, p.hw.icache, p.hw.dcache);
+  baseline.run();
+  const analysis::CacheJoinStats stats = analysis::cache_join_stats();
+  EXPECT_GT(stats.join_skips, 0u) << "pointer-equality join gating never fired";
+  EXPECT_GT(stats.joins, 0u);
+  // Sharing must dominate: most set-level join decisions should be
+  // resolved by pointer identity, not by merging.
+  EXPECT_GT(stats.join_skips, stats.joins);
+
+  const std::uint64_t expected = classification_fingerprint(p.sg, baseline);
+  for (const unsigned workers : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(workers);
+    CacheAnalysis rounds(p.sg, p.loops, p.values, p.hw.memory, p.hw.icache, p.hw.dcache,
+                         CacheAnalysis::Schedule::priority, {}, &p.transfers, &pool);
+    rounds.run();
+    EXPECT_EQ(classification_fingerprint(p.sg, rounds), expected)
+        << "workers " << workers;
   }
 }
 

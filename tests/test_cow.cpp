@@ -1,0 +1,200 @@
+// COW primitives (support/cow.hpp): snapshot sharing, detach-on-mutate,
+// pointer-identity gating, null-leaf canonicalization, and the
+// allocation telemetry the bench counters report. These semantics carry
+// the whole cache stack (AbsCache set images, AbsState tracked-word
+// tables), so they are pinned here at the unit level: a snapshot must
+// never observe a later mutation of its source, and mutation must never
+// write through a shared block.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/cow.hpp"
+#include "support/flat_map.hpp"
+
+namespace wcet {
+namespace {
+
+using Map = FlatMap<std::uint32_t, unsigned>;
+
+TEST(CowPtr, NullReadsAsCanonicalEmpty) {
+  CowPtr<Map> p;
+  EXPECT_TRUE(p.null());
+  EXPECT_TRUE(p->empty());
+  EXPECT_EQ(p->size(), 0u);
+  // Two nulls are identical and equal.
+  CowPtr<Map> q;
+  EXPECT_TRUE(p.same_as(q));
+  EXPECT_TRUE(p == q);
+}
+
+TEST(CowPtr, SnapshotSharesAndDetachIsolates) {
+  CowPtr<Map> a;
+  a.mut()[1] = 10;
+  a.mut()[2] = 20;
+  CowPtr<Map> b = a; // snapshot: same block
+  EXPECT_TRUE(a.same_as(b));
+  EXPECT_TRUE(a == b);
+
+  b.mut()[3] = 30; // detach-on-mutate: b clones, a untouched
+  EXPECT_FALSE(a.same_as(b));
+  EXPECT_EQ(a->size(), 2u);
+  EXPECT_EQ(b->size(), 3u);
+  EXPECT_FALSE(a == b);
+
+  // a's subsequent mutation is in place (sole owner) and invisible to b.
+  a.mut()[1] = 11;
+  EXPECT_EQ(b->find(1)->second, 10u);
+}
+
+TEST(CowPtr, EqualityFallsBackToValues) {
+  CowPtr<Map> a;
+  a.mut()[7] = 1;
+  CowPtr<Map> b;
+  b.mut()[7] = 1;
+  EXPECT_FALSE(a.same_as(b)); // distinct blocks...
+  EXPECT_TRUE(a == b);        // ...equal values
+}
+
+TEST(CowPtr, ResetReturnsToEmpty) {
+  CowPtr<Map> a;
+  a.mut()[5] = 50;
+  CowPtr<Map> snapshot = a;
+  a.reset();
+  EXPECT_TRUE(a.null());
+  EXPECT_TRUE(a->empty());
+  // The snapshot keeps the old value alive.
+  EXPECT_EQ(snapshot->find(5)->second, 50u);
+}
+
+TEST(CowPtr, UniqueTracksOwnership) {
+  CowPtr<Map> a;
+  EXPECT_FALSE(a.unique()); // null: nothing to own
+  a.mut()[1] = 1;
+  EXPECT_TRUE(a.unique());
+  {
+    CowPtr<Map> b = a;
+    EXPECT_FALSE(a.unique());
+    EXPECT_FALSE(b.unique());
+  }
+  EXPECT_TRUE(a.unique()); // b released its reference
+}
+
+TEST(CowVec, SnapshotIsO1AndLeavesShareLazily) {
+  CowVec<Map> v(8);
+  EXPECT_EQ(v.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(v.leaf_null(i)); // cold: no images allocated
+    EXPECT_TRUE(v.at(i).empty());
+  }
+  v.mutate(2)[42] = 1;
+  CowVec<Map> snap = v; // whole-vector snapshot
+  EXPECT_TRUE(snap.same_as(v));
+  EXPECT_TRUE(snap.leaf_same_as(2, v));
+
+  v.mutate(2)[42] = 2; // spine + leaf detach; snapshot unaffected
+  EXPECT_FALSE(snap.same_as(v));
+  EXPECT_FALSE(snap.leaf_same_as(2, v));
+  EXPECT_EQ(snap.at(2).find(42)->second, 1u);
+  EXPECT_EQ(v.at(2).find(42)->second, 2u);
+  // Untouched leaves still share by pointer.
+  EXPECT_TRUE(snap.leaf_same_as(3, v));
+}
+
+TEST(CowVec, SetClearAndShareLeaf) {
+  CowVec<Map> a(4);
+  Map image;
+  image[9] = 3;
+  a.set_leaf(1, image);
+  EXPECT_EQ(a.at(1).size(), 1u);
+
+  CowVec<Map> b(4);
+  b.share_leaf_from(1, a);
+  EXPECT_TRUE(b.leaf_same_as(1, a)); // aliased, not copied
+  EXPECT_EQ(b.at(1).find(9)->second, 3u);
+
+  a.clear_leaf(1);
+  EXPECT_TRUE(a.leaf_null(1));
+  EXPECT_TRUE(a.at(1).empty());
+  // b's alias survives a's clear.
+  EXPECT_EQ(b.at(1).find(9)->second, 3u);
+
+  // Value equality treats a null leaf and an empty image identically.
+  CowVec<Map> c(4);
+  EXPECT_TRUE(a == c);
+}
+
+TEST(CowVec, MutatesInPlaceOnlyWhenUnshared) {
+  CowVec<Map> a(2);
+  a.mutate(0)[1] = 1;
+  EXPECT_TRUE(a.mutates_in_place(0));
+  CowVec<Map> snap = a;
+  EXPECT_FALSE(a.mutates_in_place(0)); // spine shared with snap
+  a.mutate(1)[2] = 2;                  // detaches the spine...
+  EXPECT_TRUE(a.mutates_in_place(1));
+  EXPECT_FALSE(a.mutates_in_place(0)); // ...leaf 0 still shared
+}
+
+TEST(CowVec, LeafIdentityDiffsStates) {
+  CowVec<Map> a(4);
+  a.mutate(0)[1] = 1;
+  CowVec<Map> b = a;
+  const auto* la = a.leaf_data();
+  const auto* lb = b.leaf_data();
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(la[i].identity(), lb[i].identity());
+  }
+  b.mutate(0)[1] = 9;
+  EXPECT_NE(a.leaf_data()[0].identity(), b.leaf_data()[0].identity());
+  EXPECT_EQ(a.leaf_data()[1].identity(), b.leaf_data()[1].identity());
+}
+
+TEST(CowStats, LeafAllocationTelemetry) {
+  CowLeafStats& stats = cow_leaf_stats();
+  stats.reset_window();
+  const std::uint64_t allocs_before = stats.allocs.load();
+  const std::int64_t live_before = stats.live.load();
+  {
+    CowVec<Map> v(4);
+    EXPECT_EQ(stats.allocs.load(), allocs_before); // cold vec: no leaves
+    v.mutate(0)[1] = 1;
+    v.mutate(1)[2] = 2;
+    EXPECT_EQ(stats.allocs.load(), allocs_before + 2);
+    CowVec<Map> snap = v;          // snapshot: no leaf traffic
+    v.mutate(0)[1] = 3;            // detach clones leaf 0
+    EXPECT_EQ(stats.allocs.load(), allocs_before + 3);
+    EXPECT_GE(stats.peak.load(), live_before + 3);
+  }
+  EXPECT_EQ(stats.live.load(), live_before); // everything released
+}
+
+TEST(CowThreads, ConcurrentDetachFromSharedSnapshots) {
+  // Shared-snapshot discipline under real threads: many workers hold
+  // snapshots of one vector and detach-mutate their own copies. Under
+  // WCET_SANITIZE builds (tsan + WCET_COW_CHECK) this additionally
+  // audits that no in-place write ever hits a shared block.
+  CowVec<Map> base(16);
+  for (std::size_t i = 0; i < 16; ++i) base.mutate(i)[static_cast<std::uint32_t>(i)] = 1;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 8; ++w) {
+    workers.emplace_back([&base, w] {
+      for (int rep = 0; rep < 200; ++rep) {
+        CowVec<Map> local = base; // snapshot
+        const auto i = static_cast<std::size_t>((w + rep) % 16);
+        local.mutate(i)[99] = static_cast<unsigned>(w);
+        // The snapshot sees its own write but never the base's sharers'.
+        ASSERT_TRUE(local.at(i).contains(99));
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_FALSE(base.at(i).contains(99)) << "a detached mutation leaked into the base";
+  }
+}
+
+} // namespace
+} // namespace wcet
