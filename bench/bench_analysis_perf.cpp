@@ -3,8 +3,11 @@
 // increasing size), plus simulator throughput.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <sstream>
+#include <thread>
 
 #include "core/toolkit.hpp"
 #include "mcc/runtime.hpp"
@@ -78,6 +81,14 @@ void BM_analyze_scaling(benchmark::State& state) {
   state.counters["cache_join_skips"] = static_cast<double>(last.cache_join_skips);
   state.counters["set_image_allocs"] = static_cast<double>(last.set_image_allocs);
   state.counters["live_set_images_peak"] = static_cast<double>(last.live_set_images_peak);
+  // Budget-governor telemetry (wcet/analyzer.hpp): checkpoints
+  // consulted, and the degradation-ledger size — which must stay 0 in
+  // this unlimited-budget run (run_bench.sh fails otherwise: a tripped
+  // governor here would mean the tracked numbers are no longer the
+  // exact analysis).
+  state.counters["budget_checks"] = static_cast<double>(last.budget_checks);
+  state.counters["degradations"] = static_cast<double>(last.degradations.size());
+  state.counters["cancel_latency_us"] = static_cast<double>(last.cancel_latency_us);
 }
 BENCHMARK(BM_analyze_scaling)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
@@ -134,6 +145,42 @@ void BM_compile_scaling(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_compile_scaling)->Arg(4)->Arg(16);
+
+// Cooperative-cancellation latency on the big workload: fire a cancel
+// token a few ms into the Arg(64) analysis and measure request ->
+// unwind. Checkpoints sit on every worklist pop / pivot batch / B&B
+// expansion, so the tracked worst case should stay far under the 50 ms
+// product target.
+void BM_cancel_latency(benchmark::State& state) {
+  const auto built = mcc::compile_program(synthetic_program(64, 3));
+  const mem::HwConfig hw = mem::typical_hw();
+  std::int64_t worst_us = 0;
+  for (auto _ : state) {
+    CancelToken token;
+    AnalysisOptions options;
+    options.threads = 4;
+    options.budget.cancel = &token;
+    const Analyzer analyzer(built.image, hw);
+    std::thread firer([&token] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      token.cancel();
+    });
+    bool cancelled = false;
+    try {
+      benchmark::DoNotOptimize(analyzer.analyze(options).wcet_cycles);
+    } catch (const CancelledError&) {
+      cancelled = true;
+    }
+    firer.join();
+    if (cancelled) {
+      const std::int64_t latency_us =
+          (CancelToken::now_ns() - token.request_ns()) / 1000;
+      worst_us = std::max(worst_us, latency_us);
+    }
+  }
+  state.counters["cancel_latency_us"] = static_cast<double>(worst_us);
+}
+BENCHMARK(BM_cancel_latency)->Unit(benchmark::kMillisecond);
 
 void BM_simulator_throughput(benchmark::State& state) {
   const auto built = mcc::compile_program(synthetic_program(8, 3));

@@ -16,8 +16,23 @@ are wall-clock and noisy, so they inform but never fail the diff.
 Structural counters (sub_ilps: IPET sub-ILPs per decomposition mode;
 cache_joins / cache_join_skips: abstract-cache set joins examined vs.
 skipped by COW pointer equality; set_image_allocs /
-live_set_images_peak: set-image allocation traffic and high-water mark)
-are printed old -> new when present.
+live_set_images_peak: set-image allocation traffic and high-water mark;
+budget_checks: governor checkpoints consulted; degradations:
+budget-ledger size, must stay 0 in the unlimited-budget bench;
+cancel_latency_us: cancel-request-to-unwind latency, -1 when the run
+was never cancelled) are printed old -> new when present.
+
+Two hard gates beyond the oracle:
+  * a nonzero `degradations` counter in the new run fails the diff —
+    the tracked numbers would describe a degraded analysis;
+  * the GUARDED benchmarks' end-to-end time may not regress by more
+    than 5% AND 2 ms — the budget/cancellation checkpoints ride the
+    hottest loops, and their overhead is part of what this file
+    tracks. Both real_time AND cpu_time must cross the threshold to
+    fail: the guarded benchmark runs 4 analysis threads, so on a
+    loaded or single-core runner its wall clock is dominated by the
+    scheduler, not by the code under test — cpu_time regressing with
+    it is what distinguishes a real slowdown from oversubscription.
 """
 import json
 import sys
@@ -29,7 +44,19 @@ COUNTERS = [
     "cache_join_skips",
     "set_image_allocs",
     "live_set_images_peak",
+    "budget_checks",
+    "degradations",
+    "cancel_latency_us",
 ]
+
+# Benchmarks whose end-to-end total is guarded against regression:
+# both real_time and cpu_time must stay within GUARD_RATIO of the
+# baseline (with a GUARD_FLOOR_MS absolute allowance for scheduler
+# noise on short runs) — see the docstring for why a single-signal
+# guard misfires on loaded runners.
+GUARDED = ["BM_analyze_scaling/64"]
+GUARD_RATIO = 1.05
+GUARD_FLOOR_MS = 2.0
 
 
 def load(path):
@@ -59,13 +86,24 @@ def main():
         print("diff_bench: baseline has no benchmarks; nothing to compare")
         return 0
     mismatches = []
+    degraded = []
+    slow = []
     print(f"{'benchmark':<32} {'old ms':>12} {'new ms':>12} {'speedup':>8}  wcet_cycles")
     for name in shared:
         o, n = old[name], new[name]
         scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
         o_ms = o["real_time"] * scale.get(o.get("time_unit", "ns"), 1e-6)
         n_ms = n["real_time"] * scale.get(n.get("time_unit", "ns"), 1e-6)
+        o_cpu = o["cpu_time"] * scale.get(o.get("time_unit", "ns"), 1e-6)
+        n_cpu = n["cpu_time"] * scale.get(n.get("time_unit", "ns"), 1e-6)
         speedup = o_ms / n_ms if n_ms > 0 else float("inf")
+        if n.get("degradations", 0) != 0:
+            degraded.append(name)
+        real_slow = n_ms > o_ms * GUARD_RATIO and n_ms - o_ms > GUARD_FLOOR_MS
+        cpu_slow = n_cpu > o_cpu * GUARD_RATIO and n_cpu - o_cpu > GUARD_FLOOR_MS
+        if name in GUARDED and real_slow and cpu_slow:
+            slow.append(f"{name} (real {o_ms:.3f} -> {n_ms:.3f} ms, "
+                        f"cpu {o_cpu:.3f} -> {n_cpu:.3f} ms)")
         o_w, n_w = o.get("wcet_cycles"), n.get("wcet_cycles")
         verdict = ""
         if o_w is not None and n_w is not None:
@@ -87,6 +125,14 @@ def main():
             print(f"    {counter:<28} {int(o_c):>12} {int(n_c):>12}")
     if mismatches:
         print(f"\ndiff_bench: FAIL — wcet_cycles oracle changed for: {', '.join(mismatches)}")
+        return 1
+    if degraded:
+        print(f"\ndiff_bench: FAIL — degradations recorded in unlimited-budget run: "
+              f"{', '.join(degraded)}")
+        return 1
+    if slow:
+        print(f"\ndiff_bench: FAIL — guarded benchmark regressed past "
+              f"{GUARD_RATIO:.2f}x + {GUARD_FLOOR_MS} ms: {'; '.join(slow)}")
         return 1
     print("\ndiff_bench: OK — all wcet_cycles oracle values identical")
     return 0

@@ -35,7 +35,8 @@ echo "wrote $bench_json"
 # The COW cache-state counters are part of the tracked perf surface: a
 # fresh run that silently stops recording them would hide state-sharing
 # regressions from every future diff — fail loudly instead.
-for counter in cache_joins cache_join_skips set_image_allocs live_set_images_peak; do
+for counter in cache_joins cache_join_skips set_image_allocs live_set_images_peak \
+               budget_checks degradations cancel_latency_us; do
   if ! grep -q "\"$counter\"" "$bench_json"; then
     echo "error: counter '$counter' missing from fresh bench run" >&2
     if [ -n "$prev_json" ]; then
@@ -46,6 +47,20 @@ for counter in cache_joins cache_join_skips set_image_allocs live_set_images_pea
     exit 4
   fi
 done
+
+# The tracked run holds no budget, so the governor must never trip: a
+# nonzero degradations counter would mean the recorded wcet_cycles and
+# timings describe a *degraded* analysis, poisoning every future diff.
+if grep '"degradations"' "$bench_json" | grep -Evq '"degradations": 0(\.0*)?(e[+-]?[0-9]+)?,?$'; then
+  echo "error: nonzero degradations counter in the unlimited-budget bench run" >&2
+  grep '"degradations"' "$bench_json" >&2
+  if [ -n "$prev_json" ]; then
+    mv "$bench_json" "$bench_json.rejected"
+    mv "$prev_json" "$bench_json"
+    echo "restored $bench_json, degraded run at $bench_json.rejected" >&2
+  fi
+  exit 5
+fi
 
 if [ -n "$prev_json" ]; then
   if command -v python3 > /dev/null 2>&1; then

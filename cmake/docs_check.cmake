@@ -50,7 +50,16 @@ if(failures EQUAL 0)
       "WCET_SANITIZE"
       "WCET_SANITIZE=thread"
       "cache_join_skips"
-      "WCET_COW_CHECK")
+      "WCET_COW_CHECK"
+      "wcet_cli"
+      "--deadline-ms"
+      "--budget-value-visits"
+      "--budget-ilp-nodes"
+      "degradation ledger"
+      "WCET_FAULT_INJECT"
+      "tier1-faults"
+      "budget_checks"
+      "cancel_latency_us")
   require_content(docs/ARCHITECTURE.md
       "pass_manager.hpp"
       "AnalysisContext"
@@ -66,7 +75,14 @@ if(failures EQUAL 0)
       "CowPtr"
       "detach-on-mutate"
       "fetch_groups"
-      "record_node_lazy")
+      "record_node_lazy"
+      "AnalysisBudget"
+      "AnalysisGovernor"
+      "CancelToken"
+      "CancelledError"
+      "record_node_conservative"
+      "WCET_FAULT_POINT"
+      "Degradation")
   # The bench entry points docs refer to must exist.
   require_file(bench/run_bench.sh)
   require_file(bench/diff_bench.py)

@@ -8,7 +8,9 @@
 #include <set>
 
 #include "analysis/transfer_cache.hpp"
+#include "support/budget.hpp"
 #include "support/diag.hpp"
+#include "support/fault_inject.hpp"
 #include "support/instance_rounds.hpp"
 #include "support/thread_pool.hpp"
 
@@ -584,9 +586,12 @@ void CacheAnalysis::transfer(int node, CachePair& icache, CachePair& dcache, boo
       dc.cls = AccessClass::uncached;
       break;
     case Recipe::DataKind::disturb:
-      // Partially cacheable imprecise range: uncached for timing, but
-      // may still disturb the cache.
-      dc.cls = AccessClass::uncached;
+      // Partially cacheable imprecise range: the concrete access may be
+      // anything from a cache hit to an uncached device read, so it is
+      // not-classified for timing (hit in the BCET sense, full miss in
+      // the WCET sense — `uncached` here would under-charge nothing but
+      // over-claim the best case) and disturbs the abstract cache.
+      dc.cls = AccessClass::not_classified;
       dcache.must.access_unknown();
       dcache.may.access_unknown();
       break;
@@ -653,6 +658,7 @@ void CacheAnalysis::fixpoint_instance_rounds() {
   // two paths to identical classifications.
   using Recipe = TransferCache::CacheRecipe;
   InstanceRoundEngine engine(sg_, schedule_priorities_);
+  engine.set_governor(governor_);
   const std::size_t num_instances = sg_.instances().size();
 
   struct OutState {
@@ -846,6 +852,24 @@ void CacheAnalysis::fixpoint_instance_rounds() {
           if (join_target(target, state.i, state.d)) engine.push(target);
         }
         buffered.clear();
+      },
+      [&](const std::uint64_t round_pops) -> bool {
+        WCET_FAULT_POINT("cache:round");
+        if (governor_ == nullptr) return true;
+        // Stopping at a round barrier is sound here — unlike the value
+        // analysis — because the record sweep then ignores the
+        // un-converged states entirely (record_node_conservative) and
+        // classifies every state-dependent access as not-classified.
+        const char* trigger = nullptr;
+        if (!governor_->consume_cache_visits(round_pops)) trigger = "visit budget";
+        else if (governor_->deadline_exceeded()) trigger = "deadline";
+        if (trigger == nullptr) return true;
+        degraded_ = true;
+        governor_->record("cache", trigger,
+                          "fixpoint stopped at a round barrier; all state-dependent accesses "
+                          "classified not-classified (charged as misses), structural verdicts "
+                          "kept (bound stays a true upper bound)");
+        return false;
       });
 }
 
@@ -1001,7 +1025,7 @@ void CacheAnalysis::record_node_lazy(int node) {
       dc.cls = AccessClass::uncached;
       break;
     case Recipe::DataKind::disturb:
-      dc.cls = AccessClass::uncached;
+      dc.cls = AccessClass::not_classified;
       sc.d_must.age_all(); // may side: access_unknown is the identity
       break;
     case Recipe::DataKind::cached: {
@@ -1041,6 +1065,51 @@ void CacheAnalysis::record_node_lazy(int node) {
         in_d.may.apply_one_of_image(sc.d_may.image_for(s), sc.in_set, outside, sc.alt,
                                     sc.acc);
       });
+      break;
+    }
+    }
+    data_out.push_back(dc);
+  }
+}
+
+void CacheAnalysis::record_node_conservative(int node) {
+  using Recipe = TransferCache::CacheRecipe;
+  const Recipe& recipe = transfers_->cache_recipe(node);
+  const auto id = static_cast<std::size_t>(node);
+  auto& fetch_out = fetch_[id];
+  auto& data_out = data_[id];
+  fetch_out.assign(recipe.fetch.size(), FetchClass{});
+  data_out.clear();
+  for (std::size_t i = 0; i < recipe.fetch.size(); ++i) {
+    switch (recipe.fetch[i].kind) {
+    case Recipe::FetchKind::uncached:
+      fetch_out[i].cls = AccessClass::uncached;
+      break;
+    case Recipe::FetchKind::same_line:
+      // Guaranteed by intra-block adjacency (the previous fetch loaded
+      // the same line), independent of the incoming cache state.
+      fetch_out[i].cls = AccessClass::always_hit;
+      break;
+    case Recipe::FetchKind::line:
+      fetch_out[i].cls = AccessClass::not_classified;
+      break;
+    }
+  }
+  for (const Recipe::Data& d : recipe.data) {
+    DataClass dc;
+    dc.pc = d.pc;
+    dc.is_store = d.is_store;
+    switch (d.kind) {
+    case Recipe::DataKind::bypass:
+      dc.cls = AccessClass::uncached;
+      break;
+    case Recipe::DataKind::disturb:
+      dc.cls = AccessClass::not_classified;
+      break;
+    case Recipe::DataKind::cached: {
+      dc.cls = AccessClass::not_classified;
+      const std::vector<std::uint32_t>& lines = lines_for(node, d.access_index);
+      dc.candidate_count = std::max<unsigned>(1, static_cast<unsigned>(lines.size()));
       break;
     }
     }
@@ -1206,6 +1275,15 @@ void CacheAnalysis::run() {
   // cross-checks the two recording implementations too.
   const auto record_node = [&](std::size_t id) {
     const cfg::SgNode& node = sg_.nodes()[id];
+    if (degraded_) {
+      // A truncated fixpoint can leave a *reachable* node without a
+      // propagated state (has_state_ == 0), so the sweep must not trust
+      // has_state_ at all: every node gets recipe-only conservative
+      // rows, keeping the classification tables index-aligned for the
+      // pipeline phase.
+      record_node_conservative(node.id);
+      return;
+    }
     if (!has_state_[id]) {
       fetch_[id].assign(node.block->insts.size(), FetchClass{});
       data_[id].clear();

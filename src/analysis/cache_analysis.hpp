@@ -39,6 +39,7 @@
 
 namespace wcet {
 class ThreadPool;
+class AnalysisGovernor;
 }
 
 namespace wcet::analysis {
@@ -253,6 +254,17 @@ public:
                 TransferCache* transfers = nullptr, ThreadPool* pool = nullptr);
   ~CacheAnalysis(); // out-of-line: owns a forward-declared TransferCache
 
+  // Optional resource governor. Cache visits are charged at each round
+  // barrier; once the budget (or the wall-clock deadline) is exhausted
+  // the fixpoint stops at that barrier and the record sweep falls back
+  // to conservative classifications — every state-dependent access
+  // becomes not-classified (all-miss for timing purposes), which is
+  // sound regardless of how far the fixpoint got. Cancellation is
+  // checked at every worklist pop and aborts with CancelledError.
+  void set_governor(const AnalysisGovernor* governor) { governor_ = governor; }
+  // True when a budget/deadline trip truncated the fixpoint.
+  bool degraded() const { return degraded_; }
+
   void run();
 
   // Per node: classification of each instruction fetch (index-aligned
@@ -316,6 +328,12 @@ private:
   // implementations to identical classifications in the differential
   // tests).
   void record_node_lazy(int node);
+  // Degraded-mode recording: classification rows derived from the
+  // recipe alone, never from the (possibly un-converged) abstract
+  // states. Structural verdicts survive — uncached stays uncached,
+  // same-line fetches stay always-hit — and every state-dependent
+  // access is not-classified.
+  void record_node_conservative(int node);
   void persistence();
   void persistence_tree(const std::vector<int>& loop_ids);
 
@@ -329,6 +347,8 @@ private:
   std::vector<int> schedule_priorities_;
   TransferCache* transfers_ = nullptr;
   ThreadPool* pool_ = nullptr;
+  const AnalysisGovernor* governor_ = nullptr;
+  bool degraded_ = false;
   // Private cache when no shared one is attached (line tables only).
   std::unique_ptr<TransferCache> own_transfers_;
   std::vector<CachePair> in_i_;

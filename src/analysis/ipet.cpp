@@ -8,6 +8,26 @@
 
 namespace wcet::analysis {
 
+namespace {
+
+// Per-region resource envelope. The governor's node cap can only
+// tighten the built-in 20000-node safety limit, never raise it.
+SolveLimits region_limits(const IpetOptions& options) {
+  SolveLimits limits;
+  if (options.governor != nullptr) {
+    const std::uint64_t nodes = options.governor->ilp_node_limit();
+    if (nodes != 0) {
+      limits.node_limit = static_cast<int>(
+          std::min<std::uint64_t>(nodes, static_cast<std::uint64_t>(limits.node_limit)));
+    }
+    limits.pivot_limit = options.governor->pivot_limit();
+    limits.governor = options.governor;
+  }
+  return limits;
+}
+
+} // namespace
+
 Ipet::Ipet(const cfg::Supergraph& sg, const cfg::LoopForest& loops,
            const ValueAnalysis& values, const PipelineAnalysis& pipeline)
     : sg_(sg), loops_(loops), values_(values), pipeline_(pipeline) {}
@@ -123,6 +143,7 @@ void Ipet::merge_sub_results(IpetResult& outer, const std::vector<Sub>& subs,
     const IpetResult& sub_result = bcet_sense ? sub.result_bcet : sub.result;
     outer.variables += sub_result.variables;
     outer.constraints += sub_result.constraints;
+    outer.degraded = outer.degraded || sub_result.degraded;
     const auto y = edge_counts.find(sub.call_edge);
     if (y != edge_counts.end() && y->second > 0) {
       // Entry counts are 0/1, so the subtree witness merges unscaled.
@@ -155,7 +176,23 @@ IpetResult Ipet::solve(const IpetOptions& options) const {
   int total_subs = 0;
   for (const std::vector<Sub*>& level : levels) total_subs += static_cast<int>(level.size());
   if (!solve_levels(levels, options, /*both=*/false)) {
-    return solve_monolithic(options); // safety fallback
+    // Safety/fallback ladder: a failed sub-solve (structurally, or out
+    // of pivot budget) first retries with the shallower flat plan, then
+    // gives up on decomposition entirely.
+    if (options.decomposition == IpetDecomposition::recursive) {
+      if (options.governor != nullptr) {
+        options.governor->record("path", "sub-solve failure",
+                                 "recursive decomposition fell back to flat");
+      }
+      IpetOptions flat = options;
+      flat.decomposition = IpetDecomposition::flat;
+      return solve(flat);
+    }
+    if (options.governor != nullptr) {
+      options.governor->record("path", "sub-solve failure",
+                               "decomposition fell back to monolithic");
+    }
+    return solve_monolithic(options);
   }
 
   // Outer problem over the remaining nodes with one variable per
@@ -212,7 +249,21 @@ std::pair<IpetResult, IpetResult> Ipet::solve_both(const IpetOptions& options) c
   int total_subs = 0;
   for (const std::vector<Sub*>& level : levels) total_subs += static_cast<int>(level.size());
   if (!solve_levels(levels, options, /*both=*/true)) {
-    return solve_monolithic_both(options); // safety fallback
+    // Same fallback ladder as solve(): recursive -> flat -> monolithic.
+    if (options.decomposition == IpetDecomposition::recursive) {
+      if (options.governor != nullptr) {
+        options.governor->record("path", "sub-solve failure",
+                                 "recursive decomposition fell back to flat");
+      }
+      IpetOptions flat = options;
+      flat.decomposition = IpetDecomposition::flat;
+      return solve_both(flat);
+    }
+    if (options.governor != nullptr) {
+      options.governor->record("path", "sub-solve failure",
+                               "decomposition fell back to monolithic");
+    }
+    return solve_monolithic_both(options);
   }
 
   std::vector<char> outer_member(sg_.nodes().size(), 1);
@@ -868,6 +919,7 @@ IpetResult Ipet::extract_region(const RegionBuild& build, const RegionSpec& spec
   result.constraints = build.ilp.num_constraints();
   switch (solution.status) {
   case LpSolution::Status::optimal:
+  case LpSolution::Status::degraded:
     break;
   case LpSolution::Status::infeasible:
     result.status = IpetResult::Status::infeasible;
@@ -878,14 +930,23 @@ IpetResult Ipet::extract_region(const RegionBuild& build, const RegionSpec& spec
   case LpSolution::Status::node_limit:
     result.status = IpetResult::Status::node_limit;
     return result;
+  case LpSolution::Status::pivot_limit:
+    result.status = IpetResult::Status::pivot_limit;
+    return result;
   }
 
   result.status = IpetResult::Status::ok;
+  result.degraded = solution.status == LpSolution::Status::degraded;
   const Rational total = solution.objective + (maximize ? build.offset_max : build.offset_min);
   if (objective_out != nullptr) *objective_out = total;
   const Rational objective = maximize ? total : -total;
   result.bound = static_cast<std::uint64_t>(maximize ? objective.ceil64()
                                                      : objective.floor64());
+  // A degraded solve proves only the bound: solution.values is empty,
+  // so there is no flow to recover a witness from. The objective still
+  // feeds the parent region soundly — an upper bound on the subtree's
+  // internal-maximize optimum can only loosen the outer bound upward.
+  if (result.degraded) return result;
   // Witness: recover the node counts from the inbound flow.
   for (const cfg::SgNode& node : sg_.nodes()) {
     if (!build.region_node[static_cast<std::size_t>(node.id)]) continue;
@@ -926,9 +987,15 @@ IpetResult Ipet::solve_region(const RegionSpec& spec, const IpetOptions& options
     }
   }
   if (options.lp_dump != nullptr && spec.top_level) *options.lp_dump = build.ilp.to_string();
-  const LpSolution solution = build.ilp.solve_ilp();
-  return extract_region(build, spec, options.maximize, solution, objective_out,
-                        edge_counts_out);
+  const LpSolution solution = build.ilp.solve_ilp(region_limits(options));
+  IpetResult result = extract_region(build, spec, options.maximize, solution, objective_out,
+                                     edge_counts_out);
+  if (result.degraded && options.governor != nullptr) {
+    options.governor->record("path", "ilp budget",
+                             "region solve truncated by pivot/node cap; bound is the best "
+                             "proven frontier bound, no path witness (bound stays sound)");
+  }
+  return result;
 }
 
 std::pair<IpetResult, IpetResult> Ipet::solve_region_both(
@@ -947,11 +1014,18 @@ std::pair<IpetResult, IpetResult> Ipet::solve_region_both(
       build.ilp.set_objective(var, build.obj_max[static_cast<std::size_t>(var)]);
     }
   }
-  const auto [max_solution, min_solution] = build.ilp.solve_ilp_pair(build.obj_min);
-  return {extract_region(build, spec, true, max_solution, objective_max_out,
-                         edge_counts_max_out),
-          extract_region(build, spec, false, min_solution, objective_min_out,
-                         edge_counts_min_out)};
+  const auto [max_solution, min_solution] =
+      build.ilp.solve_ilp_pair(build.obj_min, region_limits(options));
+  std::pair<IpetResult, IpetResult> out = {
+      extract_region(build, spec, true, max_solution, objective_max_out, edge_counts_max_out),
+      extract_region(build, spec, false, min_solution, objective_min_out,
+                     edge_counts_min_out)};
+  if ((out.first.degraded || out.second.degraded) && options.governor != nullptr) {
+    options.governor->record("path", "ilp budget",
+                             "region solve truncated by pivot/node cap; bound is the best "
+                             "proven frontier bound, no path witness (bound stays sound)");
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------

@@ -47,11 +47,26 @@ struct IpetOptions {
   std::uint64_t infeasible_pair_big_m = 1u << 20;
   std::string* lp_dump = nullptr;         // debug: receives the LP text (forces monolithic)
   IpetDecomposition decomposition = IpetDecomposition::recursive;
+  // Optional resource governor (support/budget.hpp): every region solve
+  // runs under its per-solve pivot/node caps and cancellation
+  // checkpoints. A truncated solve yields a *degraded* result (status
+  // ok, `degraded` set, bound = best proven bound, no path witness);
+  // a failed sub-solve walks the fallback ladder recursive -> flat ->
+  // monolithic, each step recorded in the governor's ledger.
+  const AnalysisGovernor* governor = nullptr;
 };
 
 struct IpetResult {
-  enum class Status { ok, infeasible, unbounded, missing_loop_bounds, node_limit };
+  // `node_limit`: branch & bound hit its cap before proving any bound.
+  // `pivot_limit`: the root LP relaxation ran out of pivot budget — no
+  // bound of any kind exists (reported as an obstruction upstream).
+  enum class Status { ok, infeasible, unbounded, missing_loop_bounds, node_limit, pivot_limit };
   Status status = Status::infeasible;
+  // True when any region solve was truncated by a pivot/node budget:
+  // `bound` is then the best *proven* bound (still a true WCET upper /
+  // BCET lower bound), but no integral path witness exists — the
+  // witness-bearing `node_counts` of truncated regions stay empty.
+  bool degraded = false;
   std::uint64_t bound = 0;
   int variables = 0;
   int constraints = 0;

@@ -4,7 +4,9 @@
 #include <map>
 
 #include "analysis/transfer_cache.hpp"
+#include "support/budget.hpp"
 #include "support/diag.hpp"
+#include "support/fault_inject.hpp"
 #include "support/fixpoint.hpp"
 #include "support/instance_rounds.hpp"
 #include "support/thread_pool.hpp"
@@ -558,7 +560,19 @@ AbsState ValueAnalysis::refine_along_edge(int edge, AbsState state) const {
   return state;
 }
 
-void ValueAnalysis::run(ThreadPool* pool, TransferCache* transfers) {
+std::uint64_t ValueAnalysis::tracked_state_bytes() const {
+  std::uint64_t bytes = 0;
+  const std::uint64_t per_entry = sizeof(std::uint32_t) + sizeof(Interval);
+  for (const AbsState& state : in_) {
+    if (state.bottom) continue;
+    bytes += sizeof(AbsState);
+    bytes += per_entry * state.mem->size(); // null COW table reads as empty
+  }
+  return bytes;
+}
+
+void ValueAnalysis::run(ThreadPool* pool, TransferCache* transfers,
+                        const AnalysisGovernor* governor) {
   const isa::Image& image = sg_.program().image();
   const std::size_t num_nodes = sg_.nodes().size();
   const std::size_t num_instances = sg_.instances().size();
@@ -569,6 +583,15 @@ void ValueAnalysis::run(ThreadPool* pool, TransferCache* transfers) {
   // weak-topological order the PR 1 global worklist used — restricted
   // to the instance.
   InstanceRoundEngine engine(sg_, schedule_priorities_);
+  engine.set_governor(governor);
+
+  // Flipped at a round barrier once the visit/state budget (or the
+  // deadline) runs out; read by the next round's workers — the round
+  // barrier orders the write before every subsequent read. Reuses the
+  // existing coarse-convergence safeguard below, which is why an early
+  // trip is still sound AND monotone: the coarse state dominates every
+  // state the remaining iterations could have produced.
+  bool force_coarse = degraded_;
 
   // Join `along` into `target`'s in-state with the same widen/coarsen
   // policy as the PR 1 engine; returns true when the state grew.
@@ -577,7 +600,7 @@ void ValueAnalysis::run(ThreadPool* pool, TransferCache* transfers) {
     const bool widen_now = is_widen_point_[static_cast<std::size_t>(target)] &&
                            visits[static_cast<std::size_t>(target)] >= options_.widen_delay;
     const bool coarse_now =
-        visits[static_cast<std::size_t>(target)] >= options_.max_node_visits;
+        force_coarse || visits[static_cast<std::size_t>(target)] >= options_.max_node_visits;
     if (!widen_now && !coarse_now) {
       // Hot path: join in place; join_with reports changes exactly, so
       // no state copy or deep equality check is needed.
@@ -640,6 +663,33 @@ void ValueAnalysis::run(ThreadPool* pool, TransferCache* transfers) {
           if (join_into(target, state)) engine.push(target);
         }
         buffered.clear();
+      },
+      [&](const std::uint64_t round_pops) -> bool {
+        WCET_FAULT_POINT("value:round");
+        if (governor == nullptr || force_coarse) return true;
+        // Budget accounting at the deterministic round barrier only:
+        // the pop total is a pure function of the graph and domain.
+        const char* trigger = nullptr;
+        if (!governor->consume_value_visits(round_pops)) {
+          trigger = "visit budget";
+        } else if (governor->budget().max_state_bytes != 0 &&
+                   governor->state_bytes_exceeded(tracked_state_bytes())) {
+          trigger = "state-byte budget";
+        } else if (governor->deadline_exceeded()) {
+          trigger = "deadline";
+        }
+        if (trigger != nullptr) {
+          force_coarse = true;
+          degraded_ = true;
+          governor->record("value", trigger,
+                           "forced coarse convergence: remaining joins jump to the "
+                           "near-top state, loosening loop/cache/path precision "
+                           "(bound stays a true upper bound)");
+        }
+        // Never stop the engine: an un-iterated fixpoint would undercut
+        // the least fixpoint, which is unsound. Coarsening converges in
+        // at most one extra visit per node.
+        return true;
       });
 
   // Final pass: record access address intervals per node (and publish

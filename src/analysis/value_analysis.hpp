@@ -27,6 +27,7 @@
 
 namespace wcet {
 class ThreadPool;
+class AnalysisGovernor;
 }
 
 namespace wcet::analysis {
@@ -103,8 +104,23 @@ public:
   // bit-identical for ANY worker count (including pool == nullptr).
   // When `transfers` is given, the final access-recording sweep also
   // publishes per-node out-states into it.
-  void run(ThreadPool* pool, TransferCache* transfers);
+  //
+  // `governor` (optional) makes the fixpoint budget-aware: node visits
+  // are charged at each round barrier, and once the visit/state-byte
+  // budget (or the wall-clock deadline) is exhausted the analysis flips
+  // into forced-coarsening mode — every subsequent changing join jumps
+  // its target to the coarse near-top state, so the fixpoint still
+  // converges (each node coarsens at most once) and the result remains
+  // an over-approximation of the collecting semantics, just a looser
+  // one. The engine is never stopped mid-fixpoint: un-iterated states
+  // would undercut the least fixpoint, which is unsound. Cancellation
+  // is checked at every worklist pop and aborts with CancelledError.
+  void run(ThreadPool* pool, TransferCache* transfers,
+           const AnalysisGovernor* governor = nullptr);
   void run() { run(nullptr, nullptr); }
+
+  // True when a budget/deadline trip forced coarse convergence.
+  bool degraded() const { return degraded_; }
 
   // State at node entry (join over incoming edges). Bottom: unreachable.
   const AbsState& state_in(int node) const { return in_[static_cast<std::size_t>(node)]; }
@@ -152,6 +168,11 @@ private:
                  std::uint32_t fn_entry) const;
   Interval implicit_word(const AbsState& state, std::uint32_t addr) const;
   Interval confine(const Interval& addr, std::uint32_t fn_entry) const;
+  // Logical size of all tracked per-node states, for the state-byte
+  // budget. Counts table entries per state (COW sharing ignored), so
+  // the figure is a pure function of the abstract states — identical
+  // for any worker count.
+  std::uint64_t tracked_state_bytes() const;
 
   const cfg::Supergraph& sg_;
   const cfg::LoopForest& loops_;
@@ -165,6 +186,7 @@ private:
   std::vector<unsigned char> edge_feasible_;
   std::vector<std::vector<AccessInfo>> accesses_;
   std::vector<bool> is_widen_point_;
+  bool degraded_ = false;
 };
 
 } // namespace wcet::analysis

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 
 #include "support/diag.hpp"
 
@@ -159,6 +160,12 @@ private:
     return value;
   }
 
+  static std::string hex(std::uint32_t addr) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "0x%x", addr);
+    return buf;
+  }
+
   std::string quoted() {
     skip_ws();
     if (at_end() || text_[pos_] != '"') fail("expected quoted name");
@@ -208,11 +215,26 @@ private:
       const std::uint32_t fn = place();
       expect_word("max");
       const auto depth = static_cast<unsigned>(number());
+      // Two different depths for the same function are contradictory:
+      // unlike loop bounds (where the tighter of two claims is still a
+      // claim the user made), recursion depth feeds call-string
+      // expansion and a silent pick would hide the conflict.
+      if (const auto it = db.recursion_depths.find(fn);
+          it != db.recursion_depths.end() && it->second != depth) {
+        fail("contradictory recursion depth for function at " + hex(fn) + ": previously " +
+             std::to_string(it->second) + ", now " + std::to_string(depth));
+      }
       db.recursion_depths[fn] = depth;
     } else if (kw == "targets") {
       expect_word("at");
       const std::uint32_t site = place();
       expect_word("are");
+      // A second targets statement would widen the first one's closed
+      // world; merging silently is exactly the kind of contradiction
+      // this parser must surface, so reject the duplicate outright.
+      if (db.indirect_targets.count(site) != 0) {
+        fail("duplicate targets statement for call site at " + hex(site));
+      }
       std::vector<std::uint32_t>& targets = db.indirect_targets[site];
       do {
         targets.push_back(place());
@@ -253,6 +275,11 @@ private:
     } else if (kw == "region") {
       mem::Region region;
       region.name = quoted();
+      // 'accesses ... region "<name>"' resolves by name, so a second
+      // region with the same name would make those references ambiguous.
+      for (const auto& existing : db.regions) {
+        if (existing.name == region.name) fail("duplicate region '" + region.name + "'");
+      }
       expect_word("at");
       region.base = static_cast<std::uint32_t>(number());
       expect_word("size");

@@ -20,6 +20,23 @@ const CfgBlock& CfgFunction::block_at(std::uint32_t addr) const {
 
 namespace {
 
+// Statically-known control flow — fall-through, conditional branches,
+// direct jumps and calls — is part of the input, not of the analysis:
+// a static successor outside the mapped image means the binary is
+// truncated or mislinked, so it is rejected as an InputError naming
+// the offending instruction. Indirect targets (annotation hints,
+// value-analysis resolutions, jump-table matches) stay DecodeIssue
+// obstructions instead: they may be over-approximations, and an
+// over-approximate target set must never turn into a hard error.
+void require_mapped(const isa::Image& image, std::uint32_t from_pc, std::uint32_t target,
+                    const char* what) {
+  if (image.read_word(target)) return;
+  std::ostringstream os;
+  os << what << " at " << image.describe(from_pc) << " leads to unmapped address 0x"
+     << std::hex << target << " (truncated or mislinked image)";
+  throw InputError(os.str());
+}
+
 // Decoded instruction fetch with diagnostics.
 std::optional<Inst> fetch(const isa::Image& image, std::uint32_t pc,
                           std::vector<DecodeIssue>& issues) {
@@ -170,6 +187,8 @@ struct Decoder {
 
         if (inst.is_conditional_branch()) {
           const std::uint32_t target = inst.target(pc);
+          require_mapped(image, pc, target, "conditional branch");
+          require_mapped(image, pc, pc + 4, "fall-through of conditional branch");
           leaders.insert(target);
           leaders.insert(pc + 4);
           work.push_back(target);
@@ -179,10 +198,13 @@ struct Decoder {
         if (inst.op == Opcode::jal) {
           const std::uint32_t target = inst.target(pc);
           if (inst.is_call()) {
+            require_mapped(image, pc, target, "direct call");
+            require_mapped(image, pc, pc + 4, "return path of direct call");
             enqueue_function(target);
             leaders.insert(pc + 4);
             work.push_back(pc + 4);
           } else {
+            require_mapped(image, pc, target, "direct jump");
             leaders.insert(target);
             work.push_back(target);
           }
@@ -222,10 +244,12 @@ struct Decoder {
         }
         if (inst.op == Opcode::halt) break;
         if (inst.op == Opcode::ecall) {
+          require_mapped(image, pc, pc + 4, "fall-through of ecall");
           leaders.insert(pc + 4);
           work.push_back(pc + 4);
           break;
         }
+        require_mapped(image, pc, pc + 4, "straight-line code");
         pc += 4;
       }
       // A run that fell into already-decoded code splits the block there.

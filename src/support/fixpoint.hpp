@@ -46,6 +46,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "support/budget.hpp"
+
 namespace wcet {
 
 // Bucketed priority worklist over dense node ids [0, n). Priorities are
@@ -99,6 +101,25 @@ private:
 template <typename ProcessFn>
 void run_fixpoint(PriorityWorklist& worklist, ProcessFn&& process) {
   for (int node = worklist.pop(); node >= 0; node = worklist.pop()) {
+    process(node);
+  }
+}
+
+// Governor-aware variant: checks for cooperative cancellation at every
+// worklist pop (the finest abort granularity of the fixpoint phases).
+// Cancellation throws CancelledError; step budgets are NOT consumed
+// here — they are accounted at deterministic round barriers by the
+// instance-round engine (see support/instance_rounds.hpp and the
+// determinism notes in support/budget.hpp).
+template <typename ProcessFn>
+void run_fixpoint(PriorityWorklist& worklist, const AnalysisGovernor* governor,
+                  ProcessFn&& process) {
+  if (governor == nullptr) {
+    run_fixpoint(worklist, static_cast<ProcessFn&&>(process));
+    return;
+  }
+  for (int node = worklist.pop(); node >= 0; node = worklist.pop()) {
+    governor->check_cancel();
     process(node);
   }
 }

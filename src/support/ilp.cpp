@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "support/diag.hpp"
+#include "support/fault_inject.hpp"
 
 namespace wcet {
 
@@ -39,7 +40,21 @@ constexpr int k_bland_switch = 128;
 // existing rows never materialize the new columns.
 class Simplex {
 public:
-  enum class Status { optimal, infeasible, unbounded, stalled };
+  // `pivot_limit`: the per-solve pivot budget ran out mid-iteration; no
+  // optimal basis exists. `stalled` keeps its warm-start meaning (dual
+  // safety limit; the caller re-solves cold).
+  enum class Status { optimal, infeasible, unbounded, stalled, pivot_limit };
+
+  // Installs the per-solve resource envelope: a shared pivot counter
+  // (copies of this tableau — warm-start clones — keep charging the
+  // same counter), an optional cap on it, and a governor checked for
+  // cooperative cancellation every 64 pivots.
+  void set_limits(const AnalysisGovernor* governor, std::uint64_t* pivot_count,
+                  std::uint64_t pivot_limit) {
+    governor_ = governor;
+    pivot_count_ = pivot_count;
+    pivot_limit_ = pivot_limit;
+  }
 
   struct Ent {
     std::size_t col = 0;
@@ -157,6 +172,9 @@ public:
       }
       const Status feasibility = primal(true);
       WCET_CHECK(feasibility != Status::unbounded, "phase-1 LP cannot be unbounded");
+      // Pivot exhaustion mid-phase-1 must not be mistaken for
+      // infeasibility (a nonzero artificial sum merely means "not done").
+      if (feasibility == Status::pivot_limit) return feasibility;
       if (!obj_rhs_.is_zero()) return Status::infeasible;
       // Pivot any artificial still in the basis (at value zero) out.
       for (std::size_t r = 0; r < m_; ++r) {
@@ -269,6 +287,7 @@ private:
   Status primal(bool allow_artificials) {
     int degenerate_streak = 0;
     for (;;) {
+      if (pivots_exhausted()) return Status::pivot_limit;
       // Entering column: Dantzig's rule (largest reduced cost) while
       // progress is healthy, Bland's rule (first eligible) after a
       // degenerate streak — Bland cannot cycle, so termination holds.
@@ -325,6 +344,10 @@ private:
   Status dual() {
     const std::size_t iteration_limit = 4 * (m_ + cols_) + 100;
     for (std::size_t iter = 0; iter < iteration_limit; ++iter) {
+      // Pivot exhaustion reuses the stall path: the caller falls back to
+      // a cold solve, which immediately reports pivot_limit itself (the
+      // counter is shared), so no pivots are wasted re-discovering it.
+      if (pivots_exhausted()) return Status::stalled;
       // Leaving row: most negative rhs (ties to the smallest row).
       std::size_t leave = m_;
       for (std::size_t r = 0; r < m_; ++r) {
@@ -465,7 +488,15 @@ private:
     finish_pivot(pr, pc);
   }
 
+  bool pivots_exhausted() const {
+    return pivot_limit_ != 0 && pivot_count_ != nullptr && *pivot_count_ >= pivot_limit_;
+  }
+
   void finish_pivot(std::size_t pr, std::size_t pc) {
+    if (pivot_count_ != nullptr) {
+      ++*pivot_count_;
+      if (governor_ != nullptr && (*pivot_count_ & 63u) == 0) governor_->check_cancel();
+    }
     const SparseRow& prow = mat_[pr];
     const Rational factor = obj_[pc];
     if (!factor.is_zero()) {
@@ -479,6 +510,9 @@ private:
   std::size_t m_ = 0;
   std::size_t cols_ = 0;
   std::size_t num_art_ = 0;
+  const AnalysisGovernor* governor_ = nullptr;
+  std::uint64_t* pivot_count_ = nullptr; // shared across warm-start clones
+  std::uint64_t pivot_limit_ = 0;        // 0 = unlimited
   std::vector<Rational> objective_; // structural objective coefficients
   std::vector<SparseRow> mat_;
   std::vector<Rational> rhs_;
@@ -505,9 +539,18 @@ LpSolution status_only(LpSolution::Status status) {
 // by replaying their branch-row path (still dual re-solves, never
 // two-phase-from-scratch). `cold` re-solves a node's relaxation from
 // scratch under the same objective as `root` (stall fallback).
+//
+// Resource exhaustion (node or pivot limit) never silently returns the
+// incumbent as `optimal`: every subtree truncated by a limit donates
+// its tightest known relaxation bound to a frontier maximum, and the
+// result is a `degraded` solution whose objective is a *proven* upper
+// bound on the true optimum — max(incumbent, truncated subtree bounds,
+// remaining open-node bounds). Sound for both senses: for the
+// alternate (negated, minimizing) objective an upper bound on -cost is
+// a lower bound on cost.
 template <typename ColdSolve>
 LpSolution branch_and_bound(Simplex& root, const LpSolution& root_solution, int num_variables,
-                            int node_limit, const ColdSolve& cold) {
+                            const SolveLimits& limits, const ColdSolve& cold) {
   using Row = IlpProblem::Row;
   struct Node {
     std::vector<Row> extra; // branch rows on the path from the root
@@ -523,8 +566,14 @@ LpSolution branch_and_bound(Simplex& root, const LpSolution& root_solution, int 
   open.push(Node{{}, root_solution.objective, seq++});
 
   LpSolution best = status_only(LpSolution::Status::infeasible);
+  const int node_limit = limits.node_limit;
   int nodes_used = 0;
   bool hit_limit = false;
+  // Tightest upper bound covering every subtree a limit truncated.
+  std::optional<Rational> truncated;
+  const auto note_truncated = [&](const Rational& bound) {
+    if (!truncated || *truncated < bound) truncated = bound;
+  };
 
   const auto first_fractional = [&](const LpSolution& s) {
     for (int j = 0; j < num_variables; ++j) {
@@ -539,9 +588,16 @@ LpSolution branch_and_bound(Simplex& root, const LpSolution& root_solution, int 
     if (best.ok() && node.bound <= best.objective) continue; // bound
     if (nodes_used >= node_limit) {
       hit_limit = true;
+      note_truncated(node.bound);
       break;
     }
+    if (limits.governor != nullptr) limits.governor->check_cancel();
+    WCET_FAULT_POINT("bnb:node");
     ++nodes_used;
+    // Tightest proven bound for the subtree under exploration; refined
+    // every time a relaxation solves, charged to the frontier whenever
+    // a limit cuts the subtree off.
+    Rational subtree_bound = node.bound;
 
     // Rebuild this node's relaxation warm from the root tableau. The
     // copy is lazy: the root node itself (empty path — the common
@@ -564,8 +620,11 @@ LpSolution branch_and_bound(Simplex& root, const LpSolution& root_solution, int 
       case Simplex::Status::infeasible: continue;
       case Simplex::Status::unbounded: return status_only(LpSolution::Status::unbounded);
       case Simplex::Status::stalled:
+      case Simplex::Status::pivot_limit:
         // Dual iteration hit its safety limit: fall back to an exact
         // cold solve; the live tableau is no longer usable for diving.
+        // (With an exhausted pivot budget the cold solve reports
+        // pivot_limit right away; the dive loop charges the frontier.)
         relax = cold(node.extra);
         warm_live = false;
         break;
@@ -576,7 +635,15 @@ LpSolution branch_and_bound(Simplex& root, const LpSolution& root_solution, int 
     // queueing each floor sibling for best-bound exploration.
     for (;;) {
       if (relax.status == LpSolution::Status::unbounded) return relax;
+      if (relax.status == LpSolution::Status::pivot_limit) {
+        // Ran out of pivots inside this subtree: its tightest known
+        // relaxation bound stands in for everything unexplored below.
+        hit_limit = true;
+        note_truncated(subtree_bound);
+        break;
+      }
       if (!relax.ok()) break;
+      subtree_bound = relax.objective;
       if (best.ok() && relax.objective <= best.objective) break; // bound
       const int frac_var = first_fractional(relax);
       if (frac_var < 0) {
@@ -597,14 +664,19 @@ LpSolution branch_and_bound(Simplex& root, const LpSolution& root_solution, int 
       }
       if (nodes_used >= node_limit) {
         hit_limit = true;
+        // The ceil child is unexplored; its parent relaxation bounds it
+        // (the floor sibling is already on the open queue).
+        note_truncated(subtree_bound);
         break;
       }
+      if (limits.governor != nullptr) limits.governor->check_cancel();
+      WCET_FAULT_POINT("bnb:node");
       ++nodes_used;
       if (!warm) warm = root; // first dive from the root node's own path
       const Simplex::Status status = warm->reoptimize_with_row(up);
       if (status == Simplex::Status::infeasible) break;
       if (status == Simplex::Status::unbounded) return status_only(LpSolution::Status::unbounded);
-      if (status == Simplex::Status::stalled) {
+      if (status == Simplex::Status::stalled || status == Simplex::Status::pivot_limit) {
         relax = cold(node.extra);
         warm_live = false;
         continue;
@@ -613,8 +685,25 @@ LpSolution branch_and_bound(Simplex& root, const LpSolution& root_solution, int 
     }
   }
 
-  if (!best.ok() && hit_limit) best.status = LpSolution::Status::node_limit;
-  return best;
+  best.nodes_used = nodes_used;
+  if (!hit_limit) return best;
+
+  // A limit fired. Fold the remaining open frontier into the truncation
+  // bound; if nothing unexplored can beat the incumbent, the incumbent
+  // is in fact proven optimal and the limit was harmless.
+  while (!open.empty()) {
+    note_truncated(open.top().bound);
+    open.pop();
+  }
+  if (best.ok() && (!truncated || *truncated <= best.objective)) return best;
+  if (!best.ok() && !truncated) {
+    // No incumbent and no truncated subtree bound: nothing provable.
+    return status_only(LpSolution::Status::node_limit);
+  }
+  LpSolution out = status_only(LpSolution::Status::degraded);
+  out.nodes_used = nodes_used;
+  out.objective = best.ok() && *truncated < best.objective ? best.objective : *truncated;
+  return out;
 }
 
 } // namespace
@@ -622,12 +711,15 @@ LpSolution branch_and_bound(Simplex& root, const LpSolution& root_solution, int 
 LpSolution IlpProblem::solve_lp() const { return solve_lp_with({}, objective_); }
 
 LpSolution IlpProblem::solve_lp_with(const std::vector<Row>& extra,
-                                     const std::vector<Rational>& objective) const {
+                                     const std::vector<Rational>& objective,
+                                     const SolveLimits* limits, std::uint64_t* pivots) const {
   Simplex simplex(static_cast<std::size_t>(num_variables()), rows_, extra, objective);
+  if (limits != nullptr) simplex.set_limits(limits->governor, pivots, limits->pivot_limit);
   switch (simplex.solve()) {
   case Simplex::Status::optimal: return simplex.extract();
   case Simplex::Status::infeasible: return status_only(LpSolution::Status::infeasible);
   case Simplex::Status::unbounded: return status_only(LpSolution::Status::unbounded);
+  case Simplex::Status::pivot_limit: return status_only(LpSolution::Status::pivot_limit);
   case Simplex::Status::stalled: break; // unreachable: primal never stalls
   }
   WCET_CHECK(false, "simplex returned an impossible status");
@@ -635,31 +727,67 @@ LpSolution IlpProblem::solve_lp_with(const std::vector<Row>& extra,
 }
 
 LpSolution IlpProblem::solve_ilp(int node_limit) const {
-  // Root relaxation solved cold (two-phase), then branch & bound.
+  SolveLimits limits;
+  limits.node_limit = node_limit;
+  return solve_ilp(limits);
+}
+
+LpSolution IlpProblem::solve_ilp(const SolveLimits& limits) const {
+  WCET_FAULT_POINT("ilp:solve");
+  // Root relaxation solved cold (two-phase), then branch & bound. The
+  // pivot budget is charged to one counter shared by the root tableau,
+  // every warm-start clone, and every cold fallback of this solve.
+  std::uint64_t pivots = 0;
   const auto n = static_cast<std::size_t>(num_variables());
   Simplex root(n, rows_, {}, objective_);
+  root.set_limits(limits.governor, &pivots, limits.pivot_limit);
+  const auto finish = [&](LpSolution s) {
+    s.pivots_used = pivots;
+    return s;
+  };
   switch (root.solve()) {
   case Simplex::Status::optimal: break;
-  case Simplex::Status::infeasible: return status_only(LpSolution::Status::infeasible);
-  case Simplex::Status::unbounded: return status_only(LpSolution::Status::unbounded);
+  case Simplex::Status::infeasible: return finish(status_only(LpSolution::Status::infeasible));
+  case Simplex::Status::unbounded: return finish(status_only(LpSolution::Status::unbounded));
+  case Simplex::Status::pivot_limit:
+    // The root relaxation never finished: no bound of any kind exists.
+    return finish(status_only(LpSolution::Status::pivot_limit));
   case Simplex::Status::stalled: WCET_CHECK(false, "primal simplex cannot stall");
   }
   const LpSolution root_solution = root.extract();
-  return branch_and_bound(root, root_solution, num_variables(), node_limit,
-                          [&](const std::vector<Row>& extra) {
-                            return solve_lp_with(extra, objective_);
-                          });
+  return finish(branch_and_bound(root, root_solution, num_variables(), limits,
+                                 [&](const std::vector<Row>& extra) {
+                                   return solve_lp_with(extra, objective_, &limits, &pivots);
+                                 }));
 }
 
 std::pair<LpSolution, LpSolution>
 IlpProblem::solve_ilp_pair(const std::vector<Rational>& alt_objective, int node_limit) const {
+  SolveLimits limits;
+  limits.node_limit = node_limit;
+  return solve_ilp_pair(alt_objective, limits);
+}
+
+std::pair<LpSolution, LpSolution>
+IlpProblem::solve_ilp_pair(const std::vector<Rational>& alt_objective,
+                           const SolveLimits& limits) const {
   WCET_CHECK(alt_objective.size() == objective_.size(),
              "alternate objective must cover every variable");
+  WCET_FAULT_POINT("ilp:solve");
+  // One pivot budget covers the whole pair (shared phase 1 plus both
+  // senses): the pair is one solve from the caller's point of view.
+  std::uint64_t pivots = 0;
   const auto n = static_cast<std::size_t>(num_variables());
   Simplex base(n, rows_, {}, objective_);
-  if (base.phase1() == Simplex::Status::infeasible) {
+  base.set_limits(limits.governor, &pivots, limits.pivot_limit);
+  const Simplex::Status feasible = base.phase1();
+  if (feasible == Simplex::Status::infeasible) {
     return {status_only(LpSolution::Status::infeasible),
             status_only(LpSolution::Status::infeasible)};
+  }
+  if (feasible == Simplex::Status::pivot_limit) {
+    return {status_only(LpSolution::Status::pivot_limit),
+            status_only(LpSolution::Status::pivot_limit)};
   }
   // Snapshot the feasible basis before either phase 2 reshapes it; the
   // alternate sense restarts from here instead of repeating phase 1.
@@ -671,16 +799,19 @@ IlpProblem::solve_ilp_pair(const std::vector<Rational>& alt_objective, int node_
     case Simplex::Status::optimal: break;
     case Simplex::Status::infeasible: return status_only(LpSolution::Status::infeasible);
     case Simplex::Status::unbounded: return status_only(LpSolution::Status::unbounded);
+    case Simplex::Status::pivot_limit: return status_only(LpSolution::Status::pivot_limit);
     case Simplex::Status::stalled: WCET_CHECK(false, "primal simplex cannot stall");
     }
     const LpSolution root_solution = root.extract();
-    return branch_and_bound(root, root_solution, num_variables(), node_limit,
+    return branch_and_bound(root, root_solution, num_variables(), limits,
                             [&](const std::vector<Row>& extra) {
-                              return solve_lp_with(extra, objective);
+                              return solve_lp_with(extra, objective, &limits, &pivots);
                             });
   };
   LpSolution primary = run(base, objective_);
   LpSolution alternate = run(alt, alt_objective);
+  primary.pivots_used = pivots;
+  alternate.pivots_used = pivots;
   return {primary, alternate};
 }
 

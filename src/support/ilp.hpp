@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "support/budget.hpp"
 #include "support/rational.hpp"
 
 namespace wcet {
@@ -34,11 +35,32 @@ struct LinTerm {
   Rational coeff;
 };
 
+// Per-solve resource caps (see support/budget.hpp). Each LP/ILP solve
+// gets the full pivot/node envelope — a decomposed IPET's sub-ILPs
+// degrade independently instead of starving one another.
+struct SolveLimits {
+  int node_limit = 20000;           // branch & bound nodes per solve
+  std::uint64_t pivot_limit = 0;    // simplex pivots per solve; 0 = unlimited
+  const AnalysisGovernor* governor = nullptr; // cancellation checkpoints
+};
+
 struct LpSolution {
-  enum class Status { optimal, infeasible, unbounded, node_limit };
+  // `degraded`: branch & bound was truncated by a node or pivot limit,
+  // and `objective` is the best *proven* bound on the true optimum —
+  // max(incumbent, every truncated subtree's relaxation bound) in the
+  // maximize sense, so the true optimum is <= objective. No integral
+  // witness exists; `values` is empty. `pivot_limit`: the root
+  // relaxation itself ran out of pivots — no bound of any kind.
+  // `node_limit` is kept for the theoretical corner where a limit fired
+  // before any bound existed.
+  enum class Status { optimal, infeasible, unbounded, node_limit, degraded, pivot_limit };
   Status status = Status::infeasible;
   Rational objective;
   std::vector<Rational> values; // per structural variable
+
+  // Telemetry: resources actually consumed by this solve.
+  std::uint64_t pivots_used = 0;
+  int nodes_used = 0;
 
   // Tableau shape at the final basis: rows store only nonzero entries,
   // so nnz << rows * cols on the sparse systems IPET emits. Exported so
@@ -72,6 +94,10 @@ public:
   LpSolution solve_lp() const;
   // Solve with integrality on all variables (branch & bound on the LP).
   LpSolution solve_ilp(int node_limit = 20000) const;
+  // As above, with a full resource envelope (pivot budget, cancellation
+  // checkpoints). Exceeding the pivot/node caps yields a `degraded`
+  // frontier bound (see LpSolution::Status), never a silent incumbent.
+  LpSolution solve_ilp(const SolveLimits& limits) const;
   // Solve the same constraint system twice — under the stored objective
   // and under `alt_objective` — sharing construction and the phase-1
   // feasibility pivots (phase 1 never reads the objective, so the
@@ -82,12 +108,16 @@ public:
   // for roughly half the cost of two independent solves.
   std::pair<LpSolution, LpSolution> solve_ilp_pair(const std::vector<Rational>& alt_objective,
                                                    int node_limit = 20000) const;
+  std::pair<LpSolution, LpSolution> solve_ilp_pair(const std::vector<Rational>& alt_objective,
+                                                   const SolveLimits& limits) const;
 
   std::string to_string() const; // LP-format dump for debugging/reports
 
 private:
   LpSolution solve_lp_with(const std::vector<Row>& extra,
-                           const std::vector<Rational>& objective) const;
+                           const std::vector<Rational>& objective,
+                           const SolveLimits* limits = nullptr,
+                           std::uint64_t* pivots = nullptr) const;
 
   std::vector<std::string> names_;
   std::vector<Rational> objective_;

@@ -99,7 +99,13 @@ public:
       for (std::size_t k = 0; k < identity.size(); ++k) identity[k] = static_cast<int>(k);
       worklists_.emplace_back(std::move(identity));
     }
+    round_pops_.assign(num_instances, 0);
   }
+
+  // Optional resource governor: when set, every worklist pop checks for
+  // cooperative cancellation (throws CancelledError). Budget accounting
+  // stays at the deterministic round barrier (see `run` with round_end).
+  void set_governor(const AnalysisGovernor* governor) { governor_ = governor; }
 
   std::size_t num_instances() const { return inst_nodes_.size(); }
   // An instance's nodes in local iteration order.
@@ -123,6 +129,21 @@ public:
   // cross joins in ascending edge order, pushing grown targets.
   template <typename ProcessFn, typename FlushFn>
   void run(ThreadPool* pool, ProcessFn&& process, FlushFn&& flush) {
+    run(pool, static_cast<ProcessFn&&>(process), static_cast<FlushFn&&>(flush),
+        [](std::uint64_t) { return true; });
+  }
+
+  // Variant with a budget hook: after each round's sequential merge,
+  // `round_end(round_pops)` receives the total number of node visits
+  // (worklist pops) of that round — a pure function of the graph and
+  // the abstract domain, identical for any worker count, because the
+  // per-instance counts are summed after the barrier in instance order.
+  // Returning false stops the engine *at the round barrier*: all
+  // worklists are drained and iteration ends. The client is then
+  // responsible for a sound interpretation of the un-converged states
+  // (see the degradation ladder in support/budget.hpp).
+  template <typename ProcessFn, typename FlushFn, typename RoundEndFn>
+  void run(ThreadPool* pool, ProcessFn&& process, FlushFn&& flush, RoundEndFn&& round_end) {
     std::vector<int> dirty;
     collect_dirty(dirty);
     while (!dirty.empty()) {
@@ -130,9 +151,12 @@ public:
         const int instance = dirty[di];
         auto& worklist = worklists_[static_cast<std::size_t>(instance)];
         const auto& nodes = inst_nodes_[static_cast<std::size_t>(instance)];
-        run_fixpoint(worklist, [&](const int lid) {
+        std::uint64_t pops = 0;
+        run_fixpoint(worklist, governor_, [&](const int lid) {
+          ++pops;
           process(instance, nodes[static_cast<std::size_t>(lid)]);
         });
+        round_pops_[static_cast<std::size_t>(instance)] = pops;
       };
       if (pool != nullptr) {
         pool->parallel_for(dirty.size(), run_instance);
@@ -143,6 +167,14 @@ public:
       // dirty list is built in ascending order below; the seed round
       // may be unsorted only when seeding pushed a single instance).
       for (const int instance : dirty) flush(instance);
+      std::uint64_t total_pops = 0;
+      for (const int instance : dirty) {
+        total_pops += round_pops_[static_cast<std::size_t>(instance)];
+      }
+      if (!round_end(total_pops)) {
+        drain_all();
+        return;
+      }
       collect_dirty(dirty);
     }
   }
@@ -155,10 +187,19 @@ private:
     }
   }
 
+  void drain_all() {
+    for (auto& worklist : worklists_) {
+      while (worklist.pop() >= 0) {
+      }
+    }
+  }
+
   const cfg::Supergraph& sg_;
+  const AnalysisGovernor* governor_ = nullptr;
   std::vector<std::vector<int>> inst_nodes_;
   std::vector<int> local_index_;
   std::vector<PriorityWorklist> worklists_;
+  std::vector<std::uint64_t> round_pops_;
 };
 
 } // namespace wcet

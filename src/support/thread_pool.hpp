@@ -40,6 +40,8 @@
 #include <thread>
 #include <vector>
 
+#include "support/budget.hpp"
+
 namespace wcet {
 
 class ThreadPool {
@@ -68,6 +70,12 @@ public:
 
   unsigned workers() const { return static_cast<unsigned>(threads_.size()) + 1; }
 
+  // Optional resource governor: when set, every chunk item checks for
+  // cooperative cancellation before running. A fired CancelToken turns
+  // into a CancelledError rethrown on the caller after the barrier —
+  // the same path any task exception takes, so the pool stays usable.
+  void set_governor(const AnalysisGovernor* governor) { governor_ = governor; }
+
   // Runs fn(i) for every i in [0, n), blocking until all items are
   // done. Worker w handles exactly the indices in
   // [n*w/W, n*(w+1)/W) — a pure function of (n, W). The first
@@ -78,7 +86,10 @@ public:
   void parallel_for(std::size_t n, Fn&& fn) {
     if (n == 0) return;
     if (threads_.empty() || n == 1) {
-      for (std::size_t i = 0; i < n; ++i) fn(i);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (governor_ != nullptr) governor_->check_cancel();
+        fn(i);
+      }
       return;
     }
     std::function<void(std::size_t)> body = [&fn](std::size_t i) { fn(i); };
@@ -110,7 +121,10 @@ private:
     const std::size_t begin = job_n_ * worker / w;
     const std::size_t end = job_n_ * (worker + 1) / w;
     try {
-      for (std::size_t i = begin; i < end; ++i) (*job_)(i);
+      for (std::size_t i = begin; i < end; ++i) {
+        if (governor_ != nullptr) governor_->check_cancel();
+        (*job_)(i);
+      }
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
       if (!error_) error_ = std::current_exception();
@@ -136,6 +150,7 @@ private:
   }
 
   std::vector<std::thread> threads_;
+  const AnalysisGovernor* governor_ = nullptr;
   std::mutex mutex_;
   std::condition_variable wake_cv_;
   std::condition_variable done_cv_;

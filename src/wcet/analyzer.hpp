@@ -26,6 +26,7 @@
 #include "annot/annotations.hpp"
 #include "isa/image.hpp"
 #include "mem/hwmodel.hpp"
+#include "support/budget.hpp"
 
 namespace wcet {
 
@@ -45,6 +46,13 @@ struct AnalysisOptions {
   // path, flat collapses top-level call subtrees, recursive nests
   // sub-ILPs inside collapsed subtrees as well.
   analysis::IpetDecomposition decomposition = analysis::IpetDecomposition::recursive;
+  // Resource envelope (support/budget.hpp): wall-clock deadline,
+  // per-phase step budgets, and an optional external cancel token. A
+  // default-constructed budget changes nothing; exhausting a step
+  // budget degrades the affected phase soundly and records it in
+  // WcetReport::degradations; a fired cancel token aborts the analysis
+  // with CancelledError.
+  AnalysisBudget budget;
 };
 
 struct LoopInfo {
@@ -73,6 +81,14 @@ struct WcetReport {
   std::uint64_t wcet_cycles = 0;
   std::uint64_t bcet_cycles = 0;
   std::vector<std::string> obstructions;
+
+  // Budget/degradation ledger: every sound fallback a resource budget
+  // forced (see support/budget.hpp). A non-empty ledger means the
+  // bounds are true but possibly looser than an unlimited run's.
+  bool degraded = false;
+  std::vector<Degradation> degradations;
+  std::uint64_t budget_checks = 0;     // governor checkpoints consulted
+  std::int64_t cancel_latency_us = -1; // -1: never cancelled
 
   // Phase artifacts (the Figure-1 data stations).
   int functions = 0;

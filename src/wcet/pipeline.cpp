@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "support/cow.hpp"
+#include "support/fault_inject.hpp"
 #include "support/thread_pool.hpp"
 
 namespace wcet {
@@ -26,6 +27,15 @@ bool AnalysisContext::absorb_resolved_indirect_targets() {
 
 namespace {
 
+// Shared pass prologue: a named fault-injection site (no-op unless
+// WCET_FAULT_INJECT is compiled in and the site is armed) plus a
+// cancellation checkpoint, so even a pass whose phase never reaches an
+// inner checkpoint observes a pending cancel at the phase boundary.
+void phase_boundary(const AnalysisContext& ctx, const char* site) {
+  WCET_FAULT_POINT(site);
+  if (ctx.governor != nullptr) ctx.governor->check_cancel();
+}
+
 // ---------------------------------------------------------------- decode
 class DecodePass : public AnalysisPass {
 public:
@@ -36,6 +46,7 @@ public:
   }
 
   void run(AnalysisContext& ctx) override {
+    phase_boundary(ctx, "phase:decode");
     ctx.program = std::make_unique<cfg::Program>(
         cfg::Program::reconstruct(ctx.image, ctx.entry, ctx.hints));
     ctx.supergraph = std::make_unique<cfg::Supergraph>(
@@ -79,12 +90,13 @@ public:
   }
 
   void run(AnalysisContext& ctx) override {
+    phase_boundary(ctx, "phase:value");
     analysis::ValueAnalysis::Options va_options;
     if (ctx.options.use_annotations) va_options.access_facts = ctx.annotations.access_facts;
     ctx.transfers = std::make_unique<analysis::TransferCache>(*ctx.supergraph);
     ctx.values = std::make_unique<analysis::ValueAnalysis>(
         *ctx.supergraph, *ctx.forest, ctx.hw.memory, va_options, ctx.schedule);
-    ctx.values->run(ctx.pool, ctx.transfers.get());
+    ctx.values->run(ctx.pool, ctx.transfers.get(), ctx.governor);
   }
 };
 
@@ -98,6 +110,7 @@ public:
   std::vector<const char*> outputs() const override { return {artifact::loop_bounds}; }
 
   void run(AnalysisContext& ctx) override {
+    phase_boundary(ctx, "phase:loop-bounds");
     const cfg::Supergraph& supergraph = *ctx.supergraph;
     const cfg::LoopForest& forest = *ctx.forest;
     analysis::LoopBoundAnalysis loop_analysis(supergraph, forest, *ctx.dominators,
@@ -182,6 +195,7 @@ public:
   std::vector<const char*> outputs() const override { return {artifact::cache_classes}; }
 
   void run(AnalysisContext& ctx) override {
+    phase_boundary(ctx, "phase:cache");
     // Open a fresh COW telemetry window so the report counters describe
     // this pass alone (telemetry only — results never read them).
     analysis::reset_cache_join_stats();
@@ -190,6 +204,7 @@ public:
         *ctx.supergraph, *ctx.forest, *ctx.values, ctx.hw.memory, ctx.hw.icache,
         ctx.hw.dcache, analysis::CacheAnalysis::Schedule::priority, ctx.schedule,
         ctx.transfers.get(), ctx.pool);
+    ctx.caches->set_governor(ctx.governor);
     ctx.caches->run();
     ctx.report.cache_stats = ctx.caches->stats();
     const analysis::CacheJoinStats joins = analysis::cache_join_stats();
@@ -212,6 +227,7 @@ public:
   std::vector<const char*> outputs() const override { return {artifact::block_timings}; }
 
   void run(AnalysisContext& ctx) override {
+    phase_boundary(ctx, "phase:pipeline");
     ctx.pipeline = std::make_unique<analysis::PipelineAnalysis>(*ctx.supergraph, *ctx.values,
                                                                 *ctx.caches, ctx.hw);
     ctx.pipeline->run();
@@ -228,6 +244,7 @@ public:
   std::vector<const char*> outputs() const override { return {artifact::path_bounds}; }
 
   void run(AnalysisContext& ctx) override {
+    phase_boundary(ctx, "phase:path");
     const cfg::Supergraph& supergraph = *ctx.supergraph;
     WcetReport& report = ctx.report;
     analysis::Ipet ipet(supergraph, *ctx.forest, *ctx.values, *ctx.pipeline);
@@ -235,6 +252,7 @@ public:
     analysis::IpetOptions ipet_options;
     ipet_options.loop_bounds = ctx.merged_bounds;
     ipet_options.decomposition = ctx.options.decomposition;
+    ipet_options.governor = ctx.governor;
     if (ctx.options.use_annotations) {
       for (const annot::FlowCapFact& cap : ctx.annotations.flow_caps) {
         if (cap.mode.empty() || cap.mode == ctx.options.mode) {
@@ -289,6 +307,11 @@ public:
       break;
     case analysis::IpetResult::Status::node_limit:
       report.obstructions.push_back("path analysis: branch & bound node limit reached");
+      break;
+    case analysis::IpetResult::Status::pivot_limit:
+      report.obstructions.push_back(
+          "path analysis: pivot budget exhausted before the root relaxation proved any "
+          "bound");
       break;
     }
 

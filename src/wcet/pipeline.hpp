@@ -52,6 +52,9 @@ struct AnalysisContext {
   // parallel schedules are deterministic, so results do not depend on
   // it.
   ThreadPool* pool = nullptr;
+  // Per-analysis resource governor (owned by Analyzer::analyze_entry);
+  // passes consult it for cancellation and step budgets.
+  const AnalysisGovernor* governor = nullptr;
 
   // Decode-round artifacts (rebuilt each round of the feedback loop).
   cfg::ResolutionHints hints;

@@ -1,0 +1,4 @@
+; Not a tiny32 program: the assembler must reject it with a
+; line-numbered InputError and the CLI must exit 2.
+this is not assembly at all
+%%%%

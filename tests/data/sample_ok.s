@@ -1,0 +1,8 @@
+; Minimal analyzable program: one counted loop, fully bounded by value
+; analysis — the CLI must state a bound and exit 0.
+        .global _start
+_start: movi t0, 0
+        movi t1, 100
+lp:     addi t0, t0, 1
+        blt  t0, t1, lp
+        halt

@@ -1,0 +1,7 @@
+; Data-dependent loop with no annotation: the analysis must refuse to
+; state a bound (obstruction) and the CLI must exit 1.
+        .global _start
+_start: movi t0, 0
+lp:     addi t0, t0, 1
+        blt  t0, a0, lp
+        halt

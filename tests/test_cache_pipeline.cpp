@@ -189,12 +189,14 @@ main:   movi t0, 0x20000
 )");
   const auto stats = h.caches->stats();
   EXPECT_EQ(stats.data_hit, 0u);
-  // First load: always-miss (cold). The two wild loads touch uncacheable
-  // space too, so they classify as uncached but still age the must
-  // cache; the final load is therefore unclassified.
+  // First load: always-miss (cold). The two wild loads span cacheable
+  // and uncacheable space, so they are not-classified (a concrete run
+  // may hit the cache — charging them as uncached would over-claim the
+  // best case) and still age the must cache; the final load is
+  // therefore unclassified too.
   EXPECT_EQ(stats.data_miss, 1u);
-  EXPECT_EQ(stats.data_uncached, 2u);
-  EXPECT_EQ(stats.data_nc, 1u);
+  EXPECT_EQ(stats.data_uncached, 0u);
+  EXPECT_EQ(stats.data_nc, 3u);
 }
 
 TEST(CacheAnalysis, UncachedRegionsClassified) {
