@@ -89,6 +89,13 @@ void BM_analyze_scaling(benchmark::State& state) {
   state.counters["budget_checks"] = static_cast<double>(last.budget_checks);
   state.counters["degradations"] = static_cast<double>(last.degradations.size());
   state.counters["cancel_latency_us"] = static_cast<double>(last.cancel_latency_us);
+  // Simplex phase split (wcet/analyzer.hpp): crash bases must keep
+  // phase1_pivots at zero on this fact-free workload — a nonzero value
+  // means the network-flow seeding regressed into phase-1 work.
+  state.counters["phase1_pivots"] = static_cast<double>(last.phase1_pivots);
+  state.counters["phase2_pivots"] = static_cast<double>(last.phase2_pivots);
+  state.counters["crash_basis_rows"] = static_cast<double>(last.crash_basis_rows);
+  state.counters["sese_regions"] = static_cast<double>(last.sese_regions);
 }
 BENCHMARK(BM_analyze_scaling)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
@@ -123,18 +130,24 @@ void BM_path_decomposition(benchmark::State& state) {
   std::uint64_t bound = 0;
   PhaseTimings timings;
   int sub_ilps = 0;
+  std::uint64_t phase1 = 0;
+  std::uint64_t phase2 = 0;
   for (auto _ : state) {
     const Analyzer analyzer(built.image, mem::typical_hw());
     const WcetReport report = analyzer.analyze(options);
     bound = report.wcet_cycles;
     timings = report.timings;
     sub_ilps = report.ipet_sub_ilps;
+    phase1 = report.phase1_pivots;
+    phase2 = report.phase2_pivots;
     benchmark::DoNotOptimize(bound);
   }
   state.counters["wcet_cycles"] = static_cast<double>(bound);
   state.counters["path_ms"] = timings.path_ms;
   state.counters["ilp_ms"] = timings.ilp_ms;
   state.counters["sub_ilps"] = static_cast<double>(sub_ilps);
+  state.counters["phase1_pivots"] = static_cast<double>(phase1);
+  state.counters["phase2_pivots"] = static_cast<double>(phase2);
 }
 BENCHMARK(BM_path_decomposition)->Arg(0)->Arg(1)->Arg(2);
 

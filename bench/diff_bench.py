@@ -20,7 +20,13 @@ live_set_images_peak: set-image allocation traffic and high-water mark;
 budget_checks: governor checkpoints consulted; degradations:
 budget-ledger size, must stay 0 in the unlimited-budget bench;
 cancel_latency_us: cancel-request-to-unwind latency, -1 when the run
-was never cancelled) are printed old -> new when present.
+was never cancelled; phase1_pivots / phase2_pivots: simplex pivots
+spent proving feasibility vs. optimizing — network-flow crash bases
+keep phase1_pivots at 0 on fact-free workloads; crash_basis_rows:
+artificial variables replaced by spanning-tree columns at tableau
+construction; sese_regions: sub-function single-entry/single-exit
+regions split into their own sub-ILPs) are printed old -> new when
+present.
 
 Two hard gates beyond the oracle:
   * a nonzero `degradations` counter in the new run fails the diff —
@@ -40,6 +46,10 @@ import sys
 PHASES = ["decode_ms", "value_ms", "loop_ms", "cache_ms", "pipeline_ms", "path_ms", "ilp_ms"]
 COUNTERS = [
     "sub_ilps",
+    "sese_regions",
+    "phase1_pivots",
+    "phase2_pivots",
+    "crash_basis_rows",
     "cache_joins",
     "cache_join_skips",
     "set_image_allocs",

@@ -45,6 +45,7 @@ void print_usage(std::ostream& os) {
         "  --mode NAME               operating mode for mode-scoped annotations\n"
         "  --threads N               worker threads (default 1; results identical)\n"
         "  --decomposition MODE      ipet split: monolithic | flat | recursive\n"
+        "  --ipet-mode MODE          alias for --decomposition\n"
         "  --deadline-ms N           wall-clock budget; exceeding it degrades soundly\n"
         "  --budget-value-visits N   value-analysis fixpoint node-visit budget\n"
         "  --budget-cache-visits N   cache-analysis fixpoint node-visit budget\n"
@@ -107,7 +108,7 @@ CliArgs parse_args(int argc, char** argv) {
       args.options.mode = value_of(i, arg);
     } else if (arg == "--threads") {
       args.options.threads = static_cast<int>(parse_u64(arg, value_of(i, arg)));
-    } else if (arg == "--decomposition") {
+    } else if (arg == "--decomposition" || arg == "--ipet-mode") {
       const std::string mode = value_of(i, arg);
       if (mode == "monolithic") {
         args.options.decomposition = wcet::analysis::IpetDecomposition::monolithic;
@@ -116,8 +117,8 @@ CliArgs parse_args(int argc, char** argv) {
       } else if (mode == "recursive") {
         args.options.decomposition = wcet::analysis::IpetDecomposition::recursive;
       } else {
-        throw wcet::InputError("--decomposition expects monolithic|flat|recursive, got '" +
-                               mode + "'");
+        throw wcet::InputError(arg + " expects monolithic|flat|recursive, got '" + mode +
+                               "'");
       }
     } else if (arg == "--deadline-ms") {
       args.options.budget.deadline_ms = parse_u64(arg, value_of(i, arg));

@@ -70,6 +70,13 @@ if(failures EQUAL 0)
       "Recursive IPET decomposition"
       "Sparse-row simplex"
       "solve_ilp_pair"
+      "emit_crash_basis"
+      "set_basis_hint"
+      "crash_eliminate"
+      "phase1_pivots"
+      "PostDominators"
+      "run_graph"
+      "SESE regions"
       "Copy-on-write abstract states"
       "cow.hpp"
       "CowPtr"

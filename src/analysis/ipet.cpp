@@ -66,22 +66,13 @@ Ipet::Ipet(const cfg::Supergraph& sg, const cfg::LoopForest& loops,
 // falls back to the monolithic path wholesale.
 // ---------------------------------------------------------------------------
 
-std::vector<std::vector<Ipet::Sub*>> Ipet::schedule_levels(std::vector<Sub>& subs) {
-  std::vector<std::vector<Sub*>> levels;
-  const auto collect = [&](auto&& self, std::vector<Sub>& list, std::size_t depth) -> void {
-    if (list.empty()) return;
-    if (levels.size() <= depth) levels.resize(depth + 1);
-    for (Sub& sub : list) {
-      levels[depth].push_back(&sub);
-      self(self, sub.children, depth + 1);
-    }
-  };
-  collect(collect, subs, 0);
-  for (std::vector<Sub*>& level : levels) {
-    std::sort(level.begin(), level.end(),
-              [](const Sub* a, const Sub* b) { return a->instance < b->instance; });
+int Ipet::plan_stats(const std::vector<Sub>& subs, int* total_subs) {
+  int depth = 0;
+  for (const Sub& sub : subs) {
+    if (total_subs != nullptr) ++*total_subs;
+    depth = std::max(depth, 1 + plan_stats(sub.children, total_subs));
   }
-  return levels;
+  return depth;
 }
 
 std::vector<Ipet::Sub> Ipet::planned_subs(const IpetOptions& options) const {
@@ -112,25 +103,63 @@ std::vector<int> Ipet::missing_loop_bounds_in(const IpetOptions& options) const 
   return missing;
 }
 
-bool Ipet::solve_levels(const std::vector<std::vector<Sub*>>& levels,
-                        const IpetOptions& options, bool both) const {
-  for (auto level = levels.rbegin(); level != levels.rend(); ++level) {
-    const auto solve_one = [&](std::size_t i) {
-      if (both) {
-        solve_sub_both(*(*level)[i], options);
-      } else {
-        solve_sub(*(*level)[i], options);
-      }
-    };
-    if (pool_ != nullptr) {
-      pool_->parallel_for(level->size(), solve_one);
+bool Ipet::solve_graph(std::vector<Sub>& subs, const IpetOptions& options, bool both) const {
+  // Flatten the sub-ILP forest in plan (preorder) order and hand it to
+  // the pool as a dependency-counted task graph: a region is
+  // dispatched the instant its last child publishes, instead of every
+  // region at depth d waiting behind a barrier for the slowest region
+  // at depth d+1. Results stay bit-identical for any worker count
+  // because each solve_sub is a pure function of its own region and
+  // its children's stored results, written to its own Sub slot; no
+  // cross-task order is observable.
+  std::vector<Sub*> tasks;
+  std::vector<int> parent;
+  std::vector<int> pending;
+  const auto flatten = [&](auto&& self, std::vector<Sub>& list, int parent_index) -> void {
+    for (Sub& sub : list) {
+      const int index = static_cast<int>(tasks.size());
+      tasks.push_back(&sub);
+      parent.push_back(parent_index);
+      pending.push_back(static_cast<int>(sub.children.size()));
+      self(self, sub.children, index);
+    }
+  };
+  flatten(flatten, subs, -1);
+  const auto solve_one = [&](std::size_t i) {
+    Sub& sub = *tasks[i];
+    for (const Sub& child : sub.children) {
+      // A failed child poisons the plan; skipping the parent leaves
+      // its default (infeasible) result to report the failure below.
+      if (!child.result.ok() || (both && !child.result_bcet.ok())) return;
+    }
+    if (both) {
+      solve_sub_both(sub, options);
     } else {
-      for (std::size_t i = 0; i < level->size(); ++i) solve_one(i);
+      solve_sub(sub, options);
     }
-    for (const Sub* sub : *level) {
-      if (!sub->result.ok()) return false;
-      if (both && !sub->result_bcet.ok()) return false;
+  };
+  if (pool_ != nullptr) {
+    pool_->run_graph(tasks.size(), solve_one, parent, pending);
+  } else {
+    // Same graph drained sequentially: leaves in flatten order, then
+    // each parent as its countdown clears.
+    std::vector<std::size_t> ready;
+    ready.reserve(tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (pending[i] == 0) ready.push_back(i);
     }
+    for (std::size_t qi = 0; qi < ready.size(); ++qi) {
+      const std::size_t task = ready[qi];
+      solve_one(task);
+      const int p = parent[task];
+      if (p >= 0 && --pending[static_cast<std::size_t>(p)] == 0) {
+        ready.push_back(static_cast<std::size_t>(p));
+      }
+    }
+  }
+  for (const Sub* sub : tasks) {
+    if (!sub->result.ok()) return false;
+    if (both && !sub->result_bcet.ok()) return false;
   }
   return true;
 }
@@ -144,6 +173,12 @@ void Ipet::merge_sub_results(IpetResult& outer, const std::vector<Sub>& subs,
     outer.variables += sub_result.variables;
     outer.constraints += sub_result.constraints;
     outer.degraded = outer.degraded || sub_result.degraded;
+    // Solver telemetry aggregates bottom-up: each sub's result already
+    // carries its own children's share (solve_sub merged them).
+    outer.phase1_pivots += sub_result.phase1_pivots;
+    outer.phase2_pivots += sub_result.phase2_pivots;
+    outer.crash_basis_rows += sub_result.crash_basis_rows;
+    outer.sese_regions += sub_result.sese_regions + (sub.sese ? 1 : 0);
     const auto y = edge_counts.find(sub.call_edge);
     if (y != edge_counts.end() && y->second > 0) {
       // Entry counts are 0/1, so the subtree witness merges unscaled.
@@ -172,10 +207,9 @@ IpetResult Ipet::solve(const IpetOptions& options) const {
     }
   }
 
-  std::vector<std::vector<Sub*>> levels = schedule_levels(subs);
   int total_subs = 0;
-  for (const std::vector<Sub*>& level : levels) total_subs += static_cast<int>(level.size());
-  if (!solve_levels(levels, options, /*both=*/false)) {
+  const int plan_depth = plan_stats(subs, &total_subs);
+  if (!solve_graph(subs, options, /*both=*/false)) {
     // Safety/fallback ladder: a failed sub-solve (structurally, or out
     // of pivot budget) first retries with the shallower flat plan, then
     // gives up on decomposition entirely.
@@ -212,7 +246,7 @@ IpetResult Ipet::solve(const IpetOptions& options) const {
   IpetResult outer = solve_region(spec, options, nullptr, &edge_counts);
   outer.decomposed_regions = static_cast<int>(subs.size());
   outer.sub_ilps = total_subs;
-  outer.decomposition_depth = static_cast<int>(levels.size());
+  outer.decomposition_depth = plan_depth;
   // Single-sense sub solves always store into sub.result (the sense
   // lives in the objective they filled), so merge from that slot.
   merge_sub_results(outer, subs, edge_counts, /*bcet_sense=*/false);
@@ -245,10 +279,9 @@ std::pair<IpetResult, IpetResult> Ipet::solve_both(const IpetOptions& options) c
     }
   }
 
-  std::vector<std::vector<Sub*>> levels = schedule_levels(subs);
   int total_subs = 0;
-  for (const std::vector<Sub*>& level : levels) total_subs += static_cast<int>(level.size());
-  if (!solve_levels(levels, options, /*both=*/true)) {
+  const int plan_depth = plan_stats(subs, &total_subs);
+  if (!solve_graph(subs, options, /*both=*/true)) {
     // Same fallback ladder as solve(): recursive -> flat -> monolithic.
     if (options.decomposition == IpetDecomposition::recursive) {
       if (options.governor != nullptr) {
@@ -284,7 +317,7 @@ std::pair<IpetResult, IpetResult> Ipet::solve_both(const IpetOptions& options) c
   for (IpetResult* outer : {&wcet, &bcet}) {
     outer->decomposed_regions = static_cast<int>(subs.size());
     outer->sub_ilps = total_subs;
-    outer->decomposition_depth = static_cast<int>(levels.size());
+    outer->decomposition_depth = plan_depth;
   }
   merge_sub_results(wcet, subs, edge_counts_max, /*bcet_sense=*/false);
   merge_sub_results(bcet, subs, edge_counts_min, /*bcet_sense=*/true);
@@ -381,13 +414,20 @@ std::vector<Ipet::Sub> Ipet::plan_decomposition() const {
   }
 
   const std::set<int> exit_set(sg_.exit_nodes().begin(), sg_.exit_nodes().end());
-  return plan_region(0, total_reachable, children, subtree_nodes, exit_set);
+  // Dominators + post-dominators drive the sub-function SESE planning;
+  // computed once here, the whole (memoized) plan shares them.
+  const cfg::Dominators dom(sg_);
+  const cfg::PostDominators pdom(sg_);
+  return plan_region(0, total_reachable, nullptr, children, subtree_nodes, exit_set, dom, pdom);
 }
 
 std::vector<Ipet::Sub> Ipet::plan_region(int root_instance, std::size_t region_size,
+                                         const std::vector<char>* region_member,
                                          const std::vector<std::vector<int>>& children,
                                          const std::vector<std::size_t>& subtree_nodes,
-                                         const std::set<int>& exit_set) const {
+                                         const std::set<int>& exit_set,
+                                         const cfg::Dominators& dom,
+                                         const cfg::PostDominators& pdom) const {
   std::vector<Sub> subs;
   // Top-down over the instance tree, ascending ids: collapse the
   // largest eligible subtrees that still leave a meaningful region
@@ -411,14 +451,174 @@ std::vector<Ipet::Sub> Ipet::plan_region(int root_instance, std::size_t region_s
     }
     Sub sub;
     if (subtree_eligible(instance, children, exit_set, sub)) {
-      sub.children =
-          plan_region(instance, reachable_in(sub.member), children, subtree_nodes, exit_set);
+      sub.children = plan_region(instance, reachable_in(sub.member), &sub.member, children,
+                                 subtree_nodes, exit_set, dom, pdom);
       subs.push_back(std::move(sub));
     } else {
       push_children(instance);
     }
   }
+  // Decomposition below function granularity: the region nodes left
+  // after collapsing instance subtrees (the root body plus every
+  // instance planning walked past) are candidate call sites for SESE
+  // regions.
+  std::vector<char> site_mask(sg_.nodes().size(), 0);
+  for (std::size_t n = 0; n < site_mask.size(); ++n) {
+    site_mask[n] = region_member == nullptr || (*region_member)[n] != 0;
+  }
+  for (const Sub& sub : subs) {
+    for (std::size_t n = 0; n < sub.member.size(); ++n) {
+      if (sub.member[n]) site_mask[n] = 0;
+    }
+  }
+  plan_sese(site_mask, region_size, exit_set, dom, pdom, subs);
   return subs;
+}
+
+void Ipet::plan_sese(const std::vector<char>& site_mask, std::size_t region_size,
+                     const std::set<int>& exit_set, const cfg::Dominators& dom,
+                     const cfg::PostDominators& pdom, std::vector<Sub>& subs) const {
+  if (region_size < 16) return; // a split of <8 + <8 is never worth it
+  const std::size_t max_size = region_size * 3 / 5;
+  // Candidates: a loop-free site u with an intra-instance successor
+  // edge e onto a head h whose only predecessor is e. h's immediate
+  // post-dominator t closes the region; everything between collapses.
+  // u outside every loop is what caps the region's entry count at 1 —
+  // supergraph loops are interprocedural SCCs, so "loop-free" really
+  // means "executes at most once per task run".
+  std::vector<Sub> candidates;
+  for (const cfg::SgNode& node : sg_.nodes()) {
+    if (!site_mask[static_cast<std::size_t>(node.id)]) continue;
+    if (!values_.node_reachable(node.id)) continue;
+    if (loops_.innermost_loop_of(node.id) >= 0) continue;
+    for (const int eid : node.succ_edges) {
+      const cfg::SgEdge& e = sg_.edge(eid);
+      if (e.kind == cfg::EdgeKind::call || e.kind == cfg::EdgeKind::ret) continue;
+      if (!values_.edge_feasible(eid)) continue;
+      const cfg::SgNode& head = sg_.node(e.to);
+      if (head.pred_edges.size() != 1) continue;
+      Sub sub;
+      if (!sese_region(node.id, eid, max_size, exit_set, dom, pdom, sub)) continue;
+      // The collapsed region's y variable runs call site -> return
+      // site in the ENCLOSING region's flow rows, so the return site
+      // must be an available node of this planning frame. A nested
+      // region sharing its exit with the enclosing region (e.g. every
+      // rung of an if-ladder post-dominated by the same join) fails
+      // this: its join lies outside the parent region, the y head
+      // would have no balance row, and flow would leak unsoundly.
+      if (!site_mask[static_cast<std::size_t>(sub.return_site)]) continue;
+      if (reachable_in(sub.member) < 8) continue;
+      candidates.push_back(std::move(sub));
+    }
+  }
+  // Largest regions first (ties by head id), greedily keeping disjoint
+  // ones — a deterministic pure function of the graph.
+  std::sort(candidates.begin(), candidates.end(), [this](const Sub& a, const Sub& b) {
+    const std::size_t sa = reachable_in(a.member);
+    const std::size_t sb = reachable_in(b.member);
+    return sa != sb ? sa > sb : a.entry_node < b.entry_node;
+  });
+  std::vector<char> claimed(sg_.nodes().size(), 0);
+  for (Sub& cand : candidates) {
+    // The call site and return site must stay region nodes of this
+    // frame (they carry the collapsed y variable's balance rows), so a
+    // sibling selected earlier may not have absorbed either of them.
+    if (claimed[static_cast<std::size_t>(cand.call_site)] != 0) continue;
+    if (claimed[static_cast<std::size_t>(cand.return_site)] != 0) continue;
+    bool overlaps = false;
+    for (std::size_t n = 0; n < cand.member.size() && !overlaps; ++n) {
+      overlaps = cand.member[n] != 0 && claimed[n] != 0;
+    }
+    if (overlaps) continue;
+    for (std::size_t n = 0; n < cand.member.size(); ++n) {
+      if (cand.member[n]) claimed[n] = 1;
+    }
+    // Adopt the already-collapsed instance subtrees the region contains
+    // (a call site inside the region pulls its whole callee subtree in).
+    std::vector<Sub> kept;
+    for (Sub& sub : subs) {
+      if (cand.member[static_cast<std::size_t>(sub.call_site)] != 0) {
+        cand.children.push_back(std::move(sub));
+      } else {
+        kept.push_back(std::move(sub));
+      }
+    }
+    subs = std::move(kept);
+    // Nested SESE planning inside the region body (the members not
+    // owned by an adopted child).
+    std::vector<char> nested_mask = cand.member;
+    for (const Sub& child : cand.children) {
+      for (std::size_t n = 0; n < child.member.size(); ++n) {
+        if (child.member[n]) nested_mask[n] = 0;
+      }
+    }
+    plan_sese(nested_mask, reachable_in(cand.member), exit_set, dom, pdom, cand.children);
+    subs.push_back(std::move(cand));
+  }
+}
+
+bool Ipet::sese_region(int call_site, int call_edge, std::size_t max_size,
+                       const std::set<int>& exit_set, const cfg::Dominators& dom,
+                       const cfg::PostDominators& pdom, Sub& sub) const {
+  const cfg::SgEdge& entry_edge = sg_.edge(call_edge);
+  sub.instance = sg_.node(call_site).instance;
+  sub.sese = true;
+  sub.call_site = call_site;
+  sub.call_edge = call_edge;
+  sub.entry_node = entry_edge.to;
+  sub.return_site = pdom.ipdom(sub.entry_node);
+  if (sub.return_site < 0) return false; // head reaches no exit
+  // Membership: everything forward-reachable from the head before the
+  // post-dominator. Every such node must be dominated by the head
+  // (otherwise a second entry exists and the region is not
+  // single-entry); the boundary scan below re-checks this edge by edge.
+  sub.member.assign(sg_.nodes().size(), 0);
+  std::size_t member_count = 0;
+  std::vector<int> work{sub.entry_node};
+  sub.member[static_cast<std::size_t>(sub.entry_node)] = 1;
+  while (!work.empty()) {
+    const int n = work.back();
+    work.pop_back();
+    if (++member_count > max_size) return false;
+    if (exit_set.count(n) != 0) return false; // task exit inside
+    if (!dom.dominates(sub.entry_node, n)) return false;
+    for (const int eid : sg_.node(n).succ_edges) {
+      const int to = sg_.edge(eid).to;
+      if (to == sub.return_site || sub.member[static_cast<std::size_t>(to)] != 0) continue;
+      sub.member[static_cast<std::size_t>(to)] = 1;
+      work.push_back(to);
+    }
+  }
+  // Boundary and interior scan, mirroring subtree_eligible: sole
+  // inbound edge is the entry edge, every outbound edge lands on the
+  // post-dominator (the single exit), and no reachable dead end hides
+  // inside. Loops cannot cross the boundary: a loop containing a
+  // member and an outside node would give some member an outside
+  // predecessor (rejected here), and the head itself is loop-free
+  // because its only predecessor is the loop-free call site.
+  for (std::size_t n = 0; n < sub.member.size(); ++n) {
+    if (!sub.member[n]) continue;
+    const int node_id = static_cast<int>(n);
+    const cfg::SgNode& node = sg_.node(node_id);
+    bool any_feasible_out = false;
+    for (const int eid : node.succ_edges) {
+      const cfg::SgEdge& e = sg_.edge(eid);
+      if (sub.member[static_cast<std::size_t>(e.to)]) {
+        any_feasible_out = any_feasible_out || values_.edge_feasible(eid);
+        continue;
+      }
+      if (e.to != sub.return_site) return false;
+      sub.ret_edges.push_back(eid);
+      any_feasible_out = any_feasible_out || values_.edge_feasible(eid);
+    }
+    for (const int eid : node.pred_edges) {
+      if (!sub.member[static_cast<std::size_t>(sg_.edge(eid).from)] && eid != sub.call_edge) {
+        return false;
+      }
+    }
+    if (values_.node_reachable(node_id) && !any_feasible_out) return false;
+  }
+  return !sub.ret_edges.empty();
 }
 
 bool Ipet::subtree_eligible(int instance, const std::vector<std::vector<int>>& children,
@@ -655,11 +855,16 @@ bool Ipet::build_region(const RegionSpec& spec, const IpetOptions& options,
   // subtree's ret edges, and the node weights folded onto the inbound
   // flow.
   std::vector<int> exit_vars;
+  // Balance-row index per region node plus the owning node of every
+  // sink variable: the flow-network shape the crash basis is built on.
+  std::vector<int> balance_row(sg_.nodes().size(), -1);
+  std::vector<std::pair<int, int>> sink_var_node; // (variable, node)
   {
     std::set<int> exit_set;
     if (spec.top_level) exit_set.insert(sg_.exit_nodes().begin(), sg_.exit_nodes().end());
     for (const cfg::SgNode& node : sg_.nodes()) {
       if (!build.region_node[static_cast<std::size_t>(node.id)]) continue;
+      balance_row[static_cast<std::size_t>(node.id)] = ilp.num_constraints();
       std::vector<LinTerm> terms;
       const int src = append_in_flow(spec, edge_var, node.id, Rational(1), terms);
       const std::size_t in_count = terms.size();
@@ -689,6 +894,7 @@ bool Ipet::build_region(const RegionSpec& spec, const IpetOptions& options,
           // penalty convention) in the objective.
           const int sv = ilp.add_variable("ret" + std::to_string(eid));
           exit_vars.push_back(sv);
+          sink_var_node.push_back({sv, node.id});
           terms.push_back({sv, Rational(-1)});
           const unsigned extra = pipeline_.edge_extra(eid);
           if (extra != 0) {
@@ -701,6 +907,7 @@ bool Ipet::build_region(const RegionSpec& spec, const IpetOptions& options,
       if (spec.top_level && exit_set.count(node.id) != 0) {
         const int sv = ilp.add_variable("sink" + std::to_string(node.id));
         exit_vars.push_back(sv);
+        sink_var_node.push_back({sv, node.id});
         terms.push_back({sv, Rational(-1)});
       } else if (!made_sink &&
                  (node.succ_edges.empty() ||
@@ -712,6 +919,7 @@ bool Ipet::build_region(const RegionSpec& spec, const IpetOptions& options,
         // obstruction separately.
         const int sv = ilp.add_variable("dead" + std::to_string(node.id));
         exit_vars.push_back(sv);
+        sink_var_node.push_back({sv, node.id});
         terms.push_back({sv, Rational(-1)});
       }
       ilp.add_constraint(std::move(terms), Cmp::eq, Rational(-src));
@@ -725,6 +933,8 @@ bool Ipet::build_region(const RegionSpec& spec, const IpetOptions& options,
       return false;
     }
     ilp.add_constraint(std::move(sink_sum), Cmp::eq, Rational(1));
+    emit_crash_basis(spec, options, build, balance_row, sink_var_node,
+                     ilp.num_constraints() - 1);
   }
 
   // Loop entry terms of a region loop, substituting a collapsed child's
@@ -909,6 +1119,169 @@ bool Ipet::build_region(const RegionSpec& spec, const IpetOptions& options,
   return true;
 }
 
+void Ipet::emit_crash_basis(const RegionSpec& spec, const IpetOptions& options,
+                            RegionBuild& build, const std::vector<int>& balance_row,
+                            const std::vector<std::pair<int, int>>& sink_var_node,
+                            int sum_row) const {
+  // Design-level fact rows (emitted after the flow rows, top level
+  // only) may cut the crash solution off; such regions keep the
+  // ordinary shared phase 1 — exactly the fallback the decomposition
+  // already uses for fact-pinned subtrees.
+  if (spec.top_level &&
+      !(options.excluded_addrs.empty() && options.flow_caps.empty() &&
+        options.flow_ratios.empty() && options.infeasible_pairs.empty())) {
+    return;
+  }
+  if (spec.source_node < 0 || balance_row[static_cast<std::size_t>(spec.source_node)] < 0) {
+    return;
+  }
+
+  // The equality rows are a flow network: one vertex per balance row
+  // plus one for the sink-sum row, and every variable is an arc — an
+  // edge variable runs from -> to, a collapsed child's super edge runs
+  // call site -> return site, a sink variable runs node -> sink-sum. A
+  // spanning forest of the network is a basis of the row space
+  // (uncovered rows are each component's redundant row), and routing
+  // the unit source flow down a back-edge-free tree path makes the
+  // implied basic solution feasible: flow rows hold exactly, and every
+  // loop-bound slack stays nonnegative because no back edge carries
+  // flow. The solver then starts phase 2 immediately.
+  struct Arc {
+    int var = -1;
+    int tail = -1;
+    int head = -1;
+    bool back = false; // loop back edge (or self arc): barred from the unit path
+  };
+  const int rows = sum_row + 1;
+  std::vector<int> child_of_call_edge(sg_.edges().size(), -1);
+  if (spec.children != nullptr) {
+    for (std::size_t c = 0; c < spec.children->size(); ++c) {
+      child_of_call_edge[static_cast<std::size_t>((*spec.children)[c].call_edge)] =
+          static_cast<int>(c);
+    }
+  }
+  std::vector<char> edge_is_back(sg_.edges().size(), 0);
+  for (const cfg::Loop& loop : loops_.loops()) {
+    for (const int eid : loop.back_edges) edge_is_back[static_cast<std::size_t>(eid)] = 1;
+  }
+  std::vector<Arc> arcs;
+  arcs.reserve(static_cast<std::size_t>(build.ilp.num_variables()));
+  for (const cfg::SgEdge& edge : sg_.edges()) {
+    const int ev = build.edge_var[static_cast<std::size_t>(edge.id)];
+    if (ev < 0) continue;
+    Arc arc;
+    arc.var = ev;
+    const int child = child_of_call_edge[static_cast<std::size_t>(edge.id)];
+    if (child >= 0) {
+      const Sub& sub = (*spec.children)[static_cast<std::size_t>(child)];
+      arc.tail = balance_row[static_cast<std::size_t>(sub.call_site)];
+      arc.head = balance_row[static_cast<std::size_t>(sub.return_site)];
+    } else {
+      arc.tail = balance_row[static_cast<std::size_t>(edge.from)];
+      arc.head = balance_row[static_cast<std::size_t>(edge.to)];
+    }
+    if (arc.tail < 0 || arc.head < 0) return; // half-attached arc: no usable basis
+    arc.back = edge_is_back[static_cast<std::size_t>(edge.id)] != 0 || arc.tail == arc.head;
+    arcs.push_back(arc);
+  }
+  for (const auto& [sv, node] : sink_var_node) {
+    const int tail = balance_row[static_cast<std::size_t>(node)];
+    if (tail < 0) return;
+    arcs.push_back({sv, tail, sum_row, false});
+  }
+
+  // Unit path: BFS from the source row to the sink-sum row along
+  // forward arcs, skipping back edges (deterministic: arcs are visited
+  // in emission order).
+  std::vector<std::vector<int>> out(static_cast<std::size_t>(rows));
+  for (std::size_t a = 0; a < arcs.size(); ++a) {
+    out[static_cast<std::size_t>(arcs[a].tail)].push_back(static_cast<int>(a));
+  }
+  const int src_row = balance_row[static_cast<std::size_t>(spec.source_node)];
+  std::vector<int> via_arc(static_cast<std::size_t>(rows), -1);
+  std::vector<char> seen(static_cast<std::size_t>(rows), 0);
+  std::vector<int> queue{src_row};
+  seen[static_cast<std::size_t>(src_row)] = 1;
+  for (std::size_t qi = 0; qi < queue.size() && seen[static_cast<std::size_t>(sum_row)] == 0;
+       ++qi) {
+    for (const int a : out[static_cast<std::size_t>(queue[qi])]) {
+      if (arcs[static_cast<std::size_t>(a)].back) continue;
+      const int to = arcs[static_cast<std::size_t>(a)].head;
+      if (seen[static_cast<std::size_t>(to)] != 0) continue;
+      seen[static_cast<std::size_t>(to)] = 1;
+      via_arc[static_cast<std::size_t>(to)] = a;
+      queue.push_back(to);
+      if (to == sum_row) break;
+    }
+  }
+  // No back-edge-free route to an exit (e.g. flow trapped behind an
+  // unstructured cycle): the crash solution would be infeasible, so
+  // leave phase 1 in charge.
+  if (seen[static_cast<std::size_t>(sum_row)] == 0) return;
+
+  // Spanning forest: the path arcs first (they must be basic — they
+  // carry the unit flow), then every other arc in emission order.
+  std::vector<int> uf(static_cast<std::size_t>(rows));
+  for (int r = 0; r < rows; ++r) uf[static_cast<std::size_t>(r)] = r;
+  const auto find = [&](int r) {
+    while (uf[static_cast<std::size_t>(r)] != r) {
+      uf[static_cast<std::size_t>(r)] = uf[static_cast<std::size_t>(uf[static_cast<std::size_t>(r)])];
+      r = uf[static_cast<std::size_t>(r)];
+    }
+    return r;
+  };
+  std::vector<std::vector<std::pair<int, int>>> adj(static_cast<std::size_t>(rows));
+  const auto add_tree_arc = [&](const Arc& arc) {
+    const int ra = find(arc.tail);
+    const int rb = find(arc.head);
+    if (ra == rb) return;
+    uf[static_cast<std::size_t>(ra)] = rb;
+    adj[static_cast<std::size_t>(arc.tail)].push_back({arc.var, arc.head});
+    adj[static_cast<std::size_t>(arc.head)].push_back({arc.var, arc.tail});
+  };
+  for (int r = sum_row; via_arc[static_cast<std::size_t>(r)] >= 0;
+       r = arcs[static_cast<std::size_t>(via_arc[static_cast<std::size_t>(r)])].tail) {
+    add_tree_arc(arcs[static_cast<std::size_t>(via_arc[static_cast<std::size_t>(r)])]);
+  }
+  for (const Arc& arc : arcs) add_tree_arc(arc);
+
+  // Root the sink-sum component at the sink-sum row and every other
+  // component at its smallest row; each covered row's basic column is
+  // the arc toward its parent. Emitting the hint children-before-
+  // parents keeps every elimination's pivot cell at its original +/-1
+  // (an arc column lives in exactly its two endpoint rows, and deeper
+  // eliminations never touch it).
+  std::vector<char> visited(static_cast<std::size_t>(rows), 0);
+  std::vector<int> parent_arc(static_cast<std::size_t>(rows), -1);
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(rows));
+  const auto root_bfs = [&](int root) {
+    visited[static_cast<std::size_t>(root)] = 1;
+    const std::size_t start = order.size();
+    order.push_back(root);
+    for (std::size_t i = start; i < order.size(); ++i) {
+      for (const auto& [var, other] : adj[static_cast<std::size_t>(order[i])]) {
+        if (visited[static_cast<std::size_t>(other)] != 0) continue;
+        visited[static_cast<std::size_t>(other)] = 1;
+        parent_arc[static_cast<std::size_t>(other)] = var;
+        order.push_back(other);
+      }
+    }
+  };
+  root_bfs(sum_row);
+  for (int r = 0; r < rows; ++r) {
+    if (visited[static_cast<std::size_t>(r)] == 0) root_bfs(r);
+  }
+  std::vector<std::pair<int, int>> hint;
+  hint.reserve(order.size());
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (parent_arc[static_cast<std::size_t>(*it)] >= 0) {
+      hint.push_back({*it, parent_arc[static_cast<std::size_t>(*it)]});
+    }
+  }
+  if (!hint.empty()) build.ilp.set_basis_hint(std::move(hint));
+}
+
 IpetResult Ipet::extract_region(const RegionBuild& build, const RegionSpec& spec,
                                 bool maximize, const LpSolution& solution,
                                 Rational* objective_out,
@@ -917,6 +1290,9 @@ IpetResult Ipet::extract_region(const RegionBuild& build, const RegionSpec& spec
   result.loops_missing_bounds = build.early.loops_missing_bounds;
   result.variables = build.ilp.num_variables();
   result.constraints = build.ilp.num_constraints();
+  result.phase1_pivots = solution.phase1_pivots;
+  result.phase2_pivots = solution.phase2_pivots;
+  result.crash_basis_rows = solution.crash_basis_rows;
   switch (solution.status) {
   case LpSolution::Status::optimal:
   case LpSolution::Status::degraded:

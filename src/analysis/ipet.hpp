@@ -73,6 +73,13 @@ struct IpetResult {
   int decomposed_regions = 0;  // top-level collapsed subtrees (0: monolithic)
   int sub_ilps = 0;            // sub-ILPs solved across all nesting levels
   int decomposition_depth = 0; // nesting depth of the deepest sub-ILP
+  int sese_regions = 0;        // collapsed single-entry/single-exit body regions
+  // Simplex pivot split summed over every region solve (see LpSolution):
+  // a pure-flow workload solved off network-flow crash bases reports
+  // phase1_pivots == 0.
+  std::uint64_t phase1_pivots = 0;
+  std::uint64_t phase2_pivots = 0;
+  std::uint64_t crash_basis_rows = 0;
   std::map<int, std::uint64_t> node_counts; // extremal path witness
   std::vector<int> loops_missing_bounds;
 
@@ -111,12 +118,20 @@ private:
   // `children` are eligible subtrees nested inside this one — planning
   // re-enters each collapsed subtree, so deep call trees become a tree
   // of sub-ILPs instead of one monolithic sub-solve.
+  // A collapsed subtree, or (sese == true) a collapsed single-entry/
+  // single-exit region *inside* one function body: entry_node is the
+  // region head (sole successor of the loop-free call_site via
+  // call_edge), return_site its immediate post-dominator, and ret_edges
+  // every edge leaving the region onto it. Both kinds satisfy the same
+  // exactness contract, so everything downstream of planning treats
+  // them identically.
   struct Sub {
     int instance = -1;
     int call_site = -1;   // node holding the call, outside the subtree
     int call_edge = -1;   // only edge entering the subtree
     int entry_node = -1;  // callee entry (virtual source of the sub-ILP)
     int return_site = -1; // every boundary exit targets this node
+    bool sese = false;    // intra-body SESE region (not an instance subtree)
     std::vector<int> ret_edges;
     std::vector<char> member; // per-node membership bitmap (incl. children)
     std::vector<Sub> children;
@@ -172,18 +187,16 @@ private:
   // children, virtual source at the callee entry, sinks at the ret
   // edges); `member` receives the membership bitmap the spec points at.
   static RegionSpec sub_region_spec(Sub& sub, std::vector<char>& member);
-  // Group the sub tree by nesting level, each level sorted by instance
-  // id: the deterministic fan-out schedule (deepest level first).
-  static std::vector<std::vector<Sub*>> schedule_levels(std::vector<Sub>& subs);
+  // Nesting depth and total count of a sub-ILP plan (for telemetry).
+  static int plan_stats(const std::vector<Sub>& subs, int* total_subs);
   // Shared plumbing of solve()/solve_both(): the per-solve plan copy
   // (flat stripping + fact pruning), the missing-loop-bound pre-check
-  // replicating the monolithic scan, the deterministic level fan-out
-  // over the pool (false: some sub failed -> monolithic fallback), and
-  // the merge of sub results into the outer result for one sense.
+  // replicating the monolithic scan, the dependency-counted task-graph
+  // fan-out over the pool (false: some sub failed -> monolithic
+  // fallback), and the merge of sub results into the outer result.
   std::vector<Sub> planned_subs(const IpetOptions& options) const;
   std::vector<int> missing_loop_bounds_in(const IpetOptions& options) const;
-  bool solve_levels(const std::vector<std::vector<Sub*>>& levels, const IpetOptions& options,
-                    bool both) const;
+  bool solve_graph(std::vector<Sub>& subs, const IpetOptions& options, bool both) const;
   static void merge_sub_results(IpetResult& outer, const std::vector<Sub>& subs,
                                 const std::map<int, std::uint64_t>& edge_counts,
                                 bool bcet_sense);
@@ -193,11 +206,40 @@ private:
   const std::vector<Sub>& decomposition_plan() const;
   std::vector<Sub> plan_decomposition() const;
   // Plan the eligible subtrees of one region (the whole graph, or the
-  // inside of a collapsed subtree), recursing into each collapsed sub.
+  // inside of a collapsed subtree), recursing into each collapsed sub,
+  // then plan SESE regions over the function bodies left in the region
+  // (`region_member` null: the whole graph).
   std::vector<Sub> plan_region(int root_instance, std::size_t region_size,
+                               const std::vector<char>* region_member,
                                const std::vector<std::vector<int>>& children,
                                const std::vector<std::size_t>& subtree_nodes,
-                               const std::set<int>& exit_set) const;
+                               const std::set<int>& exit_set, const cfg::Dominators& dom,
+                               const cfg::PostDominators& pdom) const;
+  // Single-entry/single-exit regions inside function bodies: for every
+  // loop-free candidate site in `site_mask`, the nodes between one of
+  // its successors and that successor's immediate post-dominator
+  // collapse exactly like an instance subtree. Selected regions adopt
+  // the already-collapsed instance subs they contain and recurse for
+  // nested SESE regions; new subs are appended to `subs`.
+  void plan_sese(const std::vector<char>& site_mask, std::size_t region_size,
+                 const std::set<int>& exit_set, const cfg::Dominators& dom,
+                 const cfg::PostDominators& pdom, std::vector<Sub>& subs) const;
+  // Compute + validate one SESE candidate entered by `call_edge`;
+  // mirrors subtree_eligible's boundary scan with "targets the
+  // post-dominator" in place of "is a ret edge onto the return site".
+  bool sese_region(int call_site, int call_edge, std::size_t max_size,
+                   const std::set<int>& exit_set, const cfg::Dominators& dom,
+                   const cfg::PostDominators& pdom, Sub& sub) const;
+  // Seed the region's ILP with a network-flow crash basis (see
+  // IlpProblem::set_basis_hint): a spanning forest of the balance-row
+  // flow network carrying one unit of source-to-sink flow. Emitted only
+  // for pure-flow systems (no design-level fact rows) whose every
+  // equality-row variable is a well-formed arc; otherwise a no-op and
+  // the solver runs its ordinary phase 1.
+  void emit_crash_basis(const RegionSpec& spec, const IpetOptions& options, RegionBuild& build,
+                        const std::vector<int>& balance_row,
+                        const std::vector<std::pair<int, int>>& sink_var_node,
+                        int sum_row) const;
   bool subtree_eligible(int instance, const std::vector<std::vector<int>>& children,
                         const std::set<int>& exit_set, Sub& sub) const;
   std::size_t reachable_in(const std::vector<char>& member) const;

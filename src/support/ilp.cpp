@@ -27,6 +27,22 @@ void IlpProblem::add_constraint(std::vector<LinTerm> terms, Cmp cmp, Rational rh
   rows_.push_back(Row{std::move(terms), cmp, std::move(rhs)});
 }
 
+void IlpProblem::set_basis_hint(std::vector<std::pair<int, int>> hint) {
+  std::vector<char> row_used(rows_.size(), 0);
+  std::vector<char> col_used(names_.size(), 0);
+  for (const auto& [row, var] : hint) {
+    WCET_CHECK(row >= 0 && row < num_constraints(), "basis hint names an unknown row");
+    WCET_CHECK(var >= 0 && var < num_variables(), "basis hint names an unknown variable");
+    WCET_CHECK(rows_[static_cast<std::size_t>(row)].cmp == Cmp::eq,
+               "basis hints cover equality rows only");
+    WCET_CHECK(!row_used[static_cast<std::size_t>(row)], "basis hint repeats a row");
+    WCET_CHECK(!col_used[static_cast<std::size_t>(var)], "basis hint repeats a column");
+    row_used[static_cast<std::size_t>(row)] = 1;
+    col_used[static_cast<std::size_t>(var)] = 1;
+  }
+  basis_hint_ = std::move(hint);
+}
+
 namespace {
 
 // Consecutive degenerate pivots before the column rule falls back from
@@ -50,10 +66,11 @@ public:
   // same counter), an optional cap on it, and a governor checked for
   // cooperative cancellation every 64 pivots.
   void set_limits(const AnalysisGovernor* governor, std::uint64_t* pivot_count,
-                  std::uint64_t pivot_limit) {
+                  std::uint64_t pivot_limit, std::uint64_t* phase1_pivots = nullptr) {
     governor_ = governor;
     pivot_count_ = pivot_count;
     pivot_limit_ = pivot_limit;
+    phase1_pivots_ = phase1_pivots;
   }
 
   struct Ent {
@@ -62,10 +79,29 @@ public:
   };
   using SparseRow = std::vector<Ent>;
 
+  // `hint`: optional crash basis (see IlpProblem::set_basis_hint) —
+  // ordered (row, structural column) pairs. Hinted rows are built
+  // without an artificial; after the row pass the tableau is reduced to
+  // the hinted basis by one elimination per hint (in hint order, so a
+  // children-before-parents tree order keeps each pivot cell at its
+  // original +-1 coefficient). Only valid without `extra` rows: branch
+  // rows may be violated by the crash solution.
   Simplex(std::size_t num_vars, const std::vector<IlpProblem::Row>& base,
-          const std::vector<IlpProblem::Row>& extra, const std::vector<Rational>& objective)
+          const std::vector<IlpProblem::Row>& extra, const std::vector<Rational>& objective,
+          const std::vector<std::pair<int, int>>* hint = nullptr)
       : n_(num_vars), objective_(objective) {
     m_ = base.size() + extra.size();
+    std::vector<int> hint_col;
+    if (hint != nullptr && !hint->empty()) {
+      WCET_CHECK(extra.empty(), "crash basis requires a branch-row-free system");
+      hint_col.assign(m_, -1);
+      for (const auto& [row, var] : *hint) {
+        hint_col[static_cast<std::size_t>(row)] = var;
+      }
+    }
+    const auto hinted = [&](std::size_t r) {
+      return !hint_col.empty() && hint_col[r] >= 0;
+    };
     const auto row_at = [&](std::size_t r) -> const IlpProblem::Row& {
       return r < base.size() ? base[r] : extra[r - base.size()];
     };
@@ -86,7 +122,7 @@ public:
     for (std::size_t r = 0; r < m_; ++r) {
       const Cmp cmp = flipped_cmp(row_at(r));
       if (cmp != Cmp::eq) ++num_slack;
-      if (cmp != Cmp::le) ++num_art_;
+      if (cmp != Cmp::le && !hinted(r)) ++num_art_;
     }
     cols_ = n_ + num_slack + num_art_;
     is_artificial_.assign(cols_, false);
@@ -135,13 +171,41 @@ public:
         basis_[r] = next_art++;
         break;
       case Cmp::eq:
+        if (hinted(r)) {
+          // Crash basis: the basic column is installed by the
+          // elimination pass below; no artificial is created.
+          basis_[r] = static_cast<std::size_t>(hint_col[r]);
+          break;
+        }
         sr.push_back({next_art, Rational(1)});
         is_artificial_[next_art] = true;
         basis_[r] = next_art++;
         break;
       }
     }
+
+    if (!hint_col.empty()) {
+      // Reduce to the hinted basis: one targeted elimination per hint.
+      // This is the whole price of the crash start — there is no column
+      // selection, no ratio test and no objective pricing, and a tree
+      // order keeps fill-in at the network-simplex cut structure.
+      for (const auto& [row, var] : *hint) {
+        crash_eliminate(static_cast<std::size_t>(row), static_cast<std::size_t>(var));
+      }
+      crash_rows_ = hint->size();
+      for (std::size_t r = 0; r < m_; ++r) {
+        // The caller promised a feasible start: slack- and crash-basic
+        // rows must come out with a nonnegative right-hand side (rows
+        // still owning an artificial are phase 1's business and start
+        // at rhs >= 0 by the flip normalization, which the eliminations
+        // preserve only for rows they leave untouched — so check them
+        // too; a redundant row reduces to exactly zero).
+        WCET_CHECK(!rhs_[r].is_negative(), "crash basis start is primal-infeasible");
+      }
+    }
   }
+
+  std::size_t crash_rows() const { return crash_rows_; }
 
   // Two-phase primal solve from scratch.
   Status solve() {
@@ -156,8 +220,19 @@ public:
   void install_objective(std::vector<Rational> objective) { objective_ = std::move(objective); }
 
   // Phase 1: find a feasible basis (drive the artificials to zero).
-  // Returns optimal when a feasible basis is ready for phase 2.
+  // Returns optimal when a feasible basis is ready for phase 2. The
+  // wrapper attributes every pivot spent inside to the phase-1 counter
+  // (the remainder of the shared pivot counter is phase-2/warm work).
   Status phase1() {
+    const std::uint64_t start = pivot_count_ != nullptr ? *pivot_count_ : 0;
+    const Status status = phase1_impl();
+    if (phase1_pivots_ != nullptr && pivot_count_ != nullptr) {
+      *phase1_pivots_ += *pivot_count_ - start;
+    }
+    return status;
+  }
+
+  Status phase1_impl() {
     if (num_art_ > 0) {
       // Phase 1: maximize -(sum of artificials) == drive them to zero.
       for (std::size_t c = 0; c < cols_; ++c) {
@@ -448,6 +523,28 @@ private:
     row.swap(scratch_); // scratch_ keeps the old storage for reuse
   }
 
+  // Constructor-time basis installation: identical row arithmetic to
+  // pivot(), but no objective-row update (nothing is priced yet), no
+  // pivot counter charge, and no candidate sweep — the pivot cell is
+  // named by the crash-basis hint, not searched for.
+  void crash_eliminate(std::size_t pr, std::size_t pc) {
+    SparseRow& prow = mat_[pr];
+    const Rational* pv = find_coeff(prow, pc);
+    WCET_CHECK(pv != nullptr && !pv->is_zero(), "crash-basis hint names a zero tableau cell");
+    const Rational inv = Rational(1) / *pv;
+    for (Ent& e : prow) e.val *= inv;
+    rhs_[pr] *= inv;
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (r == pr) continue;
+      const Rational* fp = find_coeff(mat_[r], pc);
+      if (fp == nullptr || fp->is_zero()) continue;
+      const Rational factor = *fp; // copy: the row update invalidates fp
+      row_sub_scaled(r, factor, prow);
+      rhs_[r].sub_mul(factor, rhs_[pr]);
+    }
+    basis_[pr] = pc;
+  }
+
   void pivot(std::size_t pr, std::size_t pc) {
     SparseRow& prow = mat_[pr];
     const Rational inv = Rational(1) / *find_coeff(prow, pc);
@@ -513,6 +610,8 @@ private:
   const AnalysisGovernor* governor_ = nullptr;
   std::uint64_t* pivot_count_ = nullptr; // shared across warm-start clones
   std::uint64_t pivot_limit_ = 0;        // 0 = unlimited
+  std::uint64_t* phase1_pivots_ = nullptr; // phase-1 share of pivot_count_
+  std::size_t crash_rows_ = 0;             // hinted rows installed at construction
   std::vector<Rational> objective_; // structural objective coefficients
   std::vector<SparseRow> mat_;
   std::vector<Rational> rhs_;
@@ -712,14 +811,35 @@ LpSolution IlpProblem::solve_lp() const { return solve_lp_with({}, objective_); 
 
 LpSolution IlpProblem::solve_lp_with(const std::vector<Row>& extra,
                                      const std::vector<Rational>& objective,
-                                     const SolveLimits* limits, std::uint64_t* pivots) const {
-  Simplex simplex(static_cast<std::size_t>(num_variables()), rows_, extra, objective);
-  if (limits != nullptr) simplex.set_limits(limits->governor, pivots, limits->pivot_limit);
+                                     const SolveLimits* limits, std::uint64_t* pivots,
+                                     std::uint64_t* phase1_pivots) const {
+  // The crash basis only seeds branch-row-free systems: an appended
+  // branch bound may be violated by the crash solution, so cold
+  // re-solves inside branch & bound run the ordinary two-phase method.
+  const bool crash = !basis_hint_.empty() && extra.empty();
+  // Count pivots even when the caller brought no shared counter, so
+  // every solve reports its phase split.
+  std::uint64_t local_pivots = 0;
+  std::uint64_t local_phase1 = 0;
+  if (pivots == nullptr) pivots = &local_pivots;
+  if (phase1_pivots == nullptr) phase1_pivots = &local_phase1;
+  Simplex simplex(static_cast<std::size_t>(num_variables()), rows_, extra, objective,
+                  crash ? &basis_hint_ : nullptr);
+  simplex.set_limits(limits != nullptr ? limits->governor : nullptr, pivots,
+                     limits != nullptr ? limits->pivot_limit : 0, phase1_pivots);
+  const auto finish = [&](LpSolution s) {
+    s.pivots_used = *pivots;
+    s.phase1_pivots = *phase1_pivots;
+    s.phase2_pivots = *pivots - *phase1_pivots;
+    s.crash_basis_rows = simplex.crash_rows();
+    return s;
+  };
   switch (simplex.solve()) {
-  case Simplex::Status::optimal: return simplex.extract();
-  case Simplex::Status::infeasible: return status_only(LpSolution::Status::infeasible);
-  case Simplex::Status::unbounded: return status_only(LpSolution::Status::unbounded);
-  case Simplex::Status::pivot_limit: return status_only(LpSolution::Status::pivot_limit);
+  case Simplex::Status::optimal: return finish(simplex.extract());
+  case Simplex::Status::infeasible: return finish(status_only(LpSolution::Status::infeasible));
+  case Simplex::Status::unbounded: return finish(status_only(LpSolution::Status::unbounded));
+  case Simplex::Status::pivot_limit:
+    return finish(status_only(LpSolution::Status::pivot_limit));
   case Simplex::Status::stalled: break; // unreachable: primal never stalls
   }
   WCET_CHECK(false, "simplex returned an impossible status");
@@ -734,15 +854,22 @@ LpSolution IlpProblem::solve_ilp(int node_limit) const {
 
 LpSolution IlpProblem::solve_ilp(const SolveLimits& limits) const {
   WCET_FAULT_POINT("ilp:solve");
-  // Root relaxation solved cold (two-phase), then branch & bound. The
-  // pivot budget is charged to one counter shared by the root tableau,
-  // every warm-start clone, and every cold fallback of this solve.
+  // Root relaxation solved cold (two-phase, or straight into phase 2
+  // off a crash basis), then branch & bound. The pivot budget is
+  // charged to one counter shared by the root tableau, every
+  // warm-start clone, and every cold fallback of this solve; the
+  // phase-1 accumulator collects the feasibility share across all of
+  // them.
   std::uint64_t pivots = 0;
+  std::uint64_t phase1_pivots = 0;
   const auto n = static_cast<std::size_t>(num_variables());
-  Simplex root(n, rows_, {}, objective_);
-  root.set_limits(limits.governor, &pivots, limits.pivot_limit);
+  Simplex root(n, rows_, {}, objective_, basis_hint_.empty() ? nullptr : &basis_hint_);
+  root.set_limits(limits.governor, &pivots, limits.pivot_limit, &phase1_pivots);
   const auto finish = [&](LpSolution s) {
     s.pivots_used = pivots;
+    s.phase1_pivots = phase1_pivots;
+    s.phase2_pivots = pivots - phase1_pivots;
+    s.crash_basis_rows = root.crash_rows();
     return s;
   };
   switch (root.solve()) {
@@ -757,7 +884,8 @@ LpSolution IlpProblem::solve_ilp(const SolveLimits& limits) const {
   const LpSolution root_solution = root.extract();
   return finish(branch_and_bound(root, root_solution, num_variables(), limits,
                                  [&](const std::vector<Row>& extra) {
-                                   return solve_lp_with(extra, objective_, &limits, &pivots);
+                                   return solve_lp_with(extra, objective_, &limits, &pivots,
+                                                        &phase1_pivots);
                                  }));
 }
 
@@ -777,9 +905,10 @@ IlpProblem::solve_ilp_pair(const std::vector<Rational>& alt_objective,
   // One pivot budget covers the whole pair (shared phase 1 plus both
   // senses): the pair is one solve from the caller's point of view.
   std::uint64_t pivots = 0;
+  std::uint64_t phase1_pivots = 0;
   const auto n = static_cast<std::size_t>(num_variables());
-  Simplex base(n, rows_, {}, objective_);
-  base.set_limits(limits.governor, &pivots, limits.pivot_limit);
+  Simplex base(n, rows_, {}, objective_, basis_hint_.empty() ? nullptr : &basis_hint_);
+  base.set_limits(limits.governor, &pivots, limits.pivot_limit, &phase1_pivots);
   const Simplex::Status feasible = base.phase1();
   if (feasible == Simplex::Status::infeasible) {
     return {status_only(LpSolution::Status::infeasible),
@@ -805,13 +934,20 @@ IlpProblem::solve_ilp_pair(const std::vector<Rational>& alt_objective,
     const LpSolution root_solution = root.extract();
     return branch_and_bound(root, root_solution, num_variables(), limits,
                             [&](const std::vector<Row>& extra) {
-                              return solve_lp_with(extra, objective, &limits, &pivots);
+                              return solve_lp_with(extra, objective, &limits, &pivots,
+                                                   &phase1_pivots);
                             });
   };
   LpSolution primary = run(base, objective_);
   LpSolution alternate = run(alt, alt_objective);
   primary.pivots_used = pivots;
   alternate.pivots_used = pivots;
+  primary.phase1_pivots = phase1_pivots;
+  alternate.phase1_pivots = phase1_pivots;
+  primary.phase2_pivots = pivots - phase1_pivots;
+  alternate.phase2_pivots = pivots - phase1_pivots;
+  primary.crash_basis_rows = base.crash_rows();
+  alternate.crash_basis_rows = base.crash_rows();
   return {primary, alternate};
 }
 

@@ -60,6 +60,17 @@ struct LpSolution {
 
   // Telemetry: resources actually consumed by this solve.
   std::uint64_t pivots_used = 0;
+  // Split of `pivots_used` by simplex phase: `phase1_pivots` counts the
+  // feasibility pivots (phase-1 runs of the root solve and of every
+  // cold branch-and-bound fallback), `phase2_pivots` the rest (phase-2
+  // optimization plus all warm-start dual pivots). A solve that starts
+  // from a crash basis (see IlpProblem::set_basis_hint) reports
+  // phase1_pivots == 0 on a pure-flow system.
+  std::uint64_t phase1_pivots = 0;
+  std::uint64_t phase2_pivots = 0;
+  // Number of rows whose basic column came from the caller's crash
+  // basis instead of an artificial variable (0: no hint was usable).
+  std::uint64_t crash_basis_rows = 0;
   int nodes_used = 0;
 
   // Tableau shape at the final basis: rows store only nonzero entries,
@@ -90,6 +101,26 @@ public:
   void add_constraint(std::vector<LinTerm> terms, Cmp cmp, Rational rhs);
   int num_constraints() const { return static_cast<int>(rows_.size()); }
 
+  // Network-flow crash basis. `hint` is an ordered list of
+  // (constraint row, structural variable) pairs naming a starting basis
+  // for the equality rows — for IPET regions, the arcs of a spanning
+  // tree of the flow network plus a unit source-to-sink path. Hinted
+  // rows start basic on their structural column instead of an
+  // artificial variable, so a system whose every artificial-needing row
+  // is hinted enters phase 2 directly (phase1_pivots == 0).
+  //
+  // Caller contract (checked, violations are fatal):
+  //   - every hinted row is an equality with a nonzero coefficient on
+  //     its hinted column (after eliminating earlier hints in order),
+  //   - each row and each column is hinted at most once,
+  //   - the implied basic solution is feasible: after reducing the
+  //     tableau to the hinted basis every right-hand side is >= 0.
+  // The hint is consulted by solve_lp / solve_ilp / solve_ilp_pair for
+  // the root (no extra branch rows); branch-and-bound re-solves carry
+  // branch rows the crash solution may violate and run the ordinary
+  // two-phase method.
+  void set_basis_hint(std::vector<std::pair<int, int>> hint);
+
   // Solve the LP relaxation.
   LpSolution solve_lp() const;
   // Solve with integrality on all variables (branch & bound on the LP).
@@ -117,11 +148,13 @@ private:
   LpSolution solve_lp_with(const std::vector<Row>& extra,
                            const std::vector<Rational>& objective,
                            const SolveLimits* limits = nullptr,
-                           std::uint64_t* pivots = nullptr) const;
+                           std::uint64_t* pivots = nullptr,
+                           std::uint64_t* phase1_pivots = nullptr) const;
 
   std::vector<std::string> names_;
   std::vector<Rational> objective_;
   std::vector<Row> rows_;
+  std::vector<std::pair<int, int>> basis_hint_;
 };
 
 } // namespace wcet

@@ -155,7 +155,9 @@ std::string WcetReport::to_string() const {
      << live_set_images_peak << '\n';
   os << "ILP: " << ilp_variables << " variables, " << ilp_constraints << " constraints; "
      << "decomposition: " << ipet_regions << " regions, " << ipet_sub_ilps
-     << " sub-ILPs, depth " << ipet_depth << '\n';
+     << " sub-ILPs, depth " << ipet_depth << ", " << sese_regions << " SESE regions\n";
+  os << "simplex: " << phase1_pivots << " phase-1 + " << phase2_pivots
+     << " phase-2 pivots, " << crash_basis_rows << " crash-basis rows\n";
   os << "timings (ms): decode " << timings.decode_ms << ", value " << timings.value_ms
      << ", loop " << timings.loop_ms << ", cache " << timings.cache_ms << ", pipeline "
      << timings.pipeline_ms << ", path " << timings.path_ms << " (ilp "

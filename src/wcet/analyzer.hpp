@@ -111,6 +111,14 @@ struct WcetReport {
   int ipet_regions = 0;  // top-level collapsed subtrees of the WCET solve
   int ipet_sub_ilps = 0; // sub-ILPs solved across all nesting levels
   int ipet_depth = 0;    // decomposition nesting depth
+  int sese_regions = 0;  // sub-function single-entry/single-exit sub-ILPs
+  // Simplex phase split across every region of the WCET solve: crash
+  // bases (network-flow spanning trees seeding the tableau) drive
+  // phase1_pivots to zero on pure-flow regions; crash_basis_rows counts
+  // eliminations that replaced artificial variables.
+  std::uint64_t phase1_pivots = 0;
+  std::uint64_t phase2_pivots = 0;
+  std::uint64_t crash_basis_rows = 0;
   std::vector<LoopInfo> loops;
   PhaseTimings timings;
 

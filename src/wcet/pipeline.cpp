@@ -279,6 +279,10 @@ public:
     report.ipet_regions = wcet_result.decomposed_regions;
     report.ipet_sub_ilps = wcet_result.sub_ilps;
     report.ipet_depth = wcet_result.decomposition_depth;
+    report.sese_regions = wcet_result.sese_regions;
+    report.phase1_pivots = wcet_result.phase1_pivots;
+    report.phase2_pivots = wcet_result.phase2_pivots;
+    report.crash_basis_rows = wcet_result.crash_basis_rows;
 
     switch (wcet_result.status) {
     case analysis::IpetResult::Status::ok:

@@ -136,6 +136,102 @@ std::string chain_with_loop_call() {
   return os.str();
 }
 
+// A single large function, no calls at all: only sub-function SESE
+// regions can decompose it. Each outer if-arm leads with a nested
+// if/else whose arms are loop nests, so the arm head is a single-pred
+// branch block whose immediate post-dominator (the nested join) closes
+// a region big enough to collapse.
+std::string single_fn_diamonds(int diamonds) {
+  std::ostringstream os;
+  os << k_input_preamble;
+  os << "int main(void) {\n  int v = input[0];\n";
+  for (int d = 0; d < diamonds; ++d) {
+    os << "  if (input[" << (d % 8) << "] > 10) {\n";
+    os << "    v += " << d << ";\n";
+    os << "    if (input[" << ((d + 1) % 8) << "] > 5) {\n";
+    os << "      { int i; for (i = 0; i < " << (4 + d % 3) << "; i++) {"
+       << " v += data[(v + i) & 15]; } }\n";
+    os << "      { int j; for (j = 0; j < " << (5 + d % 2) << "; j++) {"
+       << " v += data[(v + j) & 15]; } }\n";
+    os << "    } else {\n";
+    os << "      { int k; for (k = 0; k < " << (3 + d % 4) << "; k++) {"
+       << " v += data[(v + k) & 15]; } }\n";
+    os << "      { int l; for (l = 0; l < 4; l++) { v += data[(v + l) & 15]; } }\n";
+    os << "    }\n";
+    os << "    v += 2;\n";
+    os << "  } else {\n    v -= " << d << ";\n  }\n";
+  }
+  os << "  return v;\n}\n";
+  return os.str();
+}
+
+// One function dominated by sequential and nested loops: no
+// single-pred branch heads outside loops, so SESE planning should
+// find nothing and the recursive mode must gracefully match the
+// monolithic reference.
+std::string single_fn_nested_loops() {
+  std::ostringstream os;
+  os << k_input_preamble;
+  os << "int main(void) {\n  int v = input[0];\n";
+  os << "  { int a; int b; int c;\n";
+  os << "    for (a = 0; a < 4; a++) {\n";
+  os << "      for (b = 0; b < 3; b++) {\n";
+  os << "        for (c = 0; c < 5; c++) { v += data[(v + a + b + c) & 15]; }\n";
+  os << "      }\n    }\n  }\n";
+  for (int n = 0; n < 6; ++n) {
+    os << "  { int o" << n << "; int p" << n << ";\n";
+    os << "    for (o" << n << " = 0; o" << n << " < " << (3 + n % 3) << "; o" << n
+       << "++) {\n";
+    os << "      for (p" << n << " = 0; p" << n << " < " << (4 + n % 2) << "; p" << n
+       << "++) { v += data[(v + o" << n << " + p" << n << ") & 15]; }\n";
+    os << "    }\n  }\n";
+  }
+  os << "  return v;\n}\n";
+  return os.str();
+}
+
+// A long if/else-if ladder with loop work in every arm: each else
+// block is a fresh single-pred branch head, so SESE regions can nest
+// down the ladder.
+std::string single_fn_if_ladder(int rungs) {
+  std::ostringstream os;
+  os << k_input_preamble;
+  os << "int main(void) {\n  int v = input[0];\n";
+  for (int r = 0; r < rungs; ++r) {
+    os << (r == 0 ? "  if" : "  } else if") << " (input[" << (r % 8) << "] > " << (r * 3)
+       << ") {\n";
+    os << "    { int i" << r << "; for (i" << r << " = 0; i" << r << " < " << (4 + r % 4)
+       << "; i" << r << "++) { v += data[(v + i" << r << ") & 15]; } }\n";
+    os << "    { int j" << r << "; for (j" << r << " = 0; j" << r << " < " << (3 + r % 3)
+       << "; j" << r << "++) { v += data[(v + j" << r << ") & 15]; } }\n";
+  }
+  os << "  } else {\n    v += 1;\n  }\n";
+  os << "  return v;\n}\n";
+  return os.str();
+}
+
+// goto weaves a second entry into the loop (the paper's rule 14.4
+// scenario): the loop is irreducible, no automatic bound exists, and
+// every mode must degrade to the same missing-loop-bound obstruction
+// instead of crashing or diverging.
+std::string single_fn_irreducible() {
+  std::ostringstream os;
+  os << k_input_preamble;
+  os << "int main(void) {\n  int v = input[0];\n  int s = 0;\n";
+  os << "  { int i; for (i = 0; i < 6; i++) { v += data[(v + i) & 15]; } }\n";
+  os << "  if (v > 20) goto mid;\n";
+  os << "head:\n  s += data[s & 15];\n";
+  os << "mid:\n  s += 2;\n";
+  os << "  if (s < 50) goto head;\n";
+  os << "  { int j; for (j = 0; j < 5; j++) { v += data[(v + j) & 15]; } }\n";
+  for (int n = 0; n < 5; ++n) {
+    os << "  { int k" << n << "; for (k" << n << " = 0; k" << n << " < " << (4 + n)
+       << "; k" << n << "++) { v += data[(v + k" << n << ") & 15]; } }\n";
+  }
+  os << "  return v + s;\n}\n";
+  return os.str();
+}
+
 // The same callee reached from two different call sites: two instances,
 // each its own candidate subtree.
 std::string repeated_callee() {
@@ -208,6 +304,14 @@ std::vector<Shape> shapes() {
   all.push_back({"coupled_never", conditional_fan(), "never at \"h3\"\n", "", true});
   all.push_back({"coupled_cap_on_chain", deep_chain(8, 2),
                  "flow at \"f6\" <= 1\n", "", true, /*expect_flat=*/false});
+  // Single-function shapes: decomposition below call granularity. The
+  // diamond and ladder shapes decompose through SESE regions (flat
+  // keeps them too — they are top-level subs, not nested children);
+  // the loop-nest shape has no eligible region and must fall back to
+  // the monolithic reference cleanly.
+  all.push_back({"single_fn_diamonds", single_fn_diamonds(5), "", "", true});
+  all.push_back({"single_fn_if_ladder", single_fn_if_ladder(8), "", "", true});
+  all.push_back({"single_fn_nested_loops", single_fn_nested_loops(), "", "", false});
   return all;
 }
 
@@ -239,6 +343,12 @@ void expect_identical_reports(const WcetReport& a, const WcetReport& b,
   EXPECT_EQ(a.ipet_regions, b.ipet_regions) << what;
   EXPECT_EQ(a.ipet_sub_ilps, b.ipet_sub_ilps) << what;
   EXPECT_EQ(a.ipet_depth, b.ipet_depth) << what;
+  // Solver telemetry is part of the determinism contract too: the same
+  // plan must run the same pivots regardless of worker count.
+  EXPECT_EQ(a.sese_regions, b.sese_regions) << what;
+  EXPECT_EQ(a.phase1_pivots, b.phase1_pivots) << what;
+  EXPECT_EQ(a.phase2_pivots, b.phase2_pivots) << what;
+  EXPECT_EQ(a.crash_basis_rows, b.crash_basis_rows) << what;
 }
 
 TEST(IpetDecompositionDifferential, AllModesAgreeOnEveryShape) {
@@ -310,6 +420,66 @@ TEST(IpetDecompositionDifferential, FlowFactsOnlyPinTouchedSubtrees) {
       << "a single flow cap must not disable decomposition wholesale";
   EXPECT_LT(with_cap.ipet_regions, plain.ipet_regions)
       << "the capped subtree must be pinned out of the plan";
+}
+
+TEST(IpetDecompositionDifferential, CrashBasisSkipsPhaseOneWithoutFacts) {
+  // Every region of a fact-free system is a pure flow network, so the
+  // crash basis must start phase 2 immediately — in every mode.
+  for (const Shape& shape : shapes()) {
+    if (!shape.annotations.empty()) continue; // fact rows may need phase 1
+    SCOPED_TRACE(shape.name);
+    for (const auto mode :
+         {analysis::IpetDecomposition::monolithic, analysis::IpetDecomposition::flat,
+          analysis::IpetDecomposition::recursive}) {
+      const WcetReport report = analyze_shape(shape, 1, mode);
+      ASSERT_TRUE(report.ok) << report.to_string();
+      EXPECT_EQ(report.phase1_pivots, 0u)
+          << "mode " << static_cast<int>(mode) << ": " << report.to_string();
+      EXPECT_GT(report.crash_basis_rows, 0u) << "mode " << static_cast<int>(mode);
+    }
+  }
+}
+
+TEST(IpetDecompositionDifferential, SingleFunctionSeseDecomposition) {
+  // A call-free function can only decompose through SESE regions: the
+  // diamond shape must produce at least one, with the bound identical
+  // to the monolithic reference.
+  const Shape shape{"diamonds", single_fn_diamonds(5), "", "", true};
+  const WcetReport monolithic =
+      analyze_shape(shape, 1, analysis::IpetDecomposition::monolithic);
+  const WcetReport recursive =
+      analyze_shape(shape, 1, analysis::IpetDecomposition::recursive);
+  ASSERT_TRUE(monolithic.ok) << monolithic.to_string();
+  ASSERT_TRUE(recursive.ok) << recursive.to_string();
+  EXPECT_EQ(recursive.wcet_cycles, monolithic.wcet_cycles);
+  EXPECT_EQ(recursive.bcet_cycles, monolithic.bcet_cycles);
+  EXPECT_GT(recursive.sese_regions, 0)
+      << "no SESE region found in a shape built to have them:\n"
+      << recursive.to_string();
+  EXPECT_GT(recursive.ipet_regions, 0);
+  EXPECT_EQ(monolithic.sese_regions, 0);
+}
+
+TEST(IpetDecompositionDifferential, IrreducibleRegionDegradesIdentically) {
+  // goto-induced irreducible loop: no automatic bound exists, so every
+  // mode must report the same missing-loop-bound obstruction — the
+  // planner and crash-basis construction must not crash or diverge on
+  // the unstructured flow.
+  const Shape shape{"irreducible", single_fn_irreducible(), "", "", false};
+  const WcetReport monolithic =
+      analyze_shape(shape, 1, analysis::IpetDecomposition::monolithic);
+  const WcetReport flat = analyze_shape(shape, 1, analysis::IpetDecomposition::flat);
+  const WcetReport recursive =
+      analyze_shape(shape, 1, analysis::IpetDecomposition::recursive);
+  EXPECT_FALSE(monolithic.ok);
+  EXPECT_FALSE(monolithic.obstructions.empty());
+  EXPECT_EQ(flat.ok, monolithic.ok);
+  EXPECT_EQ(recursive.ok, monolithic.ok);
+  EXPECT_EQ(flat.obstructions, monolithic.obstructions);
+  EXPECT_EQ(recursive.obstructions, monolithic.obstructions);
+  EXPECT_EQ(flat.wcet_cycles, monolithic.wcet_cycles);
+  EXPECT_EQ(recursive.wcet_cycles, monolithic.wcet_cycles);
+  EXPECT_GT(monolithic.irreducible_loops, 0);
 }
 
 TEST(IpetDecompositionDifferential, BitIdenticalAcrossThreadCounts) {

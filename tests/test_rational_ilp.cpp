@@ -370,6 +370,112 @@ TEST(Ilp, SparseTableauMemoryShape) {
   EXPECT_LT(s.tableau_nnz * 4, s.tableau_rows * s.tableau_cols);
 }
 
+// A diamond flow network shaped like the systems IPET emits for a
+// pure-flow (fact-free) region:
+//
+//     src -> a -> { b | c } -> d -> sink        (sink row: sink == 1)
+//
+// Variables are edge counts; balance rows follow build_region's form
+// (inflow - outflow == -src at the entry, == 0 elsewhere) plus the
+// sink-sum row. Returns the problem and, via `hint`, a crash basis: a
+// spanning tree of the flow network containing the directed unit path
+// src..sink, ordered leaf-to-root so each elimination hits a +/-1 cell.
+IlpProblem diamond_flow(std::vector<std::pair<int, int>>* hint) {
+  IlpProblem p;
+  const int ab = p.add_variable("a_b");
+  const int ac = p.add_variable("a_c");
+  const int bd = p.add_variable("b_d");
+  const int cd = p.add_variable("c_d");
+  const int dx = p.add_variable("d_sink");
+  p.set_objective(ab, 3);
+  p.set_objective(ac, 7);
+  p.set_objective(bd, 2);
+  p.set_objective(cd, 1);
+  p.set_objective(dx, 5);
+  // Row 0, balance at a: -(ab + ac) == -1 (source injects one unit).
+  p.add_constraint({{ab, Rational(-1)}, {ac, Rational(-1)}}, Cmp::eq, Rational(-1));
+  // Row 1, balance at b: ab - bd == 0.
+  p.add_constraint({{ab, Rational(1)}, {bd, Rational(-1)}}, Cmp::eq, Rational(0));
+  // Row 2, balance at c: ac - cd == 0.
+  p.add_constraint({{ac, Rational(1)}, {cd, Rational(-1)}}, Cmp::eq, Rational(0));
+  // Row 3, balance at d: bd + cd - dx == 0.
+  p.add_constraint({{bd, Rational(1)}, {cd, Rational(1)}, {dx, Rational(-1)}}, Cmp::eq,
+                   Rational(0));
+  // Row 4, sink sum: dx == 1.
+  p.add_constraint({{dx, Rational(1)}}, Cmp::eq, Rational(1));
+  if (hint != nullptr) {
+    // Spanning tree {ab, bd, dx, ac} of the five balance/sink rows; the
+    // ac arc hangs off row 2 (a leaf), the unit path a->b->d->sink
+    // covers rows 0/1/3 with its arcs and row 4 with the sink arc. Row
+    // ordering is leaf-to-root toward the sink-sum row.
+    *hint = {{2, ac}, {0, ab}, {1, bd}, {3, dx}};
+  }
+  return p;
+}
+
+TEST(Ilp, CrashBasisSkipsPhaseOne) {
+  // With a spanning-tree crash basis the solver must enter phase 2
+  // directly: zero phase-1 pivots, identical optimum to the cold solve.
+  std::vector<std::pair<int, int>> hint;
+  IlpProblem hinted = diamond_flow(&hint);
+  hinted.set_basis_hint(hint);
+  IlpProblem cold = diamond_flow(nullptr);
+
+  const LpSolution fast = hinted.solve_ilp();
+  const LpSolution slow = cold.solve_ilp();
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  EXPECT_EQ(fast.objective, slow.objective);
+  EXPECT_EQ(fast.objective, Rational(13)); // ac + cd + dx = 7 + 1 + 5
+  EXPECT_EQ(fast.phase1_pivots, 0u);
+  EXPECT_EQ(fast.crash_basis_rows, 4u);
+  EXPECT_EQ(fast.phase2_pivots, fast.pivots_used);
+  // The cold solve needs phase-1 work for the same system and says so.
+  EXPECT_GT(slow.phase1_pivots, 0u);
+  EXPECT_EQ(slow.crash_basis_rows, 0u);
+  EXPECT_EQ(slow.phase1_pivots + slow.phase2_pivots, slow.pivots_used);
+}
+
+TEST(Ilp, CrashBasisPairSharesPhaseTwoEntry) {
+  // solve_ilp_pair off a crash basis: both senses inherit the feasible
+  // start, neither spends a phase-1 pivot, and the optima match two
+  // independent cold solves bit for bit.
+  std::vector<std::pair<int, int>> hint;
+  IlpProblem hinted = diamond_flow(&hint);
+  hinted.set_basis_hint(hint);
+  std::vector<Rational> negated;
+  for (int j = 0; j < hinted.num_variables(); ++j) negated.emplace_back(0);
+  negated[0] = Rational(-3);
+  negated[1] = Rational(-7);
+  negated[2] = Rational(-2);
+  negated[3] = Rational(-1);
+  negated[4] = Rational(-5);
+  const auto [wcet, bcet] = hinted.solve_ilp_pair(negated);
+  ASSERT_TRUE(wcet.ok());
+  ASSERT_TRUE(bcet.ok());
+  EXPECT_EQ(wcet.objective, Rational(13));
+  EXPECT_EQ(bcet.objective, Rational(-10)); // ab + bd + dx = 3 + 2 + 5
+  EXPECT_EQ(wcet.phase1_pivots, 0u);
+  EXPECT_EQ(bcet.phase1_pivots, 0u);
+  EXPECT_EQ(wcet.crash_basis_rows, 4u);
+}
+
+TEST(Ilp, CrashBasisIgnoredUnderBranchRows) {
+  // Branch & bound cold fallbacks carry extra rows the crash solution
+  // may violate; they must run the ordinary two-phase method. Forcing a
+  // fractional relaxation here is awkward with a pure unit flow, so
+  // this only pins that a hinted problem still produces correct ILP
+  // answers when B&B machinery engages via solve_ilp's limits path.
+  std::vector<std::pair<int, int>> hint;
+  IlpProblem hinted = diamond_flow(&hint);
+  hinted.set_basis_hint(hint);
+  SolveLimits limits;
+  limits.node_limit = 4;
+  const LpSolution s = hinted.solve_ilp(limits);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.objective, Rational(13));
+}
+
 TEST(Ilp, DumpContainsProblem) {
   IlpProblem p;
   const int x = p.add_variable("count_a");
