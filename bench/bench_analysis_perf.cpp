@@ -96,6 +96,23 @@ void BM_analyze_scaling(benchmark::State& state) {
   state.counters["phase2_pivots"] = static_cast<double>(last.phase2_pivots);
   state.counters["crash_basis_rows"] = static_cast<double>(last.crash_basis_rows);
   state.counters["sese_regions"] = static_cast<double>(last.sese_regions);
+  // Validation-oracle telemetry from one untimed validated run
+  // (AnalysisOptions::validate): oracle path count, whether the witness
+  // replayed on the simulator, and the tightness ratio of the stated
+  // WCET against the measured cycles. The replay and the oracle budgets
+  // are deterministic, so tightness_x1000 is a tracked number —
+  // bench/diff_bench.py fails the diff when it loosens by >5%.
+  {
+    AnalysisOptions validated = options;
+    validated.validate = true;
+    validated.validate_max_paths = 4000;
+    validated.validate_max_steps = 400'000;
+    const Analyzer analyzer(built.image, mem::typical_hw());
+    const WcetReport vr = analyzer.analyze(validated);
+    state.counters["paths_explored"] = static_cast<double>(vr.paths_explored);
+    state.counters["witness_replayed"] = vr.witness_replayed ? 1.0 : 0.0;
+    state.counters["tightness_x1000"] = static_cast<double>(vr.tightness_x1000);
+  }
 }
 BENCHMARK(BM_analyze_scaling)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 

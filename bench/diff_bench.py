@@ -28,9 +28,19 @@ construction; sese_regions: sub-function single-entry/single-exit
 regions split into their own sub-ILPs) are printed old -> new when
 present.
 
-Two hard gates beyond the oracle:
+Validation-oracle counters (paths_explored: complete paths costed by
+the exhaustive path-exploration oracle; witness_replayed: whether the
+ILP witness replayed on the simulator; tightness_x1000: stated WCET
+over measured cycles, x1000 — see src/validate) are printed when
+present, and tightness is gated: the replay is deterministic, so a
+looser ratio means the bound itself loosened.
+
+Three hard gates beyond the oracle:
   * a nonzero `degradations` counter in the new run fails the diff —
     the tracked numbers would describe a degraded analysis;
+  * `tightness_x1000` may not grow by more than 5% — a deterministic
+    replay measuring the same cycles under a >5% larger bound means
+    the analysis lost precision;
   * the GUARDED benchmarks' end-to-end time may not regress by more
     than 5% AND 2 ms — the budget/cancellation checkpoints ride the
     hottest loops, and their overhead is part of what this file
@@ -57,7 +67,14 @@ COUNTERS = [
     "budget_checks",
     "degradations",
     "cancel_latency_us",
+    "paths_explored",
+    "witness_replayed",
+    "tightness_x1000",
 ]
+
+# Allowed growth of tightness_x1000 (WCET over deterministic measured
+# cycles) before the diff fails: looser than this means lost precision.
+TIGHTNESS_RATIO = 1.05
 
 # Benchmarks whose end-to-end total is guarded against regression:
 # both real_time and cpu_time must stay within GUARD_RATIO of the
@@ -98,6 +115,7 @@ def main():
     mismatches = []
     degraded = []
     slow = []
+    loosened = []
     print(f"{'benchmark':<32} {'old ms':>12} {'new ms':>12} {'speedup':>8}  wcet_cycles")
     for name in shared:
         o, n = old[name], new[name]
@@ -109,6 +127,9 @@ def main():
         speedup = o_ms / n_ms if n_ms > 0 else float("inf")
         if n.get("degradations", 0) != 0:
             degraded.append(name)
+        o_t, n_t = o.get("tightness_x1000"), n.get("tightness_x1000")
+        if o_t and n_t and n_t > o_t * TIGHTNESS_RATIO:
+            loosened.append(f"{name} ({int(o_t)} -> {int(n_t)})")
         real_slow = n_ms > o_ms * GUARD_RATIO and n_ms - o_ms > GUARD_FLOOR_MS
         cpu_slow = n_cpu > o_cpu * GUARD_RATIO and n_cpu - o_cpu > GUARD_FLOOR_MS
         if name in GUARDED and real_slow and cpu_slow:
@@ -139,6 +160,11 @@ def main():
     if degraded:
         print(f"\ndiff_bench: FAIL — degradations recorded in unlimited-budget run: "
               f"{', '.join(degraded)}")
+        return 1
+    if loosened:
+        print(f"\ndiff_bench: FAIL — tightness_x1000 regressed past "
+              f"{TIGHTNESS_RATIO:.2f}x (bound loosened vs deterministic replay): "
+              f"{'; '.join(loosened)}")
         return 1
     if slow:
         print(f"\ndiff_bench: FAIL — guarded benchmark regressed past "

@@ -32,11 +32,14 @@ fi
 
 echo "wrote $bench_json"
 
-# The COW cache-state counters are part of the tracked perf surface: a
-# fresh run that silently stops recording them would hide state-sharing
-# regressions from every future diff — fail loudly instead.
+# The COW cache-state and validation-oracle counters are part of the
+# tracked perf surface: a fresh run that silently stops recording them
+# would hide state-sharing or bound-tightness regressions from every
+# future diff (diff_bench.py fails when tightness_x1000 grows >5%) —
+# fail loudly instead.
 for counter in cache_joins cache_join_skips set_image_allocs live_set_images_peak \
-               budget_checks degradations cancel_latency_us; do
+               budget_checks degradations cancel_latency_us \
+               paths_explored witness_replayed tightness_x1000; do
   if ! grep -q "\"$counter\"" "$bench_json"; then
     echo "error: counter '$counter' missing from fresh bench run" >&2
     if [ -n "$prev_json" ]; then

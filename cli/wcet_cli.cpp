@@ -46,6 +46,8 @@ void print_usage(std::ostream& os) {
         "  --threads N               worker threads (default 1; results identical)\n"
         "  --decomposition MODE      ipet split: monolithic | flat | recursive\n"
         "  --ipet-mode MODE          alias for --decomposition\n"
+        "  --validate                run the independent path-exploration oracle and\n"
+        "                            witness replay against the computed bounds\n"
         "  --deadline-ms N           wall-clock budget; exceeding it degrades soundly\n"
         "  --budget-value-visits N   value-analysis fixpoint node-visit budget\n"
         "  --budget-cache-visits N   cache-analysis fixpoint node-visit budget\n"
@@ -120,6 +122,8 @@ CliArgs parse_args(int argc, char** argv) {
         throw wcet::InputError(arg + " expects monolithic|flat|recursive, got '" + mode +
                                "'");
       }
+    } else if (arg == "--validate") {
+      args.options.validate = true;
     } else if (arg == "--deadline-ms") {
       args.options.budget.deadline_ms = parse_u64(arg, value_of(i, arg));
     } else if (arg == "--budget-value-visits") {
@@ -159,6 +163,20 @@ int run(int argc, char** argv) {
       args.function.empty() ? analyzer.analyze(args.options)
                             : analyzer.analyze_function(args.function, args.options);
   std::cout << report.to_string();
+
+  // --validate promotes an oracle contradiction to the internal-error
+  // exit: a measured or enumerated execution outside the stated bounds
+  // means an analyzer invariant (soundness) broke.
+  if (report.ok && report.validated) {
+    const bool oracle_violation = report.paths_explored > 0 && !report.oracle_bracket_ok;
+    const bool witness_invalid = report.witness_checked && !report.witness_valid;
+    const bool replay_outside =
+        report.witness_replayed && (report.measured_cycles > report.wcet_cycles ||
+                                    report.measured_cycles < report.bcet_cycles);
+    if (oracle_violation || witness_invalid || replay_outside) {
+      throw wcet::InternalError("validation oracle contradicts the computed bounds");
+    }
+  }
   return report.ok ? kExitOk : kExitNoBound;
 }
 

@@ -59,7 +59,9 @@ if(failures EQUAL 0)
       "WCET_FAULT_INJECT"
       "tier1-faults"
       "budget_checks"
-      "cancel_latency_us")
+      "cancel_latency_us"
+      "--validate"
+      "tightness_x1000")
   require_content(docs/ARCHITECTURE.md
       "pass_manager.hpp"
       "AnalysisContext"
@@ -89,7 +91,11 @@ if(failures EQUAL 0)
       "CancelledError"
       "record_node_conservative"
       "WCET_FAULT_POINT"
-      "Degradation")
+      "Degradation"
+      "PathOracle"
+      "path-exploration oracle"
+      "witness replay"
+      "witness_available")
   # The bench entry points docs refer to must exist.
   require_file(bench/run_bench.sh)
   require_file(bench/diff_bench.py)

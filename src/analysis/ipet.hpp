@@ -65,7 +65,9 @@ struct IpetResult {
   // True when any region solve was truncated by a pivot/node budget:
   // `bound` is then the best *proven* bound (still a true WCET upper /
   // BCET lower bound), but no integral path witness exists — the
-  // witness-bearing `node_counts` of truncated regions stay empty.
+  // witness-bearing `node_counts` of truncated regions stay empty, and
+  // witness_available() below is the explicit signal callers must
+  // branch on instead of probing the map for emptiness.
   bool degraded = false;
   std::uint64_t bound = 0;
   int variables = 0;
@@ -84,6 +86,12 @@ struct IpetResult {
   std::vector<int> loops_missing_bounds;
 
   bool ok() const { return status == Status::ok; }
+  // The extremal-path witness contract made explicit: a usable
+  // `node_counts` witness exists only for an exact (non-degraded) ok
+  // solve. Degraded solves prove a bound without an integral incumbent,
+  // so downstream consumers (witness replay, reporting) must classify
+  // them as "no witness" rather than silently reading an empty map.
+  bool witness_available() const { return ok() && !degraded && !node_counts.empty(); }
 };
 
 class Ipet {

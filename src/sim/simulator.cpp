@@ -273,6 +273,12 @@ SimResult Simulator::run_from(std::uint32_t pc, const SimOptions& options) {
     if (inst.is_conditional_branch() && taken) next_pc = inst.target(pc);
     result.cycles += mem::control_penalty(inst, taken, hw_.pipeline);
     pc = next_pc;
+
+    if (options.max_cycles != 0 && result.cycles >= options.max_cycles) {
+      result.stop = SimResult::Stop::cycle_limit;
+      result.trap_reason = "cycle limit reached";
+      return result;
+    }
   }
   result.stop = SimResult::Stop::step_limit;
   result.trap_reason = "step limit reached";

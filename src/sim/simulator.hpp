@@ -23,11 +23,15 @@ namespace wcet::sim {
 
 struct SimOptions {
   std::uint64_t max_steps = 50'000'000;
+  // 0 = unlimited. A nonzero cap stops the run (Stop::cycle_limit) once
+  // the accumulated cycle count reaches it — the witness-replay oracle
+  // (src/validate) caps runaway replays at a multiple of the WCET bound.
+  std::uint64_t max_cycles = 0;
   bool collect_exec_counts = false; // per-pc instruction execution counts
 };
 
 struct SimResult {
-  enum class Stop { halted, exited, trapped, step_limit };
+  enum class Stop { halted, exited, trapped, step_limit, cycle_limit };
   Stop stop = Stop::halted;
   std::uint32_t exit_code = 0;
   std::uint64_t instructions = 0;

@@ -1,0 +1,94 @@
+// Bounded exhaustive path-exploration oracle: an *independent* check of
+// the IPET bounds. It never touches the ILP — it enumerates structurally
+// feasible supergraph paths directly (loop bounds cap iteration counts,
+// flow facts prune infeasible count vectors) and costs each path with
+// the same per-node [lb, ub] timing recipes and per-edge extras the
+// path analysis folds into its objectives. For any subset of the
+// enumerable paths
+//
+//   max explored path cost <= WCET bound
+//   BCET bound <= min explored path cost
+//
+// must hold, because every enumerated path induces a count vector that
+// is feasible for the ILP (see the soundness note in path_oracle.cpp).
+// So the bracket assertion stays sound even when the path/step budget
+// truncates the enumeration — truncation only weakens how *tight* the
+// bracket is, never its validity.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "analysis/pipeline_analysis.hpp"
+#include "annot/annotations.hpp"
+#include "cfg/domloop.hpp"
+#include "cfg/supergraph.hpp"
+
+namespace wcet::validate {
+
+struct PathOracleOptions {
+  PathOracleOptions() {}
+  // The same inputs the IPET solve constrained paths with
+  // (analysis::IpetOptions): loop bounds and the Section-4.3 flow facts.
+  std::map<int, std::uint64_t> loop_bounds; // loop id -> max back edges per entry
+  std::vector<annot::FlowCapFact> flow_caps;
+  std::vector<annot::FlowRatioFact> flow_ratios;
+  std::vector<annot::InfeasiblePairFact> infeasible_pairs;
+  std::set<std::uint32_t> excluded_addrs;
+  // Enumeration budgets, per sweep. Path enumeration is worst-case
+  // exponential; the budgets keep the oracle usable on any input, and
+  // truncation is sound (see file comment).
+  std::uint64_t max_paths = 50'000;
+  std::uint64_t max_steps = 2'000'000; // edge traversals (incl. backtracked)
+  // Called every few thousand steps; hook for the analysis governor's
+  // cancellation checkpoint (may throw CancelledError).
+  std::function<void()> checkpoint;
+};
+
+struct PathOracleResult {
+  enum class Status {
+    complete,            // every feasible path enumerated within budget
+    truncated,           // budget hit: max/min cover a sound subset only
+    missing_loop_bounds, // a reachable feasible loop carries no bound
+    no_paths,            // no complete entry->exit path found
+  };
+  Status status = Status::no_paths;
+  std::uint64_t paths_explored = 0; // complete entry->exit paths costed
+  std::uint64_t steps = 0;          // edge traversals across both sweeps
+  std::uint64_t dead_ends = 0;      // abandoned prefixes (pruned or stuck)
+  std::uint64_t max_path_cost = 0;  // over explored paths, ub-costed
+  std::uint64_t min_path_cost = 0;  // over explored paths, lb-costed
+  std::vector<int> loops_missing_bounds;
+
+  bool complete() const { return status == Status::complete; }
+  // True when the bracket assertion is meaningful (>= 1 path costed).
+  bool usable() const { return paths_explored > 0; }
+};
+
+class PathOracle {
+public:
+  // `edge_feasible` mirrors the value-analysis feasibility filter the
+  // ILP builds its edge variables from (ValueAnalysis::edge_feasible);
+  // an empty function treats every edge as feasible.
+  using EdgeFeasible = std::function<bool(int)>;
+
+  PathOracle(const cfg::Supergraph& sg, const cfg::LoopForest& loops,
+             const analysis::PipelineAnalysis& pipeline, EdgeFeasible edge_feasible = {});
+
+  // Two budgeted depth-first sweeps from the task entry: one biased
+  // toward expensive successors (sharpens max_path_cost), one toward
+  // cheap ones (sharpens min_path_cost). If the first sweep completes,
+  // the enumeration was exhaustive and the second is skipped.
+  PathOracleResult explore(const PathOracleOptions& options) const;
+
+private:
+  const cfg::Supergraph& sg_;
+  const cfg::LoopForest& loops_;
+  const analysis::PipelineAnalysis& pipeline_;
+  EdgeFeasible edge_feasible_;
+};
+
+} // namespace wcet::validate

@@ -1,0 +1,214 @@
+#include "validate/witness_replay.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace wcet::validate {
+
+namespace {
+
+// Loop-event tables of the witness walk — same construction as the path
+// oracle's (see path_oracle.cpp), kept local because the walk needs
+// nothing else from it.
+struct LoopTables {
+  std::vector<std::vector<int>> entry_of; // edge -> loops it enters
+  std::vector<std::vector<int>> back_of;  // edge -> loops it closes
+  std::vector<std::int64_t> bound;        // per loop, -1 = absent
+};
+
+LoopTables build_loop_tables(const cfg::Supergraph& sg, const cfg::LoopForest& loops,
+                             const std::map<int, std::uint64_t>& loop_bounds) {
+  LoopTables tables;
+  tables.entry_of.resize(sg.edges().size());
+  tables.back_of.resize(sg.edges().size());
+  tables.bound.assign(loops.loops().size(), -1);
+  for (const cfg::Loop& loop : loops.loops()) {
+    for (const int eid : loop.entry_edges) {
+      tables.entry_of[static_cast<std::size_t>(eid)].push_back(loop.id);
+    }
+    for (const int eid : loop.back_edges) {
+      tables.back_of[static_cast<std::size_t>(eid)].push_back(loop.id);
+    }
+    const auto it = loop_bounds.find(loop.id);
+    if (it != loop_bounds.end()) {
+      tables.bound[static_cast<std::size_t>(loop.id)] = static_cast<std::int64_t>(it->second);
+    }
+  }
+  return tables;
+}
+
+} // namespace
+
+WitnessCheck check_witness(const cfg::Supergraph& sg, const cfg::LoopForest& loops,
+                           const std::map<int, std::uint64_t>& loop_bounds,
+                           const std::map<int, std::uint64_t>& node_counts,
+                           const std::function<bool(int)>& edge_feasible,
+                           std::uint64_t max_steps) {
+  WitnessCheck check;
+
+  const std::size_t n = sg.nodes().size();
+  std::vector<std::uint64_t> remaining(n, 0);
+  std::uint64_t total = 0;
+  for (const auto& [node, count] : node_counts) {
+    if (node < 0 || static_cast<std::size_t>(node) >= n) {
+      check.status = WitnessCheck::Status::invalid;
+      check.detail = "witness names a node outside the supergraph";
+      return check;
+    }
+    remaining[static_cast<std::size_t>(node)] = count;
+    total += count;
+  }
+  if (total == 0) {
+    check.status = WitnessCheck::Status::no_witness;
+    check.detail = "empty witness";
+    return check;
+  }
+
+  std::vector<char> is_exit(n, 0);
+  for (const int node : sg.exit_nodes()) is_exit[static_cast<std::size_t>(node)] = 1;
+
+  const int entry = sg.entry_node();
+  if (remaining[static_cast<std::size_t>(entry)] == 0) {
+    check.status = WitnessCheck::Status::invalid;
+    check.detail = "witness does not execute the task entry node";
+    return check;
+  }
+
+  const LoopTables tables = build_loop_tables(sg, loops, loop_bounds);
+  std::vector<std::uint64_t> entries(tables.bound.size(), 0);
+  std::vector<std::uint64_t> backs(tables.bound.size(), 0);
+
+  const auto feasible = [&](int eid) { return !edge_feasible || edge_feasible(eid); };
+
+  // Prefix-wise loop-bound admission, identical to the path oracle's.
+  const auto try_edge = [&](int eid) {
+    const auto id = static_cast<std::size_t>(eid);
+    for (const int l : tables.entry_of[id]) ++entries[static_cast<std::size_t>(l)];
+    for (const int l : tables.back_of[id]) {
+      const auto loop = static_cast<std::size_t>(l);
+      if (tables.bound[loop] < 0 ||
+          backs[loop] + 1 >
+              static_cast<std::uint64_t>(tables.bound[loop]) * entries[loop]) {
+        for (const int undo : tables.entry_of[id]) --entries[static_cast<std::size_t>(undo)];
+        return false;
+      }
+    }
+    for (const int l : tables.back_of[id]) ++backs[static_cast<std::size_t>(l)];
+    return true;
+  };
+  const auto undo_edge = [&](int eid) {
+    const auto id = static_cast<std::size_t>(eid);
+    for (const int l : tables.back_of[id]) --backs[static_cast<std::size_t>(l)];
+    for (const int l : tables.entry_of[id]) --entries[static_cast<std::size_t>(l)];
+  };
+
+  struct Frame {
+    int node = -1;
+    int edge_in = -1;
+    std::vector<int> candidates;
+    std::size_t next = 0;
+  };
+  // Candidate order: largest remaining multiplicity first — on
+  // structured flow this walks loops before their exits, which is where
+  // the remaining iterations are, and keeps backtracking rare.
+  const auto push_frame = [&](std::vector<Frame>& stack, int node, int edge_in) {
+    --remaining[static_cast<std::size_t>(node)];
+    --total;
+    Frame frame;
+    frame.node = node;
+    frame.edge_in = edge_in;
+    for (const int eid : sg.node(node).succ_edges) {
+      if (feasible(eid)) frame.candidates.push_back(eid);
+    }
+    std::sort(frame.candidates.begin(), frame.candidates.end(), [&](int a, int b) {
+      const std::uint64_t ra = remaining[static_cast<std::size_t>(sg.edge(a).to)];
+      const std::uint64_t rb = remaining[static_cast<std::size_t>(sg.edge(b).to)];
+      if (ra != rb) return ra > rb;
+      return a < b;
+    });
+    stack.push_back(std::move(frame));
+  };
+
+  std::vector<Frame> stack;
+  push_frame(stack, entry, -1);
+  if (total == 0 && is_exit[static_cast<std::size_t>(entry)]) {
+    check.status = WitnessCheck::Status::valid;
+    return check;
+  }
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    bool descended = false;
+    while (frame.next < frame.candidates.size()) {
+      if (check.steps >= max_steps) {
+        check.status = WitnessCheck::Status::budget_exhausted;
+        check.detail = "witness walk budget exhausted before a verdict";
+        return check;
+      }
+      const int eid = frame.candidates[frame.next++];
+      ++check.steps;
+      const int to = sg.edge(eid).to;
+      if (remaining[static_cast<std::size_t>(to)] == 0) continue;
+      if (!try_edge(eid)) continue;
+      push_frame(stack, to, eid);
+      if (total == 0 && is_exit[static_cast<std::size_t>(to)]) {
+        check.status = WitnessCheck::Status::valid;
+        return check;
+      }
+      descended = true;
+      break;
+    }
+    if (descended) continue;
+    ++remaining[static_cast<std::size_t>(frame.node)];
+    ++total;
+    if (frame.edge_in >= 0) undo_edge(frame.edge_in);
+    stack.pop_back();
+  }
+
+  check.status = WitnessCheck::Status::invalid;
+  check.detail = "witness counts admit no feasible entry->exit path under the loop bounds";
+  return check;
+}
+
+ReplayResult replay_measured(const isa::Image& image, const mem::HwConfig& hw,
+                             const ReplayOptions& options) {
+  sim::Simulator simulator(image, hw);
+  sim::SimOptions sim_options;
+  sim_options.max_steps = options.max_steps;
+  sim_options.max_cycles = options.max_cycles;
+  const sim::SimResult run = simulator.run(sim_options);
+
+  ReplayResult result;
+  result.measured_cycles = run.cycles;
+  result.instructions = run.instructions;
+  switch (run.stop) {
+  case sim::SimResult::Stop::halted:
+  case sim::SimResult::Stop::exited:
+    result.status = ReplayResult::Status::replayed;
+    break;
+  case sim::SimResult::Stop::trapped:
+    result.status = ReplayResult::Status::trapped;
+    result.reason = "replay trapped: " + run.trap_reason;
+    break;
+  case sim::SimResult::Stop::step_limit: {
+    result.status = ReplayResult::Status::budget_exhausted;
+    std::ostringstream os;
+    os << "replay hit the step cap (" << options.max_steps << " instructions)";
+    result.reason = os.str();
+    break;
+  }
+  case sim::SimResult::Stop::cycle_limit: {
+    result.status = ReplayResult::Status::budget_exhausted;
+    std::ostringstream os;
+    os << "replay hit the cycle cap (" << options.max_cycles << " cycles)";
+    result.reason = os.str();
+    break;
+  }
+  }
+  return result;
+}
+
+} // namespace wcet::validate

@@ -1,0 +1,87 @@
+// Witness extraction + replay: the second independent oracle.
+//
+// The ILP exports an extremal path witness as per-node execution counts
+// (IpetResult::node_counts). `check_witness` lifts those counts into a
+// concrete path — a backtracking walk over feasible CFG edges that
+// consumes exactly the witnessed multiplicities and ends at a task exit
+// while respecting every loop bound prefix-wise — proving the witness
+// is structurally realizable, not just an LP-feasible count vector.
+//
+// `replay_measured` then runs the analyzed binary on the cycle-accurate
+// simulator (sim/simulator.hpp) with default device inputs. Any
+// completed concrete execution is a true lower bound on the WCET, so
+//
+//   BCET bound <= measured cycles <= WCET bound
+//
+// must hold, and `tightness = wcet_bound / measured` quantifies how
+// much of the bound is over-approximation on this input.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "cfg/domloop.hpp"
+#include "cfg/supergraph.hpp"
+#include "isa/image.hpp"
+#include "mem/hwmodel.hpp"
+
+namespace wcet::validate {
+
+struct WitnessCheck {
+  enum class Status {
+    valid,            // a concrete path realizes the witnessed counts
+    invalid,          // no CFG path can realize them (analyzer bug)
+    budget_exhausted, // walk budget ran out before a verdict: unverified
+    no_witness,       // empty count map (degraded or failed solve)
+  };
+  Status status = Status::no_witness;
+  std::string detail;
+  std::uint64_t steps = 0;
+
+  bool ok() const { return status == Status::valid; }
+  // True when the walk reached a verdict either way (valid / invalid) —
+  // budget exhaustion is a classified skip, not a verdict.
+  bool decided() const { return status == Status::valid || status == Status::invalid; }
+};
+
+// Search for an entry->exit walk over feasible edges visiting each node
+// exactly `node_counts[node]` times, honoring `loop_bounds` prefix-wise
+// (see path_oracle.cpp). `edge_feasible` empty = every edge feasible.
+WitnessCheck check_witness(const cfg::Supergraph& sg, const cfg::LoopForest& loops,
+                           const std::map<int, std::uint64_t>& loop_bounds,
+                           const std::map<int, std::uint64_t>& node_counts,
+                           const std::function<bool(int)>& edge_feasible = {},
+                           std::uint64_t max_steps = 1u << 22);
+
+struct ReplayOptions {
+  ReplayOptions() {}
+  std::uint64_t max_steps = 50'000'000;
+  // 0 = unlimited. Callers cap well *above* the WCET bound (e.g. 2x) so
+  // a genuinely unsound bound shows up as measured > wcet instead of
+  // being masked by the cap.
+  std::uint64_t max_cycles = 0;
+};
+
+struct ReplayResult {
+  enum class Status {
+    replayed,         // run completed (halt/exit): measured_cycles valid
+    trapped,          // simulator trap: reason classified
+    budget_exhausted, // step or cycle cap hit before completion
+  };
+  Status status = Status::budget_exhausted;
+  std::string reason; // classification when not replayed
+  std::uint64_t measured_cycles = 0;
+  std::uint64_t instructions = 0;
+
+  bool ok() const { return status == Status::replayed; }
+};
+
+// One concrete execution of the image from its entry under `hw`, with
+// the default MMIO model (device reads return 0) — deterministic, so
+// bench tightness counters are stable across runs.
+ReplayResult replay_measured(const isa::Image& image, const mem::HwConfig& hw,
+                             const ReplayOptions& options = {});
+
+} // namespace wcet::validate

@@ -105,6 +105,7 @@ WcetReport Analyzer::analyze_entry(std::uint32_t entry,
   report.timings.cache_ms = manager.timing_ms("cache");
   report.timings.pipeline_ms = manager.timing_ms("pipeline");
   report.timings.path_ms = manager.timing_ms("path");
+  report.timings.validate_ms = manager.timing_ms("validate");
   report.timings.total_ms = ms_since(t_total);
   return report;
 }
@@ -158,10 +159,36 @@ std::string WcetReport::to_string() const {
      << " sub-ILPs, depth " << ipet_depth << ", " << sese_regions << " SESE regions\n";
   os << "simplex: " << phase1_pivots << " phase-1 + " << phase2_pivots
      << " phase-2 pivots, " << crash_basis_rows << " crash-basis rows\n";
+  if (validated) {
+    if (paths_explored > 0) {
+      os << "validation: oracle " << paths_explored << " paths ("
+         << (oracle_complete ? "complete" : "truncated") << "), cost in ["
+         << oracle_min_path_cost << ", " << oracle_max_path_cost << "] vs bounds ["
+         << bcet_cycles << ", " << wcet_cycles << "] => "
+         << (oracle_bracket_ok ? "bracket OK" : "BRACKET VIOLATED") << '\n';
+    }
+    if (ok) {
+      os << "validation: witness "
+         << (witness_checked ? (witness_valid ? "valid" : "INVALID")
+                             : (witness_available ? "unverified" : "unavailable"));
+      if (witness_replayed) {
+        os << ", replayed " << measured_cycles << " cycles, tightness (wcet/measured) = "
+           << tightness_x1000 / 1000 << '.';
+        const std::uint64_t frac = tightness_x1000 % 1000;
+        os << (frac < 100 ? "0" : "") << (frac < 10 ? "0" : "") << frac;
+      }
+      os << '\n';
+    }
+    if (!validation_skipped.empty()) {
+      os << "validation skipped: " << validation_skipped << '\n';
+    }
+  }
   os << "timings (ms): decode " << timings.decode_ms << ", value " << timings.value_ms
      << ", loop " << timings.loop_ms << ", cache " << timings.cache_ms << ", pipeline "
      << timings.pipeline_ms << ", path " << timings.path_ms << " (ilp "
-     << timings.ilp_ms << "), total " << timings.total_ms << '\n';
+     << timings.ilp_ms << ")";
+  if (validated) os << ", validate " << timings.validate_ms;
+  os << ", total " << timings.total_ms << '\n';
   return os.str();
 }
 

@@ -53,6 +53,15 @@ struct AnalysisOptions {
   // WcetReport::degradations; a fired cancel token aborts the analysis
   // with CancelledError.
   AnalysisBudget budget;
+  // Independent-oracle validation (src/validate): run a bounded
+  // exhaustive path-exploration oracle against the computed bounds and
+  // replay the task on the cycle-accurate simulator for a measured
+  // lower bound. Fills the validation block of WcetReport; never
+  // changes the computed bounds. The budgets are per oracle sweep;
+  // truncated sweeps keep the bracket sound (see validate/path_oracle).
+  bool validate = false;
+  std::uint64_t validate_max_paths = 50'000;
+  std::uint64_t validate_max_steps = 2'000'000;
 };
 
 struct LoopInfo {
@@ -73,6 +82,7 @@ struct PhaseTimings {
   double pipeline_ms = 0;
   double path_ms = 0;
   double ilp_ms = 0; // inside path_ms: wall time of the WCET+BCET ILP solves
+  double validate_ms = 0; // oracle validation (only with AnalysisOptions::validate)
   double total_ms = 0;
 };
 
@@ -121,6 +131,27 @@ struct WcetReport {
   std::uint64_t crash_basis_rows = 0;
   std::vector<LoopInfo> loops;
   PhaseTimings timings;
+
+  // Path-analysis witness contract (analysis/ipet.hpp): true when the
+  // ILP produced an integral extremal-path witness. Degraded solves
+  // prove a bound without one — consumers branch on this flag instead
+  // of inferring availability from an empty wcet_block_counts map.
+  bool witness_available = false;
+
+  // Independent-oracle validation block (src/validate), populated only
+  // when AnalysisOptions::validate is set.
+  bool validated = false;             // the validation pass ran
+  std::string validation_skipped;     // classified reasons for skipped legs
+  std::uint64_t paths_explored = 0;   // complete paths costed by the oracle
+  bool oracle_complete = false;       // enumeration finished within budget
+  bool oracle_bracket_ok = false;     // max<=wcet and bcet<=min held
+  std::uint64_t oracle_max_path_cost = 0;
+  std::uint64_t oracle_min_path_cost = 0;
+  bool witness_checked = false;       // witness walk reached a verdict
+  bool witness_valid = false;         // ... and the witness is realizable
+  bool witness_replayed = false;      // simulator replay completed
+  std::uint64_t measured_cycles = 0;  // replayed cycles (true lower bound)
+  std::uint64_t tightness_x1000 = 0;  // wcet_cycles * 1000 / measured_cycles
 
   // Execution counts on the worst-case path, summed per block address.
   std::map<std::uint32_t, std::uint64_t> wcet_block_counts;

@@ -7,6 +7,8 @@
 #include "support/cow.hpp"
 #include "support/fault_inject.hpp"
 #include "support/thread_pool.hpp"
+#include "validate/path_oracle.hpp"
+#include "validate/witness_replay.hpp"
 
 namespace wcet {
 
@@ -234,6 +236,27 @@ public:
   }
 };
 
+// The exact option set path analysis solves with — shared with the
+// validation pass so both oracles constrain paths with precisely the
+// loop bounds and flow facts the ILP saw, never a re-derivation.
+analysis::IpetOptions ipet_options_for(const AnalysisContext& ctx) {
+  analysis::IpetOptions ipet_options;
+  ipet_options.loop_bounds = ctx.merged_bounds;
+  ipet_options.decomposition = ctx.options.decomposition;
+  ipet_options.governor = ctx.governor;
+  if (ctx.options.use_annotations) {
+    for (const annot::FlowCapFact& cap : ctx.annotations.flow_caps) {
+      if (cap.mode.empty() || cap.mode == ctx.options.mode) {
+        ipet_options.flow_caps.push_back(cap);
+      }
+    }
+    ipet_options.flow_ratios = ctx.annotations.flow_ratios;
+    ipet_options.infeasible_pairs = ctx.annotations.infeasible_pairs;
+    ipet_options.excluded_addrs = ctx.annotations.excluded_addrs(ctx.options.mode);
+  }
+  return ipet_options;
+}
+
 // ------------------------------------------------------------------ path
 class PathPass : public AnalysisPass {
 public:
@@ -249,20 +272,7 @@ public:
     WcetReport& report = ctx.report;
     analysis::Ipet ipet(supergraph, *ctx.forest, *ctx.values, *ctx.pipeline);
     ipet.set_pool(ctx.pool);
-    analysis::IpetOptions ipet_options;
-    ipet_options.loop_bounds = ctx.merged_bounds;
-    ipet_options.decomposition = ctx.options.decomposition;
-    ipet_options.governor = ctx.governor;
-    if (ctx.options.use_annotations) {
-      for (const annot::FlowCapFact& cap : ctx.annotations.flow_caps) {
-        if (cap.mode.empty() || cap.mode == ctx.options.mode) {
-          ipet_options.flow_caps.push_back(cap);
-        }
-      }
-      ipet_options.flow_ratios = ctx.annotations.flow_ratios;
-      ipet_options.infeasible_pairs = ctx.annotations.infeasible_pairs;
-      ipet_options.excluded_addrs = ctx.annotations.excluded_addrs(ctx.options.mode);
-    }
+    const analysis::IpetOptions ipet_options = ipet_options_for(ctx);
 
     // One combined WCET+BCET solve: the two senses share the
     // decomposition plan, every region's constraint system, and the
@@ -321,7 +331,112 @@ public:
 
     if (wcet_result.ok() && bcet_solved.ok()) report.bcet_cycles = bcet_solved.bound;
 
+    report.witness_available = wcet_result.witness_available();
     report.ok = wcet_result.ok() && report.obstructions.empty();
+  }
+};
+
+// ------------------------------------------------------------- validation
+// Two independent oracles against the bounds the path pass just stated:
+// bounded exhaustive path exploration (bracket from both sides) and a
+// concrete simulator replay (measured lower bound + tightness). Runs
+// only when AnalysisOptions::validate is set; every leg that cannot run
+// records a classified reason in report.validation_skipped — a skipped
+// check must never read as a passed one.
+class ValidatePass : public AnalysisPass {
+public:
+  const char* name() const override { return "validate"; }
+  std::vector<const char*> inputs() const override { return {artifact::path_bounds}; }
+  std::vector<const char*> outputs() const override { return {artifact::validation}; }
+
+  void run(AnalysisContext& ctx) override {
+    if (!ctx.options.validate) return;
+    phase_boundary(ctx, "phase:validate");
+    WcetReport& report = ctx.report;
+    report.validated = true;
+    const auto skip = [&](const std::string& why) {
+      if (!report.validation_skipped.empty()) report.validation_skipped += "; ";
+      report.validation_skipped += why;
+    };
+    if (!report.ok) {
+      skip("no bound stated (obstructions present)");
+      return;
+    }
+
+    const analysis::IpetOptions ipet_options = ipet_options_for(ctx);
+    const auto edge_feasible = [&ctx](int eid) { return ctx.values->edge_feasible(eid); };
+
+    // Leg 1: exhaustive path exploration under the same loop bounds and
+    // flow facts, costed with the same per-node timing recipes.
+    validate::PathOracle oracle(*ctx.supergraph, *ctx.forest, *ctx.pipeline, edge_feasible);
+    validate::PathOracleOptions oracle_options;
+    oracle_options.loop_bounds = ipet_options.loop_bounds;
+    oracle_options.flow_caps = ipet_options.flow_caps;
+    oracle_options.flow_ratios = ipet_options.flow_ratios;
+    oracle_options.infeasible_pairs = ipet_options.infeasible_pairs;
+    oracle_options.excluded_addrs = ipet_options.excluded_addrs;
+    oracle_options.max_paths = ctx.options.validate_max_paths;
+    oracle_options.max_steps = ctx.options.validate_max_steps;
+    if (ctx.governor != nullptr) {
+      const AnalysisGovernor* governor = ctx.governor;
+      oracle_options.checkpoint = [governor] { governor->check_cancel(); };
+    }
+    const validate::PathOracleResult paths = oracle.explore(oracle_options);
+    report.paths_explored = paths.paths_explored;
+    report.oracle_complete = paths.complete();
+    if (paths.usable()) {
+      report.oracle_max_path_cost = paths.max_path_cost;
+      report.oracle_min_path_cost = paths.min_path_cost;
+      report.oracle_bracket_ok = paths.max_path_cost <= report.wcet_cycles &&
+                                 report.bcet_cycles <= paths.min_path_cost;
+    } else {
+      skip("path oracle found no complete path within its budget");
+    }
+
+    // Leg 2: witness realization + simulator replay. Degraded solves
+    // carry no witness by contract (IpetResult::witness_available).
+    if (!report.witness_available) {
+      skip(ctx.wcet_result.degraded
+               ? "budget-degraded solve carries no path witness; replay skipped"
+               : "no path witness; replay skipped");
+      return;
+    }
+    const validate::WitnessCheck witness =
+        validate::check_witness(*ctx.supergraph, *ctx.forest, ipet_options.loop_bounds,
+                                ctx.wcet_result.node_counts, edge_feasible);
+    report.witness_checked = witness.decided();
+    report.witness_valid = witness.ok();
+    if (witness.status == validate::WitnessCheck::Status::budget_exhausted) {
+      skip("witness walk budget exhausted before a verdict");
+    }
+    if (ctx.entry != ctx.image.entry()) {
+      skip("function-scoped analysis (entry is not the image entry); replay skipped");
+      return;
+    }
+    // Flow facts are *trusted*: the computed bound is conditional on
+    // them, and a concrete run under the simulator's default inputs may
+    // legitimately violate a fact (and thus the bound). Only a
+    // fact-free bound is an unconditional promise a replay can check.
+    if (!ipet_options.flow_caps.empty() || !ipet_options.flow_ratios.empty() ||
+        !ipet_options.infeasible_pairs.empty() || !ipet_options.excluded_addrs.empty()) {
+      skip("trusted flow facts condition the bound; unconstrained replay skipped");
+      return;
+    }
+    validate::ReplayOptions replay_options;
+    // Cap far above the bound: a genuinely unsound bound must surface
+    // as measured > wcet, not vanish under the cap.
+    replay_options.max_cycles = report.wcet_cycles * 2 + 1024;
+    const validate::ReplayResult replay =
+        validate::replay_measured(ctx.image, ctx.hw, replay_options);
+    if (!replay.ok()) {
+      skip(replay.reason);
+      return;
+    }
+    report.witness_replayed = true;
+    report.measured_cycles = replay.measured_cycles;
+    if (replay.measured_cycles > 0) {
+      report.tightness_x1000 = report.wcet_cycles * 1000 / replay.measured_cycles;
+    }
   }
 };
 
@@ -336,6 +451,7 @@ std::size_t register_figure1_passes(AnalysisPassManager& manager) {
   manager.add(std::make_unique<CachePass>());
   manager.add(std::make_unique<PipelinePass>());
   manager.add(std::make_unique<PathPass>());
+  manager.add(std::make_unique<ValidatePass>());
   return back_half;
 }
 

@@ -93,13 +93,16 @@ inline constexpr const char* loop_bounds = "loop-bounds";
 inline constexpr const char* cache_classes = "cache-classes";
 inline constexpr const char* block_timings = "block-timings";
 inline constexpr const char* path_bounds = "path-bounds";
+inline constexpr const char* validation = "validation";
 } // namespace artifact
 
 using AnalysisPass = Pass<AnalysisContext>;
 using AnalysisPassManager = PassManager<AnalysisContext>;
 
-// Registers the six Figure-1 passes in order. Returns the index of the
-// first pass that runs *after* the decode-feedback loop (loop-bounds).
+// Registers the six Figure-1 passes in order, plus the validation pass
+// (a no-op unless AnalysisOptions::validate is set). Returns the index
+// of the first pass that runs *after* the decode-feedback loop
+// (loop-bounds).
 std::size_t register_figure1_passes(AnalysisPassManager& manager);
 
 } // namespace wcet

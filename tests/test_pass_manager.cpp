@@ -111,10 +111,11 @@ TEST(PassManager, RejectsUnsatisfiedInputsAtRegistration) {
 TEST(PassManager, Figure1RegistrationIsWellFormed) {
   AnalysisPassManager manager;
   const std::size_t back_half = register_figure1_passes(manager);
-  EXPECT_EQ(manager.size(), 6u);
+  EXPECT_EQ(manager.size(), 7u);
   EXPECT_EQ(back_half, 2u); // decode + value run inside the feedback loop
   EXPECT_STREQ(manager.pass(0).name(), "decode");
   EXPECT_STREQ(manager.pass(5).name(), "path");
+  EXPECT_STREQ(manager.pass(6).name(), "validate");
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,121 @@
+// Witness-replay suite (validate/witness_replay): the ILP's extremal
+// node-count witness must be realizable as a concrete entry->exit walk
+// under the loop bounds, the simulator replay must never measure more
+// cycles than the stated WCET, and budget-degraded solves — which by
+// contract carry no witness — must be skipped with a classified
+// reason, never silently treated as validated.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/toolkit.hpp"
+#include "mcc/runtime.hpp"
+#include "tests/differential_shapes.hpp"
+
+namespace wcet {
+namespace {
+
+using testshapes::Shape;
+using testshapes::analyze_shape;
+using testshapes::conditional_fan;
+using testshapes::shapes;
+
+WcetReport analyze_validated(const Shape& shape, AnalysisOptions options) {
+  options.validate = true;
+  options.validate_max_paths = 2000;
+  options.validate_max_steps = 100'000;
+  return analyze_shape(shape, options);
+}
+
+TEST(WitnessReplay, WitnessStructurallyValidOnShapes) {
+  // Every full-budget solve that states a bound must produce a witness,
+  // and that witness must survive the independent structural check: a
+  // concrete walk realizes exactly the claimed node counts.
+  for (const Shape& shape : shapes()) {
+    SCOPED_TRACE(shape.name);
+    AnalysisOptions options;
+    const WcetReport report = analyze_validated(shape, options);
+    ASSERT_TRUE(report.validated);
+    if (!report.ok) continue; // no bound, nothing to witness
+    ASSERT_TRUE(report.witness_available) << report.to_string();
+    EXPECT_TRUE(report.witness_checked)
+        << shape.name << ": witness walk reached no verdict\n" << report.to_string();
+    EXPECT_TRUE(report.witness_valid) << shape.name << "\n" << report.to_string();
+  }
+}
+
+TEST(WitnessReplay, ReplayedCyclesStayInsideBounds) {
+  // Where the replay leg runs (fact-free shapes), the measured run is a
+  // real execution of the task: bcet <= measured <= wcet, and the
+  // tightness ratio is >= 1 by construction.
+  int replayed = 0;
+  for (const Shape& shape : shapes()) {
+    SCOPED_TRACE(shape.name);
+    AnalysisOptions options;
+    const WcetReport report = analyze_validated(shape, options);
+    if (!report.ok) continue;
+    if (!shape.annotations.empty()) {
+      // Trusted flow facts condition the bound, so the unconstrained
+      // replay must have been skipped, not measured and ignored.
+      EXPECT_FALSE(report.witness_replayed) << shape.name;
+      continue;
+    }
+    ASSERT_TRUE(report.witness_replayed) << shape.name << "\n" << report.to_string();
+    ++replayed;
+    EXPECT_LE(report.measured_cycles, report.wcet_cycles)
+        << "UNSOUND: measured run exceeds the WCET bound on " << shape.name << "\n"
+        << report.to_string();
+    EXPECT_GE(report.measured_cycles, report.bcet_cycles)
+        << shape.name << "\n" << report.to_string();
+    EXPECT_GE(report.tightness_x1000, 1000u) << shape.name;
+    EXPECT_GT(report.measured_cycles, 0u) << shape.name;
+  }
+  EXPECT_GT(replayed, 0) << "no shape exercised the replay leg";
+}
+
+TEST(WitnessReplay, DegradedRunsAreSkippedWithClassifiedReason) {
+  // An infeasible-pair fact forces a big-M binary selector into the
+  // ILP, so the root LP relaxation goes fractional and branch & bound
+  // engages; a small node budget then truncates the search after it
+  // proved a bound — a degraded solve that by contract carries no
+  // witness. The validation pass must classify the skip, not fake a
+  // verdict.
+  const Shape shape{"fan_pair", conditional_fan(),
+                    "infeasible at \"h0\" with \"h3\"\n", "", true};
+  int degraded_runs = 0;
+  for (const std::uint64_t nodes : {1u, 2u, 4u, 8u}) {
+    AnalysisOptions options;
+    options.budget.max_ilp_nodes = nodes;
+    const WcetReport report = analyze_validated(shape, options);
+    ASSERT_TRUE(report.validated);
+    if (!report.ok || report.witness_available) continue;
+    ++degraded_runs;
+    EXPECT_TRUE(report.degraded) << report.to_string();
+    EXPECT_FALSE(report.witness_checked) << report.to_string();
+    EXPECT_FALSE(report.witness_replayed) << report.to_string();
+    EXPECT_NE(report.validation_skipped.find("witness"), std::string::npos)
+        << "skip reason not classified: '" << report.validation_skipped << "'";
+  }
+  ASSERT_GT(degraded_runs, 0)
+      << "no node budget produced a degraded bound-with-no-witness solve; "
+         "the contract under test never engaged";
+}
+
+TEST(WitnessReplay, NoBoundMeansClassifiedSkipNotVerdict) {
+  // An irreducible loop blocks any bound: validation must stand down
+  // with a reason instead of reporting bracket/witness verdicts.
+  const Shape shape{"irreducible", testshapes::single_fn_irreducible(), "", "", false};
+  AnalysisOptions options;
+  const WcetReport report = analyze_validated(shape, options);
+  ASSERT_TRUE(report.validated);
+  ASSERT_FALSE(report.ok);
+  EXPECT_FALSE(report.witness_checked);
+  EXPECT_FALSE(report.witness_replayed);
+  EXPECT_FALSE(report.oracle_bracket_ok);
+  EXPECT_NE(report.validation_skipped.find("no bound"), std::string::npos)
+      << report.validation_skipped;
+}
+
+} // namespace
+} // namespace wcet
