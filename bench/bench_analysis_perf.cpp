@@ -11,6 +11,7 @@
 
 #include "core/toolkit.hpp"
 #include "mcc/runtime.hpp"
+#include "serve/analysis_server.hpp"
 
 namespace {
 
@@ -167,6 +168,51 @@ void BM_path_decomposition(benchmark::State& state) {
   state.counters["phase2_pivots"] = static_cast<double>(phase2);
 }
 BENCHMARK(BM_path_decomposition)->Arg(0)->Arg(1)->Arg(2);
+
+// Tracked incremental macro benchmark (src/serve): alternate a base
+// image and a 1-function edit of it against a persistent
+// AnalysisServer. The priming submissions outside the timed loop pay
+// the cold run and the warm 1-dirty-instance re-analysis; the timed
+// steady state is the serve path itself (request fingerprint + report
+// cache), which is what a daemon actually amortizes per submission.
+// dirty_instances records the primed warm edit's fingerprint verdict —
+// exactly one instance (work0) may be dirty.
+void BM_incremental_reanalyze(benchmark::State& state) {
+  const int functions = static_cast<int>(state.range(0));
+  const std::string base_src = synthetic_program(functions, 3);
+  std::string edited_src = base_src;
+  // work0's first loop bound 4 -> 5: an immediate-only edit, so the
+  // code layout (and the supergraph structure) is unchanged.
+  edited_src.replace(edited_src.find("i0 < 4"), 6, "i0 < 5");
+  const auto base = mcc::compile_program(base_src);
+  const auto edited = mcc::compile_program(edited_src);
+
+  serve::ServeOptions options;
+  options.analysis.threads = 4;
+  serve::AnalysisServer server(mem::typical_hw(), options);
+  const std::uint64_t cold_bound = server.submit(base.image).wcet_cycles;
+  const WcetReport primed = server.submit(edited.image);
+  benchmark::DoNotOptimize(cold_bound);
+
+  bool flip = false;
+  std::uint64_t bound = 0;
+  for (auto _ : state) {
+    bound = server.submit(flip ? base.image : edited.image).wcet_cycles;
+    flip = !flip;
+    benchmark::DoNotOptimize(bound);
+  }
+
+  // Re-submit the edited image once outside the loop so the tracked
+  // oracle value never depends on the iteration count's parity.
+  const WcetReport last = server.submit(edited.image);
+  state.counters["wcet_cycles"] = static_cast<double>(last.wcet_cycles);
+  state.counters["serve_requests"] = static_cast<double>(server.stats().requests);
+  state.counters["fingerprint_hits"] =
+      static_cast<double>(server.stats().fingerprint_hits);
+  state.counters["dirty_instances"] = static_cast<double>(primed.serve_dirty_instances);
+  state.counters["degradations"] = static_cast<double>(last.degradations.size());
+}
+BENCHMARK(BM_incremental_reanalyze)->Arg(64)->Unit(benchmark::kMillisecond);
 
 void BM_compile_scaling(benchmark::State& state) {
   const std::string source = synthetic_program(static_cast<int>(state.range(0)), 3);

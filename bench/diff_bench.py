@@ -35,12 +35,16 @@ over measured cycles, x1000 — see src/validate) are printed when
 present, and tightness is gated: the replay is deterministic, so a
 looser ratio means the bound itself loosened.
 
-Three hard gates beyond the oracle:
+Four hard gates beyond the oracle:
   * a nonzero `degradations` counter in the new run fails the diff —
     the tracked numbers would describe a degraded analysis;
   * `tightness_x1000` may not grow by more than 5% — a deterministic
     replay measuring the same cycles under a >5% larger bound means
     the analysis lost precision;
+  * a benchmark whose baseline recorded a nonzero `tightness_x1000`
+    may neither drop the counter nor report 0 — both are exactly the
+    states a broken replay leaves behind, and a truthiness check here
+    once let them bypass the 5% gate silently;
   * the GUARDED benchmarks' end-to-end time may not regress by more
     than 5% AND 2 ms — the budget/cancellation checkpoints ride the
     hottest loops, and their overhead is part of what this file
@@ -70,6 +74,9 @@ COUNTERS = [
     "paths_explored",
     "witness_replayed",
     "tightness_x1000",
+    "serve_requests",
+    "fingerprint_hits",
+    "dirty_instances",
 ]
 
 # Allowed growth of tightness_x1000 (WCET over deterministic measured
@@ -116,6 +123,7 @@ def main():
     degraded = []
     slow = []
     loosened = []
+    lost_tightness = []
     print(f"{'benchmark':<32} {'old ms':>12} {'new ms':>12} {'speedup':>8}  wcet_cycles")
     for name in shared:
         o, n = old[name], new[name]
@@ -127,9 +135,18 @@ def main():
         speedup = o_ms / n_ms if n_ms > 0 else float("inf")
         if n.get("degradations", 0) != 0:
             degraded.append(name)
+        # Explicit `is not None` throughout: `if o_t and n_t` treated a
+        # recorded 0 exactly like a missing counter, so a run whose
+        # replay silently stopped happening (tightness 0) or stopped
+        # being recorded at all sailed past the looseness gate.
         o_t, n_t = o.get("tightness_x1000"), n.get("tightness_x1000")
-        if o_t and n_t and n_t > o_t * TIGHTNESS_RATIO:
-            loosened.append(f"{name} ({int(o_t)} -> {int(n_t)})")
+        if o_t is not None and o_t != 0:
+            if n_t is None:
+                lost_tightness.append(f"{name} (tightness_x1000 counter dropped)")
+            elif n_t == 0:
+                lost_tightness.append(f"{name} (tightness_x1000 {int(o_t)} -> 0)")
+            elif n_t > o_t * TIGHTNESS_RATIO:
+                loosened.append(f"{name} ({int(o_t)} -> {int(n_t)})")
         real_slow = n_ms > o_ms * GUARD_RATIO and n_ms - o_ms > GUARD_FLOOR_MS
         cpu_slow = n_cpu > o_cpu * GUARD_RATIO and n_cpu - o_cpu > GUARD_FLOOR_MS
         if name in GUARDED and real_slow and cpu_slow:
@@ -160,6 +177,11 @@ def main():
     if degraded:
         print(f"\ndiff_bench: FAIL — degradations recorded in unlimited-budget run: "
               f"{', '.join(degraded)}")
+        return 1
+    if lost_tightness:
+        print(f"\ndiff_bench: FAIL — tracked tightness_x1000 lost or zeroed "
+              f"(the looseness gate would be silently bypassed): "
+              f"{'; '.join(lost_tightness)}")
         return 1
     if loosened:
         print(f"\ndiff_bench: FAIL — tightness_x1000 regressed past "

@@ -39,7 +39,8 @@ echo "wrote $bench_json"
 # fail loudly instead.
 for counter in cache_joins cache_join_skips set_image_allocs live_set_images_peak \
                budget_checks degradations cancel_latency_us \
-               paths_explored witness_replayed tightness_x1000; do
+               paths_explored witness_replayed tightness_x1000 \
+               serve_requests fingerprint_hits dirty_instances; do
   if ! grep -q "\"$counter\"" "$bench_json"; then
     echo "error: counter '$counter' missing from fresh bench run" >&2
     if [ -n "$prev_json" ]; then

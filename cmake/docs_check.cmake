@@ -61,7 +61,12 @@ if(failures EQUAL 0)
       "budget_checks"
       "cancel_latency_us"
       "--validate"
-      "tightness_x1000")
+      "tightness_x1000"
+      "wcet_serve"
+      "--stats"
+      "fingerprint"
+      "BM_incremental_reanalyze"
+      "dirty_instances")
   require_content(docs/ARCHITECTURE.md
       "pass_manager.hpp"
       "AnalysisContext"
@@ -95,7 +100,12 @@ if(failures EQUAL 0)
       "PathOracle"
       "path-exploration oracle"
       "witness replay"
-      "witness_available")
+      "witness_available"
+      "AnalysisServer"
+      "WarmHandoff"
+      "verified, never trusted"
+      "warm_guard_ok"
+      "submit_batch")
   # The bench entry points docs refer to must exist.
   require_file(bench/run_bench.sh)
   require_file(bench/diff_bench.py)

@@ -631,7 +631,62 @@ void CacheAnalysis::join_successors(int node, const CachePair& icache,
   }
 }
 
-void CacheAnalysis::fixpoint_instance_rounds() {
+bool CacheAnalysis::warm_guard_ok(const std::vector<char>& instance_clean) const {
+  for (const cfg::Loop& loop : loops_.loops()) {
+    bool has_clean = false;
+    bool has_dirty = false;
+    for (const int nid : loop.nodes) {
+      const int instance = sg_.node(nid).instance;
+      if (instance_clean[static_cast<std::size_t>(instance)] != 0) {
+        has_clean = true;
+      } else {
+        has_dirty = true;
+      }
+      if (has_clean && has_dirty) return false;
+    }
+  }
+  return true;
+}
+
+bool CacheAnalysis::warm_boundary_ok(const CacheAnalysis& prev,
+                                     const std::vector<char>& instance_clean) {
+  // A frozen clean region is the new least fixpoint only if its inputs
+  // are *exactly* the previous run's. The no-change check during the
+  // run proves deliveries never exceeded the frozen states; this audit
+  // closes the other direction — a dirty instance that now delivers
+  // strictly *less* (or stopped delivering) would make the true least
+  // fixpoint smaller than the frozen states.
+  for (const cfg::SgEdge& edge : sg_.edges()) {
+    const int from_inst = sg_.node(edge.from).instance;
+    const int to_inst = sg_.node(edge.to).instance;
+    if (from_inst == to_inst) continue;
+    if (instance_clean[static_cast<std::size_t>(from_inst)] != 0) continue;
+    if (instance_clean[static_cast<std::size_t>(to_inst)] == 0) continue;
+    const bool prev_feasible = prev.values_.edge_feasible(edge.id) &&
+                               prev.has_state_[static_cast<std::size_t>(edge.from)] != 0;
+    if (!prev_feasible) continue; // newly feasible edges were absorb-checked live
+    if (!values_.edge_feasible(edge.id) ||
+        has_state_[static_cast<std::size_t>(edge.from)] == 0) {
+      return false;
+    }
+    // Compare the materialized out-states of the dirty boundary source
+    // under both runs (the classic whole-state replay; `record` off so
+    // classification rows stay untouched).
+    CachePair new_i = in_i_[static_cast<std::size_t>(edge.from)];
+    CachePair new_d = in_d_[static_cast<std::size_t>(edge.from)];
+    transfer(edge.from, new_i, new_d, false);
+    CachePair old_i = prev.in_i_[static_cast<std::size_t>(edge.from)];
+    CachePair old_d = prev.in_d_[static_cast<std::size_t>(edge.from)];
+    // prev is logically const here: transfer with record=false only
+    // reads converged state and replays the (immutable) recipe.
+    const_cast<CacheAnalysis&>(prev).transfer(edge.from, old_i, old_d, false);
+    if (!(new_i == old_i) || !(new_d == old_d)) return false;
+  }
+  return true;
+}
+
+bool CacheAnalysis::fixpoint_instance_rounds(const CacheAnalysis* prev,
+                                             const std::vector<char>* instance_clean) {
   // Deterministic per-instance rounds (support/instance_rounds.hpp),
   // mirroring the value-analysis engine: each dirty function instance
   // converges a local RPO priority worklist over its own nodes — in
@@ -699,6 +754,16 @@ void CacheAnalysis::fixpoint_instance_rounds() {
     AbsCache::SetImage alt, acc; // apply_one_of_image buffers
   };
   std::vector<Scratch> scratch(num_instances);
+
+  // Warm mode: clean instances are frozen at `prev`'s converged states;
+  // any delivery that would change (or first-touch) a frozen in-state
+  // diverges the run — workers set the flag, the round barrier stops
+  // the engine, and the caller discards every state and reruns cold.
+  const bool warm = prev != nullptr && instance_clean != nullptr;
+  std::atomic<bool> diverged{false};
+  const auto clean_instance = [&](int instance) {
+    return warm && (*instance_clean)[static_cast<std::size_t>(instance)] != 0;
+  };
 
   const auto build_fetch_overlay = [&](const Recipe& recipe, const CachePair& in,
                                        Scratch& sc) {
@@ -796,12 +861,40 @@ void CacheAnalysis::fixpoint_instance_rounds() {
   };
 
   const int entry = sg_.entry_node();
-  has_state_[static_cast<std::size_t>(entry)] = 1;
-  engine.push(entry);
+  if (!warm) {
+    has_state_[static_cast<std::size_t>(entry)] = 1;
+    engine.push(entry);
+  } else {
+    // Freeze clean instances at the previous converged in-states (O(1)
+    // COW snapshots), then schedule the dirty entry plus every clean
+    // boundary source with a feasible edge into a dirty instance:
+    // processing such a node re-delivers its frozen out-state into the
+    // dirty region and — being at fixpoint — changes nothing else.
+    for (const cfg::SgNode& n : sg_.nodes()) {
+      if (!clean_instance(n.instance)) continue;
+      const auto id = static_cast<std::size_t>(n.id);
+      in_i_[id] = prev->in_i_[id];
+      in_d_[id] = prev->in_d_[id];
+      has_state_[id] = prev->has_state_[id];
+    }
+    if (!clean_instance(sg_.node(entry).instance)) {
+      has_state_[static_cast<std::size_t>(entry)] = 1;
+      engine.push(entry);
+    }
+    for (const cfg::SgEdge& e : sg_.edges()) {
+      const int fi = sg_.node(e.from).instance;
+      const int ti = sg_.node(e.to).instance;
+      if (fi == ti || !clean_instance(fi) || clean_instance(ti)) continue;
+      if (!values_.edge_feasible(e.id)) continue;
+      if (has_state_[static_cast<std::size_t>(e.from)] == 0) continue;
+      engine.push(e.from);
+    }
+  }
 
   engine.run(
       pool_,
       [&](const int instance, const int node) {
+        if (diverged.load(std::memory_order_relaxed)) return;
         Scratch& sc = scratch[static_cast<std::size_t>(instance)];
         const Recipe& recipe = transfers_->cache_recipe(node);
         const CachePair& in_i = in_i_[static_cast<std::size_t>(node)];
@@ -833,6 +926,12 @@ void CacheAnalysis::fixpoint_instance_rounds() {
           }
           const auto t = static_cast<std::size_t>(target);
           if (!has_state_[t]) {
+            if (clean_instance(instance)) {
+              // A frozen node reaching a previously state-less sibling
+              // means feasibility grew inside a "clean" instance.
+              diverged.store(true, std::memory_order_relaxed);
+              continue;
+            }
             ensure_out();
             in_i_[t] = out->i;
             in_d_[t] = out->d;
@@ -842,19 +941,39 @@ void CacheAnalysis::fixpoint_instance_rounds() {
           }
           bool changed = join_pair_overlay(in_i_[t], in_i, sc.i);
           changed |= join_pair_overlay(in_d_[t], in_d, sc.d);
-          if (changed) engine.push(target);
+          if (changed) {
+            if (clean_instance(instance)) {
+              diverged.store(true, std::memory_order_relaxed);
+              continue;
+            }
+            engine.push(target);
+          }
         }
       },
       [&](const int instance) {
         auto& buffered = cross[static_cast<std::size_t>(instance)];
         for (auto& [eid, state] : buffered) {
           const int target = sg_.edge(eid).to;
-          if (join_target(target, state.i, state.d)) engine.push(target);
+          const bool frozen = clean_instance(sg_.node(target).instance);
+          if (frozen && has_state_[static_cast<std::size_t>(target)] == 0) {
+            diverged.store(true, std::memory_order_relaxed);
+            continue;
+          }
+          if (join_target(target, state.i, state.d)) {
+            if (frozen) {
+              // The delivery grew a frozen clean in-state: the freeze
+              // premise is broken, discard the warm run.
+              diverged.store(true, std::memory_order_relaxed);
+              continue;
+            }
+            engine.push(target);
+          }
         }
         buffered.clear();
       },
       [&](const std::uint64_t round_pops) -> bool {
         WCET_FAULT_POINT("cache:round");
+        if (diverged.load(std::memory_order_relaxed)) return false;
         if (governor_ == nullptr) return true;
         // Stopping at a round barrier is sound here — unlike the value
         // analysis — because the record sweep then ignores the
@@ -864,6 +983,14 @@ void CacheAnalysis::fixpoint_instance_rounds() {
         if (!governor_->consume_cache_visits(round_pops)) trigger = "visit budget";
         else if (governor_->deadline_exceeded()) trigger = "deadline";
         if (trigger == nullptr) return true;
+        if (warm) {
+          // Budget pressure mid-warm reads as divergence, not
+          // degradation: the cold rerun charges the budget honestly
+          // (the warm rounds already consumed count against it, which
+          // only degrades *earlier* — the sound direction).
+          diverged.store(true, std::memory_order_relaxed);
+          return false;
+        }
         degraded_ = true;
         governor_->record("cache", trigger,
                           "fixpoint stopped at a round barrier; all state-dependent accesses "
@@ -871,6 +998,9 @@ void CacheAnalysis::fixpoint_instance_rounds() {
                           "kept (bound stays a true upper bound)");
         return false;
       });
+  if (diverged.load(std::memory_order_relaxed)) return false;
+  if (warm) return warm_boundary_ok(*prev, *instance_clean);
+  return true;
 }
 
 void CacheAnalysis::fixpoint_round_robin() {
@@ -1259,10 +1389,37 @@ void CacheAnalysis::persistence_tree(const std::vector<int>& loop_ids) {
   }
 }
 
-void CacheAnalysis::run() {
+void CacheAnalysis::run() { (void)run(nullptr, nullptr); }
+
+bool CacheAnalysis::run(const CacheAnalysis* prev, const std::vector<char>* instance_clean) {
   build_line_tables();
+  bool warm_used = false;
+  warm_fallback_ = false;
   if (schedule_ == Schedule::priority) {
-    fixpoint_instance_rounds();
+    const bool try_warm =
+        prev != nullptr && instance_clean != nullptr && !prev->degraded_ &&
+        prev->schedule_ == Schedule::priority &&
+        instance_clean->size() == sg_.instances().size() &&
+        prev->in_i_.size() == in_i_.size() && warm_guard_ok(*instance_clean);
+    if (try_warm) {
+      warm_used = fixpoint_instance_rounds(prev, instance_clean);
+      if (!warm_used) {
+        // Divergence: every state (frozen or partially iterated) is
+        // suspect — discard wholesale and rerun the cold fixpoint, so
+        // the published classifications are exactly the cold result.
+        warm_fallback_ = true;
+        const std::size_t n = sg_.nodes().size();
+        in_i_.assign(n, CachePair{AbsCache::cold(iconfig_, true),
+                                  AbsCache::cold(iconfig_, false)});
+        in_d_.assign(n, CachePair{AbsCache::cold(dconfig_, true),
+                                  AbsCache::cold(dconfig_, false)});
+        has_state_.assign(n, 0);
+        degraded_ = false;
+        fixpoint_instance_rounds(nullptr, nullptr);
+      }
+    } else {
+      fixpoint_instance_rounds(nullptr, nullptr);
+    }
   } else {
     fixpoint_round_robin();
   }
@@ -1303,6 +1460,7 @@ void CacheAnalysis::run() {
     for (std::size_t id = 0; id < sg_.nodes().size(); ++id) record_node(id);
   }
   persistence();
+  return warm_used;
 }
 
 CacheAnalysis::Stats CacheAnalysis::stats() const {

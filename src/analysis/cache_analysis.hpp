@@ -267,6 +267,27 @@ public:
 
   void run();
 
+  // Incremental warm-start (src/serve): `prev` is the previous
+  // converged analysis of a structurally identical supergraph and
+  // `instance_clean` flags instances whose code fingerprints AND value
+  // states are verified unchanged. Clean instances start frozen at
+  // `prev`'s converged in-states; only dirty instances iterate from
+  // cold. The must/may domain has no widening — its least fixpoint is
+  // schedule-independent — so warm exactness reduces to three checks,
+  // all performed here: (1) no loop of the forest spans a clean and a
+  // dirty instance (the clean/dirty boundary is then acyclic and the
+  // global least fixpoint decomposes componentwise); (2) no delivery
+  // ever *changes* a frozen clean in-state; (3) every previously
+  // feasible dirty->clean boundary edge stays feasible and delivers a
+  // bit-identical out-state. Any violation discards the warm states
+  // and reruns the cold fixpoint, so the published classifications are
+  // always exactly the cold result. Returns true when the warm
+  // fixpoint was committed (false: cold path ran, possibly after a
+  // divergence fallback — see warm_fallback()).
+  bool run(const CacheAnalysis* prev, const std::vector<char>* instance_clean);
+  // True when the last run() attempted a warm start that diverged.
+  bool warm_fallback() const { return warm_fallback_; }
+
   // Per node: classification of each instruction fetch (index-aligned
   // with the block's instruction list).
   const std::vector<FetchClass>& fetch_classes(int node) const {
@@ -319,8 +340,21 @@ private:
   template <typename PushFn>
   void join_successors(int node, const CachePair& icache, const CachePair& dcache,
                        PushFn&& push_changed);
-  void fixpoint_instance_rounds();
+  // `prev`/`instance_clean` non-null: warm mode (see the public run
+  // overload). Returns false when a warm attempt diverged and the
+  // states must be discarded; cold mode always returns true.
+  bool fixpoint_instance_rounds(const CacheAnalysis* prev,
+                                const std::vector<char>* instance_clean);
   void fixpoint_round_robin();
+  // Warm-start admission: no loop of the forest may span a clean and a
+  // dirty instance (interprocedural feedback through the boundary
+  // would break the componentwise least-fixpoint argument).
+  bool warm_guard_ok(const std::vector<char>& instance_clean) const;
+  // Post-fixpoint boundary audit for warm runs: previously feasible
+  // dirty->clean edges must stay feasible and deliver out-states
+  // bit-identical to the previous run's.
+  bool warm_boundary_ok(const CacheAnalysis& prev,
+                        const std::vector<char>& instance_clean);
   // Classification recording against the converged in-states without
   // cloning them: per-set value images are materialized lazily as the
   // node's recipe replays (production path; the round-robin schedule
@@ -349,6 +383,7 @@ private:
   ThreadPool* pool_ = nullptr;
   const AnalysisGovernor* governor_ = nullptr;
   bool degraded_ = false;
+  bool warm_fallback_ = false;
   // Private cache when no shared one is attached (line tables only).
   std::unique_ptr<TransferCache> own_transfers_;
   std::vector<CachePair> in_i_;

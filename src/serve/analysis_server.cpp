@@ -1,0 +1,420 @@
+#include "serve/analysis_server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <new>
+#include <sstream>
+#include <utility>
+
+#include "support/diag.hpp"
+#include "support/fault_inject.hpp"
+#include "support/fixpoint.hpp"
+#include "support/thread_pool.hpp"
+#include "wcet/pipeline.hpp"
+
+namespace wcet::serve {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+void put_u32(std::vector<std::uint8_t>& key, std::uint32_t v) {
+  key.push_back(static_cast<std::uint8_t>(v));
+  key.push_back(static_cast<std::uint8_t>(v >> 8));
+  key.push_back(static_cast<std::uint8_t>(v >> 16));
+  key.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+// Canonical byte serialization of one request: everything the analysis
+// result can depend on (entry, sections with flags and contents,
+// symbols, annotation text). The FNV hash over it keys the report LRU;
+// the bytes themselves back the exact comparison a hit must pass — a
+// hash match alone is never trusted (support/fixpoint.hpp).
+std::pair<std::uint64_t, std::vector<std::uint8_t>>
+request_fingerprint(const isa::Image& image, const std::string& annotation_text) {
+  std::vector<std::uint8_t> key;
+  put_u32(key, image.entry());
+  for (const isa::Section& s : image.sections()) {
+    key.insert(key.end(), s.name.begin(), s.name.end());
+    key.push_back(0);
+    put_u32(key, s.vaddr);
+    key.push_back(s.writable ? 1 : 0);
+    key.push_back(s.executable ? 1 : 0);
+    put_u32(key, static_cast<std::uint32_t>(s.bytes.size()));
+    key.insert(key.end(), s.bytes.begin(), s.bytes.end());
+  }
+  for (const isa::Symbol& sym : image.symbols()) {
+    key.insert(key.end(), sym.name.begin(), sym.name.end());
+    key.push_back(0);
+    put_u32(key, sym.addr);
+    put_u32(key, sym.size);
+    key.push_back(static_cast<std::uint8_t>(sym.kind));
+  }
+  key.insert(key.end(), annotation_text.begin(), annotation_text.end());
+  StateHash h;
+  for (const std::uint8_t byte : key) h.mix(byte);
+  return {h.value(), std::move(key)};
+}
+
+// The warm handoff carries per-instance verdicts between two supergraph
+// expansions, so the expansions must agree on every structural index:
+// node <-> (instance, block) assignment, edge endpoints and kinds, and
+// the instance tree itself. Any mismatch (an edit that moved a block
+// boundary, added an edge, changed inlining depth) voids positional
+// reuse entirely — the request falls back to a plain cold run.
+bool structure_identical(const cfg::Supergraph& a, const cfg::Supergraph& b) {
+  if (a.entry_node() != b.entry_node()) return false;
+  if (a.nodes().size() != b.nodes().size() || a.edges().size() != b.edges().size() ||
+      a.instances().size() != b.instances().size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.nodes().size(); ++i) {
+    const cfg::SgNode& x = a.nodes()[i];
+    const cfg::SgNode& y = b.nodes()[i];
+    if (x.instance != y.instance || x.fn_entry != y.fn_entry ||
+        x.block->begin != y.block->begin || x.block->end != y.block->end ||
+        x.block->insts.size() != y.block->insts.size()) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.edges().size(); ++i) {
+    const cfg::SgEdge& x = a.edges()[i];
+    const cfg::SgEdge& y = b.edges()[i];
+    if (x.from != y.from || x.to != y.to || x.kind != y.kind) return false;
+  }
+  for (std::size_t i = 0; i < a.instances().size(); ++i) {
+    const cfg::Instance& x = a.instances()[i];
+    const cfg::Instance& y = b.instances()[i];
+    if (x.fn_entry != y.fn_entry || x.caller_instance != y.caller_instance ||
+        x.call_site_node != y.call_site_node) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// FNV fingerprint of one instance's code: the entry plus every covered
+// block's address range and raw instruction words.
+std::vector<std::uint64_t> instance_fingerprints(const cfg::Supergraph& sg,
+                                                 const isa::Image& image) {
+  std::vector<StateHash> h(sg.instances().size());
+  for (std::size_t i = 0; i < sg.instances().size(); ++i) {
+    h[i].mix(sg.instances()[i].fn_entry);
+  }
+  for (const cfg::SgNode& n : sg.nodes()) {
+    StateHash& hi = h[static_cast<std::size_t>(n.instance)];
+    hi.mix_pair(n.block->begin, n.block->end);
+    for (std::uint32_t pc = n.block->begin; pc < n.block->end; pc += 4) {
+      hi.mix(image.read_word(pc).value_or(0xdeadbeefu));
+    }
+  }
+  std::vector<std::uint64_t> out(h.size());
+  for (std::size_t i = 0; i < h.size(); ++i) out[i] = h[i].value();
+  return out;
+}
+
+// Word-exact comparison of an instance's code between two images. Run
+// after the fingerprints matched: a clean verdict feeds positional
+// recipe reuse, so it must rest on real bytes, never on a 64-bit hash.
+bool instance_bytes_equal(const cfg::Supergraph& sg, int instance, const isa::Image& a,
+                          const isa::Image& b) {
+  for (const cfg::SgNode& n : sg.nodes()) {
+    if (n.instance != instance) continue;
+    for (std::uint32_t pc = n.block->begin; pc < n.block->end; pc += 4) {
+      if (a.read_word(pc) != b.read_word(pc)) return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+std::string ServeStats::to_string() const {
+  std::ostringstream os;
+  os << "=== wcet_serve stats ===\n";
+  os << "requests: " << requests << " (fingerprint hits " << fingerprint_hits
+     << ", collisions " << fingerprint_collisions << ")\n";
+  os << "pipeline: " << warm_runs << " warm / " << cold_runs << " cold runs, "
+     << warm_fallbacks << " warm fallbacks, " << path_reuses << " path reuses, "
+     << dirty_instances << " dirty instances\n";
+  os << "report cache: " << evictions << " evictions\n";
+  os << "batch: " << batch_jobs << " jobs, " << batch_errors << " errors\n";
+  os << "degradations: " << degradations << '\n';
+  os << "last timings (ms): decode " << last_timings.decode_ms << ", value "
+     << last_timings.value_ms << ", loop " << last_timings.loop_ms << ", cache "
+     << last_timings.cache_ms << ", pipeline " << last_timings.pipeline_ms << ", path "
+     << last_timings.path_ms << ", total " << last_timings.total_ms << '\n';
+  return os.str();
+}
+
+// Last successful run's artifacts: everything the next request's warm
+// path borrows. Heap-allocated and never moved internally — the
+// AnalysisContext holds references into hw/annotations, and the next
+// request's WarmHandoff points back at ctx, so member addresses must
+// stay stable for the object's whole lifetime.
+struct AnalysisServer::Converged {
+  std::unique_ptr<isa::Image> image;
+  std::string annotation_text;
+  mem::HwConfig hw; // base map + annotation region overrides
+  annot::AnnotationDb annotations;
+  std::unique_ptr<AnalysisContext> ctx;
+  std::vector<std::uint64_t> instance_fp;
+  bool ok = false;
+  bool degraded = false;
+};
+
+struct AnalysisServer::CacheEntry {
+  std::uint64_t fp = 0;
+  std::vector<std::uint8_t> key; // exact-compare backing of the fingerprint
+  WcetReport report;
+};
+
+AnalysisServer::AnalysisServer(const mem::HwConfig& hw, ServeOptions options)
+    : base_hw_(hw), options_(std::move(options)) {
+  const int threads = options_.analysis.threads;
+  pool_ = std::make_unique<ThreadPool>(threads > 1 ? static_cast<unsigned>(threads) : 1);
+}
+
+AnalysisServer::~AnalysisServer() = default;
+
+WcetReport AnalysisServer::submit(const isa::Image& image,
+                                  const std::string& annotation_text) {
+  // Same classification contract as Analyzer::analyze: allocation
+  // failure anywhere on the request path (image copy, cache insert,
+  // injected at a serve:* site) surfaces as an AnalysisError, never a
+  // raw bad_alloc.
+  try {
+    return submit_request(image, annotation_text);
+  } catch (const std::bad_alloc&) {
+    throw AnalysisError("analysis ran out of memory");
+  }
+}
+
+WcetReport AnalysisServer::submit_request(const isa::Image& image,
+                                          const std::string& annotation_text) {
+  WCET_FAULT_POINT("serve:admit");
+  ++stats_.requests;
+
+  auto [fp, key] = request_fingerprint(image, annotation_text);
+  if (options_.fingerprint_hook) fp = options_.fingerprint_hook(fp);
+  for (auto it = report_cache_.begin(); it != report_cache_.end(); ++it) {
+    if (it->fp != fp) continue;
+    if (it->key == key) {
+      ++stats_.fingerprint_hits;
+      report_cache_.splice(report_cache_.begin(), report_cache_, it);
+      WcetReport report = report_cache_.front().report;
+      report.serve_requests = stats_.requests;
+      report.serve_fingerprint_hits = stats_.fingerprint_hits;
+      report.serve_dirty_instances = 0; // nothing re-analyzed
+      return report;
+    }
+    // Same hash, different bytes: a real collision. Count it and fall
+    // through to a full analysis — the colliding entry is replaced.
+    ++stats_.fingerprint_collisions;
+    break;
+  }
+
+  auto next = std::make_unique<Converged>();
+  next->image = std::make_unique<isa::Image>(image);
+  next->annotation_text = annotation_text;
+  next->hw = base_hw_;
+  next->annotations = annot::parse_annotations(annotation_text, *next->image);
+  for (const mem::Region& region : next->annotations.regions) {
+    next->hw.memory.add_region_override(region);
+  }
+
+  const WcetReport report = run_pipeline(std::move(next));
+  cache_insert(fp, std::move(key), report);
+  return report;
+}
+
+WcetReport AnalysisServer::run_pipeline(std::unique_ptr<Converged> next) {
+  const auto t_total = std::chrono::steady_clock::now();
+  const AnalysisOptions& options = options_.analysis;
+  const isa::Image& image = *next->image;
+  const std::uint32_t entry = image.entry();
+
+  if (!image.read_word(entry)) {
+    std::ostringstream os;
+    os << "entry point 0x" << std::hex << entry
+       << " has no complete instruction word (outside every section, or the image is "
+          "truncated)";
+    throw InputError(os.str());
+  }
+
+  next->ctx =
+      std::make_unique<AnalysisContext>(image, next->hw, next->annotations, options, entry);
+  AnalysisContext& ctx = *next->ctx;
+  if (options.use_annotations) {
+    ctx.hints.indirect_targets = next->annotations.indirect_targets;
+    ctx.sg_options.recursion_depths = next->annotations.recursion_depths;
+  }
+  ctx.pool = pool_->workers() > 1 ? pool_.get() : nullptr;
+
+  AnalysisGovernor governor(options.budget);
+  ctx.governor = &governor;
+  pool_->set_governor(&governor);
+
+  AnalysisPassManager manager;
+  const std::size_t back_half = register_figure1_passes(manager);
+
+  // Incremental gate: warm reuse is only attempted against a previous
+  // run that converged cleanly under the same annotations (the options
+  // are fixed per server, so they are identical by construction).
+  const bool can_warm = options_.enable_incremental && current_ != nullptr &&
+                        current_->ok && !current_->degraded && current_->ctx != nullptr &&
+                        current_->annotation_text == next->annotation_text;
+
+  try {
+    for (int round = 0; round < std::max(1, options.max_decode_rounds); ++round) {
+      manager.run_pass(ctx, 0); // decode
+      if (round == 0 && can_warm && current_->instance_fp.size() ==
+                                        ctx.supergraph->instances().size() &&
+          structure_identical(*current_->ctx->supergraph, *ctx.supergraph)) {
+        auto warm = std::make_unique<AnalysisContext::WarmHandoff>();
+        warm->prev = current_->ctx.get();
+        const std::vector<std::uint64_t> fps = instance_fingerprints(*ctx.supergraph, image);
+        warm->instance_clean.assign(fps.size(), 0);
+        for (std::size_t i = 0; i < fps.size(); ++i) {
+          const bool clean =
+              fps[i] == current_->instance_fp[i] &&
+              instance_bytes_equal(*ctx.supergraph, static_cast<int>(i), image,
+                                   *current_->image);
+          warm->instance_clean[i] = clean ? 1 : 0;
+          if (!clean) ++warm->dirty_instances;
+        }
+        ctx.warm = std::move(warm);
+      }
+      for (std::size_t i = 1; i < back_half; ++i) manager.run_pass(ctx, i);
+      if (ctx.program->fully_resolved()) break;
+      if (!ctx.absorb_resolved_indirect_targets()) break;
+      // A re-decode rebuilds the supergraph: every positional warm
+      // verdict is void. Continue cold.
+      ctx.warm.reset();
+    }
+    for (std::size_t i = back_half; i < manager.size(); ++i) manager.run_pass(ctx, i);
+  } catch (const std::bad_alloc&) {
+    pool_->set_governor(nullptr);
+    throw AnalysisError("analysis ran out of memory");
+  } catch (...) {
+    pool_->set_governor(nullptr);
+    throw;
+  }
+  pool_->set_governor(nullptr);
+
+  std::uint64_t dirty = ctx.supergraph->instances().size();
+  if (ctx.warm != nullptr) {
+    ++stats_.warm_runs;
+    dirty = static_cast<std::uint64_t>(ctx.warm->dirty_instances);
+    stats_.dirty_instances += dirty;
+    if (ctx.warm->cache_fallback) ++stats_.warm_fallbacks;
+    if (ctx.warm->path_reused) ++stats_.path_reuses;
+  } else {
+    ++stats_.cold_runs;
+  }
+
+  // Copy (not move) the report out: ctx keeps its own copy because the
+  // next request's whole-ILP reuse audits it (try_reuse_path).
+  WcetReport report = ctx.report;
+  report.degradations = governor.degradations();
+  report.degraded = !report.degradations.empty();
+  report.budget_checks = governor.budget_checks();
+  report.cancel_latency_us = governor.cancel_latency_us();
+  report.timings.decode_ms = manager.timing_ms("decode");
+  report.timings.value_ms = manager.timing_ms("value");
+  report.timings.loop_ms = manager.timing_ms("loop");
+  report.timings.cache_ms = manager.timing_ms("cache");
+  report.timings.pipeline_ms = manager.timing_ms("pipeline");
+  report.timings.path_ms = manager.timing_ms("path");
+  report.timings.validate_ms = manager.timing_ms("validate");
+  report.timings.total_ms = ms_since(t_total);
+  stats_.degradations += report.degradations.size();
+  stats_.last_timings = report.timings;
+
+  // Promote this run to the reuse anchor. The fingerprints come from
+  // the *converged* supergraph (after any decode feedback rounds).
+  next->instance_fp = instance_fingerprints(*ctx.supergraph, image);
+  next->ok = report.ok;
+  next->degraded = report.degraded;
+  // Drop the borrowed pointer into the old context before destroying it.
+  ctx.warm.reset();
+  current_ = std::move(next);
+
+  report.serve_requests = stats_.requests;
+  report.serve_fingerprint_hits = stats_.fingerprint_hits;
+  report.serve_dirty_instances = dirty;
+  return report;
+}
+
+void AnalysisServer::cache_insert(std::uint64_t fp, std::vector<std::uint8_t> key,
+                                  const WcetReport& report) {
+  if (options_.report_cache_capacity == 0) return;
+  for (auto it = report_cache_.begin(); it != report_cache_.end(); ++it) {
+    if (it->fp == fp) { // collision casualty (same-key hits never get here)
+      report_cache_.erase(it);
+      break;
+    }
+  }
+  while (report_cache_.size() >= options_.report_cache_capacity) {
+    WCET_FAULT_POINT("serve:evict");
+    report_cache_.pop_back();
+    ++stats_.evictions;
+  }
+  report_cache_.push_front(CacheEntry{fp, std::move(key), report});
+}
+
+std::vector<WcetReport> AnalysisServer::submit_batch(const std::vector<BatchJob>& jobs) {
+  stats_.batch_jobs += jobs.size();
+  std::vector<WcetReport> reports(jobs.size());
+  std::vector<char> errored(jobs.size(), 0);
+
+  // Fleet isolation: each job runs sequentially inside one pool worker
+  // (options.threads = 1) under its own governor and budget; failures
+  // become classified error reports in the job's own slot.
+  const auto run_job = [&](std::size_t i) {
+    const BatchJob& job = jobs[i];
+    WcetReport& report = reports[i];
+    const auto fail = [&](const std::string& what) {
+      report = WcetReport{};
+      report.ok = false;
+      report.obstructions.push_back("serve: " + what);
+      errored[i] = 1;
+    };
+    try {
+      if (job.image == nullptr) throw InputError("batch job has no image");
+      AnalysisOptions options = options_.analysis;
+      options.threads = 1; // fleet parallelism is across jobs, not within
+      options.budget = job.budget;
+      const Analyzer analyzer(*job.image, base_hw_, job.annotation_text);
+      report = analyzer.analyze(options);
+    } catch (const InputError& e) {
+      fail(std::string("input error: ") + e.what());
+    } catch (const AnalysisError& e) {
+      fail(std::string("analysis error: ") + e.what());
+    } catch (const InternalError& e) {
+      fail(std::string("internal error: ") + e.what());
+    } catch (const std::bad_alloc&) {
+      fail("analysis error: out of memory");
+    } catch (const std::exception& e) {
+      fail(std::string("internal error: unclassified exception: ") + e.what());
+    }
+  };
+
+  pool_->set_governor(nullptr); // job budgets live in per-job governors
+  if (pool_->workers() > 1 && jobs.size() > 1) {
+    pool_->parallel_for(jobs.size(), run_job);
+  } else {
+    for (std::size_t i = 0; i < jobs.size(); ++i) run_job(i);
+  }
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (errored[i] != 0) ++stats_.batch_errors;
+    stats_.degradations += reports[i].degradations.size();
+  }
+  return reports;
+}
+
+} // namespace wcet::serve

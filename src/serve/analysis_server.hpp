@@ -1,0 +1,136 @@
+// Persistent analysis server: the Figure-1 pipeline as a long-running
+// service instead of a one-shot Analyzer call.
+//
+// The server keeps the converged artifacts of the last successful run
+// (AnalysisContext, TransferCache recipes, per-instance code
+// fingerprints) alive across requests. A re-submitted image is
+// fingerprinted per function instance; when the decoded supergraph is
+// structurally identical to the previous run's, the pipeline receives a
+// WarmHandoff (wcet/pipeline.hpp) and re-derives only what the edit
+// actually invalidated — clean instances keep their published value
+// out-states, cache recipes and sub-ILP results. Every reuse is
+// *verified, never trusted*: a warm bound is bit-identical to the cold
+// bound by construction (the passes demote any verdict the fresh run
+// contradicts and fall back to a full cold re-run on any divergence).
+//
+// On top of the incremental path sits a request-level cache: an FNV
+// fingerprint over the image bytes + annotation text, confirmed by an
+// exact byte comparison (a hash match alone is never trusted — see
+// support/fixpoint.hpp), serves a repeat submission from the report LRU
+// without touching the pipeline at all.
+//
+// Batch fleet mode (`submit_batch`) shards N independent images across
+// the server's ThreadPool: each job runs sequentially inside one worker
+// with its own AnalysisGovernor and budget, so one job's degradation or
+// failure never leaks into another — a malformed image yields a
+// classified error report in its slot, the remaining jobs are
+// unaffected.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "annot/annotations.hpp"
+#include "isa/image.hpp"
+#include "mem/hwmodel.hpp"
+#include "support/budget.hpp"
+#include "wcet/analyzer.hpp"
+
+namespace wcet {
+
+class ThreadPool;
+struct AnalysisContext;
+
+namespace serve {
+
+struct ServeOptions {
+  // Analysis options shared by every interactive request. Fixed per
+  // server on purpose: the incremental warm path is only valid between
+  // runs with identical options, and the request cache never has to
+  // key on them.
+  AnalysisOptions analysis;
+  // Capacity of the request-level report LRU (fingerprint + exact byte
+  // match -> cached WcetReport).
+  std::size_t report_cache_capacity = 8;
+  // Gate for the incremental warm path; off forces every miss cold.
+  bool enable_incremental = true;
+  // Test seam: post-processes the computed request fingerprint. Forcing
+  // collisions here exercises the exact-byte-compare guard.
+  std::function<std::uint64_t(std::uint64_t)> fingerprint_hook;
+};
+
+// Cumulative server telemetry, exported per request into
+// WcetReport::serve_* and as text via to_string() (the --stats
+// endpoint of cli/wcet_serve.cpp).
+struct ServeStats {
+  std::uint64_t requests = 0;           // interactive submissions handled
+  std::uint64_t fingerprint_hits = 0;   // served from the report cache
+  std::uint64_t fingerprint_collisions = 0; // hash matched, bytes differed
+  std::uint64_t warm_runs = 0;          // pipeline ran with a WarmHandoff
+  std::uint64_t cold_runs = 0;          // pipeline ran cold
+  std::uint64_t warm_fallbacks = 0;     // warm cache attempt diverged -> cold fixpoint
+  std::uint64_t path_reuses = 0;        // previous ILP result adopted wholesale
+  std::uint64_t dirty_instances = 0;    // cumulative fingerprint-dirty instances
+  std::uint64_t evictions = 0;          // report-cache LRU evictions
+  std::uint64_t batch_jobs = 0;         // jobs accepted by submit_batch
+  std::uint64_t batch_errors = 0;       // ... that ended in a classified error
+  std::uint64_t degradations = 0;       // cumulative degradation-ledger entries
+  // Per-phase milliseconds of the most recent pipeline run (cache hits
+  // leave it untouched).
+  PhaseTimings last_timings;
+
+  std::string to_string() const;
+};
+
+// One independent image of a batch submission.
+struct BatchJob {
+  const isa::Image* image = nullptr; // caller-owned, must outlive the call
+  std::string annotation_text;
+  AnalysisBudget budget; // per-job resource envelope (cancel not owned)
+};
+
+class AnalysisServer {
+public:
+  AnalysisServer(const mem::HwConfig& hw, ServeOptions options = {});
+  ~AnalysisServer();
+
+  AnalysisServer(const AnalysisServer&) = delete;
+  AnalysisServer& operator=(const AnalysisServer&) = delete;
+
+  // Analyzes `image` under the server's fixed options, serving from the
+  // report cache or the incremental warm path when possible. Throws the
+  // same classified errors as Analyzer::analyze. The returned report's
+  // serve_* fields carry the server counters as of this request.
+  WcetReport submit(const isa::Image& image, const std::string& annotation_text = "");
+
+  // Fleet mode: analyzes every job independently (cold, one worker
+  // each), sharded across the server pool. Reports come back in
+  // submission order; a failed job yields a classified !ok report in
+  // its slot instead of poisoning the batch.
+  std::vector<WcetReport> submit_batch(const std::vector<BatchJob>& jobs);
+
+  const ServeStats& stats() const { return stats_; }
+
+private:
+  struct Converged;  // last successful run's artifacts (analysis_server.cpp)
+  struct CacheEntry; // report-LRU slot
+
+  WcetReport submit_request(const isa::Image& image, const std::string& annotation_text);
+  WcetReport run_pipeline(std::unique_ptr<Converged> next);
+  void cache_insert(std::uint64_t fp, std::vector<std::uint8_t> key,
+                    const WcetReport& report);
+
+  mem::HwConfig base_hw_;
+  ServeOptions options_;
+  ServeStats stats_;
+  std::unique_ptr<ThreadPool> pool_;          // shared across requests
+  std::unique_ptr<Converged> current_;        // incremental-reuse anchor
+  std::list<CacheEntry> report_cache_;        // front = most recent
+};
+
+} // namespace serve
+} // namespace wcet

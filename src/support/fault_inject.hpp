@@ -147,7 +147,7 @@ inline const std::vector<std::string>& known_sites() {
   static const std::vector<std::string> sites = {
       "phase:decode", "phase:value", "phase:loop-bounds", "phase:cache",
       "phase:pipeline", "phase:path", "value:round", "cache:round",
-      "ilp:solve", "bnb:node",
+      "ilp:solve", "bnb:node", "serve:admit", "serve:evict",
   };
   return sites;
 }

@@ -62,6 +62,10 @@ struct AnalysisOptions {
   bool validate = false;
   std::uint64_t validate_max_paths = 50'000;
   std::uint64_t validate_max_steps = 2'000'000;
+  // Step budget of the witness-realization walk (validate/witness_replay).
+  // Exhausting it records a classified skip but never blocks the
+  // simulator replay leg — the replay is witness-independent.
+  std::uint64_t validate_witness_max_steps = 1u << 22;
 };
 
 struct LoopInfo {
@@ -152,6 +156,11 @@ struct WcetReport {
   bool witness_replayed = false;      // simulator replay completed
   std::uint64_t measured_cycles = 0;  // replayed cycles (true lower bound)
   std::uint64_t tightness_x1000 = 0;  // wcet_cycles * 1000 / measured_cycles
+
+  // Analysis-server telemetry (src/serve), zero outside a server run.
+  std::uint64_t serve_requests = 0;         // requests the server has handled so far
+  std::uint64_t serve_fingerprint_hits = 0; // request-level cache hits so far
+  std::uint64_t serve_dirty_instances = 0;  // fingerprint-dirty instances, this request
 
   // Execution counts on the worst-case path, summed per block address.
   std::map<std::uint32_t, std::uint64_t> wcet_block_counts;

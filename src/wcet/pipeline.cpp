@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <sstream>
 
 #include "support/cow.hpp"
@@ -83,6 +84,37 @@ public:
 };
 
 // ----------------------------------------------------------------- value
+// Incremental verification (src/serve): demote fingerprint-clean
+// instances whose fresh value-analysis results differ from the previous
+// run's — per-node in-states must compare equal and every edge whose
+// source lies in the instance must keep its feasibility verdict.
+// Downstream reuse (cache recipes, warm cache fixpoint, whole-ILP
+// reuse) keys on these *verified* verdicts, never on fingerprints
+// alone: value analysis itself always re-runs cold because its
+// widening/coarsening policy is trajectory-dependent and cannot be
+// warm-started exactly.
+void verify_warm_value(AnalysisContext& ctx) {
+  AnalysisContext::WarmHandoff& warm = *ctx.warm;
+  const AnalysisContext& prev = *warm.prev;
+  const cfg::Supergraph& sg = *ctx.supergraph;
+  for (const cfg::SgNode& n : sg.nodes()) {
+    auto& flag = warm.instance_clean[static_cast<std::size_t>(n.instance)];
+    if (flag == 0) continue;
+    if (!(ctx.values->state_in(n.id) == prev.values->state_in(n.id))) flag = 0;
+  }
+  for (const cfg::SgEdge& e : sg.edges()) {
+    auto& flag = warm.instance_clean[static_cast<std::size_t>(sg.node(e.from).instance)];
+    if (flag == 0) continue;
+    if (ctx.values->edge_feasible(e.id) != prev.values->edge_feasible(e.id)) flag = 0;
+  }
+  warm.node_clean.assign(sg.nodes().size(), 0);
+  for (const cfg::SgNode& n : sg.nodes()) {
+    warm.node_clean[static_cast<std::size_t>(n.id)] =
+        warm.instance_clean[static_cast<std::size_t>(n.instance)];
+  }
+  warm.value_verified = true;
+}
+
 class ValuePass : public AnalysisPass {
 public:
   const char* name() const override { return "value"; }
@@ -99,6 +131,10 @@ public:
     ctx.values = std::make_unique<analysis::ValueAnalysis>(
         *ctx.supergraph, *ctx.forest, ctx.hw.memory, va_options, ctx.schedule);
     ctx.values->run(ctx.pool, ctx.transfers.get(), ctx.governor);
+    if (ctx.warm != nullptr && ctx.warm->prev != nullptr &&
+        ctx.warm->prev->values != nullptr) {
+      verify_warm_value(ctx);
+    }
   }
 };
 
@@ -202,12 +238,30 @@ public:
     // this pass alone (telemetry only — results never read them).
     analysis::reset_cache_join_stats();
     cow_leaf_stats().reset_window();
+    const bool warm_ready = ctx.warm != nullptr && ctx.warm->prev != nullptr &&
+                            ctx.warm->value_verified && ctx.warm->prev->caches != nullptr &&
+                            ctx.warm->prev->transfers != nullptr;
+    if (warm_ready) {
+      // Copy recipes of verified-clean nodes from the previous run
+      // before the analysis builds them itself (the memoized build then
+      // short-circuits). Exact, not approximate: a recipe is a pure
+      // function of inputs the verification proved unchanged.
+      ctx.transfers->build_cache_recipes(ctx.hw.memory, ctx.hw.icache, ctx.hw.dcache,
+                                         ctx.pool, ctx.warm->prev->transfers.get(),
+                                         &ctx.warm->node_clean);
+    }
     ctx.caches = std::make_unique<analysis::CacheAnalysis>(
         *ctx.supergraph, *ctx.forest, *ctx.values, ctx.hw.memory, ctx.hw.icache,
         ctx.hw.dcache, analysis::CacheAnalysis::Schedule::priority, ctx.schedule,
         ctx.transfers.get(), ctx.pool);
     ctx.caches->set_governor(ctx.governor);
-    ctx.caches->run();
+    if (warm_ready) {
+      ctx.warm->cache_warm =
+          ctx.caches->run(ctx.warm->prev->caches.get(), &ctx.warm->instance_clean);
+      ctx.warm->cache_fallback = ctx.caches->warm_fallback();
+    } else {
+      ctx.caches->run();
+    }
     ctx.report.cache_stats = ctx.caches->stats();
     const analysis::CacheJoinStats joins = analysis::cache_join_stats();
     ctx.report.cache_joins = joins.joins;
@@ -257,6 +311,65 @@ analysis::IpetOptions ipet_options_for(const AnalysisContext& ctx) {
   return ipet_options;
 }
 
+// Whole-solve reuse (src/serve): when the warm cache fixpoint committed
+// and every path-analysis input — loop bounds, per-node timings,
+// per-edge extras, edge feasibility — compares equal to the previous
+// run's, the previous ILP result (bound, witness, telemetry) is the
+// result of an identical constraint system and is adopted wholesale.
+// Flow facts and options are identical by the server's admission gate
+// (same annotation text, same AnalysisOptions).
+bool try_reuse_path(AnalysisContext& ctx) {
+  if (ctx.warm == nullptr || ctx.warm->prev == nullptr || !ctx.warm->cache_warm) {
+    return false;
+  }
+  const AnalysisContext& prev = *ctx.warm->prev;
+  if (prev.pipeline == nullptr || !prev.report.ok) return false;
+  if (ctx.merged_bounds != prev.merged_bounds) return false;
+  const cfg::Supergraph& sg = *ctx.supergraph;
+  for (const cfg::SgEdge& e : sg.edges()) {
+    if (ctx.values->edge_feasible(e.id) != prev.values->edge_feasible(e.id)) return false;
+    if (ctx.pipeline->edge_extra(e.id) != prev.pipeline->edge_extra(e.id)) return false;
+  }
+  for (const cfg::SgNode& n : sg.nodes()) {
+    const analysis::NodeTiming& now = ctx.pipeline->timing(n.id);
+    const analysis::NodeTiming& then = prev.pipeline->timing(n.id);
+    if (now.lb != then.lb || now.ub != then.ub ||
+        now.ps_terms.size() != then.ps_terms.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < now.ps_terms.size(); ++i) {
+      const analysis::PsTerm& a = now.ps_terms[i];
+      const analysis::PsTerm& b = then.ps_terms[i];
+      if (a.loop_id != b.loop_id || a.penalty != b.penalty ||
+          a.line_count != b.line_count) {
+        return false;
+      }
+    }
+  }
+
+  ctx.wcet_result = prev.wcet_result;
+  WcetReport& report = ctx.report;
+  const WcetReport& prev_report = prev.report;
+  report.ilp_variables = prev_report.ilp_variables;
+  report.ilp_constraints = prev_report.ilp_constraints;
+  report.ipet_regions = prev_report.ipet_regions;
+  report.ipet_sub_ilps = prev_report.ipet_sub_ilps;
+  report.ipet_depth = prev_report.ipet_depth;
+  report.sese_regions = prev_report.sese_regions;
+  report.phase1_pivots = prev_report.phase1_pivots;
+  report.phase2_pivots = prev_report.phase2_pivots;
+  report.crash_basis_rows = prev_report.crash_basis_rows;
+  report.wcet_cycles = prev_report.wcet_cycles;
+  report.bcet_cycles = prev_report.bcet_cycles;
+  for (const auto& [node, count] : ctx.wcet_result.node_counts) {
+    report.wcet_block_counts[sg.node(node).block->begin] += count;
+  }
+  report.witness_available = ctx.wcet_result.witness_available();
+  report.ok = ctx.wcet_result.ok() && report.obstructions.empty();
+  ctx.warm->path_reused = true;
+  return true;
+}
+
 // ------------------------------------------------------------------ path
 class PathPass : public AnalysisPass {
 public:
@@ -268,6 +381,7 @@ public:
 
   void run(AnalysisContext& ctx) override {
     phase_boundary(ctx, "phase:path");
+    if (try_reuse_path(ctx)) return;
     const cfg::Supergraph& supergraph = *ctx.supergraph;
     WcetReport& report = ctx.report;
     analysis::Ipet ipet(supergraph, *ctx.forest, *ctx.values, *ctx.pipeline);
@@ -401,12 +515,16 @@ public:
                : "no path witness; replay skipped");
       return;
     }
-    const validate::WitnessCheck witness =
-        validate::check_witness(*ctx.supergraph, *ctx.forest, ipet_options.loop_bounds,
-                                ctx.wcet_result.node_counts, edge_feasible);
+    const validate::WitnessCheck witness = validate::check_witness(
+        *ctx.supergraph, *ctx.forest, ipet_options.loop_bounds,
+        ctx.wcet_result.node_counts, edge_feasible, ctx.options.validate_witness_max_steps);
     report.witness_checked = witness.decided();
     report.witness_valid = witness.ok();
     if (witness.status == validate::WitnessCheck::Status::budget_exhausted) {
+      // Deliberately no `return`: the simulator replay below is
+      // witness-independent, so an exhausted walk budget skips only the
+      // realization verdict. Skip reasons accumulate ("; "-joined, see
+      // `skip` above) — an earlier reason is never overwritten.
       skip("witness walk budget exhausted before a verdict");
     }
     if (ctx.entry != ctx.image.entry()) {
@@ -424,8 +542,13 @@ public:
     }
     validate::ReplayOptions replay_options;
     // Cap far above the bound: a genuinely unsound bound must surface
-    // as measured > wcet, not vanish under the cap.
-    replay_options.max_cycles = report.wcet_cycles * 2 + 1024;
+    // as measured > wcet, not vanish under the cap. Saturated — for
+    // bounds past UINT64_MAX/2 the doubled cap would wrap to a *small*
+    // cap and truncate exactly the replays that matter most.
+    constexpr std::uint64_t u64_max = std::numeric_limits<std::uint64_t>::max();
+    replay_options.max_cycles = report.wcet_cycles > (u64_max - 1024) / 2
+                                    ? u64_max
+                                    : report.wcet_cycles * 2 + 1024;
     const validate::ReplayResult replay =
         validate::replay_measured(ctx.image, ctx.hw, replay_options);
     if (!replay.ok()) {
@@ -434,9 +557,18 @@ public:
     }
     report.witness_replayed = true;
     report.measured_cycles = replay.measured_cycles;
-    if (replay.measured_cycles > 0) {
-      report.tightness_x1000 = report.wcet_cycles * 1000 / replay.measured_cycles;
+    if (replay.measured_cycles == 0) {
+      // tightness 0 is the "no replay" sentinel; a measured zero must
+      // not masquerade as it silently.
+      skip("replay measured zero cycles; tightness undefined");
+      return;
     }
+    // 128-bit widening: wcet * 1000 wraps uint64 for bounds past
+    // ~1.8e16 cycles, which would report a nonsensically *tight* ratio.
+    const unsigned __int128 scaled =
+        static_cast<unsigned __int128>(report.wcet_cycles) * 1000u / replay.measured_cycles;
+    report.tightness_x1000 =
+        scaled > u64_max ? u64_max : static_cast<std::uint64_t>(scaled);
   }
 };
 

@@ -74,6 +74,28 @@ struct AnalysisContext {
   std::unique_ptr<analysis::PipelineAnalysis> pipeline;
   analysis::IpetResult wcet_result;
 
+  // Incremental re-analysis handoff (src/serve): installed by the
+  // analysis server when a re-submitted image is structurally identical
+  // to the previous converged run, carrying per-instance fingerprint
+  // verdicts. Every reuse below is verified, never trusted: the value
+  // pass always re-runs cold and demotes any fingerprint-clean instance
+  // whose states differ; the cache pass warm-starts only under those
+  // verified verdicts and falls back to a cold fixpoint on any boundary
+  // divergence; the path pass reuses the previous ILP result only when
+  // every timing input compares equal. A warm run is therefore
+  // bit-identical to a cold run by construction.
+  struct WarmHandoff {
+    const AnalysisContext* prev = nullptr; // previous converged context
+    std::vector<char> instance_clean;      // per-instance: code fingerprint unchanged
+    std::vector<char> node_clean;          // per-node: instance verified value-clean
+    int dirty_instances = 0;               // fingerprint-dirty instance count
+    bool value_verified = false;           // value pass confirmed instance_clean
+    bool cache_warm = false;               // cache fixpoint warm-start committed
+    bool cache_fallback = false;           // warm attempt diverged -> cold rerun
+    bool path_reused = false;              // previous ILP result reused wholesale
+  };
+  std::unique_ptr<WarmHandoff> warm; // null: cold request
+
   // Report under construction; passes append obstructions here.
   WcetReport report;
 

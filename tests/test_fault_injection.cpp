@@ -10,6 +10,7 @@
 
 #include "mcc/runtime.hpp"
 #include "mem/hwmodel.hpp"
+#include "serve/analysis_server.hpp"
 #include "support/budget.hpp"
 #include "support/fault_inject.hpp"
 #include "wcet/analyzer.hpp"
@@ -42,6 +43,14 @@ const isa::Image& test_image() {
   return image;
 }
 
+// Second image for the serve round trip below: submitting it between
+// two submissions of test_image() under a capacity-1 report cache
+// forces one eviction per analyze() call.
+const isa::Image& variant_image() {
+  static const isa::Image image = mcc::compile_program(synthetic_program(3, 2)).image;
+  return image;
+}
+
 // Disarm on every exit path so one failed expectation cannot leave a
 // live fault armed for the next test.
 struct DisarmGuard {
@@ -51,12 +60,21 @@ struct DisarmGuard {
   }
 };
 
+// The workload routes through the analysis server so the serve:*
+// sites (request admission, report-cache eviction) lie on the fault
+// path alongside every pipeline site. Capacity 1 + an interleaved
+// variant image forces an eviction mid-sequence, and the final
+// submission re-analyzes test_image() cold — a cancel token fired at
+// either serve site is observed by a governor before analyze() returns.
 WcetReport analyze(CancelToken* token = nullptr, int threads = 1) {
-  const Analyzer analyzer(test_image(), mem::typical_hw());
-  AnalysisOptions options;
-  options.threads = threads;
-  options.budget.cancel = token;
-  return analyzer.analyze(options);
+  serve::ServeOptions options;
+  options.analysis.threads = threads;
+  options.analysis.budget.cancel = token;
+  options.report_cache_capacity = 1;
+  serve::AnalysisServer server(mem::typical_hw(), options);
+  server.submit(test_image());
+  server.submit(variant_image());
+  return server.submit(test_image());
 }
 
 const WcetReport& oracle() {

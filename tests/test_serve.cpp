@@ -1,0 +1,258 @@
+// Analysis-server contract (src/serve): incremental warm re-analysis
+// must be bit-identical to a cold run of the edited image, the request
+// fingerprint cache must never trust a hash match without an exact byte
+// comparison, and batch fleet jobs must stay isolated from each other's
+// failures and budgets.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mcc/runtime.hpp"
+#include "mem/hwmodel.hpp"
+#include "serve/analysis_server.hpp"
+#include "wcet/analyzer.hpp"
+
+namespace wcet {
+namespace {
+
+// main calls f, g, h sequentially — calls deliberately NOT inside any
+// loop, so no loop spans a clean/dirty instance boundary and the warm
+// cache fixpoint's structural guard admits the edit. Changing
+// `g_bound` changes one comparison immediate only: the code layout
+// (function addresses, block boundaries, instruction counts) is
+// identical across variants, which is exactly the shape the
+// per-instance fingerprint path is built for.
+std::string calls_program(int g_bound) {
+  std::ostringstream os;
+  os << "int data[16] = {3,1,4,1,5,9,2,6,5,3,5,8,9,7,9,3};\n";
+  os << "int f(int x) { int i; int s = x;\n"
+        "  for (i = 0; i < 5; i++) { s += data[(s + i) & 15]; }\n"
+        "  return s; }\n";
+  os << "int g(int x) { int i; int s = x;\n"
+        "  for (i = 0; i < "
+     << g_bound
+     << "; i++) { s += data[(s + 2 * i) & 15]; }\n"
+        "  return s; }\n";
+  os << "int h(int x) { int i; int s = x;\n"
+        "  for (i = 0; i < 4; i++) { s += data[(s ^ i) & 15]; }\n"
+        "  return s; }\n";
+  os << "int main(void) { int t = 1; t += f(t); t += g(t); t += h(t); return t; }\n";
+  return os.str();
+}
+
+isa::Image compile(const std::string& source) {
+  return mcc::compile_program(source).image;
+}
+
+void expect_same_bounds(const WcetReport& warm, const WcetReport& cold,
+                        const std::string& label) {
+  ASSERT_TRUE(warm.ok) << label;
+  ASSERT_TRUE(cold.ok) << label;
+  EXPECT_EQ(warm.wcet_cycles, cold.wcet_cycles) << label;
+  EXPECT_EQ(warm.bcet_cycles, cold.bcet_cycles) << label;
+  EXPECT_EQ(warm.wcet_block_counts, cold.wcet_block_counts) << label;
+  EXPECT_EQ(warm.cache_stats.fetch_hit, cold.cache_stats.fetch_hit) << label;
+  EXPECT_EQ(warm.cache_stats.fetch_miss, cold.cache_stats.fetch_miss) << label;
+  EXPECT_EQ(warm.cache_stats.data_hit, cold.cache_stats.data_hit) << label;
+  EXPECT_EQ(warm.cache_stats.data_miss, cold.cache_stats.data_miss) << label;
+  EXPECT_EQ(warm.cache_stats.persistent, cold.cache_stats.persistent) << label;
+  EXPECT_EQ(warm.ilp_variables, cold.ilp_variables) << label;
+  EXPECT_EQ(warm.ilp_constraints, cold.ilp_constraints) << label;
+}
+
+// Edit one function, resubmit: the warm incremental run must produce
+// bounds bit-identical to a from-scratch cold analysis of the edited
+// image — across every IPET decomposition mode and a worker-count
+// sweep. This is the acceptance oracle of the incremental path.
+TEST(Serve, EditOneFunctionWarmEqualsCold) {
+  const isa::Image base = compile(calls_program(6));
+  const isa::Image edited = compile(calls_program(9));
+  for (const analysis::IpetDecomposition mode :
+       {analysis::IpetDecomposition::monolithic, analysis::IpetDecomposition::flat,
+        analysis::IpetDecomposition::recursive}) {
+    for (const int threads : {1, 2, 4, 8}) {
+      std::ostringstream label;
+      label << "mode=" << static_cast<int>(mode) << " threads=" << threads;
+
+      serve::ServeOptions options;
+      options.analysis.decomposition = mode;
+      options.analysis.threads = threads;
+      serve::AnalysisServer server(mem::typical_hw(), options);
+
+      const WcetReport first = server.submit(base);
+      ASSERT_TRUE(first.ok) << label.str();
+      const WcetReport warm = server.submit(edited);
+
+      // The edit must actually exercise the incremental machinery:
+      // structure matched, exactly one instance (g) went dirty.
+      EXPECT_EQ(server.stats().warm_runs, 1u) << label.str();
+      EXPECT_EQ(warm.serve_dirty_instances, 1u) << label.str();
+      // The edit changed g's bound, so the two programs must not
+      // accidentally share a WCET (that would make the oracle vacuous).
+      EXPECT_NE(warm.wcet_cycles, first.wcet_cycles) << label.str();
+
+      const Analyzer cold_analyzer(edited, mem::typical_hw());
+      const WcetReport cold = cold_analyzer.analyze(options.analysis);
+      expect_same_bounds(warm, cold, label.str());
+    }
+  }
+}
+
+// An identical edit with incremental reuse disabled must still agree —
+// the ServeOptions gate forces the miss path cold.
+TEST(Serve, IncrementalDisabledStaysCold) {
+  serve::ServeOptions options;
+  options.enable_incremental = false;
+  serve::AnalysisServer server(mem::typical_hw(), options);
+  const isa::Image base = compile(calls_program(6));
+  const isa::Image edited = compile(calls_program(9));
+  const WcetReport first = server.submit(base);
+  const WcetReport second = server.submit(edited);
+  ASSERT_TRUE(first.ok);
+  ASSERT_TRUE(second.ok);
+  EXPECT_EQ(server.stats().warm_runs, 0u);
+  EXPECT_EQ(server.stats().cold_runs, 2u);
+  const Analyzer cold(edited, mem::typical_hw());
+  EXPECT_EQ(second.wcet_cycles, cold.analyze(options.analysis).wcet_cycles);
+}
+
+// With the report cache disabled, a byte-identical resubmission takes
+// the full incremental path: zero dirty instances, the cache fixpoint
+// warm-starts without divergence, and the previous ILP solve is
+// adopted wholesale — all while the bound stays bit-identical.
+TEST(Serve, ZeroDirtyResubmitReusesWholeIlp) {
+  serve::ServeOptions options;
+  options.report_cache_capacity = 0; // force re-analysis on every request
+  serve::AnalysisServer server(mem::typical_hw(), options);
+  const isa::Image image = compile(calls_program(6));
+  const WcetReport first = server.submit(image);
+  const WcetReport second = server.submit(image);
+  ASSERT_TRUE(first.ok);
+  EXPECT_EQ(second.wcet_cycles, first.wcet_cycles);
+  EXPECT_EQ(second.bcet_cycles, first.bcet_cycles);
+  EXPECT_EQ(second.serve_dirty_instances, 0u);
+  EXPECT_EQ(server.stats().warm_runs, 1u);
+  EXPECT_EQ(server.stats().warm_fallbacks, 0u);
+  EXPECT_EQ(server.stats().path_reuses, 1u);
+  EXPECT_EQ(server.stats().fingerprint_hits, 0u); // cache was disabled
+}
+
+// Resubmitting byte-identical input is served from the report cache:
+// no pipeline run, hit counters exposed through the report.
+TEST(Serve, RepeatSubmissionHitsFingerprintCache) {
+  serve::AnalysisServer server(mem::typical_hw());
+  const isa::Image image = compile(calls_program(6));
+  const WcetReport first = server.submit(image);
+  const WcetReport second = server.submit(image);
+  const WcetReport third = server.submit(image);
+  ASSERT_TRUE(first.ok);
+  EXPECT_EQ(second.wcet_cycles, first.wcet_cycles);
+  EXPECT_EQ(third.wcet_cycles, first.wcet_cycles);
+  EXPECT_EQ(server.stats().requests, 3u);
+  EXPECT_EQ(server.stats().fingerprint_hits, 2u);
+  EXPECT_EQ(server.stats().cold_runs, 1u);
+  EXPECT_EQ(third.serve_fingerprint_hits, 2u);
+  EXPECT_EQ(third.serve_dirty_instances, 0u); // nothing re-analyzed
+}
+
+// A forced fingerprint collision (constant hash hook) must never serve
+// the wrong report: the exact byte comparison catches it and both
+// programs get their own analysis.
+TEST(Serve, FingerprintCollisionNeverServesWrongReport) {
+  serve::ServeOptions options;
+  options.fingerprint_hook = [](std::uint64_t) { return 0x42ull; };
+  serve::AnalysisServer server(mem::typical_hw(), options);
+  const isa::Image a = compile(calls_program(6));
+  const isa::Image b = compile(calls_program(9));
+  const WcetReport ra = server.submit(a);
+  const WcetReport rb = server.submit(b);
+  ASSERT_TRUE(ra.ok);
+  ASSERT_TRUE(rb.ok);
+  EXPECT_NE(ra.wcet_cycles, rb.wcet_cycles);
+  EXPECT_GE(server.stats().fingerprint_collisions, 1u);
+  EXPECT_EQ(server.stats().fingerprint_hits, 0u);
+  // Same bytes + same (colliding) hash is still a legitimate hit.
+  const WcetReport rb2 = server.submit(b);
+  EXPECT_EQ(rb2.wcet_cycles, rb.wcet_cycles);
+  EXPECT_EQ(server.stats().fingerprint_hits, 1u);
+}
+
+// Capacity-1 LRU: alternating two images evicts on every insert and
+// never produces a cache hit; the reports stay correct throughout.
+TEST(Serve, ReportCacheEvictsAtCapacity) {
+  serve::ServeOptions options;
+  options.report_cache_capacity = 1;
+  serve::AnalysisServer server(mem::typical_hw(), options);
+  const isa::Image a = compile(calls_program(6));
+  const isa::Image b = compile(calls_program(9));
+  const WcetReport ra1 = server.submit(a);
+  const WcetReport rb = server.submit(b);
+  const WcetReport ra2 = server.submit(a);
+  ASSERT_TRUE(ra1.ok);
+  ASSERT_TRUE(rb.ok);
+  EXPECT_EQ(ra2.wcet_cycles, ra1.wcet_cycles);
+  EXPECT_EQ(server.stats().fingerprint_hits, 0u);
+  EXPECT_EQ(server.stats().evictions, 2u);
+}
+
+// Fleet mode: a malformed job yields a classified error report in its
+// own slot, a budget-starved job degrades soundly in its own slot, and
+// the healthy job's bound matches a standalone analysis exactly.
+TEST(Serve, BatchFleetIsolatesFailuresAndBudgets) {
+  serve::ServeOptions options;
+  options.analysis.threads = 4; // fleet parallelism across jobs
+  serve::AnalysisServer server(mem::typical_hw(), options);
+
+  const isa::Image good = compile(calls_program(6));
+  const isa::Image malformed; // empty image: entry 0 has no instruction word
+  const isa::Image starved = compile(calls_program(9));
+
+  std::vector<serve::BatchJob> jobs(3);
+  jobs[0].image = &good;
+  jobs[1].image = &malformed;
+  jobs[2].image = &starved;
+  jobs[2].budget.max_cache_visits = 1; // force a sound degradation
+
+  const std::vector<WcetReport> reports = server.submit_batch(jobs);
+  ASSERT_EQ(reports.size(), 3u);
+
+  const Analyzer oracle(good, mem::typical_hw());
+  AnalysisOptions cold_options = options.analysis;
+  cold_options.threads = 1;
+  EXPECT_TRUE(reports[0].ok);
+  EXPECT_FALSE(reports[0].degraded);
+  EXPECT_EQ(reports[0].wcet_cycles, oracle.analyze(cold_options).wcet_cycles);
+
+  EXPECT_FALSE(reports[1].ok);
+  ASSERT_FALSE(reports[1].obstructions.empty());
+  EXPECT_NE(reports[1].obstructions.front().find("serve: input error"), std::string::npos)
+      << reports[1].obstructions.front();
+
+  EXPECT_TRUE(reports[2].degraded) << "cache-visit budget of 1 must degrade";
+  if (reports[2].ok) {
+    const Analyzer starved_oracle(starved, mem::typical_hw());
+    EXPECT_GE(reports[2].wcet_cycles, starved_oracle.analyze(cold_options).wcet_cycles)
+        << "degraded bound must stay sound (no tighter than the unlimited run)";
+  }
+
+  EXPECT_EQ(server.stats().batch_jobs, 3u);
+  EXPECT_EQ(server.stats().batch_errors, 1u);
+}
+
+// Stats endpoint: the counters the CLI --stats flag prints must
+// round-trip through to_string() (the daemon smoke test greps these).
+TEST(Serve, StatsTextEndpoint) {
+  serve::AnalysisServer server(mem::typical_hw());
+  const isa::Image image = compile(calls_program(6));
+  (void)server.submit(image);
+  (void)server.submit(image);
+  const std::string text = server.stats().to_string();
+  EXPECT_NE(text.find("wcet_serve stats"), std::string::npos) << text;
+  EXPECT_NE(text.find("requests: 2 (fingerprint hits 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("last timings (ms)"), std::string::npos) << text;
+}
+
+} // namespace
+} // namespace wcet
